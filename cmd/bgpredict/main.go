@@ -1,0 +1,122 @@
+// Command bgpredict evaluates failure predictors against a failure
+// trace: for the paper's knob predictors it verifies that measured
+// recall equals the accuracy knob with zero false positives, and for
+// the learned statistical predictor it sweeps the decision threshold
+// to print the genuine precision/recall trade-off.
+//
+// Examples:
+//
+//	bgpredict                                  # synthetic trace, all predictors
+//	bgpredict -failures cluster.csv -nodes 128 # real failure log
+//	bgpredict -horizon 6h -samples 50000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"text/tabwriter"
+	"time"
+
+	"bgsched/internal/failure"
+	"bgsched/internal/predict"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bgpredict:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bgpredict", flag.ContinueOnError)
+	var (
+		failPath = fs.String("failures", "", "failure CSV to evaluate against (empty: generate synthetic)")
+		nodes    = fs.Int("nodes", 128, "machine size in nodes")
+		count    = fs.Int("count", 1000, "synthetic trace event count")
+		spanDays = fs.Float64("span-days", 90, "synthetic trace span")
+		horizon  = fs.Duration("horizon", 6*time.Hour, "prediction window length")
+		samples  = fs.Int("samples", 20000, "evaluation query count")
+		seed     = fs.Int64("seed", 1, "random seed")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var trace failure.Trace
+	if *failPath != "" {
+		f, err := os.Open(*failPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		trace, err = failure.ReadCSV(f)
+		if err != nil {
+			return err
+		}
+	} else {
+		var err error
+		trace, err = failure.Generate(failure.DefaultGeneratorConfig(*nodes, *count, *spanDays*86400), *seed)
+		if err != nil {
+			return err
+		}
+	}
+	if len(trace) == 0 {
+		return fmt.Errorf("empty failure trace")
+	}
+	stats, err := failure.Analyze(trace, *nodes, 600)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "trace: %s\n\n", stats)
+
+	ix := failure.NewIndex(*nodes, trace)
+	span := trace[len(trace)-1].Time + 1
+	eval := func(p predict.NodePredictor, skip float64) (predict.Confusion, error) {
+		return predict.Evaluate(ix, p, predict.EvalConfig{
+			Span:       span,
+			Horizon:    horizon.Seconds(),
+			Samples:    *samples,
+			Seed:       *seed + 7,
+			SkipBefore: skip,
+		})
+	}
+
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', tabwriter.AlignRight)
+	fmt.Fprintln(tw, "predictor\trecall\tprecision\tfpr\tqueries\t")
+
+	// The paper's tie-breaking predictor at several accuracy knobs.
+	for _, a := range []float64{0.1, 0.5, 0.9} {
+		c, err := eval(predict.NewTieBreak(ix, a, *seed), 0)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "tie-break knob a=%.1f\t%.3f\t%.3f\t%.4f\t%d\t\n",
+			a, c.Recall(), c.Precision(), c.FalsePositiveRate(), c.Total())
+	}
+
+	// The learned predictor across thresholds, trained on the running
+	// prefix (queries before 25% of the span are skipped so it has
+	// history to learn from).
+	for _, th := range []float64{0.1, 0.25, 0.5, 0.75} {
+		l := predict.NewLearned(ix)
+		l.Threshold = th
+		c, err := eval(l, span/4)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(tw, "learned th=%.2f\t%.3f\t%.3f\t%.4f\t%d\t\n",
+			th, c.Recall(), c.Precision(), c.FalsePositiveRate(), c.Total())
+	}
+	if err := tw.Flush(); err != nil {
+		return err
+	}
+	fmt.Fprintln(out, "\nThe knob predictors consult the failure log itself: recall equals")
+	fmt.Fprintln(out, "the knob and false positives are zero by construction. The learned")
+	fmt.Fprintln(out, "predictor sees only past events; its trade-off curve is what a real")
+	fmt.Fprintln(out, "deployment would face (the paper argues fpr well below the miss")
+	fmt.Fprintln(out, "rate is attainable, which the learned rows reproduce).")
+	return nil
+}

@@ -1,0 +1,60 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bgsched/internal/failure"
+)
+
+func TestBgpredictSynthetic(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-count", "400", "-samples", "4000"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"trace:", "tie-break knob a=0.5", "learned th=0.25", "recall"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestBgpredictFromFile(t *testing.T) {
+	tr, err := failure.Generate(failure.DefaultGeneratorConfig(64, 200, 1e6), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "f.csv")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := failure.WriteCSV(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+	var buf bytes.Buffer
+	if err := run([]string{"-failures", path, "-nodes", "64", "-samples", "2000"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "events=200") {
+		t.Errorf("trace stats missing:\n%s", buf.String())
+	}
+}
+
+func TestBgpredictErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-failures", "/nonexistent.csv"}, &buf); err == nil {
+		t.Error("missing file accepted")
+	}
+	if err := run([]string{"-count", "0"}, &buf); err == nil {
+		t.Error("empty synthetic trace accepted")
+	}
+	if err := run([]string{"-bogus-flag"}, &buf); err == nil {
+		t.Error("bad flag accepted")
+	}
+}

@@ -1,0 +1,158 @@
+// Command bgsim runs a single fault-aware scheduling simulation and
+// prints its metrics.
+//
+// Examples:
+//
+//	bgsim -workload SDSC -jobs 2000 -sched balancing -a 0.1 -failures 1000
+//	bgsim -workload LLNL -c 1.2 -sched tiebreak -a 0.5 -failures 1000
+//	bgsim -sched baseline -failures 1000 -migration
+//	bgsim -sched balancing -a 0.3 -failures 1000 -ckpt-interval 3600 -ckpt-overhead 60
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"bgsched/internal/core"
+	"bgsched/internal/experiments"
+	"bgsched/internal/metrics"
+	"bgsched/internal/sim"
+	"bgsched/internal/torus"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bgsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bgsim", flag.ContinueOnError)
+	var (
+		machine   = fs.String("machine", "4x4x8", "machine geometry, e.g. 4x4x8 or 8x8x8/mesh (load is relative to the traced machine, not this one)")
+		wl        = fs.String("workload", "SDSC", "workload preset: NASA, SDSC or LLNL")
+		jobs      = fs.Int("jobs", 2000, "number of jobs in the synthetic log")
+		c         = fs.Float64("c", 1.0, "load-scaling coefficient applied to execution times")
+		failures  = fs.Int("failures", 0, "nominal failure count (paper axis units; 0 = fault-free)")
+		fscale    = fs.Float64("failure-scale", 0, "override nominal->injected mapping (injected = nominal*scale)")
+		sched     = fs.String("sched", "baseline", "scheduler: baseline, balancing, tiebreak, balancing-learned or tiebreak-learned")
+		a         = fs.Float64("a", 0, "prediction confidence (balancing) or accuracy (tiebreak)")
+		estFactor = fs.Float64("estimate-factor", 1, "user estimates = actual * U[1, factor]; 1 = exact (paper model)")
+		combine   = fs.String("combine", "independent", "balancing P_f combiner: independent or max")
+		backfill  = fs.String("backfill", "easy", "backfill mode: none, aggressive or easy")
+		migration = fs.Bool("migration", false, "enable the migration (compaction) pass")
+		migCost   = fs.Float64("migration-cost", 0, "checkpoint/restart delay charged per migration")
+		downtime  = fs.Float64("downtime", 0, "seconds a failed node stays out of service")
+		seed      = fs.Int64("seed", 1, "random seed for workload and failure generation")
+
+		ckptInterval = fs.Float64("ckpt-interval", 0, "periodic checkpoint interval seconds (0 = off)")
+		ckptPredict  = fs.Bool("ckpt-predictive", false, "use prediction-triggered checkpointing")
+		ckptOverhead = fs.Float64("ckpt-overhead", 0, "seconds of overhead per checkpoint")
+		ckptRestart  = fs.Float64("ckpt-restart", 0, "seconds to restore from a checkpoint")
+
+		timeline = fs.Int("timeline", 0, "print a machine-state timeline with this many buckets")
+		byClass  = fs.Bool("by-class", false, "print metrics broken down by job size class")
+		eventLog = fs.String("eventlog", "", "write a JSONL simulation event log to this file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := experiments.RunConfig{
+		Machine:        *machine,
+		Workload:       *wl,
+		JobCount:       *jobs,
+		LoadScale:      *c,
+		EstimateFactor: *estFactor,
+		FailureNominal: *failures,
+		FailureScale:   *fscale,
+		Scheduler:      experiments.SchedulerKind(*sched),
+		Param:          *a,
+		Migration:      *migration,
+		MigrationCost:  *migCost,
+		Downtime:       *downtime,
+		Seed:           *seed,
+
+		CheckpointInterval:   *ckptInterval,
+		CheckpointPredictive: *ckptPredict,
+		CheckpointOverhead:   *ckptOverhead,
+		CheckpointRestart:    *ckptRestart,
+
+		RecordTimeline: *timeline > 0,
+	}
+	if *eventLog != "" {
+		f, err := os.Create(*eventLog)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "bgsim: closing event log:", cerr)
+			}
+		}()
+		cfg.EventLog = f
+	}
+	switch *combine {
+	case "independent":
+	case "max":
+		cfg.CombineMax = true
+	default:
+		return fmt.Errorf("unknown combiner %q", *combine)
+	}
+	switch *backfill {
+	case "easy":
+		cfg.Backfill = core.BackfillEASY
+	case "aggressive":
+		cfg.Backfill = core.BackfillAggressive
+	case "none":
+		cfg.BackfillStrict = true
+	default:
+		return fmt.Errorf("unknown backfill mode %q", *backfill)
+	}
+
+	res, err := experiments.Run(cfg)
+	if err != nil {
+		return err
+	}
+	s := res.Summary
+	fmt.Fprintf(out, "workload            %s (jobs=%d, c=%.2f, seed=%d)\n", *wl, *jobs, *c, *seed)
+	fmt.Fprintf(out, "scheduler           %s (a=%.2f, backfill=%s, migration=%v)\n", *sched, *a, *backfill, *migration)
+	fmt.Fprintf(out, "failures            nominal=%d delivered=%d kills=%d\n", *failures, res.FailureEvents, res.JobKills)
+	fmt.Fprintf(out, "jobs finished       %d\n", s.Jobs)
+	fmt.Fprintf(out, "avg wait            %.1f s\n", s.AvgWait)
+	fmt.Fprintf(out, "avg response        %.1f s\n", s.AvgResponse)
+	fmt.Fprintf(out, "avg bounded slowdown %.2f (median %.2f, max %.2f)\n", s.AvgSlowdown, s.MedianSlowdown, s.MaxSlowdown)
+	fmt.Fprintf(out, "makespan            %.1f h\n", s.MakespanSeconds/3600)
+	fmt.Fprintf(out, "capacity            utilized=%.3f unused=%.3f lost=%.3f\n", s.Utilization, s.UnusedCapacity, s.LostCapacity)
+	fmt.Fprintf(out, "restarts            %d (lost work %.0f node-s)\n", s.TotalRestarts, s.LostWorkNodeSec)
+	if res.Migrations > 0 || res.Checkpoints > 0 || res.Backfills > 0 {
+		fmt.Fprintf(out, "events              backfills=%d migrations=%d checkpoints=%d\n",
+			res.Backfills, res.Migrations, res.Checkpoints)
+	}
+	if *byClass {
+		classes, err := metrics.BySizeClass(res.Outcomes, metrics.DefaultSizeBounds)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "\n%-10s %8s %12s %12s %12s %10s\n",
+			"size", "jobs", "slowdown", "wait s", "response s", "restarts")
+		for _, c := range classes {
+			fmt.Fprintf(out, "%-10s %8d %12.2f %12.0f %12.0f %10d\n",
+				c.Label(), c.Jobs, c.AvgSlowdown, c.AvgWait, c.AvgResponse, c.Restarts)
+		}
+	}
+	if *timeline > 0 {
+		g, err := torus.Parse(*machine)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		if err := sim.RenderTimeline(out, res.Timeline, g.N(), *timeline); err != nil {
+			return err
+		}
+	}
+	return nil
+}

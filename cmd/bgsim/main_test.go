@@ -1,0 +1,63 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBgsimBasicRun(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-workload", "NASA", "-jobs", "80", "-sched", "balancing",
+		"-a", "0.1", "-failures", "500",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"jobs finished       80", "avg bounded slowdown", "capacity"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBgsimCheckpointFlags(t *testing.T) {
+	var buf bytes.Buffer
+	err := run([]string{
+		"-workload", "SDSC", "-jobs", "60", "-sched", "baseline",
+		"-failures", "2000", "-ckpt-interval", "600", "-ckpt-overhead", "10",
+	}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "checkpoints=") {
+		t.Errorf("checkpoint counter missing:\n%s", buf.String())
+	}
+}
+
+func TestBgsimBadFlags(t *testing.T) {
+	cases := [][]string{
+		{"-sched", "quantum", "-jobs", "10"},
+		{"-backfill", "psychic", "-jobs", "10"},
+		{"-combine", "quantum", "-jobs", "10"},
+		{"-workload", "EARTH", "-jobs", "10"},
+		{"-nonexistent-flag"},
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestBgsimBackfillModes(t *testing.T) {
+	for _, mode := range []string{"none", "aggressive", "easy"} {
+		var buf bytes.Buffer
+		if err := run([]string{"-jobs", "40", "-backfill", mode}, &buf); err != nil {
+			t.Errorf("backfill %s: %v", mode, err)
+		}
+	}
+}

@@ -1,0 +1,169 @@
+// Command bgsweep regenerates the paper's evaluation figures as data
+// tables.
+//
+// Examples:
+//
+//	bgsweep -fig fig3                # one figure, aligned text
+//	bgsweep -fig all -jobs 800       # every figure at reduced scale
+//	bgsweep -fig fig6 -csv           # CSV output for plotting
+//	bgsweep -fig finders             # partition-finder timing comparison
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"bgsched/internal/experiments"
+	"bgsched/internal/partition"
+	"bgsched/internal/torus"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bgsweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bgsweep", flag.ContinueOnError)
+	var (
+		fig    = fs.String("fig", "all", `figure to regenerate: fig3..fig10, "finders", "krevat", "learned", or "all"`)
+		jobs   = fs.Int("jobs", 2000, "jobs per simulation run")
+		seed   = fs.Int64("seed", 1, "random seed")
+		csv    = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		plot   = fs.Bool("plot", false, "render an ASCII chart after each table")
+		metric = fs.String("metric", "slowdown", "timing-figure metric: slowdown, response or wait")
+		reps   = fs.Int("reps", 3, "replications (seeds) per sweep point")
+		agg    = fs.String("agg", "median", "replicate aggregation: median or mean")
+		fscale = fs.Float64("failure-scale", 0, "override nominal->injected failure mapping")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	opt := experiments.Options{
+		JobCount: *jobs, Seed: *seed, FailureScale: *fscale,
+		Metric: *metric, Replications: *reps, Aggregate: *agg,
+	}
+
+	if *fig == "finders" {
+		return finderComparison(out)
+	}
+	if *fig == "krevat" {
+		t, err := experiments.KrevatTable(opt, "SDSC", 1.0)
+		if err != nil {
+			return err
+		}
+		if err := t.Render(out); err != nil {
+			return err
+		}
+		fmt.Fprintln(out, "variants: 0=fcfs 1=fcfs+backfill 2=fcfs+migration 3=fcfs+backfill+migration")
+		return nil
+	}
+	if *fig == "learned" {
+		t, err := experiments.LearnedSweep(opt, "SDSC")
+		if err != nil {
+			return err
+		}
+		return t.Render(out)
+	}
+
+	var specs []experiments.Spec
+	if *fig == "all" {
+		specs = experiments.Specs
+	} else {
+		spec, err := experiments.SpecByID(*fig)
+		if err != nil {
+			return err
+		}
+		specs = []experiments.Spec{spec}
+	}
+	for _, spec := range specs {
+		start := time.Now()
+		tables, err := spec.Run(opt)
+		if err != nil {
+			return fmt.Errorf("%s: %w", spec.ID, err)
+		}
+		for _, t := range tables {
+			var rerr error
+			if *csv {
+				rerr = t.RenderCSV(out)
+			} else {
+				rerr = t.Render(out)
+			}
+			if rerr != nil {
+				return rerr
+			}
+			if *plot {
+				fmt.Fprintln(out)
+				if err := t.RenderPlot(out, 12); err != nil {
+					return err
+				}
+			}
+			fmt.Fprintln(out)
+		}
+		fmt.Fprintf(out, "# %s completed in %v\n\n", spec.ID, time.Since(start).Round(time.Millisecond))
+	}
+	return nil
+}
+
+// finderComparison times the three partition-finder algorithms on
+// random occupancies — the asymptotic comparison of Section 5 and
+// Appendix 9 (naive O(M^9), POP O(M^5), shape O(M^3 f(s)^3)). The gap
+// is invisible on the paper's 4x4x8 scheduling view, so the table also
+// measures larger machines, where the naive finder collapses.
+func finderComparison(out io.Writer) error {
+	finders := []partition.Finder{partition.NaiveFinder{}, partition.POPFinder{}, partition.ShapeFinder{}}
+	machines := []string{"4x4x8", "8x8x8", "16x16x16"}
+	fills := []float64{0.0, 0.3}
+	sizes := []int{8, 64}
+
+	fmt.Fprintln(out, "Partition-finder comparison (ns/op)")
+	fmt.Fprintf(out, "%-10s %-6s %-6s %12s %12s %12s\n", "machine", "fill", "size", "naive", "pop", "shape")
+	for _, spec := range machines {
+		g, err := torus.Parse(spec)
+		if err != nil {
+			return err
+		}
+		for _, fill := range fills {
+			gr := torus.NewGrid(g)
+			rng := rand.New(rand.NewSource(7))
+			owner := int64(1)
+			for id := 0; id < g.N(); id++ {
+				if rng.Float64() < fill {
+					c := g.CoordOf(id)
+					if err := gr.Allocate(torus.Partition{Base: c, Shape: torus.Shape{X: 1, Y: 1, Z: 1}}, owner); err != nil {
+						return err
+					}
+					owner++
+				}
+			}
+			for _, size := range sizes {
+				fmt.Fprintf(out, "%-10s %-6.1f %-6d", spec, fill, size)
+				for _, f := range finders {
+					fmt.Fprintf(out, " %12d", timeFinder(f, gr, size))
+				}
+				fmt.Fprintln(out)
+			}
+		}
+	}
+	return nil
+}
+
+// timeFinder measures ns/op with an adaptive iteration count (~100 ms
+// per cell), since costs span four orders of magnitude across machine
+// sizes.
+func timeFinder(f partition.Finder, gr *torus.Grid, size int) int64 {
+	const budget = 100 * time.Millisecond
+	iters := 0
+	start := time.Now()
+	for time.Since(start) < budget {
+		f.FreeOfSize(gr, size)
+		iters++
+	}
+	return time.Since(start).Nanoseconds() / int64(iters)
+}

@@ -1,0 +1,73 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestBgsweepSingleFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "fig3", "-jobs", "50", "-seed", "2", "-reps", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"fig3", "failures", "a=0.0", "a=0.1", "a=0.9", "completed in"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q", want)
+		}
+	}
+}
+
+func TestBgsweepCSV(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "fig4", "-jobs", "50", "-csv", "-reps", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "failures,c=1.0,c=1.2") {
+		t.Errorf("CSV header missing:\n%s", buf.String())
+	}
+}
+
+func TestBgsweepFinders(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "finders"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"naive", "pop", "shape"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("finder table missing %q", want)
+		}
+	}
+}
+
+func TestBgsweepKrevat(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "krevat", "-jobs", "60", "-reps", "1"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"krevat", "slowdown", "fcfs+backfill+migration"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("krevat output missing %q", want)
+		}
+	}
+}
+
+func TestBgsweepPlotFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "fig4", "-jobs", "40", "-reps", "1", "-plot"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "legend:") {
+		t.Error("plot legend missing")
+	}
+}
+
+func TestBgsweepUnknownFigure(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-fig", "fig99"}, &buf); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+}

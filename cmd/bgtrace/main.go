@@ -1,0 +1,235 @@
+// Command bgtrace generates and inspects the workload and failure
+// traces the simulator consumes.
+//
+// Subcommands:
+//
+//	bgtrace workload -preset SDSC -jobs 2000 -seed 1 > sdsc.swf
+//	bgtrace failures -count 1000 -span-days 30 -seed 1 > failures.csv
+//	bgtrace inspect  -swf sdsc.swf
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"bgsched/internal/failure"
+	"bgsched/internal/torus"
+	"bgsched/internal/workload"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bgtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: bgtrace <workload|failures|inspect> [flags]")
+	}
+	switch args[0] {
+	case "workload":
+		return genWorkload(args[1:], out)
+	case "failures":
+		return genFailures(args[1:], out)
+	case "inspect":
+		return inspect(args[1:], out)
+	case "mapfailures":
+		return mapFailures(args[1:], out)
+	}
+	return fmt.Errorf("unknown subcommand %q (want workload, failures, mapfailures or inspect)", args[0])
+}
+
+// mapFailures folds a compute-node-level failure trace onto the
+// supernode torus the scheduler allocates (BG/L: 32x32x64 compute
+// nodes in 8x8x8 blocks -> 4x4x8 supernodes).
+func mapFailures(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bgtrace mapfailures", flag.ContinueOnError)
+	in := fs.String("in", "", "compute-node-level failure CSV (required)")
+	machine := fs.String("machine", "32x32x64", "compute-node geometry")
+	block := fs.String("block", "8x8x8", "supernode block shape")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("mapfailures: -in is required")
+	}
+	compute, err := torus.Parse(*machine)
+	if err != nil {
+		return err
+	}
+	blockG, err := torus.Parse(*block)
+	if err != nil {
+		return err
+	}
+	m, err := torus.NewSupernodeMap(compute, blockG.Dims)
+	if err != nil {
+		return err
+	}
+	f, err := os.Open(*in)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := failure.ReadCSV(f)
+	if err != nil {
+		return err
+	}
+	mapped := failure.MapNodes(tr, m.SupernodeOf)
+	if len(mapped) < len(tr) {
+		fmt.Fprintf(os.Stderr, "bgtrace: dropped %d events outside the %s machine\n", len(tr)-len(mapped), *machine)
+	}
+	return failure.WriteCSV(out, mapped)
+}
+
+func genWorkload(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bgtrace workload", flag.ContinueOnError)
+	preset := fs.String("preset", "SDSC", "workload preset: NASA, SDSC or LLNL")
+	jobs := fs.Int("jobs", 2000, "number of jobs")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg, err := workload.PresetByName(*preset, *jobs)
+	if err != nil {
+		return err
+	}
+	log, err := workload.Synthesize(cfg, *seed)
+	if err != nil {
+		return err
+	}
+	return workload.WriteSWF(out, log)
+}
+
+func genFailures(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bgtrace failures", flag.ContinueOnError)
+	nodes := fs.Int("nodes", 128, "machine size in (super)nodes")
+	count := fs.Int("count", 1000, "number of failure events")
+	spanDays := fs.Float64("span-days", 30, "trace span in days")
+	burst := fs.Float64("burst", 0.35, "probability a failure seeds a burst")
+	skew := fs.Float64("skew", 1.2, "per-node hazard skew exponent (0 = uniform)")
+	seed := fs.Int64("seed", 1, "random seed")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := failure.DefaultGeneratorConfig(*nodes, *count, *spanDays*86400)
+	cfg.BurstProb = *burst
+	cfg.NodeSkew = *skew
+	tr, err := failure.Generate(cfg, *seed)
+	if err != nil {
+		return err
+	}
+	return failure.WriteCSV(out, tr)
+}
+
+func inspect(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bgtrace inspect", flag.ContinueOnError)
+	swf := fs.String("swf", "", "SWF job log to inspect")
+	failuresCSV := fs.String("failures", "", "failure CSV to inspect")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	switch {
+	case *swf != "":
+		f, err := os.Open(*swf)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		log, err := workload.ReadSWF(f, *swf)
+		if err != nil {
+			return err
+		}
+		return inspectLog(out, log)
+	case *failuresCSV != "":
+		f, err := os.Open(*failuresCSV)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err := failure.ReadCSV(f)
+		if err != nil {
+			return err
+		}
+		return inspectFailures(out, tr)
+	}
+	return fmt.Errorf("inspect: pass -swf or -failures")
+}
+
+func inspectLog(out io.Writer, log *workload.Log) error {
+	var runs, sizes []float64
+	for _, j := range log.Jobs {
+		if j.Run > 0 && j.Procs > 0 {
+			runs = append(runs, j.Run)
+			sizes = append(sizes, float64(j.Procs))
+		}
+	}
+	fmt.Fprintf(out, "log                 %s\n", log.Name)
+	fmt.Fprintf(out, "machine nodes       %d\n", log.MachineNodes)
+	fmt.Fprintf(out, "jobs                %d (%d usable)\n", len(log.Jobs), len(runs))
+	fmt.Fprintf(out, "span                %.1f days\n", log.Span()/86400)
+	fmt.Fprintf(out, "offered load        %.3f\n", log.OfferedLoad(log.MachineNodes))
+	fmt.Fprintf(out, "runtime s           %s\n", distLine(runs))
+	fmt.Fprintf(out, "size nodes          %s\n", distLine(sizes))
+	if stats, err := workload.Analyze(log); err == nil {
+		fmt.Fprintf(out, "character           pow2=%.0f%% runtimeCV=%.1f arrivalCV=%.1f diurnal=%.1fx\n",
+			stats.PowerOfTwo*100, stats.RuntimeCV, stats.InterarrCV, stats.DiurnalIndex)
+	}
+	return nil
+}
+
+func inspectFailures(out io.Writer, tr failure.Trace) error {
+	if len(tr) == 0 {
+		fmt.Fprintln(out, "empty trace")
+		return nil
+	}
+	perNode := map[int]int{}
+	for _, e := range tr {
+		perNode[e.Node]++
+	}
+	counts := make([]int, 0, len(perNode))
+	for _, c := range perNode {
+		counts = append(counts, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	top := 0
+	n := len(counts) / 10
+	if n == 0 {
+		n = 1
+	}
+	for _, c := range counts[:n] {
+		top += c
+	}
+	span := tr[len(tr)-1].Time - tr[0].Time
+	fmt.Fprintf(out, "events              %d\n", len(tr))
+	fmt.Fprintf(out, "span                %.1f days\n", span/86400)
+	fmt.Fprintf(out, "rate                %.2f failures/day\n", float64(len(tr))/(span/86400))
+	fmt.Fprintf(out, "nodes affected      %d\n", len(perNode))
+	fmt.Fprintf(out, "top-decile share    %.0f%%\n", 100*float64(top)/float64(len(tr)))
+	return nil
+}
+
+// distLine summarises a sample as min/median/mean/p90/max.
+func distLine(vals []float64) string {
+	if len(vals) == 0 {
+		return "n/a"
+	}
+	sorted := append([]float64(nil), vals...)
+	sort.Float64s(sorted)
+	mean := 0.0
+	for _, v := range sorted {
+		mean += v
+	}
+	mean /= float64(len(sorted))
+	q := func(p float64) float64 {
+		i := int(math.Round(p * float64(len(sorted)-1)))
+		return sorted[i]
+	}
+	return fmt.Sprintf("min=%.0f p50=%.0f mean=%.0f p90=%.0f max=%.0f",
+		sorted[0], q(0.5), mean, q(0.9), sorted[len(sorted)-1])
+}

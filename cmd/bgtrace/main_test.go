@@ -1,0 +1,119 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bgsched/internal/failure"
+)
+
+func TestBgtraceWorkloadAndInspect(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"workload", "-preset", "LLNL", "-jobs", "100", "-seed", "4"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "MaxProcs: 256") {
+		t.Fatalf("SWF header wrong:\n%s", buf.String()[:200])
+	}
+	path := filepath.Join(t.TempDir(), "log.swf")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var info bytes.Buffer
+	if err := run([]string{"inspect", "-swf", path}, &info); err != nil {
+		t.Fatal(err)
+	}
+	out := info.String()
+	for _, want := range []string{"machine nodes       256", "jobs                100", "offered load"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("inspect output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBgtraceFailuresAndInspect(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"failures", "-count", "300", "-span-days", "10", "-seed", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "fail.csv")
+	if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var info bytes.Buffer
+	if err := run([]string{"inspect", "-failures", path}, &info); err != nil {
+		t.Fatal(err)
+	}
+	out := info.String()
+	for _, want := range []string{"events              300", "rate", "top-decile share"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("inspect output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBgtraceMapFailures(t *testing.T) {
+	// Compute-node failures on a 32x32x64 machine map to 4x4x8 supernodes.
+	tr := failure.Trace{
+		{Time: 10, Node: 0},     // (0,0,0) -> supernode 0
+		{Time: 20, Node: 65535}, // last compute node -> supernode 127
+	}
+	dir := t.TempDir()
+	in := filepath.Join(dir, "compute.csv")
+	f, err := os.Create(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := failure.WriteCSV(f, tr); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var buf bytes.Buffer
+	if err := run([]string{"mapfailures", "-in", in}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	mapped, err := failure.ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mapped) != 2 || mapped[0].Node != 0 || mapped[1].Node != 127 {
+		t.Fatalf("mapped = %v", mapped)
+	}
+}
+
+func TestBgtraceMapFailuresErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"mapfailures"}, &buf); err == nil {
+		t.Error("missing -in accepted")
+	}
+	if err := run([]string{"mapfailures", "-in", "x.csv", "-block", "3x3x3"}, &buf); err == nil {
+		t.Error("non-tiling block accepted")
+	}
+}
+
+func TestBgtraceErrors(t *testing.T) {
+	cases := [][]string{
+		nil,
+		{"unknown"},
+		{"inspect"},
+		{"inspect", "-swf", "/nonexistent/file.swf"},
+		{"workload", "-preset", "EARTH"},
+		{"failures", "-count", "-5"},
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := run(args, &buf); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+func TestDistLineEmpty(t *testing.T) {
+	if got := distLine(nil); got != "n/a" {
+		t.Errorf("distLine(nil) = %q", got)
+	}
+}

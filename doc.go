@@ -1,0 +1,27 @@
+// Package bgsched is a from-scratch reproduction of "Fault-aware Job
+// Scheduling for BlueGene/L Systems" (Oliner, Sahoo, Moreira, Gupta,
+// Sivasubramaniam; IPPS 2004).
+//
+// The repository contains an event-driven simulator of the BlueGene/L
+// 4x4x8 supernode torus, Krevat-style FCFS space-sharing scheduling with
+// backfilling and migration, the paper's two fault-aware scheduling
+// algorithms (balancing and tie-breaking), tunable fault predictors,
+// synthetic workload and failure-trace substrates modelled on the
+// NASA/SDSC/LLNL logs and the Sahoo et al. cluster failure data, and a
+// benchmark harness that regenerates every figure in the paper's
+// evaluation section.
+//
+// Entry points:
+//
+//   - internal/experiments: one spec per paper figure, plus a generic
+//     simulation Run function with seed replication.
+//   - cmd/bgsim: run a single simulation and print its metrics,
+//     size-class breakdowns, machine timeline, and event log.
+//   - cmd/bgsweep: regenerate the paper's figures as tables, CSV or
+//     ASCII plots; also the partition-finder and Krevat-variant tables.
+//   - cmd/bgtrace: generate, inspect and map workload / failure traces.
+//   - cmd/bgpredict: evaluate the knob and learned failure predictors.
+//
+// See DESIGN.md for the full system inventory and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package bgsched

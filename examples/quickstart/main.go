@@ -1,0 +1,79 @@
+// Quickstart: the smallest end-to-end use of the library.
+//
+// It builds a synthetic SDSC-like job log, a bursty failure trace, the
+// paper's balancing scheduler with a 10%-confidence predictor, runs the
+// event-driven simulator on the BlueGene/L 4x4x8 supernode torus, and
+// prints the paper's metrics.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"bgsched/internal/core"
+	"bgsched/internal/failure"
+	"bgsched/internal/predict"
+	"bgsched/internal/sim"
+	"bgsched/internal/torus"
+	"bgsched/internal/workload"
+)
+
+func main() {
+	machine := torus.BlueGeneL() // 4x4x8 supernodes = 128 schedulable nodes
+
+	// 1. Workload: a synthetic log modelled on the SDSC SP2 trace,
+	//    mapped onto the torus with the paper's load coefficient c=1.0.
+	logCfg := workload.SDSC(500)
+	jobLog, err := workload.Synthesize(logCfg, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jobs, err := jobLog.ToJobs(machine, workload.ToJobsConfig{LoadScale: 1.0, ExactEstimates: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Failures: a bursty, skewed trace over the workload's span.
+	failCfg := failure.DefaultGeneratorConfig(machine.N(), 40, jobLog.Span()*1.1)
+	failures, err := failure.Generate(failCfg, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Scheduler: the balancing algorithm with a modest (a=0.1)
+	//    predictor — the paper's headline configuration.
+	index := failure.NewIndex(machine.N(), failures)
+	scheduler, err := core.NewScheduler(core.Config{
+		Policy:   &core.Balancing{Prober: &predict.Balancing{Index: index, Confidence: 0.1}},
+		Backfill: core.BackfillEASY,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. Simulate.
+	simulator, err := sim.New(sim.Config{
+		Geometry:  machine,
+		Scheduler: scheduler,
+		Jobs:      jobs,
+		Failures:  failures,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := simulator.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	s := res.Summary
+	fmt.Printf("jobs finished         %d\n", s.Jobs)
+	fmt.Printf("failures / job kills  %d / %d\n", res.FailureEvents, res.JobKills)
+	fmt.Printf("avg wait              %.0f s\n", s.AvgWait)
+	fmt.Printf("avg response          %.0f s\n", s.AvgResponse)
+	fmt.Printf("avg bounded slowdown  %.2f\n", s.AvgSlowdown)
+	fmt.Printf("capacity              utilized=%.3f unused=%.3f lost=%.3f\n",
+		s.Utilization, s.UnusedCapacity, s.LostCapacity)
+}

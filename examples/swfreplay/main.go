@@ -1,0 +1,150 @@
+// Swfreplay shows the real-data path: it replays a standard workload
+// format (SWF) job log and a CSV failure trace from disk — the exact
+// artefacts the paper used — through the fault-aware scheduler.
+//
+// With no flags it first writes demonstration traces to a temp
+// directory and then replays them, so it runs out of the box:
+//
+//	go run ./examples/swfreplay
+//	go run ./examples/swfreplay -swf SDSC-BLUE.swf -failures cluster.csv -a 0.3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"bgsched/internal/core"
+	"bgsched/internal/failure"
+	"bgsched/internal/predict"
+	"bgsched/internal/sim"
+	"bgsched/internal/torus"
+	"bgsched/internal/workload"
+)
+
+func main() {
+	swfPath := flag.String("swf", "", "SWF job log to replay (empty: generate a demo log)")
+	failPath := flag.String("failures", "", "failure CSV to replay (empty: generate a demo trace)")
+	a := flag.Float64("a", 0.1, "balancing predictor confidence")
+	c := flag.Float64("c", 1.0, "load-scaling coefficient")
+	flag.Parse()
+
+	if *swfPath == "" || *failPath == "" {
+		dir, err := os.MkdirTemp("", "bgsched-demo")
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		s, f, err := writeDemoTraces(dir)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if *swfPath == "" {
+			*swfPath = s
+		}
+		if *failPath == "" {
+			*failPath = f
+		}
+		fmt.Printf("replaying generated demo traces from %s\n\n", dir)
+	}
+
+	machine := torus.BlueGeneL()
+
+	swf, err := os.Open(*swfPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	jobLog, err := workload.ReadSWF(swf, filepath.Base(*swfPath))
+	swf.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	jobs, err := jobLog.ToJobs(machine, workload.ToJobsConfig{LoadScale: *c})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fcsv, err := os.Open(*failPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	failures, err := failure.ReadCSV(fcsv)
+	fcsv.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	stats, err := failure.Analyze(failures, machine.N(), 600)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("job log   %s: %d jobs over %.1f days, offered load %.2f\n",
+		jobLog.Name, len(jobs), jobLog.Span()/86400, jobLog.OfferedLoad(jobLog.MachineNodes))
+	fmt.Printf("failures  %s\n\n", stats)
+
+	index := failure.NewIndex(machine.N(), failures)
+	scheduler, err := core.NewScheduler(core.Config{
+		Policy:   &core.Balancing{Prober: &predict.Balancing{Index: index, Confidence: *a}},
+		Backfill: core.BackfillEASY,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	simulator, err := sim.New(sim.Config{
+		Geometry:  machine,
+		Scheduler: scheduler,
+		Jobs:      jobs,
+		Failures:  failures,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := simulator.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := res.Summary
+	fmt.Printf("jobs finished         %d (kills %d)\n", s.Jobs, res.JobKills)
+	fmt.Printf("avg bounded slowdown  %.2f\n", s.AvgSlowdown)
+	fmt.Printf("avg response          %.0f s\n", s.AvgResponse)
+	fmt.Printf("capacity              utilized=%.3f unused=%.3f lost=%.3f\n",
+		s.Utilization, s.UnusedCapacity, s.LostCapacity)
+}
+
+// writeDemoTraces materialises a synthetic SWF log and failure CSV so
+// the example is runnable without external data.
+func writeDemoTraces(dir string) (swfPath, failPath string, err error) {
+	jobLog, err := workload.Synthesize(workload.SDSC(400), 1)
+	if err != nil {
+		return "", "", err
+	}
+	swfPath = filepath.Join(dir, "demo.swf")
+	sf, err := os.Create(swfPath)
+	if err != nil {
+		return "", "", err
+	}
+	if err := workload.WriteSWF(sf, jobLog); err != nil {
+		sf.Close()
+		return "", "", err
+	}
+	if err := sf.Close(); err != nil {
+		return "", "", err
+	}
+
+	tr, err := failure.Generate(failure.DefaultGeneratorConfig(128, 40, jobLog.Span()*1.1), 2)
+	if err != nil {
+		return "", "", err
+	}
+	failPath = filepath.Join(dir, "demo-failures.csv")
+	ff, err := os.Create(failPath)
+	if err != nil {
+		return "", "", err
+	}
+	if err := failure.WriteCSV(ff, tr); err != nil {
+		ff.Close()
+		return "", "", err
+	}
+	return swfPath, failPath, ff.Close()
+}

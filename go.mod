@@ -1,0 +1,3 @@
+module bgsched
+
+go 1.22

@@ -1,0 +1,150 @@
+package bgsched
+
+import (
+	"reflect"
+	"testing"
+
+	"bgsched/internal/experiments"
+)
+
+// TestBalancingZeroConfidenceEqualsBaseline pins the degenerate-case
+// equivalence the paper relies on: at confidence a = 0 the balancing
+// algorithm's E_loss reduces to L_MFP, so it must make exactly the
+// choices Krevat's baseline makes — the a = 0 points of Figures 3 and
+// 6 are the baseline.
+func TestBalancingZeroConfidenceEqualsBaseline(t *testing.T) {
+	base := experiments.RunConfig{
+		Workload: "SDSC", JobCount: 250, FailureNominal: 2000, Seed: 6,
+	}
+	cfgBase := base
+	cfgBase.Scheduler = experiments.SchedBaseline
+	cfgBal := base
+	cfgBal.Scheduler = experiments.SchedBalancing
+	cfgBal.Param = 0
+
+	a, err := experiments.Run(cfgBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := experiments.Run(cfgBal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Outcomes, b.Outcomes) {
+		t.Fatalf("balancing(a=0) diverged from baseline: slowdown %.3f vs %.3f",
+			b.Summary.AvgSlowdown, a.Summary.AvgSlowdown)
+	}
+}
+
+// TestTieBreakZeroAccuracyEqualsBaseline: with accuracy 0 the
+// tie-breaking predictor always answers "no", so tie-breaking reduces
+// to the baseline's first-of-the-tied choice.
+func TestTieBreakZeroAccuracyEqualsBaseline(t *testing.T) {
+	base := experiments.RunConfig{
+		Workload: "NASA", JobCount: 250, FailureNominal: 2000, Seed: 7,
+	}
+	cfgBase := base
+	cfgBase.Scheduler = experiments.SchedBaseline
+	cfgTB := base
+	cfgTB.Scheduler = experiments.SchedTieBreak
+	cfgTB.Param = 0
+
+	a, err := experiments.Run(cfgBase)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := experiments.Run(cfgTB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a.Outcomes, b.Outcomes) {
+		t.Fatalf("tiebreak(a=0) diverged from baseline: slowdown %.3f vs %.3f",
+			b.Summary.AvgSlowdown, a.Summary.AvgSlowdown)
+	}
+}
+
+// TestFaultFreeSchedulersAgree: with no failures at all, all three
+// schedulers see identical information and must produce identical
+// schedules.
+func TestFaultFreeSchedulersAgree(t *testing.T) {
+	mk := func(kind experiments.SchedulerKind, a float64) experiments.RunConfig {
+		return experiments.RunConfig{
+			Workload: "LLNL", JobCount: 200, FailureNominal: 0,
+			Scheduler: kind, Param: a, Seed: 8,
+		}
+	}
+	ref, err := experiments.Run(mk(experiments.SchedBaseline, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []experiments.RunConfig{
+		mk(experiments.SchedBalancing, 0.7),
+		mk(experiments.SchedTieBreak, 0.7),
+	} {
+		res, err := experiments.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(ref.Outcomes, res.Outcomes) {
+			t.Fatalf("%s diverged from baseline on a fault-free machine", cfg.Scheduler)
+		}
+	}
+}
+
+// TestMeshMachineEndToEnd drives the full pipeline on a mesh (no
+// wraparound) and on a non-default torus geometry.
+func TestMeshMachineEndToEnd(t *testing.T) {
+	for _, machine := range []string{"4x4x8/mesh", "8x8x8", "2x2x2"} {
+		res, err := experiments.Run(experiments.RunConfig{
+			Machine: machine, Workload: "NASA", JobCount: 120,
+			FailureNominal: 1000, Scheduler: experiments.SchedBalancing,
+			Param: 0.3, Seed: 4,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", machine, err)
+		}
+		if res.Summary.Jobs != 120 {
+			t.Fatalf("%s: finished %d of 120", machine, res.Summary.Jobs)
+		}
+		sum := res.Summary.Utilization + res.Summary.UnusedCapacity + res.Summary.LostCapacity
+		if sum < 0.999 || sum > 1.001 {
+			t.Fatalf("%s: capacity sum %g", machine, sum)
+		}
+	}
+	if _, err := experiments.Run(experiments.RunConfig{
+		Machine: "0x1x1", Workload: "NASA", JobCount: 10,
+	}); err == nil {
+		t.Fatal("invalid machine accepted")
+	}
+}
+
+// TestNoPredictionPenalty reproduces the paper's motivating claim
+// (Section 1): introducing failures without any fault awareness
+// significantly degrades slowdown relative to the fault-free machine.
+func TestNoPredictionPenalty(t *testing.T) {
+	mk := func(failures int) experiments.RunConfig {
+		return experiments.RunConfig{
+			Workload: "SDSC", JobCount: 400, FailureNominal: failures,
+			Scheduler: experiments.SchedBaseline, Seed: 9,
+		}
+	}
+	clean, err := experiments.Run(mk(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty, err := experiments.Run(mk(1000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if faulty.JobKills == 0 {
+		t.Fatal("no kills at nominal 1000 failures")
+	}
+	if faulty.Summary.AvgSlowdown <= clean.Summary.AvgSlowdown {
+		t.Fatalf("failures did not degrade slowdown: %.2f vs %.2f",
+			faulty.Summary.AvgSlowdown, clean.Summary.AvgSlowdown)
+	}
+	if faulty.Summary.LostCapacity <= clean.Summary.LostCapacity {
+		t.Fatalf("failures did not increase lost capacity: %.3f vs %.3f",
+			faulty.Summary.LostCapacity, clean.Summary.LostCapacity)
+	}
+}

@@ -1,0 +1,137 @@
+// Package checkpoint implements the paper's future-work extension
+// (Section 8): checkpointing policies whose intervals adapt to fault
+// prediction. The simulator charges a fixed overhead per checkpoint and,
+// when a job is killed by a node failure, restarts it from its last
+// completed checkpoint instead of from scratch.
+package checkpoint
+
+import (
+	"fmt"
+	"math"
+
+	"bgsched/internal/predict"
+)
+
+// Policy decides when a running job should next checkpoint.
+type Policy interface {
+	Name() string
+	// Next returns the absolute time of the next checkpoint for the
+	// job identified by jobID running on the given nodes, where now is
+	// the current time and expFinish the job's expected completion.
+	// ok=false means no checkpoint is currently scheduled (the
+	// simulator will re-poll per Config.PollInterval).
+	Next(jobID int64, now, expFinish float64, nodes []int) (t float64, ok bool)
+}
+
+// Periodic checkpoints every Interval seconds of wall-clock time.
+type Periodic struct {
+	Interval float64
+}
+
+// Name implements Policy.
+func (p *Periodic) Name() string { return "periodic" }
+
+// Next implements Policy.
+func (p *Periodic) Next(_ int64, now, expFinish float64, _ []int) (float64, bool) {
+	if p.Interval <= 0 {
+		return 0, false
+	}
+	t := now + p.Interval
+	if t >= expFinish {
+		return 0, false // no point checkpointing at/after completion
+	}
+	return t, true
+}
+
+// PredictionTriggered checkpoints only when the predictor expects a
+// node of the job's partition to fail soon: if a failure is predicted
+// within Horizon seconds, a checkpoint is scheduled Lead seconds from
+// now (so the state is saved just before the anticipated failure).
+// This is the "checkpoint close to the time when one of its nodes is
+// likely to fail" strategy sketched in the paper's introduction.
+type PredictionTriggered struct {
+	Oracle  predict.PartitionOracle
+	Horizon float64 // how far ahead to look for predicted failures
+	Lead    float64 // delay from the query to the checkpoint itself
+	// MinGap suppresses re-checkpointing storms: after a triggered
+	// checkpoint the policy stays quiet for at least MinGap seconds
+	// (per job).
+	MinGap float64
+
+	lastTrigger map[int64]float64
+}
+
+// Name implements Policy.
+func (p *PredictionTriggered) Name() string { return "prediction-triggered" }
+
+// Next implements Policy.
+func (p *PredictionTriggered) Next(jobID int64, now, expFinish float64, nodes []int) (float64, bool) {
+	if p.Oracle == nil || p.Horizon <= 0 {
+		return 0, false
+	}
+	if last, ok := p.lastTrigger[jobID]; ok && now-last < p.MinGap {
+		return 0, false
+	}
+	until := now + p.Horizon
+	if until > expFinish {
+		until = expFinish
+	}
+	if until <= now || !p.Oracle.PartitionWillFail(nodes, now, until) {
+		return 0, false
+	}
+	t := now + p.Lead
+	if t >= expFinish {
+		return 0, false
+	}
+	if p.lastTrigger == nil {
+		p.lastTrigger = make(map[int64]float64)
+	}
+	p.lastTrigger[jobID] = now
+	return t, true
+}
+
+// YoungInterval returns the classic first-order optimal periodic
+// checkpoint interval sqrt(2 * overhead * MTBF) (Young, 1974). It is
+// the natural default when no failure prediction is available; the
+// prediction-triggered policy is this paper's alternative.
+func YoungInterval(mtbf, overhead float64) (float64, error) {
+	if mtbf <= 0 {
+		return 0, fmt.Errorf("checkpoint: MTBF = %g, want > 0", mtbf)
+	}
+	if overhead <= 0 {
+		return 0, fmt.Errorf("checkpoint: overhead = %g, want > 0", overhead)
+	}
+	return math.Sqrt(2 * overhead * mtbf), nil
+}
+
+// Config couples a policy with its cost model for the simulator.
+type Config struct {
+	Policy Policy
+	// Overhead is the wall-clock cost of taking one checkpoint,
+	// seconds. While checkpointing the job makes no progress, so its
+	// completion is pushed back by Overhead.
+	Overhead float64
+	// RestartPenalty is the wall-clock cost of restoring from a
+	// checkpoint after a failure, seconds.
+	RestartPenalty float64
+	// PollInterval re-consults the policy this often while a job runs
+	// and the policy has no checkpoint scheduled. Required for
+	// prediction-triggered policies, whose answer changes as the
+	// predicted-failure horizon slides forward; periodic policies can
+	// leave it zero.
+	PollInterval float64
+}
+
+// Validate reports configuration errors.
+func (c *Config) Validate() error {
+	if c.Policy == nil {
+		return fmt.Errorf("checkpoint: Policy is required")
+	}
+	if c.Overhead < 0 || c.RestartPenalty < 0 {
+		return fmt.Errorf("checkpoint: negative cost (overhead %g, restart %g)", c.Overhead, c.RestartPenalty)
+	}
+	if c.PollInterval < 0 {
+		return fmt.Errorf("checkpoint: negative poll interval %g", c.PollInterval)
+	}
+	return nil
+}

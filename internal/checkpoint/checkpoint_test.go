@@ -1,0 +1,154 @@
+package checkpoint
+
+import (
+	"testing"
+
+	"bgsched/internal/failure"
+	"bgsched/internal/predict"
+)
+
+func TestPeriodicNext(t *testing.T) {
+	p := &Periodic{Interval: 100}
+	if got, ok := p.Next(1, 50, 1000, nil); !ok || got != 150 {
+		t.Fatalf("Next = %g, %v; want 150, true", got, ok)
+	}
+	// No checkpoint at or past completion.
+	if _, ok := p.Next(1, 950, 1000, nil); ok {
+		t.Fatal("checkpoint scheduled past expected finish")
+	}
+	if _, ok := p.Next(1, 900, 1000, nil); ok {
+		t.Fatal("checkpoint exactly at finish should be skipped")
+	}
+	if got, ok := p.Next(1, 899, 1000, nil); !ok || got != 999 {
+		t.Fatalf("Next = %g, %v", got, ok)
+	}
+}
+
+func TestPeriodicDisabled(t *testing.T) {
+	p := &Periodic{Interval: 0}
+	if _, ok := p.Next(1, 0, 1000, nil); ok {
+		t.Fatal("zero interval must disable checkpoints")
+	}
+	if (&Periodic{}).Name() != "periodic" {
+		t.Fatal("name")
+	}
+}
+
+func TestPredictionTriggeredFires(t *testing.T) {
+	ix := failure.NewIndex(8, failure.Trace{{Time: 500, Node: 3}})
+	p := &PredictionTriggered{
+		Oracle:  &predict.Perfect{Index: ix},
+		Horizon: 200,
+		Lead:    20,
+		MinGap:  100,
+	}
+	// At t=100 the failure (t=500) is outside the 200s horizon.
+	if _, ok := p.Next(1, 100, 1000, []int{3}); ok {
+		t.Fatal("fired outside horizon")
+	}
+	// At t=350 the failure is within horizon: checkpoint at 370.
+	got, ok := p.Next(1, 350, 1000, []int{3})
+	if !ok || got != 370 {
+		t.Fatalf("Next = %g, %v; want 370, true", got, ok)
+	}
+	// MinGap suppresses an immediate re-trigger.
+	if _, ok := p.Next(1, 360, 1000, []int{3}); ok {
+		t.Fatal("re-triggered within MinGap")
+	}
+	// After the gap it may fire again.
+	if _, ok := p.Next(1, 460, 1000, []int{3}); !ok {
+		t.Fatal("did not re-arm after MinGap")
+	}
+}
+
+// MinGap suppression must be per job: a trigger for one job must not
+// silence another job whose partition is also at risk.
+func TestPredictionTriggeredMinGapPerJob(t *testing.T) {
+	ix := failure.NewIndex(8, failure.Trace{{Time: 100, Node: 2}, {Time: 100, Node: 5}})
+	p := &PredictionTriggered{
+		Oracle:  &predict.Perfect{Index: ix},
+		Horizon: 500,
+		Lead:    10,
+		MinGap:  1000,
+	}
+	if _, ok := p.Next(1, 0, 2000, []int{2}); !ok {
+		t.Fatal("job 1 did not trigger")
+	}
+	if _, ok := p.Next(2, 1, 2000, []int{5}); !ok {
+		t.Fatal("job 2 suppressed by job 1's MinGap")
+	}
+	if _, ok := p.Next(1, 2, 2000, []int{2}); ok {
+		t.Fatal("job 1 re-triggered within its own MinGap")
+	}
+}
+
+func TestPredictionTriggeredHealthyPartition(t *testing.T) {
+	ix := failure.NewIndex(8, failure.Trace{{Time: 500, Node: 3}})
+	p := &PredictionTriggered{
+		Oracle:  &predict.Perfect{Index: ix},
+		Horizon: 1000,
+		Lead:    10,
+	}
+	if _, ok := p.Next(1, 0, 1000, []int{1, 2}); ok {
+		t.Fatal("fired for a partition with no predicted failures")
+	}
+}
+
+func TestPredictionTriggeredEdges(t *testing.T) {
+	p := &PredictionTriggered{}
+	if _, ok := p.Next(1, 0, 1000, []int{1}); ok {
+		t.Fatal("nil oracle fired")
+	}
+	ix := failure.NewIndex(8, failure.Trace{{Time: 990, Node: 1}})
+	p2 := &PredictionTriggered{
+		Oracle:  &predict.Perfect{Index: ix},
+		Horizon: 100,
+		Lead:    50,
+	}
+	// Lead pushes the checkpoint past the finish: skip.
+	if _, ok := p2.Next(1, 960, 1000, []int{1}); ok {
+		t.Fatal("checkpoint scheduled past finish")
+	}
+	if p2.Name() != "prediction-triggered" {
+		t.Fatal("name")
+	}
+}
+
+func TestYoungInterval(t *testing.T) {
+	// sqrt(2 * 60 * 4*86400) for a 4-day MTBF and 60 s overhead.
+	got, err := YoungInterval(4*86400, 60)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 6441.1 // sqrt(2*60*345600) ≈ 6440.5
+	if got < want-5 || got > want+5 {
+		t.Fatalf("YoungInterval = %g, want ≈ %g", got, want)
+	}
+	if _, err := YoungInterval(0, 60); err == nil {
+		t.Error("zero MTBF accepted")
+	}
+	if _, err := YoungInterval(86400, 0); err == nil {
+		t.Error("zero overhead accepted")
+	}
+	// Longer MTBF means longer interval.
+	a, _ := YoungInterval(86400, 60)
+	b, _ := YoungInterval(10*86400, 60)
+	if b <= a {
+		t.Fatal("interval not increasing in MTBF")
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := (&Config{}).Validate(); err == nil {
+		t.Error("nil policy accepted")
+	}
+	if err := (&Config{Policy: &Periodic{Interval: 1}, Overhead: -1}).Validate(); err == nil {
+		t.Error("negative overhead accepted")
+	}
+	if err := (&Config{Policy: &Periodic{Interval: 1}, RestartPenalty: -1}).Validate(); err == nil {
+		t.Error("negative restart penalty accepted")
+	}
+	if err := (&Config{Policy: &Periodic{Interval: 1}, Overhead: 5, RestartPenalty: 5}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}

@@ -1,0 +1,47 @@
+package checkpoint_test
+
+import (
+	"fmt"
+
+	"bgsched/internal/checkpoint"
+)
+
+// Choosing a periodic checkpoint interval: Young's first-order formula
+// versus the numeric optimum of the full renewal model.
+func ExampleYoungInterval() {
+	mtbf := 4 * 86400.0 // the paper's "one failure per four days"
+	overhead := 60.0
+
+	young, _ := checkpoint.YoungInterval(mtbf, overhead)
+
+	best, _, _ := checkpoint.OptimalInterval(checkpoint.ModelParams{
+		Work:        12 * 3600,
+		Overhead:    overhead,
+		FailureRate: 1 / mtbf,
+	})
+	fmt.Printf("Young: %.0fs, numeric optimum: within [%.0f, %.0f]\n",
+		young, young/2, young*2)
+	fmt.Println("optimum in that range:", best > young/2 && best < young*2)
+	// Output:
+	// Young: 6440s, numeric optimum: within [3220, 12880]
+	// optimum in that range: true
+}
+
+// The expected completion time of a job under failures, with and
+// without checkpointing.
+func ExampleExpectedRuntime() {
+	base := checkpoint.ModelParams{
+		Work:        50000,
+		FailureRate: 1.0 / 10000,
+		Overhead:    30,
+	}
+	plain, _ := checkpoint.ExpectedRuntime(base)
+
+	withCkpt := base
+	withCkpt.Interval = 800
+	ckpt, _ := checkpoint.ExpectedRuntime(withCkpt)
+
+	fmt.Println("checkpointing helps:", ckpt < plain)
+	// Output:
+	// checkpointing helps: true
+}

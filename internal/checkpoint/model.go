@@ -1,0 +1,116 @@
+package checkpoint
+
+import (
+	"fmt"
+	"math"
+)
+
+// ModelParams describe a job under the classic periodic-checkpointing
+// renewal model: the job needs Work seconds of computation on a
+// partition whose failures arrive as a Poisson process with rate
+// FailureRate (per second, summed over the partition's nodes).
+type ModelParams struct {
+	Work           float64 // useful computation required, seconds
+	Interval       float64 // checkpoint period, seconds (0 = no checkpointing)
+	Overhead       float64 // cost per checkpoint, seconds
+	RestartPenalty float64 // cost to restore after a failure, seconds
+	FailureRate    float64 // partition failure rate, per second
+}
+
+// ExpectedRuntime returns the expected wall-clock completion time of
+// the job under the standard first-order renewal analysis. For an
+// exponential failure process with rate λ, a segment that needs τ
+// seconds of uninterrupted progress takes (e^{λτ} - 1)/λ expected
+// wall-clock seconds including retries; with checkpointing every
+// Interval seconds the job is a chain of such segments of length
+// Interval+Overhead (the last possibly shorter), each restartable from
+// its own beginning after a RestartPenalty.
+//
+// It is the analytic counterpart of the simulator's checkpointing
+// machinery; TestModelMatchesSimulator validates the two against each
+// other.
+func ExpectedRuntime(p ModelParams) (float64, error) {
+	if p.Work <= 0 {
+		return 0, fmt.Errorf("checkpoint: Work = %g", p.Work)
+	}
+	if p.Overhead < 0 || p.RestartPenalty < 0 || p.Interval < 0 || p.FailureRate < 0 {
+		return 0, fmt.Errorf("checkpoint: negative parameter in %+v", p)
+	}
+	if p.FailureRate == 0 {
+		// Failure-free: just the work plus checkpoint overheads.
+		if p.Interval <= 0 || p.Interval >= p.Work {
+			return p.Work, nil
+		}
+		nCkpt := math.Ceil(p.Work/p.Interval) - 1
+		return p.Work + nCkpt*p.Overhead, nil
+	}
+
+	// segment(τ): expected wall-clock to push τ seconds of progress
+	// through, restarting from the segment start (after a restore
+	// penalty) on each failure.
+	lam := p.FailureRate
+	segment := func(tau float64) float64 {
+		// E[T] satisfies the standard renewal equation; closed form:
+		// E[T] = (e^{λ(τ)} - 1)/λ + (e^{λτ} - 1) * penalty
+		grow := math.Expm1(lam * tau)
+		return grow/lam + grow*p.RestartPenalty
+	}
+
+	if p.Interval <= 0 || p.Interval >= p.Work {
+		// No checkpointing: one segment of the whole job.
+		return segment(p.Work), nil
+	}
+	full := math.Floor(p.Work / p.Interval)
+	rem := p.Work - full*p.Interval
+	total := full * segment(p.Interval+p.Overhead)
+	if rem > 1e-12 {
+		total += segment(rem)
+	} else {
+		// The last full segment needs no checkpoint at its end.
+		total -= segment(p.Interval+p.Overhead) - segment(p.Interval)
+	}
+	return total, nil
+}
+
+// OptimalInterval numerically minimises ExpectedRuntime over the
+// checkpoint interval, returning the best interval and its expected
+// runtime. Young's formula is its first-order approximation.
+func OptimalInterval(p ModelParams) (bestInterval, bestRuntime float64, err error) {
+	if p.Work <= 0 {
+		return 0, 0, fmt.Errorf("checkpoint: Work = %g", p.Work)
+	}
+	// Golden-section search over a broad bracket.
+	lo, hi := math.Max(p.Overhead, 1), p.Work
+	if lo >= hi {
+		rt, err := ExpectedRuntime(p)
+		return 0, rt, err
+	}
+	phi := (math.Sqrt(5) - 1) / 2
+	f := func(interval float64) float64 {
+		q := p
+		q.Interval = interval
+		rt, ferr := ExpectedRuntime(q)
+		if ferr != nil {
+			return math.Inf(1)
+		}
+		return rt
+	}
+	a, b := lo, hi
+	c := b - phi*(b-a)
+	d := a + phi*(b-a)
+	fc, fd := f(c), f(d)
+	for i := 0; i < 200 && b-a > 1e-3*(hi-lo); i++ {
+		if fc < fd {
+			b, d, fd = d, c, fc
+			c = b - phi*(b-a)
+			fc = f(c)
+		} else {
+			a, c, fc = c, d, fd
+			d = a + phi*(b-a)
+			fd = f(d)
+		}
+	}
+	bestInterval = (a + b) / 2
+	bestRuntime = f(bestInterval)
+	return bestInterval, bestRuntime, nil
+}

@@ -1,0 +1,103 @@
+package checkpoint
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExpectedRuntimeFailureFree(t *testing.T) {
+	// No failures, no checkpointing: exactly the work.
+	rt, err := ExpectedRuntime(ModelParams{Work: 1000})
+	if err != nil || rt != 1000 {
+		t.Fatalf("rt = %g, %v", rt, err)
+	}
+	// No failures, 3 checkpoints at 250/500/750 (ceil(1000/250)-1 = 3).
+	rt, err = ExpectedRuntime(ModelParams{Work: 1000, Interval: 250, Overhead: 10})
+	if err != nil || rt != 1030 {
+		t.Fatalf("rt = %g, %v; want 1030", rt, err)
+	}
+	// Interval >= work: no checkpoints.
+	rt, err = ExpectedRuntime(ModelParams{Work: 1000, Interval: 5000, Overhead: 10})
+	if err != nil || rt != 1000 {
+		t.Fatalf("rt = %g, %v", rt, err)
+	}
+}
+
+func TestExpectedRuntimeErrors(t *testing.T) {
+	if _, err := ExpectedRuntime(ModelParams{Work: 0}); err == nil {
+		t.Error("zero work accepted")
+	}
+	if _, err := ExpectedRuntime(ModelParams{Work: 10, Overhead: -1}); err == nil {
+		t.Error("negative overhead accepted")
+	}
+}
+
+func TestExpectedRuntimeNoCheckpointClosedForm(t *testing.T) {
+	// Without checkpointing, E[T] = (e^{λW} - 1)/λ (+ restart terms).
+	lam := 1e-4
+	work := 5000.0
+	rt, err := ExpectedRuntime(ModelParams{Work: work, FailureRate: lam})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Expm1(lam*work) / lam
+	if math.Abs(rt-want) > 1e-6*want {
+		t.Fatalf("rt = %g, want %g", rt, want)
+	}
+	if rt <= work {
+		t.Fatal("failures must inflate runtime")
+	}
+}
+
+func TestExpectedRuntimeCheckpointingHelpsUnderFailures(t *testing.T) {
+	p := ModelParams{Work: 50000, Overhead: 30, RestartPenalty: 30, FailureRate: 1.0 / 10000}
+	plain, err := ExpectedRuntime(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Interval = 3000
+	ckpt, err := ExpectedRuntime(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ckpt >= plain {
+		t.Fatalf("checkpointing did not help: %g vs %g", ckpt, plain)
+	}
+}
+
+func TestOptimalIntervalNearYoung(t *testing.T) {
+	// With small overhead relative to MTBF, the numeric optimum should
+	// be in the neighbourhood of Young's approximation.
+	mtbf := 20000.0
+	overhead := 20.0
+	p := ModelParams{Work: 200000, Overhead: overhead, FailureRate: 1 / mtbf}
+	best, rt, err := OptimalInterval(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	young, err := YoungInterval(mtbf, overhead)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if best < young/2 || best > young*2 {
+		t.Fatalf("optimal interval %g too far from Young %g", best, young)
+	}
+	// The optimum must beat both a much denser and a much sparser choice.
+	for _, iv := range []float64{best / 8, best * 8} {
+		q := p
+		q.Interval = iv
+		other, err := ExpectedRuntime(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if other < rt {
+			t.Fatalf("interval %g (rt %g) beats 'optimal' %g (rt %g)", iv, other, best, rt)
+		}
+	}
+}
+
+func TestOptimalIntervalErrors(t *testing.T) {
+	if _, _, err := OptimalInterval(ModelParams{}); err == nil {
+		t.Error("zero work accepted")
+	}
+}

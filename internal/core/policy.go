@@ -1,0 +1,176 @@
+// Package core implements the paper's primary contribution: the job
+// placement policies — Krevat's maximal-free-partition (MFP) heuristic,
+// the fault-aware balancing algorithm (Section 5.2.1) and the
+// tie-breaking algorithm (Section 5.2.2) — and the FCFS space-sharing
+// scheduler with backfilling and migration they plug into.
+package core
+
+import (
+	"fmt"
+
+	"bgsched/internal/job"
+	"bgsched/internal/partition"
+	"bgsched/internal/predict"
+	"bgsched/internal/torus"
+)
+
+// probeOwner marks hypothetical allocations while a policy evaluates a
+// candidate placement. It never escapes a Choose call.
+const probeOwner int64 = -1
+
+// PlacementContext is everything a policy may consult when ranking
+// candidate partitions for one job.
+type PlacementContext struct {
+	Grid      *torus.Grid
+	Job       *job.Job
+	Now       float64
+	MFPBefore int // maximal free partition size before placing the job
+}
+
+// Policy ranks candidate partitions for a job and picks one.
+// Choose returns the index of the selected candidate, or -1 to decline
+// placement (no built-in policy declines; the escape hatch exists for
+// experimental policies).
+type Policy interface {
+	Name() string
+	Choose(ctx *PlacementContext, cands []torus.Partition) int
+}
+
+// mfpAfter returns the MFP size of the grid with p hypothetically
+// allocated. The probe allocation is always rolled back.
+func mfpAfter(gr *torus.Grid, p torus.Partition) int {
+	if err := gr.Allocate(p, probeOwner); err != nil {
+		// Candidates come from a finder over this same grid; a failed
+		// probe means internal inconsistency, not user error.
+		panic(fmt.Sprintf("core: probe allocation of %v failed: %v", p, err))
+	}
+	_, size := partition.MaxFree(gr)
+	if err := gr.Release(p, probeOwner); err != nil {
+		panic(fmt.Sprintf("core: probe release of %v failed: %v", p, err))
+	}
+	return size
+}
+
+// Baseline is Krevat's placement heuristic: keep the maximal free
+// partition as large as possible, i.e. minimise
+// L_MFP = MFP(before) - MFP(after). Ties break to the first candidate
+// in the finder's deterministic order.
+type Baseline struct{}
+
+// Name implements Policy.
+func (Baseline) Name() string { return "baseline" }
+
+// Choose implements Policy.
+func (Baseline) Choose(ctx *PlacementContext, cands []torus.Partition) int {
+	best := -1
+	bestMFP := -1
+	for i, p := range cands {
+		if after := mfpAfter(ctx.Grid, p); after > bestMFP {
+			bestMFP = after
+			best = i
+		}
+	}
+	return best
+}
+
+// Combiner folds per-node failure probabilities into a partition
+// failure probability P_f.
+type Combiner func([]float64) float64
+
+// PartitionFailProb evaluates P_f for partition p over the window
+// (now, until] under the given node prober and combiner.
+func PartitionFailProb(g torus.Geometry, prober predict.NodeProber, p torus.Partition, now, until float64, combine Combiner) float64 {
+	probs := make([]float64, 0, p.Size())
+	g.ForEachNode(p, func(id int) bool {
+		probs = append(probs, prober.NodeFailProb(id, now, until))
+		return true
+	})
+	return combine(probs)
+}
+
+// Balancing is the paper's balancing algorithm: minimise the total
+// expected loss E_loss = L_MFP + L_PF, where L_MFP is the free space
+// consumed from the maximal free partition and L_PF = P_f * s_j is the
+// expected work lost if the partition fails before the job completes
+// (the job is assumed to fail just before completion; Section 5.2.1).
+type Balancing struct {
+	Prober predict.NodeProber
+	// Combine folds node probabilities into P_f. Defaults to
+	// predict.CombineIndependent (the Section 5.2.1 product formula);
+	// predict.CombineMax gives the Section 4.1 variant.
+	Combine Combiner
+}
+
+// Name implements Policy.
+func (b *Balancing) Name() string { return "balancing" }
+
+// Choose implements Policy.
+func (b *Balancing) Choose(ctx *PlacementContext, cands []torus.Partition) int {
+	combine := b.Combine
+	if combine == nil {
+		combine = predict.CombineIndependent
+	}
+	g := ctx.Grid.Geometry()
+	until := ctx.Now + ctx.Job.Estimate
+	best := -1
+	bestLoss := 0.0
+	for i, p := range cands {
+		lMFP := float64(ctx.MFPBefore - mfpAfter(ctx.Grid, p))
+		pf := PartitionFailProb(g, b.Prober, p, ctx.Now, until, combine)
+		loss := lMFP + pf*float64(ctx.Job.Size)
+		if best == -1 || loss < bestLoss {
+			best = i
+			bestLoss = loss
+		}
+	}
+	return best
+}
+
+// TieBreak is the paper's tie-breaking algorithm: rank candidates by
+// the baseline MFP heuristic, and among the candidates tied at the
+// optimal MFP prefer one the tie-breaking predictor expects to survive
+// the job. If every tied candidate is predicted to fail, the choice is
+// arbitrary (the first; Section 4.2).
+type TieBreak struct {
+	Oracle predict.PartitionOracle
+}
+
+// Name implements Policy.
+func (tb *TieBreak) Name() string { return "tiebreak" }
+
+// Choose implements Policy.
+func (tb *TieBreak) Choose(ctx *PlacementContext, cands []torus.Partition) int {
+	if len(cands) == 0 {
+		return -1
+	}
+	g := ctx.Grid.Geometry()
+	until := ctx.Now + ctx.Job.Estimate
+
+	bestMFP := -1
+	afters := make([]int, len(cands))
+	for i, p := range cands {
+		afters[i] = mfpAfter(ctx.Grid, p)
+		if afters[i] > bestMFP {
+			bestMFP = afters[i]
+		}
+	}
+	first := -1
+	for i, p := range cands {
+		if afters[i] != bestMFP {
+			continue
+		}
+		if first == -1 {
+			first = i
+		}
+		if !tb.Oracle.PartitionWillFail(g.Nodes(p), ctx.Now, until) {
+			return i // tied on MFP and predicted healthy
+		}
+	}
+	return first // all tied candidates predicted to fail: arbitrary
+}
+
+var (
+	_ Policy = Baseline{}
+	_ Policy = (*Balancing)(nil)
+	_ Policy = (*TieBreak)(nil)
+)

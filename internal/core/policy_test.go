@@ -1,0 +1,285 @@
+package core
+
+import (
+	"testing"
+
+	"bgsched/internal/failure"
+	"bgsched/internal/job"
+	"bgsched/internal/partition"
+	"bgsched/internal/predict"
+	"bgsched/internal/torus"
+)
+
+func testJob(id int, size int, est float64) *job.Job {
+	g := torus.BlueGeneL()
+	alloc, ok := g.RoundUpFeasible(size)
+	if !ok {
+		panic("bad size")
+	}
+	return &job.Job{ID: job.ID(id), Size: size, AllocSize: alloc, Estimate: est, Actual: est}
+}
+
+func ctxFor(gr *torus.Grid, j *job.Job, now float64) *PlacementContext {
+	_, mfp := partition.MaxFree(gr)
+	return &PlacementContext{Grid: gr, Job: j, Now: now, MFPBefore: mfp}
+}
+
+func TestMfpAfterRollsBack(t *testing.T) {
+	g := torus.BlueGeneL()
+	gr := torus.NewGrid(g)
+	p := torus.Partition{Base: torus.Coord{}, Shape: torus.Shape{X: 2, Y: 2, Z: 2}}
+	before := gr.FreeCount()
+	after := mfpAfter(gr, p)
+	if gr.FreeCount() != before {
+		t.Fatal("mfpAfter leaked a probe allocation")
+	}
+	if after >= 128 {
+		t.Fatalf("mfpAfter = %d, must shrink below full machine", after)
+	}
+	if !gr.PartitionFree(p) {
+		t.Fatal("probe partition left allocated")
+	}
+}
+
+func TestBaselineKeepsMFPLarge(t *testing.T) {
+	g := torus.BlueGeneL()
+	gr := torus.NewGrid(g)
+	// Occupy half the machine (z in [0,4)), leaving a 4x4x4 free block.
+	half := torus.Partition{Base: torus.Coord{}, Shape: torus.Shape{X: 4, Y: 4, Z: 4}}
+	if err := gr.Allocate(half, 99); err != nil {
+		t.Fatal(err)
+	}
+	j := testJob(1, 8, 100)
+	cands := partition.ShapeFinder{}.FreeOfSize(gr, 8)
+	if len(cands) == 0 {
+		t.Fatal("no candidates")
+	}
+	idx := Baseline{}.Choose(ctxFor(gr, j, 0), cands)
+	if idx < 0 || idx >= len(cands) {
+		t.Fatalf("Choose = %d", idx)
+	}
+	chosen := cands[idx]
+	// The chosen placement must achieve the best possible MFP-after.
+	best := -1
+	for _, p := range cands {
+		if a := mfpAfter(gr, p); a > best {
+			best = a
+		}
+	}
+	if got := mfpAfter(gr, chosen); got != best {
+		t.Fatalf("baseline chose MFP-after %d, best achievable %d", got, best)
+	}
+}
+
+func TestPartitionFailProb(t *testing.T) {
+	g := torus.BlueGeneL()
+	p := torus.Partition{Base: torus.Coord{}, Shape: torus.Shape{X: 2, Y: 1, Z: 1}}
+	nodes := g.Nodes(p)
+	tr := failure.Trace{{Time: 50, Node: nodes[0]}}
+	tr.Sort()
+	ix := failure.NewIndex(g.N(), tr)
+	prober := &predict.Balancing{Index: ix, Confidence: 0.4}
+
+	got := PartitionFailProb(g, prober, p, 0, 100, predict.CombineIndependent)
+	if got != 0.4 {
+		t.Fatalf("P_f = %g, want 0.4 (single failing node)", got)
+	}
+	if got := PartitionFailProb(g, prober, p, 60, 100, predict.CombineIndependent); got != 0 {
+		t.Fatalf("window after failure: P_f = %g", got)
+	}
+	if got := PartitionFailProb(g, prober, p, 0, 100, predict.CombineMax); got != 0.4 {
+		t.Fatalf("max combiner P_f = %g", got)
+	}
+}
+
+// The balancing policy must avoid a partition that is predicted to fail
+// when an equally good stable partition exists.
+func TestBalancingAvoidsPredictedFailure(t *testing.T) {
+	g := torus.BlueGeneL()
+	gr := torus.NewGrid(g)
+	j := testJob(1, 128, 1000) // full machine: exactly one candidate normally
+	// Use a small job with two symmetric candidates instead: fill all
+	// but two disjoint 1x1x4 columns.
+	gr = torus.NewGrid(g)
+	jSmall := testJob(2, 4, 1000)
+	// Occupy everything except columns at (0,0,z0..3) and (2,2, 4..7).
+	for id := 0; id < g.N(); id++ {
+		c := g.CoordOf(id)
+		inA := c.X == 0 && c.Y == 0 && c.Z < 4
+		inB := c.X == 2 && c.Y == 2 && c.Z >= 4
+		if !inA && !inB {
+			if err := gr.Allocate(torus.Partition{Base: c, Shape: torus.Shape{X: 1, Y: 1, Z: 1}}, 99); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	nodeInA := g.Index(torus.Coord{X: 0, Y: 0, Z: 1})
+	tr := failure.Trace{{Time: 500, Node: nodeInA}}
+	ix := failure.NewIndex(g.N(), tr)
+
+	for _, conf := range []float64{0.1, 0.5, 0.9} {
+		pol := &Balancing{Prober: &predict.Balancing{Index: ix, Confidence: conf}}
+		cands := partition.ShapeFinder{}.FreeOfSize(gr, 4)
+		if len(cands) != 2 {
+			t.Fatalf("expected exactly 2 candidates, got %d", len(cands))
+		}
+		idx := pol.Choose(ctxFor(gr, jSmall, 0), cands)
+		chosen := cands[idx]
+		if g.ContainsNode(chosen, nodeInA) {
+			t.Fatalf("confidence %g: balancing chose the failing partition", conf)
+		}
+	}
+	_ = j
+}
+
+// With a low confidence, the balancing policy must prefer a larger MFP
+// over a stable partition when the MFP difference dominates E_loss; at
+// high confidence the stable partition must win. This is the Figure 2
+// (a)/(b) trade-off.
+//
+// Geometry: region A is an exact 2x2x2 pocket (placing an 8-node job
+// there costs no MFP but every node of A fails); region B is a 2x2x3
+// block (stable, but placing the job there shrinks the machine MFP
+// from 12 to 8, i.e. L_MFP = 4). E_loss(A) = 8*(1-(1-a)^8) crosses
+// E_loss(B) = 4 near a = 0.083.
+func TestBalancingConfidenceTradeoff(t *testing.T) {
+	g := torus.BlueGeneL()
+	base := torus.NewGrid(g)
+	for id := 0; id < g.N(); id++ {
+		c := g.CoordOf(id)
+		inA := c.X < 2 && c.Y < 2 && c.Z < 2
+		inB := c.X >= 2 && c.Y >= 2 && c.Z >= 4 && c.Z < 7
+		if !inA && !inB {
+			if err := base.Allocate(torus.Partition{Base: c, Shape: torus.Shape{X: 1, Y: 1, Z: 1}}, 99); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	// Every node of the pocket A fails during the job.
+	var tr failure.Trace
+	for x := 0; x < 2; x++ {
+		for y := 0; y < 2; y++ {
+			for z := 0; z < 2; z++ {
+				tr = append(tr, failure.Event{Time: 500, Node: g.Index(torus.Coord{X: x, Y: y, Z: z})})
+			}
+		}
+	}
+	tr.Sort()
+	ix := failure.NewIndex(g.N(), tr)
+
+	j := testJob(3, 8, 1000)
+	cands := partition.ShapeFinder{}.FreeOfSize(base, 8)
+	if len(cands) != 3 {
+		t.Fatalf("expected 3 candidates (1 in pocket, 2 in block), got %d", len(cands))
+	}
+	low := &Balancing{Prober: &predict.Balancing{Index: ix, Confidence: 0.05}}
+	high := &Balancing{Prober: &predict.Balancing{Index: ix, Confidence: 0.95}}
+
+	idxLow := low.Choose(ctxFor(base, j, 0), cands)
+	idxHigh := high.Choose(ctxFor(base, j, 0), cands)
+	pocketNode := g.Index(torus.Coord{X: 0, Y: 0, Z: 0})
+	if !g.ContainsNode(cands[idxLow], pocketNode) {
+		t.Fatal("low confidence should accept the risky pocket to preserve the MFP")
+	}
+	if g.ContainsNode(cands[idxHigh], pocketNode) {
+		t.Fatal("high confidence should pay L_MFP to avoid the failing pocket")
+	}
+}
+
+func TestTieBreakPrefersHealthyAmongTied(t *testing.T) {
+	g := torus.BlueGeneL()
+	gr := torus.NewGrid(g)
+	// Two symmetric free columns (ties on MFP); one will fail.
+	for id := 0; id < g.N(); id++ {
+		c := g.CoordOf(id)
+		inA := c.X == 0 && c.Y == 0 && c.Z < 4
+		inB := c.X == 2 && c.Y == 2 && c.Z < 4
+		if !inA && !inB {
+			if err := gr.Allocate(torus.Partition{Base: c, Shape: torus.Shape{X: 1, Y: 1, Z: 1}}, 99); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	badNode := g.Index(torus.Coord{X: 0, Y: 0, Z: 2})
+	ix := failure.NewIndex(g.N(), failure.Trace{{Time: 100, Node: badNode}})
+	pol := &TieBreak{Oracle: predict.NewTieBreak(ix, 1.0, 1)}
+	j := testJob(4, 4, 1000)
+	cands := partition.ShapeFinder{}.FreeOfSize(gr, 4)
+	if len(cands) != 2 {
+		t.Fatalf("want 2 candidates, got %d", len(cands))
+	}
+	idx := pol.Choose(ctxFor(gr, j, 0), cands)
+	if g.ContainsNode(cands[idx], badNode) {
+		t.Fatal("tie-break chose the partition predicted to fail")
+	}
+}
+
+func TestTieBreakAllPredictedFailPicksFirstTied(t *testing.T) {
+	g := torus.BlueGeneL()
+	gr := torus.NewGrid(g)
+	var tr failure.Trace
+	for id := 0; id < g.N(); id++ {
+		tr = append(tr, failure.Event{Time: 100, Node: id})
+	}
+	tr.Sort()
+	ix := failure.NewIndex(g.N(), tr)
+	pol := &TieBreak{Oracle: predict.NewTieBreak(ix, 1.0, 1)}
+	j := testJob(5, 8, 1000)
+	cands := partition.ShapeFinder{}.FreeOfSize(gr, 8)
+	idx := pol.Choose(ctxFor(gr, j, 0), cands)
+	if idx < 0 || idx >= len(cands) {
+		t.Fatalf("Choose = %d with all candidates failing; must still pick one", idx)
+	}
+	// Must be tied at the optimal MFP.
+	best := -1
+	for _, p := range cands {
+		if a := mfpAfter(gr, p); a > best {
+			best = a
+		}
+	}
+	if got := mfpAfter(gr, cands[idx]); got != best {
+		t.Fatalf("fallback pick is not MFP-optimal: %d vs %d", got, best)
+	}
+}
+
+func TestTieBreakEmptyCandidates(t *testing.T) {
+	pol := &TieBreak{Oracle: predict.Null{}}
+	gr := torus.NewGrid(torus.BlueGeneL())
+	if idx := pol.Choose(ctxFor(gr, testJob(1, 1, 10), 0), nil); idx != -1 {
+		t.Fatalf("Choose(nil candidates) = %d, want -1", idx)
+	}
+}
+
+// With a Null predictor, balancing and tie-break must degenerate to the
+// baseline choice.
+func TestFaultAwareDegenerateToBaseline(t *testing.T) {
+	g := torus.BlueGeneL()
+	gr := torus.NewGrid(g)
+	occ := torus.Partition{Base: torus.Coord{}, Shape: torus.Shape{X: 4, Y: 4, Z: 3}}
+	if err := gr.Allocate(occ, 99); err != nil {
+		t.Fatal(err)
+	}
+	j := testJob(6, 8, 500)
+	cands := partition.ShapeFinder{}.FreeOfSize(gr, 8)
+	baseIdx := Baseline{}.Choose(ctxFor(gr, j, 0), cands)
+	balIdx := (&Balancing{Prober: predict.Null{}}).Choose(ctxFor(gr, j, 0), cands)
+	tbIdx := (&TieBreak{Oracle: predict.Null{}}).Choose(ctxFor(gr, j, 0), cands)
+	if mfpAfter(gr, cands[balIdx]) != mfpAfter(gr, cands[baseIdx]) {
+		t.Fatal("balancing with null predictor diverged from baseline MFP")
+	}
+	if mfpAfter(gr, cands[tbIdx]) != mfpAfter(gr, cands[baseIdx]) {
+		t.Fatal("tie-break with null predictor diverged from baseline MFP")
+	}
+}
+
+func TestPolicyNames(t *testing.T) {
+	if (Baseline{}).Name() != "baseline" {
+		t.Error("baseline name")
+	}
+	if (&Balancing{}).Name() != "balancing" {
+		t.Error("balancing name")
+	}
+	if (&TieBreak{}).Name() != "tiebreak" {
+		t.Error("tiebreak name")
+	}
+}

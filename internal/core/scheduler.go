@@ -1,0 +1,281 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bgsched/internal/job"
+	"bgsched/internal/partition"
+	"bgsched/internal/torus"
+)
+
+// BackfillMode selects how the scheduler fills around a blocked queue
+// head.
+type BackfillMode int
+
+const (
+	// BackfillNone: strict FCFS; nothing runs ahead of the head.
+	BackfillNone BackfillMode = iota
+	// BackfillAggressive: any queued job that fits starts immediately,
+	// with no reservation protecting the head (can delay it).
+	BackfillAggressive
+	// BackfillEASY: the head receives a reservation (time and
+	// partition) computed from the estimated completions of running
+	// jobs; a later job may start only if it will finish before the
+	// reservation time or does not intersect the reserved partition.
+	BackfillEASY
+)
+
+// String implements fmt.Stringer.
+func (m BackfillMode) String() string {
+	switch m {
+	case BackfillNone:
+		return "none"
+	case BackfillAggressive:
+		return "aggressive"
+	case BackfillEASY:
+		return "easy"
+	}
+	return fmt.Sprintf("BackfillMode(%d)", int(m))
+}
+
+// Config assembles a scheduler.
+type Config struct {
+	Policy   Policy
+	Finder   partition.Finder // nil defaults to the shape finder
+	Backfill BackfillMode
+	// Migration enables the compaction pass (Krevat's migration):
+	// after releases, running jobs may be moved to defragment the
+	// torus. The paper's model migrates without cost.
+	Migration bool
+}
+
+// Running describes a job currently executing, as the scheduler sees
+// it. ExpFinish is the simulator's estimate of when its partition
+// frees (start + estimated execution time).
+type Running struct {
+	Job       *job.Job
+	Part      torus.Partition
+	Start     float64
+	ExpFinish float64
+}
+
+// Decision is one job start issued by Schedule. The partition has
+// already been allocated on the grid when the decision is returned.
+type Decision struct {
+	Job  *job.Job
+	Part torus.Partition
+}
+
+// Scheduler implements the paper's FCFS space-sharing scheduler: at
+// every scheduling point it starts the queue head whenever any
+// partition of the job's size is free, placing it according to the
+// configured policy, and then backfills per the configured mode.
+type Scheduler struct {
+	cfg Config
+}
+
+// NewScheduler validates the configuration and returns a scheduler.
+func NewScheduler(cfg Config) (*Scheduler, error) {
+	if cfg.Policy == nil {
+		return nil, fmt.Errorf("core: Config.Policy is required")
+	}
+	if cfg.Finder == nil {
+		cfg.Finder = partition.ShapeFinder{}
+	}
+	switch cfg.Backfill {
+	case BackfillNone, BackfillAggressive, BackfillEASY:
+	default:
+		return nil, fmt.Errorf("core: unknown backfill mode %d", int(cfg.Backfill))
+	}
+	return &Scheduler{cfg: cfg}, nil
+}
+
+// Config returns the scheduler's configuration.
+func (s *Scheduler) Config() Config { return s.cfg }
+
+// Schedule starts as many queued jobs as the policy and backfill mode
+// allow at time now. It allocates partitions on gr, removes started
+// jobs from q, and returns the start decisions in order. running lists
+// the currently executing jobs (used by EASY reservations).
+func (s *Scheduler) Schedule(gr *torus.Grid, q *job.Queue, running []Running, now float64) ([]Decision, error) {
+	var started []Decision
+
+	// Phase 1: strict FCFS from the head.
+	for q.Len() > 0 {
+		head := q.Peek()
+		d, ok, err := s.tryStart(gr, head, now)
+		if err != nil {
+			return started, err
+		}
+		if !ok {
+			break
+		}
+		q.RemoveAt(0)
+		started = append(started, d)
+	}
+	if q.Len() == 0 || s.cfg.Backfill == BackfillNone {
+		return started, nil
+	}
+
+	// Phase 2: backfill around the blocked head.
+	switch s.cfg.Backfill {
+	case BackfillAggressive:
+		// Scan the rest of the queue in FCFS order; anything that fits
+		// starts now.
+		for i := 1; i < q.Len(); {
+			j := q.At(i)
+			d, ok, err := s.tryStart(gr, j, now)
+			if err != nil {
+				return started, err
+			}
+			if !ok {
+				i++
+				continue
+			}
+			q.RemoveAt(i)
+			started = append(started, d)
+		}
+	case BackfillEASY:
+		res, err := s.reservation(gr, q.Peek(), append(running, runningFrom(started, now)...), now)
+		if err != nil {
+			return started, err
+		}
+		for i := 1; i < q.Len(); {
+			j := q.At(i)
+			d, ok, err := s.tryBackfill(gr, j, now, res)
+			if err != nil {
+				return started, err
+			}
+			if !ok {
+				i++
+				continue
+			}
+			q.RemoveAt(i)
+			started = append(started, d)
+		}
+	}
+	return started, nil
+}
+
+// runningFrom views this call's fresh decisions as running jobs so the
+// EASY reservation accounts for them.
+func runningFrom(ds []Decision, now float64) []Running {
+	rs := make([]Running, len(ds))
+	for i, d := range ds {
+		rs[i] = Running{Job: d.Job, Part: d.Part, Start: now, ExpFinish: now + d.Job.Estimate}
+	}
+	return rs
+}
+
+// tryStart attempts to place j now; on success the partition is
+// allocated and the decision returned.
+func (s *Scheduler) tryStart(gr *torus.Grid, j *job.Job, now float64) (Decision, bool, error) {
+	cands := s.cfg.Finder.FreeOfSize(gr, j.AllocSize)
+	if len(cands) == 0 {
+		return Decision{}, false, nil
+	}
+	_, mfp := partition.MaxFree(gr)
+	ctx := &PlacementContext{Grid: gr, Job: j, Now: now, MFPBefore: mfp}
+	idx := s.cfg.Policy.Choose(ctx, cands)
+	if idx < 0 {
+		return Decision{}, false, nil
+	}
+	if idx >= len(cands) {
+		return Decision{}, false, fmt.Errorf("core: policy %s chose index %d of %d candidates",
+			s.cfg.Policy.Name(), idx, len(cands))
+	}
+	p := cands[idx]
+	if err := gr.Allocate(p, int64(j.ID)); err != nil {
+		return Decision{}, false, fmt.Errorf("core: start %v: %w", j, err)
+	}
+	return Decision{Job: j, Part: p}, true, nil
+}
+
+// reservationState describes the EASY guarantee for the queue head: it
+// will start no later than Time on partition Part.
+type reservationState struct {
+	Time float64
+	Part torus.Partition
+	// ok distinguishes a real reservation from the degenerate case
+	// where none could be computed (then only finish-before-Time
+	// backfills with Time = +Inf are allowed, i.e. everything).
+	ok bool
+}
+
+// reservation simulates the estimated completions of running jobs on a
+// scratch grid to find the earliest time the head job fits, and the
+// partition it would then occupy.
+func (s *Scheduler) reservation(gr *torus.Grid, head *job.Job, running []Running, now float64) (reservationState, error) {
+	scratch := gr.Clone()
+	byFinish := make([]Running, len(running))
+	copy(byFinish, running)
+	sort.Slice(byFinish, func(i, j int) bool { return byFinish[i].ExpFinish < byFinish[j].ExpFinish })
+
+	check := func(t float64) (reservationState, bool) {
+		cands := s.cfg.Finder.FreeOfSize(scratch, head.AllocSize)
+		if len(cands) == 0 {
+			return reservationState{}, false
+		}
+		_, mfp := partition.MaxFree(scratch)
+		ctx := &PlacementContext{Grid: scratch, Job: head, Now: t, MFPBefore: mfp}
+		idx := s.cfg.Policy.Choose(ctx, cands)
+		if idx < 0 || idx >= len(cands) {
+			idx = 0
+		}
+		return reservationState{Time: t, Part: cands[idx], ok: true}, true
+	}
+
+	for _, r := range byFinish {
+		if err := scratch.Release(r.Part, int64(r.Job.ID)); err != nil {
+			return reservationState{}, fmt.Errorf("core: reservation: %w", err)
+		}
+		if res, ok := check(math.Max(r.ExpFinish, now)); ok {
+			return res, nil
+		}
+	}
+	// Head cannot fit even on the drained machine (possible only if its
+	// allocation exceeds machine capacity, which upstream validation
+	// prevents). Degenerate reservation: no constraint.
+	return reservationState{Time: math.Inf(1), ok: false}, nil
+}
+
+// tryBackfill starts j now if doing so cannot delay the reserved head
+// start: either j is estimated to finish before the reservation time,
+// or its partition does not intersect the reserved partition.
+func (s *Scheduler) tryBackfill(gr *torus.Grid, j *job.Job, now float64, res reservationState) (Decision, bool, error) {
+	cands := s.cfg.Finder.FreeOfSize(gr, j.AllocSize)
+	if len(cands) == 0 {
+		return Decision{}, false, nil
+	}
+	finishesInTime := now+j.Estimate <= res.Time
+	if !finishesInTime && res.ok {
+		g := gr.Geometry()
+		filtered := cands[:0:0]
+		for _, p := range cands {
+			if !g.Overlaps(p, res.Part) {
+				filtered = append(filtered, p)
+			}
+		}
+		cands = filtered
+		if len(cands) == 0 {
+			return Decision{}, false, nil
+		}
+	}
+	_, mfp := partition.MaxFree(gr)
+	ctx := &PlacementContext{Grid: gr, Job: j, Now: now, MFPBefore: mfp}
+	idx := s.cfg.Policy.Choose(ctx, cands)
+	if idx < 0 {
+		return Decision{}, false, nil
+	}
+	if idx >= len(cands) {
+		return Decision{}, false, fmt.Errorf("core: policy %s chose index %d of %d candidates",
+			s.cfg.Policy.Name(), idx, len(cands))
+	}
+	p := cands[idx]
+	if err := gr.Allocate(p, int64(j.ID)); err != nil {
+		return Decision{}, false, fmt.Errorf("core: backfill %v: %w", j, err)
+	}
+	return Decision{Job: j, Part: p}, true, nil
+}

@@ -1,0 +1,387 @@
+package core
+
+import (
+	"testing"
+
+	"bgsched/internal/failure"
+	"bgsched/internal/job"
+	"bgsched/internal/partition"
+	"bgsched/internal/predict"
+	"bgsched/internal/torus"
+)
+
+func newTestScheduler(t *testing.T, mode BackfillMode) *Scheduler {
+	t.Helper()
+	s, err := NewScheduler(Config{Policy: Baseline{}, Backfill: mode})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewSchedulerValidation(t *testing.T) {
+	if _, err := NewScheduler(Config{}); err == nil {
+		t.Error("nil policy accepted")
+	}
+	if _, err := NewScheduler(Config{Policy: Baseline{}, Backfill: BackfillMode(9)}); err == nil {
+		t.Error("bad backfill mode accepted")
+	}
+	s, err := NewScheduler(Config{Policy: Baseline{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Config().Finder == nil {
+		t.Error("default finder not installed")
+	}
+}
+
+func TestBackfillModeString(t *testing.T) {
+	for mode, want := range map[BackfillMode]string{
+		BackfillNone: "none", BackfillAggressive: "aggressive", BackfillEASY: "easy",
+	} {
+		if mode.String() != want {
+			t.Errorf("String(%d) = %q", int(mode), mode.String())
+		}
+	}
+	if got := BackfillMode(7).String(); got != "BackfillMode(7)" {
+		t.Errorf("unknown mode String = %q", got)
+	}
+}
+
+func TestScheduleStartsFCFS(t *testing.T) {
+	g := torus.BlueGeneL()
+	gr := torus.NewGrid(g)
+	q := job.NewQueue()
+	q.Push(testJob(1, 64, 100))
+	q.Push(testJob(2, 64, 100))
+	q.Push(testJob(3, 64, 100)) // won't fit: machine holds only 128
+
+	s := newTestScheduler(t, BackfillNone)
+	ds, err := s.Schedule(gr, q, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 {
+		t.Fatalf("started %d jobs, want 2", len(ds))
+	}
+	if ds[0].Job.ID != 1 || ds[1].Job.ID != 2 {
+		t.Fatalf("start order %d, %d", ds[0].Job.ID, ds[1].Job.ID)
+	}
+	if q.Len() != 1 || q.Peek().ID != 3 {
+		t.Fatalf("queue after schedule: len=%d", q.Len())
+	}
+	if gr.FreeCount() != 0 {
+		t.Fatalf("free count = %d, want 0", gr.FreeCount())
+	}
+	// Decisions' partitions must be allocated to the right owners.
+	for _, d := range ds {
+		for _, id := range g.Nodes(d.Part) {
+			if gr.OwnerAt(id) != int64(d.Job.ID) {
+				t.Fatalf("node %d owner = %d, want %d", id, gr.OwnerAt(id), d.Job.ID)
+			}
+		}
+	}
+}
+
+func TestScheduleNoBackfillBlocksBehindHead(t *testing.T) {
+	g := torus.BlueGeneL()
+	gr := torus.NewGrid(g)
+	// Occupy half the machine so a 128-node head cannot start.
+	if err := gr.Allocate(torus.Partition{Base: torus.Coord{}, Shape: torus.Shape{X: 4, Y: 4, Z: 4}}, 99); err != nil {
+		t.Fatal(err)
+	}
+	q := job.NewQueue()
+	q.Push(testJob(1, 128, 100)) // blocked head
+	q.Push(testJob(2, 1, 10))    // would fit
+
+	s := newTestScheduler(t, BackfillNone)
+	ds, err := s.Schedule(gr, q, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 0 {
+		t.Fatalf("BackfillNone started %d jobs behind a blocked head", len(ds))
+	}
+}
+
+func TestScheduleAggressiveBackfill(t *testing.T) {
+	g := torus.BlueGeneL()
+	gr := torus.NewGrid(g)
+	if err := gr.Allocate(torus.Partition{Base: torus.Coord{}, Shape: torus.Shape{X: 4, Y: 4, Z: 4}}, 99); err != nil {
+		t.Fatal(err)
+	}
+	q := job.NewQueue()
+	q.Push(testJob(1, 128, 100))
+	q.Push(testJob(2, 8, 10))
+	q.Push(testJob(3, 8, 10))
+
+	s := newTestScheduler(t, BackfillAggressive)
+	ds, err := s.Schedule(gr, q, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 2 {
+		t.Fatalf("aggressive backfill started %d jobs, want 2", len(ds))
+	}
+	if q.Peek().ID != 1 {
+		t.Fatal("head must remain queued")
+	}
+}
+
+func TestScheduleEASYProtectsReservation(t *testing.T) {
+	g := torus.BlueGeneL()
+	gr := torus.NewGrid(g)
+	// One running job holds half the machine until t=100.
+	runningJob := testJob(50, 64, 100)
+	part := torus.Partition{Base: torus.Coord{}, Shape: torus.Shape{X: 4, Y: 4, Z: 4}}
+	if err := gr.Allocate(part, int64(runningJob.ID)); err != nil {
+		t.Fatal(err)
+	}
+	running := []Running{{Job: runningJob, Part: part, Start: 0, ExpFinish: 100}}
+
+	q := job.NewQueue()
+	q.Push(testJob(1, 128, 1000)) // head: needs the whole machine, reserved at t=100
+	longJob := testJob(2, 64, 1000)
+	q.Push(longJob) // would finish way past the reservation and must overlap it
+
+	s := newTestScheduler(t, BackfillEASY)
+	ds, err := s.Schedule(gr, q, running, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 0 {
+		t.Fatalf("EASY allowed a backfill that delays the head: %v", ds)
+	}
+
+	// A short job that finishes before t=100 is allowed.
+	q2 := job.NewQueue()
+	q2.Push(testJob(1, 128, 1000))
+	q2.Push(testJob(3, 64, 50))
+	ds, err = s.Schedule(gr, q2, running, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 || ds[0].Job.ID != 3 {
+		t.Fatalf("EASY rejected a safe backfill: %v", ds)
+	}
+}
+
+func TestScheduleEASYDisjointBackfill(t *testing.T) {
+	g := torus.BlueGeneL()
+	gr := torus.NewGrid(g)
+	// Running job holds a 4x4x2 slab (z in 0..1) until t=100.
+	runningJob := testJob(50, 32, 100)
+	part := torus.Partition{Base: torus.Coord{}, Shape: torus.Shape{X: 4, Y: 4, Z: 2}}
+	if err := gr.Allocate(part, int64(runningJob.ID)); err != nil {
+		t.Fatal(err)
+	}
+	running := []Running{{Job: runningJob, Part: part, Start: 0, ExpFinish: 100}}
+
+	q := job.NewQueue()
+	// Head needs 128 nodes; reservation at t=100 covering the machine.
+	q.Push(testJob(1, 128, 1000))
+	// A long small job cannot avoid the full-machine reservation and
+	// cannot finish in time: must not start.
+	q.Push(testJob(2, 8, 1000))
+	s := newTestScheduler(t, BackfillEASY)
+	ds, err := s.Schedule(gr, q, running, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 0 {
+		t.Fatalf("backfill overlapped a full-machine reservation: %v", ds)
+	}
+
+	// Now a tighter scenario: occupy everything except the running slab
+	// and the z=7 plane, so the head (32 nodes) only fits where the
+	// running job sits; its reservation covers the slab, and a long
+	// small job in the z=7 plane is disjoint from it and may backfill.
+	gr2 := torus.NewGrid(g)
+	if err := gr2.Allocate(torus.Partition{Base: torus.Coord{Z: 2}, Shape: torus.Shape{X: 4, Y: 4, Z: 5}}, 98); err != nil {
+		t.Fatal(err)
+	}
+	// Free: z=0..1 slab (running) and z=7 plane (16 nodes).
+	if err := gr2.Allocate(part, int64(runningJob.ID)); err != nil {
+		t.Fatal(err)
+	}
+	qq := job.NewQueue()
+	qq.Push(testJob(5, 32, 1000)) // head: only fits in the slab at t=100
+	qq.Push(testJob(6, 8, 1000))  // long, but fits in the z=7 plane: disjoint from reservation
+	ds, err = s.Schedule(gr2, qq, running, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 || ds[0].Job.ID != 6 {
+		t.Fatalf("disjoint long backfill should start: %v", ds)
+	}
+	for _, id := range g.Nodes(ds[0].Part) {
+		c := g.CoordOf(id)
+		if c.Z < 2 {
+			t.Fatalf("backfill touched the reserved slab at %v", c)
+		}
+	}
+}
+
+// Aggressive backfill scans the queue in FCFS order: when two queued
+// jobs compete for the same hole, the older one gets it.
+func TestAggressiveBackfillFCFSOrder(t *testing.T) {
+	g := torus.BlueGeneL()
+	gr := torus.NewGrid(g)
+	// 96 nodes busy; a 32-node hole remains.
+	if err := gr.Allocate(torus.Partition{Base: torus.Coord{}, Shape: torus.Shape{X: 4, Y: 4, Z: 6}}, 99); err != nil {
+		t.Fatal(err)
+	}
+	q := job.NewQueue()
+	q.Push(testJob(1, 128, 100)) // blocked head
+	older := testJob(2, 32, 100)
+	older.Arrival = 10
+	newer := testJob(3, 32, 100)
+	newer.Arrival = 20
+	q.Push(newer)
+	q.Push(older)
+
+	s := newTestScheduler(t, BackfillAggressive)
+	ds, err := s.Schedule(gr, q, nil, 30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 1 || ds[0].Job.ID != 2 {
+		t.Fatalf("backfill order wrong: %v", ds)
+	}
+}
+
+// The fault-aware window passed to the predictor is the job's
+// remaining estimate from "now": a placement at time t for a job with
+// estimate e must ignore failures after t+e.
+func TestBalancingWindowEndsAtEstimate(t *testing.T) {
+	g := torus.BlueGeneL()
+	gr := torus.NewGrid(g)
+	// Two symmetric candidate columns; one fails *after* the job would
+	// complete. Balancing must treat both as equally safe and pick by
+	// MFP order, i.e. not systematically avoid the late-failing one.
+	for id := 0; id < g.N(); id++ {
+		c := g.CoordOf(id)
+		inA := c.X == 0 && c.Y == 0 && c.Z < 4
+		inB := c.X == 2 && c.Y == 2 && c.Z < 4
+		if !inA && !inB {
+			if err := gr.Allocate(torus.Partition{Base: c, Shape: torus.Shape{X: 1, Y: 1, Z: 1}}, 99); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	lateNode := g.Index(torus.Coord{X: 0, Y: 0, Z: 1})
+	ix := failure.NewIndex(g.N(), failure.Trace{{Time: 5000, Node: lateNode}})
+	pol := &Balancing{Prober: &predict.Balancing{Index: ix, Confidence: 0.9}}
+	j := testJob(1, 4, 1000) // finishes at t=1000, long before the failure
+	cands := partition.ShapeFinder{}.FreeOfSize(gr, 4)
+	idx := pol.Choose(ctxFor(gr, j, 0), cands)
+	// Both candidates have P_f = 0; the first (deterministic order)
+	// must win, even though it contains the late-failing node.
+	if idx != 0 {
+		t.Fatalf("late failure outside the window influenced placement: chose %d", idx)
+	}
+}
+
+func TestScheduleEmptyQueue(t *testing.T) {
+	s := newTestScheduler(t, BackfillEASY)
+	ds, err := s.Schedule(torus.NewGrid(torus.BlueGeneL()), job.NewQueue(), nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ds) != 0 {
+		t.Fatal("empty queue produced decisions")
+	}
+}
+
+func TestScheduleWithFaultAwarePolicies(t *testing.T) {
+	// Smoke test: both fault-aware policies drive a full Schedule call.
+	for _, pol := range []Policy{
+		&Balancing{Prober: predict.Null{}},
+		&TieBreak{Oracle: predict.Null{}},
+	} {
+		s, err := NewScheduler(Config{Policy: pol, Backfill: BackfillEASY})
+		if err != nil {
+			t.Fatal(err)
+		}
+		gr := torus.NewGrid(torus.BlueGeneL())
+		q := job.NewQueue()
+		q.Push(testJob(1, 32, 100))
+		q.Push(testJob(2, 64, 100))
+		ds, err := s.Schedule(gr, q, nil, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(ds) != 2 {
+			t.Fatalf("%s: started %d, want 2", pol.Name(), len(ds))
+		}
+	}
+}
+
+func TestMigrateCompacts(t *testing.T) {
+	g := torus.BlueGeneL()
+	gr := torus.NewGrid(g)
+	s := newTestScheduler(t, BackfillNone)
+
+	// Fragment: two 4x4x1 plane jobs at z=0 and z=4 split the free
+	// space into two 4x4x3 regions (MFP 48). Migrating one plane next
+	// to the other yields a 4x4x6 free block (MFP 96).
+	j1, j2 := testJob(1, 16, 100), testJob(2, 16, 100)
+	p1 := torus.Partition{Base: torus.Coord{Z: 0}, Shape: torus.Shape{X: 4, Y: 4, Z: 1}}
+	p2 := torus.Partition{Base: torus.Coord{Z: 4}, Shape: torus.Shape{X: 4, Y: 4, Z: 1}}
+	if err := gr.Allocate(p1, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := gr.Allocate(p2, 2); err != nil {
+		t.Fatal(err)
+	}
+	if _, mfp := partition.MaxFree(gr); mfp != 48 {
+		t.Fatalf("precondition MFP = %d, want 48", mfp)
+	}
+	running := []Running{
+		{Job: j1, Part: p1, Start: 0, ExpFinish: 100},
+		{Job: j2, Part: p2, Start: 0, ExpFinish: 100},
+	}
+	moves, err := s.Migrate(gr, running)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) == 0 {
+		t.Fatal("no migrations on a fragmented machine")
+	}
+	if _, mfp := partition.MaxFree(gr); mfp < 96 {
+		t.Fatalf("post-migration MFP = %d, want >= 96", mfp)
+	}
+	// Grid must stay consistent: both jobs still hold their sizes.
+	if gr.FreeCount() != 128-32 {
+		t.Fatalf("free count = %d", gr.FreeCount())
+	}
+}
+
+func TestMigrateNoopWhenCompact(t *testing.T) {
+	g := torus.BlueGeneL()
+	gr := torus.NewGrid(g)
+	s := newTestScheduler(t, BackfillNone)
+	j1 := testJob(1, 64, 100)
+	p1 := torus.Partition{Base: torus.Coord{}, Shape: torus.Shape{X: 4, Y: 4, Z: 4}}
+	if err := gr.Allocate(p1, 1); err != nil {
+		t.Fatal(err)
+	}
+	moves, err := s.Migrate(gr, []Running{{Job: j1, Part: p1, Start: 0, ExpFinish: 100}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 0 {
+		t.Fatalf("compact layout migrated: %v", moves)
+	}
+}
+
+func TestMigrateEmptyRunning(t *testing.T) {
+	s := newTestScheduler(t, BackfillNone)
+	moves, err := s.Migrate(torus.NewGrid(torus.BlueGeneL()), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(moves) != 0 {
+		t.Fatal("migrations from nothing")
+	}
+}

@@ -1,0 +1,50 @@
+package experiments_test
+
+import (
+	"fmt"
+
+	"bgsched/internal/experiments"
+)
+
+// Running one simulation: the paper's headline configuration — the
+// balancing scheduler with a 10%-confidence predictor — on a small
+// SDSC-like workload.
+func ExampleRun() {
+	res, err := experiments.Run(experiments.RunConfig{
+		Workload:       "SDSC",
+		JobCount:       200,
+		FailureNominal: 1000,
+		Scheduler:      experiments.SchedBalancing,
+		Param:          0.1,
+		Seed:           1,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("jobs finished:", res.Summary.Jobs)
+	fmt.Println("all capacity accounted for:",
+		res.Summary.Utilization+res.Summary.UnusedCapacity+res.Summary.LostCapacity > 0.999)
+	// Output:
+	// jobs finished: 200
+	// all capacity accounted for: true
+}
+
+// Replicating a configuration across seeds and aggregating, the way
+// the figure harness does.
+func ExampleRunSeeds() {
+	rs, err := experiments.RunSeeds(experiments.RunConfig{
+		Workload:  "NASA",
+		JobCount:  100,
+		Scheduler: experiments.SchedBaseline,
+		Seed:      1,
+	}, 3)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	vals, _ := rs.Metric(experiments.MetricSlowdown)
+	fmt.Println("replicates:", len(vals))
+	// Output:
+	// replicates: 3
+}

@@ -1,0 +1,389 @@
+package experiments
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+
+	"bgsched/internal/core"
+)
+
+func TestRunAllSchedulers(t *testing.T) {
+	for _, kind := range []SchedulerKind{SchedBaseline, SchedBalancing, SchedTieBreak} {
+		res, err := Run(RunConfig{
+			Workload: "SDSC", JobCount: 120, FailureNominal: 1000,
+			Scheduler: kind, Param: 0.5, Seed: 3,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if res.Summary.Jobs != 120 {
+			t.Fatalf("%s: finished %d of 120 jobs", kind, res.Summary.Jobs)
+		}
+		if res.FailureEvents == 0 {
+			t.Fatalf("%s: no failures delivered despite nominal 1000", kind)
+		}
+	}
+}
+
+func TestRunAllWorkloads(t *testing.T) {
+	for _, wl := range []string{"NASA", "SDSC", "LLNL"} {
+		res, err := Run(RunConfig{Workload: wl, JobCount: 100, Scheduler: SchedBaseline, Seed: 2})
+		if err != nil {
+			t.Fatalf("%s: %v", wl, err)
+		}
+		if res.Summary.Jobs != 100 {
+			t.Fatalf("%s: finished %d", wl, res.Summary.Jobs)
+		}
+	}
+	if _, err := Run(RunConfig{Workload: "EARTH", JobCount: 10}); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	cfg := RunConfig{
+		Workload: "NASA", JobCount: 150, FailureNominal: 2000,
+		Scheduler: SchedTieBreak, Param: 0.4, Seed: 9,
+	}
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identical RunConfig produced different results")
+	}
+	cfg.Seed = 10
+	c, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Summary, c.Summary) {
+		t.Fatal("different seeds produced identical summaries")
+	}
+}
+
+func TestRunUnknownScheduler(t *testing.T) {
+	if _, err := Run(RunConfig{Workload: "SDSC", JobCount: 10, Scheduler: "quantum"}); err == nil {
+		t.Fatal("unknown scheduler accepted")
+	}
+}
+
+func TestRunBackfillStrict(t *testing.T) {
+	// Strict FCFS vs EASY backfilling must differ on a congested mix.
+	mk := func(strict bool) RunConfig {
+		return RunConfig{
+			Workload: "SDSC", JobCount: 200, Scheduler: SchedBaseline,
+			Seed: 4, BackfillStrict: strict,
+		}
+	}
+	easy, err := Run(mk(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	strict, err := Run(mk(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if easy.Backfills == 0 {
+		t.Fatal("EASY mode never backfilled")
+	}
+	if strict.Backfills != 0 {
+		t.Fatalf("strict FCFS backfilled %d jobs", strict.Backfills)
+	}
+	if easy.Summary.AvgSlowdown >= strict.Summary.AvgSlowdown {
+		t.Fatalf("backfilling did not improve slowdown: %.1f vs %.1f",
+			easy.Summary.AvgSlowdown, strict.Summary.AvgSlowdown)
+	}
+}
+
+func TestScaledFailureCount(t *testing.T) {
+	day := 86400.0
+	if got := scaledFailureCount(0, 0, 10*day); got != 0 {
+		t.Fatalf("nominal 0 -> %d", got)
+	}
+	if got := scaledFailureCount(-5, 0, 10*day); got != 0 {
+		t.Fatalf("negative nominal -> %d", got)
+	}
+	// nominal 100 -> DefaultFailuresPerDay per day.
+	if got := scaledFailureCount(100, 0, 10*day); got != 10 {
+		t.Fatalf("nominal 100 over 10 days -> %d, want 10", got)
+	}
+	if got := scaledFailureCount(4000, 0, 10*day); got != 400 {
+		t.Fatalf("nominal 4000 over 10 days -> %d, want 400", got)
+	}
+	// Tiny spans still inject at least one failure.
+	if got := scaledFailureCount(100, 0, 60); got != 1 {
+		t.Fatalf("tiny span -> %d, want 1", got)
+	}
+	// Override bypasses the density mapping.
+	if got := scaledFailureCount(100, 2.5, 10*day); got != 250 {
+		t.Fatalf("override -> %d, want 250", got)
+	}
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	c := RunConfig{}
+	c.normalize()
+	if c.Workload != "SDSC" || c.JobCount != 2000 || c.LoadScale != 1.0 ||
+		c.Scheduler != SchedBaseline || c.Backfill != core.BackfillEASY {
+		t.Fatalf("defaults = %+v", c)
+	}
+	s := RunConfig{BackfillStrict: true, Backfill: core.BackfillEASY}
+	s.normalize()
+	if s.Backfill != core.BackfillNone {
+		t.Fatal("BackfillStrict did not pin BackfillNone")
+	}
+	agg := RunConfig{Backfill: core.BackfillAggressive}
+	agg.normalize()
+	if agg.Backfill != core.BackfillAggressive {
+		t.Fatal("explicit aggressive mode overridden")
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := &Table{
+		ID: "figX", Title: "Demo", XLabel: "x",
+		X: []float64{0, 0.5},
+		Series: []Series{
+			{Name: "alpha", Y: []float64{1, 2.5}},
+			{Name: "beta", Y: []float64{0.001, 3}},
+		},
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"figX", "Demo", "alpha", "beta", "0.500", "2.500"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("Render output missing %q:\n%s", want, out)
+		}
+	}
+	buf.Reset()
+	if err := tab.RenderCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d, want 3", len(lines))
+	}
+	if lines[0] != "x,alpha,beta" {
+		t.Fatalf("CSV header = %q", lines[0])
+	}
+}
+
+func TestTableValidate(t *testing.T) {
+	bad := &Table{ID: "t", XLabel: "x", X: []float64{1, 2}, Series: []Series{{Name: "s", Y: []float64{1}}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("ragged table accepted")
+	}
+	var buf bytes.Buffer
+	if err := bad.Render(&buf); err == nil {
+		t.Fatal("Render accepted ragged table")
+	}
+	if err := bad.RenderCSV(&buf); err == nil {
+		t.Fatal("RenderCSV accepted ragged table")
+	}
+}
+
+func TestFormatNum(t *testing.T) {
+	cases := map[float64]string{
+		0:      "0",
+		5:      "5",
+		1000:   "1000",
+		0.5:    "0.500",
+		0.001:  "0.001",
+		0.0001: "0.0001",
+	}
+	for v, want := range cases {
+		if got := formatNum(v); got != want {
+			t.Errorf("formatNum(%g) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestSpecByID(t *testing.T) {
+	for _, s := range Specs {
+		got, err := SpecByID(s.ID)
+		if err != nil {
+			t.Fatalf("%s: %v", s.ID, err)
+		}
+		if got.Title != s.Title {
+			t.Fatalf("%s: wrong spec returned", s.ID)
+		}
+	}
+	if _, err := SpecByID("fig99"); err == nil {
+		t.Fatal("unknown figure accepted")
+	}
+	if len(Specs) != 8 {
+		t.Fatalf("Specs = %d figures, want 8 (figures 3-10)", len(Specs))
+	}
+}
+
+// TestFigureSmoke runs every figure at a tiny scale and checks shape
+// invariants of the tables.
+func TestFigureSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("figure sweeps are slow")
+	}
+	opt := Options{JobCount: 60, Seed: 2, Replications: 1}
+	for _, spec := range Specs {
+		tables, err := spec.Run(opt)
+		if err != nil {
+			t.Fatalf("%s: %v", spec.ID, err)
+		}
+		if len(tables) == 0 {
+			t.Fatalf("%s: no tables", spec.ID)
+		}
+		for _, tab := range tables {
+			if err := tab.Validate(); err != nil {
+				t.Fatalf("%s: %v", spec.ID, err)
+			}
+			if tab.ID != spec.ID {
+				t.Fatalf("table id %q under spec %q", tab.ID, spec.ID)
+			}
+			if len(tab.X) == 0 || len(tab.Series) == 0 {
+				t.Fatalf("%s: empty table", spec.ID)
+			}
+			var buf bytes.Buffer
+			if err := tab.Render(&buf); err != nil {
+				t.Fatalf("%s: render: %v", spec.ID, err)
+			}
+		}
+	}
+}
+
+func TestKrevatTable(t *testing.T) {
+	tab, err := KrevatTable(Options{JobCount: 150, Seed: 3, Replications: 1}, "SDSC", 1.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.X) != len(KrevatVariants) {
+		t.Fatalf("rows = %d, want %d", len(tab.X), len(KrevatVariants))
+	}
+	// Backfilling must improve slowdown over plain FCFS on a congested
+	// log (Krevat's central result).
+	slowdown := tab.Series[0]
+	if slowdown.Name != "slowdown" {
+		t.Fatalf("series order changed: %q", slowdown.Name)
+	}
+	if slowdown.Y[1] >= slowdown.Y[0] {
+		t.Fatalf("backfilling did not improve slowdown: %.1f vs %.1f", slowdown.Y[1], slowdown.Y[0])
+	}
+}
+
+func TestRunEstimateFactor(t *testing.T) {
+	exact, err := Run(RunConfig{Workload: "SDSC", JobCount: 150, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	loose, err := Run(RunConfig{Workload: "SDSC", JobCount: 150, Seed: 5, EstimateFactor: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With exact estimates every outcome has Estimate == Actual; with
+	// a factor > 1 some must exceed it.
+	sawLoose := false
+	for _, o := range loose.Outcomes {
+		if o.Estimate < o.Actual-1e-9 {
+			t.Fatalf("estimate %g below actual %g", o.Estimate, o.Actual)
+		}
+		if o.Estimate > o.Actual+1e-9 {
+			sawLoose = true
+		}
+	}
+	if !sawLoose {
+		t.Fatal("EstimateFactor had no effect on estimates")
+	}
+	for _, o := range exact.Outcomes {
+		if o.Estimate != o.Actual {
+			t.Fatalf("exact mode produced estimate %g != actual %g", o.Estimate, o.Actual)
+		}
+	}
+}
+
+func TestRunMigrationCostPlumbing(t *testing.T) {
+	res, err := Run(RunConfig{
+		Workload: "SDSC", JobCount: 150, Seed: 5,
+		Migration: true, MigrationCost: 120,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Summary.Jobs != 150 {
+		t.Fatalf("finished %d", res.Summary.Jobs)
+	}
+}
+
+func TestRunLearnedSchedulers(t *testing.T) {
+	for _, kind := range []SchedulerKind{SchedBalancingLearned, SchedTieBreakLearned} {
+		res, err := Run(RunConfig{
+			Workload: "SDSC", JobCount: 120, FailureNominal: 1000,
+			Scheduler: kind, Seed: 3,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if res.Summary.Jobs != 120 {
+			t.Fatalf("%s: finished %d", kind, res.Summary.Jobs)
+		}
+		// Param acts as the learned threshold: a different operating
+		// point must generally change the schedule.
+		res2, err := Run(RunConfig{
+			Workload: "SDSC", JobCount: 120, FailureNominal: 1000,
+			Scheduler: kind, Param: 0.05, Seed: 3,
+		})
+		if err != nil {
+			t.Fatalf("%s threshold: %v", kind, err)
+		}
+		_ = res2 // schedules may coincide on small logs; the run must just succeed
+	}
+}
+
+func TestLearnedSweepTable(t *testing.T) {
+	tab, err := LearnedSweep(Options{JobCount: 60, Seed: 2, Replications: 1}, "SDSC")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Series) != 4 {
+		t.Fatalf("series = %d, want 4", len(tab.Series))
+	}
+	// The baseline reference line is flat.
+	base := tab.Series[0]
+	for _, y := range base.Y {
+		if y != base.Y[0] {
+			t.Fatal("baseline reference line not flat")
+		}
+	}
+}
+
+// Capacity-split figures must have fractions summing to one.
+func TestUtilizationFigureSumsToOne(t *testing.T) {
+	tables, err := Figure5(Options{JobCount: 80, Seed: 5, Replications: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tab := range tables {
+		if len(tab.Series) != 3 {
+			t.Fatalf("utilization table has %d series, want 3", len(tab.Series))
+		}
+		for i := range tab.X {
+			sum := tab.Series[0].Y[i] + tab.Series[1].Y[i] + tab.Series[2].Y[i]
+			if sum < 0.999 || sum > 1.001 {
+				t.Fatalf("capacity fractions at x=%g sum to %g", tab.X[i], sum)
+			}
+		}
+	}
+}

@@ -1,0 +1,307 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+
+	"bgsched/internal/metrics"
+)
+
+// metricsSummary is the run summary type metric extraction reads.
+type metricsSummary = metrics.Summary
+
+// Options tunes the scale of a figure reproduction. The zero value
+// gives the full-scale defaults; benchmarks use smaller JobCounts and
+// a single replication.
+type Options struct {
+	// JobCount is the synthetic log length per run (default 1500).
+	JobCount int
+	// Seed makes the entire figure deterministic (default 1).
+	Seed int64
+	// FailureScale overrides the nominal-to-injected failure mapping
+	// (see RunConfig.FailureScale).
+	FailureScale float64
+	// Metric selects what the timing figures plot: "slowdown" (the
+	// paper's bounded slowdown, default), "response" or "wait". The
+	// capacity figures (5, 7, 8, 10) ignore it.
+	Metric string
+	// Replications runs each sweep point under this many seeds
+	// (default 3) and aggregates; average bounded slowdown on short
+	// logs is chaotic enough that single runs mislead.
+	Replications int
+	// Aggregate folds replicates into one point: "median" (default,
+	// robust to queueing-collapse outliers) or "mean".
+	Aggregate string
+}
+
+func (o Options) normalize() Options {
+	if o.JobCount == 0 {
+		o.JobCount = 1500
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.Metric == "" {
+		o.Metric = MetricSlowdown
+	}
+	if o.Replications == 0 {
+		o.Replications = 3
+	}
+	if o.Aggregate == "" {
+		o.Aggregate = AggMedian
+	}
+	return o
+}
+
+// Metric names accepted by Options.Metric.
+const (
+	MetricSlowdown = "slowdown"
+	MetricResponse = "response"
+	MetricWait     = "wait"
+)
+
+// metricValue extracts the selected metric from a run summary.
+func metricValue(metric string, s metricsSummary) (float64, error) {
+	switch metric {
+	case MetricSlowdown:
+		return s.AvgSlowdown, nil
+	case MetricResponse:
+		return s.AvgResponse, nil
+	case MetricWait:
+		return s.AvgWait, nil
+	}
+	return 0, fmt.Errorf("experiments: unknown metric %q (want %s, %s or %s)",
+		metric, MetricSlowdown, MetricResponse, MetricWait)
+}
+
+// Spec identifies one reproducible figure of the paper.
+type Spec struct {
+	ID    string
+	Title string
+	Run   func(Options) ([]*Table, error)
+}
+
+// Specs lists every figure of the paper's evaluation section, in paper
+// order. Figures 1 and 2 are illustrations, not experiments.
+var Specs = []Spec{
+	{"fig3", "Avg bounded slowdown vs failure rate, SDSC, balancing, a ∈ {0, 0.1, 0.9}", Figure3},
+	{"fig4", "Avg bounded slowdown vs failure rate, SDSC, balancing, c ∈ {1.0, 1.2}", Figure4},
+	{"fig5", "Utilization vs failure rate, SDSC, balancing, c ∈ {1.0, 1.2}", Figure5},
+	{"fig6", "Avg bounded slowdown vs confidence, balancing, SDSC/NASA/LLNL", Figure6},
+	{"fig7", "Utilization vs confidence, SDSC, balancing, c ∈ {1.0, 1.2}", Figure7},
+	{"fig8", "Utilization vs confidence, NASA, balancing, c ∈ {1.0, 1.2}", Figure8},
+	{"fig9", "Avg bounded slowdown vs accuracy, tie-breaking, SDSC/NASA/LLNL", Figure9},
+	{"fig10", "Utilization vs accuracy, LLNL, tie-breaking, c ∈ {1.0, 1.2}", Figure10},
+}
+
+// SpecByID returns the spec for an id like "fig3".
+func SpecByID(id string) (Spec, error) {
+	for _, s := range Specs {
+		if s.ID == id {
+			return s, nil
+		}
+	}
+	ids := make([]string, len(Specs))
+	for i, s := range Specs {
+		ids[i] = s.ID
+	}
+	sort.Strings(ids)
+	return Spec{}, fmt.Errorf("experiments: unknown figure %q (have %v)", id, ids)
+}
+
+// failureAxis is the paper's failure-count sweep: 0 to 4000 in steps
+// of 500 (Section 6.2).
+var failureAxis = []int{0, 500, 1000, 1500, 2000, 2500, 3000, 3500, 4000}
+
+// paramAxis is the paper's confidence/accuracy sweep: 0.0 to 1.0 in
+// steps of 0.1 (Section 6.2).
+var paramAxis = []float64{0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0}
+
+// baseCfg assembles the common RunConfig fields of a sweep point.
+func baseCfg(opt Options, wl string, c float64, nominal int, kind SchedulerKind, a float64) RunConfig {
+	return RunConfig{
+		Workload: wl, JobCount: opt.JobCount, LoadScale: c,
+		FailureNominal: nominal, FailureScale: opt.FailureScale,
+		Scheduler: kind, Param: a, Seed: opt.Seed,
+	}
+}
+
+// Figure3 reproduces Figure 3: average bounded slowdown versus failure
+// rate for the SDSC log under the balancing algorithm, with no
+// prediction (a=0.0) and with prediction at a=0.1 and a=0.9.
+func Figure3(opt Options) ([]*Table, error) {
+	opt = opt.normalize()
+	t := &Table{
+		ID:     "fig3",
+		Title:  fmt.Sprintf("Avg %s vs failure rate (SDSC, balancing, c=1.0)", opt.Metric),
+		XLabel: "failures",
+	}
+	for _, n := range failureAxis {
+		t.X = append(t.X, float64(n))
+	}
+	for _, a := range []float64{0.0, 0.1, 0.9} {
+		s := Series{Name: fmt.Sprintf("a=%.1f", a)}
+		for _, n := range failureAxis {
+			v, err := runMetricPoint(opt, baseCfg(opt, "SDSC", 1.0, n, SchedBalancing, a))
+			if err != nil {
+				return nil, err
+			}
+			s.Y = append(s.Y, v)
+		}
+		t.Series = append(t.Series, s)
+	}
+	return []*Table{t}, nil
+}
+
+// Figure4 reproduces Figure 4: average bounded slowdown versus failure
+// rate for the SDSC log under the balancing algorithm at two load
+// levels (c = 1.0 and 1.2). Prediction is held at a = 0.1, the paper's
+// "modest confidence" operating point.
+func Figure4(opt Options) ([]*Table, error) {
+	opt = opt.normalize()
+	t := &Table{
+		ID:     "fig4",
+		Title:  fmt.Sprintf("Avg %s vs failure rate (SDSC, balancing, a=0.1)", opt.Metric),
+		XLabel: "failures",
+	}
+	for _, n := range failureAxis {
+		t.X = append(t.X, float64(n))
+	}
+	for _, c := range []float64{1.0, 1.2} {
+		s := Series{Name: fmt.Sprintf("c=%.1f", c)}
+		for _, n := range failureAxis {
+			v, err := runMetricPoint(opt, baseCfg(opt, "SDSC", c, n, SchedBalancing, 0.1))
+			if err != nil {
+				return nil, err
+			}
+			s.Y = append(s.Y, v)
+		}
+		t.Series = append(t.Series, s)
+	}
+	return []*Table{t}, nil
+}
+
+// Figure5 reproduces Figure 5: the capacity split (utilised / unused /
+// lost) versus failure rate for the SDSC log under the balancing
+// algorithm at a = 0.1, one panel per load level.
+func Figure5(opt Options) ([]*Table, error) {
+	opt = opt.normalize()
+	var tables []*Table
+	for _, c := range []float64{1.0, 1.2} {
+		t := &Table{
+			ID:     "fig5",
+			Title:  fmt.Sprintf("Utilization vs failure rate (SDSC, balancing, a=0.1, c=%.1f)", c),
+			XLabel: "failures",
+		}
+		util := Series{Name: "utilized"}
+		unused := Series{Name: "unused"}
+		lost := Series{Name: "lost"}
+		for _, n := range failureAxis {
+			t.X = append(t.X, float64(n))
+			u, un, lo, err := runCapacityPoint(opt, baseCfg(opt, "SDSC", c, n, SchedBalancing, 0.1))
+			if err != nil {
+				return nil, err
+			}
+			util.Y = append(util.Y, u)
+			unused.Y = append(unused.Y, un)
+			lost.Y = append(lost.Y, lo)
+		}
+		t.Series = []Series{util, unused, lost}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// paramFigure builds the three-panel slowdown-vs-parameter figure
+// shared by Figures 6 (balancing) and 9 (tie-breaking). The failure
+// count is the paper's reference 1000 (one failure per four days in
+// the paper's density).
+func paramFigure(opt Options, id, param string, kind SchedulerKind) ([]*Table, error) {
+	opt = opt.normalize()
+	var tables []*Table
+	for _, wl := range []string{"SDSC", "NASA", "LLNL"} {
+		t := &Table{
+			ID:     id,
+			Title:  fmt.Sprintf("Avg %s vs %s (%s, %s)", opt.Metric, param, wl, kind),
+			XLabel: param,
+		}
+		for _, a := range paramAxis {
+			t.X = append(t.X, a)
+		}
+		for _, c := range []float64{1.0, 1.2} {
+			s := Series{Name: fmt.Sprintf("c=%.1f", c)}
+			for _, a := range paramAxis {
+				v, err := runMetricPoint(opt, baseCfg(opt, wl, c, 1000, kind, a))
+				if err != nil {
+					return nil, err
+				}
+				s.Y = append(s.Y, v)
+			}
+			t.Series = append(t.Series, s)
+		}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Figure6 reproduces Figure 6: average bounded slowdown versus
+// prediction confidence under the balancing algorithm for the SDSC,
+// NASA and LLNL logs at c = 1.0 and 1.2.
+func Figure6(opt Options) ([]*Table, error) {
+	return paramFigure(opt, "fig6", "confidence", SchedBalancing)
+}
+
+// utilizationParamFigure builds the capacity-split-vs-parameter figure
+// shared by Figures 7, 8 and 10.
+func utilizationParamFigure(opt Options, id, wl, param string, kind SchedulerKind) ([]*Table, error) {
+	opt = opt.normalize()
+	var tables []*Table
+	for _, c := range []float64{1.0, 1.2} {
+		t := &Table{
+			ID:     id,
+			Title:  fmt.Sprintf("Utilization vs %s (%s, %s, c=%.1f)", param, wl, kind, c),
+			XLabel: param,
+		}
+		util := Series{Name: "utilized"}
+		unused := Series{Name: "unused"}
+		lost := Series{Name: "lost"}
+		for _, a := range paramAxis {
+			t.X = append(t.X, a)
+			u, un, lo, err := runCapacityPoint(opt, baseCfg(opt, wl, c, 1000, kind, a))
+			if err != nil {
+				return nil, err
+			}
+			util.Y = append(util.Y, u)
+			unused.Y = append(unused.Y, un)
+			lost.Y = append(lost.Y, lo)
+		}
+		t.Series = []Series{util, unused, lost}
+		tables = append(tables, t)
+	}
+	return tables, nil
+}
+
+// Figure7 reproduces Figure 7: capacity split versus confidence for the
+// SDSC log under the balancing algorithm.
+func Figure7(opt Options) ([]*Table, error) {
+	return utilizationParamFigure(opt, "fig7", "SDSC", "confidence", SchedBalancing)
+}
+
+// Figure8 reproduces Figure 8: capacity split versus confidence for the
+// NASA log under the balancing algorithm.
+func Figure8(opt Options) ([]*Table, error) {
+	return utilizationParamFigure(opt, "fig8", "NASA", "confidence", SchedBalancing)
+}
+
+// Figure9 reproduces Figure 9: average bounded slowdown versus
+// prediction accuracy under the tie-breaking algorithm for the SDSC,
+// NASA and LLNL logs at c = 1.0 and 1.2.
+func Figure9(opt Options) ([]*Table, error) {
+	return paramFigure(opt, "fig9", "accuracy", SchedTieBreak)
+}
+
+// Figure10 reproduces Figure 10: capacity split versus accuracy for the
+// LLNL log under the tie-breaking algorithm.
+func Figure10(opt Options) ([]*Table, error) {
+	return utilizationParamFigure(opt, "fig10", "LLNL", "accuracy", SchedTieBreak)
+}

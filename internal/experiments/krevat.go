@@ -1,0 +1,83 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bgsched/internal/core"
+)
+
+// KrevatVariants are the four scheduler configurations of Krevat,
+// Castaños and Moreira's BG/L scheduling study, which this paper's
+// Section 5.1 builds on: plain FCFS, FCFS with backfilling, FCFS with
+// migration, and FCFS with both.
+var KrevatVariants = []struct {
+	Name      string
+	Backfill  core.BackfillMode
+	Strict    bool
+	Migration bool
+}{
+	{"fcfs", core.BackfillNone, true, false},
+	{"fcfs+backfill", core.BackfillEASY, false, false},
+	{"fcfs+migration", core.BackfillNone, true, true},
+	{"fcfs+backfill+migration", core.BackfillEASY, false, true},
+}
+
+// KrevatTable reproduces the baseline study's comparison on this
+// repository's substrate: for each scheduler variant it reports the
+// aggregated bounded slowdown, response time, wait time, and
+// utilization over the configured workload, fault-free (the baseline
+// study predates the fault model).
+func KrevatTable(opt Options, workload string, loadScale float64) (*Table, error) {
+	opt = opt.normalize()
+	t := &Table{
+		ID:     "krevat",
+		Title:  fmt.Sprintf("Krevat scheduler variants (%s, c=%.1f, fault-free)", workload, loadScale),
+		XLabel: "variant",
+	}
+	slowdown := Series{Name: "slowdown"}
+	response := Series{Name: "response-s"}
+	wait := Series{Name: "wait-s"}
+	util := Series{Name: "utilized"}
+	for i, v := range KrevatVariants {
+		t.X = append(t.X, float64(i))
+		cfg := RunConfig{
+			Workload: workload, JobCount: opt.JobCount, LoadScale: loadScale,
+			Scheduler: SchedBaseline, Seed: opt.Seed,
+			Backfill: v.Backfill, BackfillStrict: v.Strict, Migration: v.Migration,
+		}
+		rs, err := RunSeeds(cfg, opt.Replications)
+		if err != nil {
+			return nil, err
+		}
+		point := func(metric string) (float64, error) {
+			vals, err := rs.Metric(metric)
+			if err != nil {
+				return 0, err
+			}
+			return aggregate(vals, opt.Aggregate)
+		}
+		sd, err := point(MetricSlowdown)
+		if err != nil {
+			return nil, err
+		}
+		rp, err := point(MetricResponse)
+		if err != nil {
+			return nil, err
+		}
+		wt, err := point(MetricWait)
+		if err != nil {
+			return nil, err
+		}
+		us, _, _ := rs.Capacity()
+		u, err := aggregate(us, opt.Aggregate)
+		if err != nil {
+			return nil, err
+		}
+		slowdown.Y = append(slowdown.Y, sd)
+		response.Y = append(response.Y, rp)
+		wait.Y = append(wait.Y, wt)
+		util.Y = append(util.Y, u)
+	}
+	t.Series = []Series{slowdown, response, wait, util}
+	return t, nil
+}

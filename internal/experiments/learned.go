@@ -1,0 +1,55 @@
+package experiments
+
+import "fmt"
+
+// LearnedSweep is an extension experiment beyond the paper: average
+// bounded slowdown versus the learned predictor's decision threshold,
+// with the fault-unaware baseline and the oracle-with-knob schedulers
+// as reference lines. It answers the question the paper's
+// oracle-with-knob model abstracts away — how does scheduling
+// performance vary across a *real* predictor's operating points?
+func LearnedSweep(opt Options, wl string) (*Table, error) {
+	opt = opt.normalize()
+	thresholds := []float64{0.05, 0.1, 0.25, 0.5, 0.75}
+	t := &Table{
+		ID:     "learned",
+		Title:  fmt.Sprintf("Avg %s vs learned-predictor threshold (%s, nominal 1000 failures)", opt.Metric, wl),
+		XLabel: "threshold",
+	}
+	for _, th := range thresholds {
+		t.X = append(t.X, th)
+	}
+
+	balancing := Series{Name: "balancing-learned"}
+	tiebreak := Series{Name: "tiebreak-learned"}
+	for _, th := range thresholds {
+		v, err := runMetricPoint(opt, baseCfg(opt, wl, 1.0, 1000, SchedBalancingLearned, th))
+		if err != nil {
+			return nil, err
+		}
+		balancing.Y = append(balancing.Y, v)
+		v, err = runMetricPoint(opt, baseCfg(opt, wl, 1.0, 1000, SchedTieBreakLearned, th))
+		if err != nil {
+			return nil, err
+		}
+		tiebreak.Y = append(tiebreak.Y, v)
+	}
+
+	// Reference lines: flat across the axis.
+	base, err := runMetricPoint(opt, baseCfg(opt, wl, 1.0, 1000, SchedBaseline, 0))
+	if err != nil {
+		return nil, err
+	}
+	oracle, err := runMetricPoint(opt, baseCfg(opt, wl, 1.0, 1000, SchedBalancing, 0.5))
+	if err != nil {
+		return nil, err
+	}
+	baseline := Series{Name: "baseline"}
+	knob := Series{Name: "balancing-knob-0.5"}
+	for range thresholds {
+		baseline.Y = append(baseline.Y, base)
+		knob.Y = append(knob.Y, oracle)
+	}
+	t.Series = []Series{baseline, balancing, tiebreak, knob}
+	return t, nil
+}

@@ -1,0 +1,89 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+)
+
+// RenderPlot writes the table as an ASCII chart: one mark per series
+// over a height x width character grid, with the y range annotated.
+// It is a convenience for eyeballing figure shapes in a terminal; the
+// Render/RenderCSV outputs are the archival forms.
+func (t *Table) RenderPlot(w io.Writer, height int) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if len(t.X) == 0 || len(t.Series) == 0 {
+		return fmt.Errorf("experiments: table %s: nothing to plot", t.ID)
+	}
+	if height < 4 {
+		height = 8
+	}
+	marks := []byte("*o+x#@%&")
+
+	yMin, yMax := math.Inf(1), math.Inf(-1)
+	for _, s := range t.Series {
+		for _, v := range s.Y {
+			yMin = math.Min(yMin, v)
+			yMax = math.Max(yMax, v)
+		}
+	}
+	if yMax == yMin {
+		yMax = yMin + 1
+	}
+
+	// Two columns per x point keeps adjacent marks readable.
+	width := 2 * len(t.X)
+	grid := make([][]byte, height)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", width))
+	}
+	rowOf := func(v float64) int {
+		f := (v - yMin) / (yMax - yMin)
+		r := int(math.Round(f * float64(height-1)))
+		return height - 1 - r
+	}
+	for si, s := range t.Series {
+		m := marks[si%len(marks)]
+		for i, v := range s.Y {
+			col := 2 * i
+			r := rowOf(v)
+			if grid[r][col] == ' ' {
+				grid[r][col] = m
+			} else {
+				grid[r][col] = '!'
+			}
+		}
+	}
+
+	if _, err := fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	for r, line := range grid {
+		label := "        "
+		switch r {
+		case 0:
+			label = fmt.Sprintf("%8s", formatNum(yMax))
+		case height - 1:
+			label = fmt.Sprintf("%8s", formatNum(yMin))
+		}
+		if _, err := fmt.Fprintf(w, "%s |%s\n", label, string(line)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%8s +%s\n", "", strings.Repeat("-", width)); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%8s  %s=%s .. %s\n", "", t.XLabel,
+		formatNum(t.X[0]), formatNum(t.X[len(t.X)-1])); err != nil {
+		return err
+	}
+	legend := make([]string, len(t.Series))
+	for i, s := range t.Series {
+		legend[i] = fmt.Sprintf("%c %s", marks[i%len(marks)], s.Name)
+	}
+	_, err := fmt.Fprintf(w, "%8s  legend: %s ('!' = overlap)\n", "", strings.Join(legend, ", "))
+	return err
+}

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+
+	"bgsched/internal/sim"
+	"bgsched/internal/stats"
+)
+
+// seedStride separates replicate seeds. Run derives internal seeds as
+// Seed+1..Seed+3, so any stride comfortably above that avoids overlap.
+const seedStride = 101
+
+// ReplicateSet holds the results of the same configuration run under
+// several seeds. Average bounded slowdown is a heavy-tailed, chaotic
+// metric on short logs — a single queueing episode can dominate it —
+// so the figure harness replicates every point and aggregates.
+type ReplicateSet struct {
+	Results []sim.Result
+}
+
+// RunSeeds executes cfg under reps different seeds (cfg.Seed,
+// cfg.Seed+seedStride, ...).
+func RunSeeds(cfg RunConfig, reps int) (ReplicateSet, error) {
+	if reps < 1 {
+		return ReplicateSet{}, fmt.Errorf("experiments: %d replications", reps)
+	}
+	rs := ReplicateSet{Results: make([]sim.Result, 0, reps)}
+	for i := 0; i < reps; i++ {
+		c := cfg
+		c.Seed = cfg.Seed + int64(i)*seedStride
+		res, err := Run(c)
+		if err != nil {
+			return ReplicateSet{}, err
+		}
+		rs.Results = append(rs.Results, res)
+	}
+	return rs, nil
+}
+
+// Metric extracts one named metric from every replicate.
+func (rs ReplicateSet) Metric(name string) ([]float64, error) {
+	out := make([]float64, 0, len(rs.Results))
+	for _, r := range rs.Results {
+		v, err := metricValue(name, r.Summary)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// Capacity extracts the (utilized, unused, lost) triple per replicate.
+func (rs ReplicateSet) Capacity() (util, unused, lost []float64) {
+	for _, r := range rs.Results {
+		util = append(util, r.Summary.Utilization)
+		unused = append(unused, r.Summary.UnusedCapacity)
+		lost = append(lost, r.Summary.LostCapacity)
+	}
+	return
+}
+
+// Aggregation modes for replicated points.
+const (
+	AggMean   = "mean"
+	AggMedian = "median"
+)
+
+// aggregate folds replicate values into one point.
+func aggregate(vals []float64, how string) (float64, error) {
+	switch how {
+	case AggMean:
+		return stats.Mean(vals), nil
+	case AggMedian:
+		return stats.Quantile(vals, 0.5), nil
+	}
+	return 0, fmt.Errorf("experiments: unknown aggregate %q (want %s or %s)", how, AggMean, AggMedian)
+}
+
+// runMetricPoint runs one sweep point with replication and returns the
+// aggregated metric value.
+func runMetricPoint(opt Options, cfg RunConfig) (float64, error) {
+	rs, err := RunSeeds(cfg, opt.Replications)
+	if err != nil {
+		return 0, err
+	}
+	vals, err := rs.Metric(opt.Metric)
+	if err != nil {
+		return 0, err
+	}
+	return aggregate(vals, opt.Aggregate)
+}
+
+// runCapacityPoint runs one sweep point with replication and returns
+// the aggregated capacity split.
+func runCapacityPoint(opt Options, cfg RunConfig) (util, unused, lost float64, err error) {
+	rs, err := RunSeeds(cfg, opt.Replications)
+	if err != nil {
+		return 0, 0, 0, err
+	}
+	us, ns, ls := rs.Capacity()
+	if util, err = aggregate(us, opt.Aggregate); err != nil {
+		return
+	}
+	if unused, err = aggregate(ns, opt.Aggregate); err != nil {
+		return
+	}
+	lost, err = aggregate(ls, opt.Aggregate)
+	return
+}

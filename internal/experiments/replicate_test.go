@@ -1,0 +1,112 @@
+package experiments
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestRunSeeds(t *testing.T) {
+	cfg := RunConfig{Workload: "NASA", JobCount: 80, FailureNominal: 1000,
+		Scheduler: SchedBalancing, Param: 0.3, Seed: 5}
+	rs, err := RunSeeds(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Results) != 3 {
+		t.Fatalf("got %d replicates", len(rs.Results))
+	}
+	// Replicates must actually differ (different seeds).
+	if reflect.DeepEqual(rs.Results[0].Outcomes, rs.Results[1].Outcomes) {
+		t.Fatal("replicates identical: seeds not varied")
+	}
+	// And be reproducible.
+	rs2, err := RunSeeds(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(rs.Results, rs2.Results) {
+		t.Fatal("RunSeeds not deterministic")
+	}
+}
+
+func TestRunSeedsErrors(t *testing.T) {
+	if _, err := RunSeeds(RunConfig{}, 0); err == nil {
+		t.Fatal("zero replications accepted")
+	}
+	if _, err := RunSeeds(RunConfig{Workload: "EARTH", JobCount: 10}, 1); err == nil {
+		t.Fatal("bad config accepted")
+	}
+}
+
+func TestReplicateSetMetricAndCapacity(t *testing.T) {
+	cfg := RunConfig{Workload: "NASA", JobCount: 60, Scheduler: SchedBaseline, Seed: 2}
+	rs, err := RunSeeds(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{MetricSlowdown, MetricResponse, MetricWait} {
+		vals, err := rs.Metric(m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(vals) != 2 {
+			t.Fatalf("%s: %d values", m, len(vals))
+		}
+	}
+	if _, err := rs.Metric("bogus"); err == nil {
+		t.Fatal("bogus metric accepted")
+	}
+	u, n, l := rs.Capacity()
+	if len(u) != 2 || len(n) != 2 || len(l) != 2 {
+		t.Fatal("capacity lengths")
+	}
+	for i := range u {
+		if s := u[i] + n[i] + l[i]; s < 0.999 || s > 1.001 {
+			t.Fatalf("capacity sum %g", s)
+		}
+	}
+}
+
+func TestAggregate(t *testing.T) {
+	vals := []float64{1, 2, 100}
+	if got, err := aggregate(vals, AggMean); err != nil || got != (103.0/3) {
+		t.Fatalf("mean = %g, %v", got, err)
+	}
+	if got, err := aggregate(vals, AggMedian); err != nil || got != 2 {
+		t.Fatalf("median = %g, %v", got, err)
+	}
+	if _, err := aggregate(vals, "mode"); err == nil {
+		t.Fatal("unknown aggregate accepted")
+	}
+}
+
+func TestRunMetricPointAggregates(t *testing.T) {
+	opt := Options{JobCount: 60, Seed: 3, Replications: 3, Metric: MetricSlowdown, Aggregate: AggMedian}
+	cfg := baseCfg(opt, "NASA", 1.0, 1000, SchedBalancing, 0.5)
+	v, err := runMetricPoint(opt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The aggregated value must be one of (median) or bounded by the
+	// replicate values.
+	rs, err := RunSeeds(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals, err := rs.Metric(MetricSlowdown)
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, max := vals[0], vals[0]
+	for _, x := range vals {
+		if x < min {
+			min = x
+		}
+		if x > max {
+			max = x
+		}
+	}
+	if v < min || v > max {
+		t.Fatalf("aggregate %g outside replicate range [%g, %g]", v, min, max)
+	}
+}

@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"text/tabwriter"
+)
+
+// Series is one curve of a figure.
+type Series struct {
+	Name string
+	Y    []float64
+}
+
+// Table is the data behind one figure (or one panel of a multi-panel
+// figure): an x axis and one or more named series over it.
+type Table struct {
+	ID     string // e.g. "fig3"
+	Title  string
+	XLabel string
+	X      []float64
+	Series []Series
+}
+
+// Validate checks the series lengths agree with the axis.
+func (t *Table) Validate() error {
+	for _, s := range t.Series {
+		if len(s.Y) != len(t.X) {
+			return fmt.Errorf("experiments: table %s: series %q has %d points, axis has %d",
+				t.ID, s.Name, len(s.Y), len(t.X))
+		}
+	}
+	return nil
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s — %s\n", t.ID, t.Title); err != nil {
+		return err
+	}
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', tabwriter.AlignRight)
+	header := []string{t.XLabel}
+	for _, s := range t.Series {
+		header = append(header, s.Name)
+	}
+	if _, err := fmt.Fprintln(tw, strings.Join(header, "\t")+"\t"); err != nil {
+		return err
+	}
+	for i, x := range t.X {
+		row := []string{formatNum(x)}
+		for _, s := range t.Series {
+			row = append(row, formatNum(s.Y[i]))
+		}
+		if _, err := fmt.Fprintln(tw, strings.Join(row, "\t")+"\t"); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+// RenderCSV writes the table as CSV with a header row.
+func (t *Table) RenderCSV(w io.Writer) error {
+	if err := t.Validate(); err != nil {
+		return err
+	}
+	cols := []string{t.XLabel}
+	for _, s := range t.Series {
+		cols = append(cols, s.Name)
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	for i, x := range t.X {
+		row := []string{formatNum(x)}
+		for _, s := range t.Series {
+			row = append(row, formatNum(s.Y[i]))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// formatNum prints integers without decimals and small floats with
+// enough precision to be useful.
+func formatNum(v float64) string {
+	if v == float64(int64(v)) && v < 1e15 && v > -1e15 {
+		return fmt.Sprintf("%d", int64(v))
+	}
+	if v != 0 && (v < 0.01 && v > -0.01) {
+		return fmt.Sprintf("%.4g", v)
+	}
+	return fmt.Sprintf("%.3f", v)
+}

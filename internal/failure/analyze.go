@@ -1,0 +1,121 @@
+package failure
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// TraceStats summarises the statistical character of a failure trace —
+// the properties Section 7.1 of the paper leans on when explaining the
+// saturation of the slowdown curves.
+type TraceStats struct {
+	Events int
+	Span   float64 // seconds between first and last event
+
+	// RatePerDay is the machine-wide failure rate.
+	RatePerDay float64
+	// MTBF is the machine-wide mean time between failures, seconds.
+	MTBF float64
+	// NodesAffected counts nodes with at least one event.
+	NodesAffected int
+	// TopDecileShare is the fraction of events on the top 10% of
+	// nodes — the hazard-skew measure.
+	TopDecileShare float64
+	// BurstFraction is the fraction of events within BurstWindow of
+	// the previous event — the temporal-clustering measure.
+	BurstFraction float64
+	// CV is the coefficient of variation of inter-event gaps; 1 for a
+	// Poisson process, > 1 for bursty traces.
+	CV float64
+}
+
+// Analyze computes TraceStats with the given burst window (seconds).
+func Analyze(tr Trace, nodes int, burstWindow float64) (TraceStats, error) {
+	if len(tr) == 0 {
+		return TraceStats{}, fmt.Errorf("failure: empty trace")
+	}
+	if err := tr.Validate(nodes); err != nil {
+		return TraceStats{}, err
+	}
+	s := TraceStats{Events: len(tr)}
+	s.Span = tr[len(tr)-1].Time - tr[0].Time
+	if s.Span > 0 {
+		s.RatePerDay = float64(len(tr)) / (s.Span / 86400)
+	}
+	if len(tr) > 1 && s.Span > 0 {
+		s.MTBF = s.Span / float64(len(tr)-1)
+	}
+
+	perNode := make(map[int]int)
+	for _, e := range tr {
+		perNode[e.Node]++
+	}
+	s.NodesAffected = len(perNode)
+	counts := make([]int, 0, len(perNode))
+	for _, c := range perNode {
+		counts = append(counts, c)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	top := len(counts) / 10
+	if top == 0 {
+		top = 1
+	}
+	topSum := 0
+	for _, c := range counts[:top] {
+		topSum += c
+	}
+	s.TopDecileShare = float64(topSum) / float64(len(tr))
+
+	if len(tr) > 1 {
+		gaps := make([]float64, 0, len(tr)-1)
+		inBurst := 0
+		for i := 1; i < len(tr); i++ {
+			gap := tr[i].Time - tr[i-1].Time
+			gaps = append(gaps, gap)
+			if gap <= burstWindow {
+				inBurst++
+			}
+		}
+		s.BurstFraction = float64(inBurst) / float64(len(gaps))
+		mean := 0.0
+		for _, g := range gaps {
+			mean += g
+		}
+		mean /= float64(len(gaps))
+		if mean > 0 {
+			variance := 0.0
+			for _, g := range gaps {
+				d := g - mean
+				variance += d * d
+			}
+			variance /= float64(len(gaps))
+			s.CV = math.Sqrt(variance) / mean
+		}
+	}
+	return s, nil
+}
+
+// NodeMTBF estimates the mean time between failures of one node from
+// the trace, over the observation span. Nodes with fewer than two
+// events get ok=false.
+func NodeMTBF(tr Trace, node int) (float64, bool) {
+	var times []float64
+	for _, e := range tr {
+		if e.Node == node {
+			times = append(times, e.Time)
+		}
+	}
+	if len(times) < 2 {
+		return 0, false
+	}
+	return (times[len(times)-1] - times[0]) / float64(len(times)-1), true
+}
+
+// String renders the stats on a few lines.
+func (s TraceStats) String() string {
+	return fmt.Sprintf(
+		"events=%d span=%.1fd rate=%.2f/day mtbf=%.0fs nodes=%d top-decile=%.0f%% burst-frac=%.0f%% cv=%.2f",
+		s.Events, s.Span/86400, s.RatePerDay, s.MTBF, s.NodesAffected,
+		s.TopDecileShare*100, s.BurstFraction*100, s.CV)
+}

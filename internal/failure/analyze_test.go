@@ -1,0 +1,105 @@
+package failure
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestAnalyzeBasics(t *testing.T) {
+	tr := Trace{
+		{Time: 0, Node: 0},
+		{Time: 100, Node: 1},
+		{Time: 86400, Node: 0},
+	}
+	s, err := Analyze(tr, 4, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Events != 3 || s.Span != 86400 {
+		t.Fatalf("events/span = %d/%g", s.Events, s.Span)
+	}
+	if s.RatePerDay != 3 {
+		t.Fatalf("rate = %g", s.RatePerDay)
+	}
+	if s.MTBF != 43200 {
+		t.Fatalf("MTBF = %g", s.MTBF)
+	}
+	if s.NodesAffected != 2 {
+		t.Fatalf("nodes = %d", s.NodesAffected)
+	}
+	// One of two gaps (100s) is within the 600s burst window.
+	if s.BurstFraction != 0.5 {
+		t.Fatalf("burst fraction = %g", s.BurstFraction)
+	}
+	if !strings.Contains(s.String(), "events=3") {
+		t.Fatal("String")
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(nil, 4, 600); err == nil {
+		t.Error("empty trace accepted")
+	}
+	if _, err := Analyze(Trace{{Time: 1, Node: 9}}, 4, 600); err == nil {
+		t.Error("invalid trace accepted")
+	}
+}
+
+// The synthetic generator must produce traces whose measured character
+// matches its knobs: bursty (CV > 1) and skewed.
+func TestAnalyzeGeneratorCharacter(t *testing.T) {
+	span := 90 * 24 * 3600.0
+	bursty, err := Generate(DefaultGeneratorConfig(128, 2000, span), 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, err := Analyze(bursty, 128, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sb.CV <= 1.1 {
+		t.Fatalf("bursty trace CV = %.2f, want > 1.1", sb.CV)
+	}
+	if sb.TopDecileShare < 0.4 {
+		t.Fatalf("top-decile share = %.2f, want >= 0.4", sb.TopDecileShare)
+	}
+
+	plain := DefaultGeneratorConfig(128, 2000, span)
+	plain.BurstProb = 0
+	plain.NodeSkew = 0
+	uniform, err := Generate(plain, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	su, err := Analyze(uniform, 128, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if su.CV >= sb.CV {
+		t.Fatalf("uniform CV %.2f >= bursty CV %.2f", su.CV, sb.CV)
+	}
+	// A Poisson-like process has CV near 1.
+	if math.Abs(su.CV-1) > 0.25 {
+		t.Fatalf("plain process CV = %.2f, want ~1", su.CV)
+	}
+}
+
+func TestNodeMTBF(t *testing.T) {
+	tr := Trace{
+		{Time: 0, Node: 2},
+		{Time: 1000, Node: 2},
+		{Time: 3000, Node: 2},
+		{Time: 50, Node: 3},
+	}
+	mtbf, ok := NodeMTBF(tr, 2)
+	if !ok || mtbf != 1500 {
+		t.Fatalf("NodeMTBF = %g, %v", mtbf, ok)
+	}
+	if _, ok := NodeMTBF(tr, 3); ok {
+		t.Fatal("single-event node should have no MTBF")
+	}
+	if _, ok := NodeMTBF(tr, 7); ok {
+		t.Fatal("absent node should have no MTBF")
+	}
+}

@@ -1,0 +1,71 @@
+package failure
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// WriteCSV writes the trace as "time_seconds,node" rows with a header.
+func WriteCSV(w io.Writer, tr Trace) error {
+	bw := bufio.NewWriter(w)
+	cw := csv.NewWriter(bw)
+	if err := cw.Write([]string{"time_seconds", "node"}); err != nil {
+		return err
+	}
+	for _, e := range tr {
+		rec := []string{
+			strconv.FormatFloat(e.Time, 'f', -1, 64),
+			strconv.Itoa(e.Node),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	if err := cw.Error(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ReadCSV parses a trace written by WriteCSV (or an external failure
+// log in the same two-column format). Lines starting with '#' and the
+// header row are skipped. The result is sorted.
+func ReadCSV(r io.Reader) (Trace, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	cr.Comment = '#'
+	var tr Trace
+	line := 0
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("failure: csv: %w", err)
+		}
+		line++
+		if len(rec) < 2 {
+			return nil, fmt.Errorf("failure: line %d: want 2 fields, got %d", line, len(rec))
+		}
+		if line == 1 && strings.EqualFold(strings.TrimSpace(rec[0]), "time_seconds") {
+			continue
+		}
+		t, err := strconv.ParseFloat(strings.TrimSpace(rec[0]), 64)
+		if err != nil {
+			return nil, fmt.Errorf("failure: line %d: bad time %q: %w", line, rec[0], err)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(rec[1]))
+		if err != nil {
+			return nil, fmt.Errorf("failure: line %d: bad node %q: %w", line, rec[1], err)
+		}
+		tr = append(tr, Event{Time: t, Node: n})
+	}
+	tr.Sort()
+	return tr, nil
+}

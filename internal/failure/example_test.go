@@ -1,0 +1,32 @@
+package failure_test
+
+import (
+	"fmt"
+
+	"bgsched/internal/failure"
+)
+
+// Generating a bursty failure trace and querying it the way the
+// predictors do.
+func ExampleGenerate() {
+	cfg := failure.DefaultGeneratorConfig(128, 1000, 90*86400)
+	trace, err := failure.Generate(cfg, 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	index := failure.NewIndex(128, trace)
+
+	stats, _ := failure.Analyze(trace, 128, 600)
+	fmt.Println("events:", stats.Events)
+	fmt.Println("bursty (CV > 1):", stats.CV > 1)
+	fmt.Println("skewed (top decile > 40%):", stats.TopDecileShare > 0.4)
+
+	// Does node 0 fail in the first simulated day?
+	fmt.Println("node 0 fails on day 1:", index.HasFailureWithin(0, 0, 86400))
+	// Output:
+	// events: 1000
+	// bursty (CV > 1): true
+	// skewed (top decile > 40%): true
+	// node 0 fails on day 1: false
+}

@@ -1,0 +1,339 @@
+package failure
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"math/rand"
+	"reflect"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestGenerateExactCountAndBounds(t *testing.T) {
+	cfg := DefaultGeneratorConfig(128, 4000, 90*24*3600)
+	tr, err := Generate(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 4000 {
+		t.Fatalf("generated %d events, want 4000", len(tr))
+	}
+	if err := tr.Validate(128); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range tr {
+		if e.Time < 0 || e.Time >= cfg.Span {
+			t.Fatalf("event time %g outside [0, %g)", e.Time, cfg.Span)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	cfg := DefaultGeneratorConfig(128, 1000, 1e6)
+	a, err := Generate(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cfg, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different traces")
+	}
+	c, err := Generate(cfg, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical traces")
+	}
+}
+
+func TestGenerateZeroCount(t *testing.T) {
+	tr, err := Generate(DefaultGeneratorConfig(128, 0, 1e6), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 0 {
+		t.Fatalf("Count=0 produced %d events", len(tr))
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	bad := []GeneratorConfig{
+		{Nodes: 0, Span: 1, Count: 1},
+		{Nodes: 10, Span: 0, Count: 1},
+		{Nodes: 10, Span: 1, Count: -1},
+	}
+	for _, cfg := range bad {
+		if _, err := Generate(cfg, 1); err == nil {
+			t.Errorf("Generate accepted bad config %+v", cfg)
+		}
+	}
+}
+
+// TestGenerateSkew checks the hazard skew: with NodeSkew > 0 the top
+// decile of nodes must account for a clear majority of events.
+func TestGenerateSkew(t *testing.T) {
+	cfg := DefaultGeneratorConfig(128, 8000, 1e7)
+	cfg.NodeSkew = 1.2
+	tr, err := Generate(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, 128)
+	for _, e := range tr {
+		counts[e.Node]++
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(counts)))
+	top := 0
+	for _, c := range counts[:13] { // top ~10%
+		top += c
+	}
+	frac := float64(top) / float64(len(tr))
+	if frac < 0.4 {
+		t.Fatalf("top decile of nodes holds %.0f%% of failures, want skew >= 40%%", frac*100)
+	}
+
+	cfg.NodeSkew = 0
+	trU, err := Generate(cfg, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	countsU := make([]int, 128)
+	for _, e := range trU {
+		countsU[e.Node]++
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(countsU)))
+	topU := 0
+	for _, c := range countsU[:13] {
+		topU += c
+	}
+	if float64(topU)/float64(len(trU)) > frac {
+		t.Fatal("uniform hazard more skewed than Zipf hazard")
+	}
+}
+
+// TestGenerateBurstiness: with bursts enabled, far more event pairs
+// land within a short window of each other than under a plain process.
+func TestGenerateBurstiness(t *testing.T) {
+	span := 365 * 24 * 3600.0
+	closePairs := func(tr Trace, window float64) int {
+		n := 0
+		for i := 1; i < len(tr); i++ {
+			if tr[i].Time-tr[i-1].Time <= window {
+				n++
+			}
+		}
+		return n
+	}
+	cfg := DefaultGeneratorConfig(128, 3000, span)
+	bursty, err := Generate(cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.BurstProb = 0
+	plain, err := Generate(cfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb, cp := closePairs(bursty, 600), closePairs(plain, 600)
+	if cb <= cp {
+		t.Fatalf("bursty trace has %d close pairs, plain has %d; want bursty > plain", cb, cp)
+	}
+}
+
+func TestSubsample(t *testing.T) {
+	tr := make(Trace, 100)
+	for i := range tr {
+		tr[i] = Event{Time: float64(i), Node: i % 10}
+	}
+	sub := Subsample(tr, 10)
+	if len(sub) != 10 {
+		t.Fatalf("Subsample len = %d", len(sub))
+	}
+	for i := 1; i < len(sub); i++ {
+		if sub[i].Time <= sub[i-1].Time {
+			t.Fatal("subsample not increasing in time")
+		}
+	}
+	if got := Subsample(tr, 200); len(got) != 100 {
+		t.Fatalf("oversized Subsample len = %d, want original 100", len(got))
+	}
+	if got := Subsample(tr, 0); len(got) != 0 {
+		t.Fatalf("Subsample(0) len = %d", len(got))
+	}
+	if got := Subsample(tr, -5); len(got) != 0 {
+		t.Fatalf("Subsample(-5) len = %d", len(got))
+	}
+}
+
+func TestMapNodes(t *testing.T) {
+	tr := Trace{{Time: 5, Node: 10}, {Time: 1, Node: 2}, {Time: 3, Node: 99}}
+	tr.Sort()
+	mapped := MapNodes(tr, func(n int) (int, error) {
+		if n >= 50 {
+			return 0, errInvalid
+		}
+		return n / 2, nil
+	})
+	if len(mapped) != 2 {
+		t.Fatalf("mapped %d events, want 2 (one rejected)", len(mapped))
+	}
+	if mapped[0].Node != 1 || mapped[1].Node != 5 {
+		t.Fatalf("mapped = %v", mapped)
+	}
+	if err := mapped.Validate(25); err != nil {
+		t.Fatal(err)
+	}
+}
+
+var errInvalid = fmt.Errorf("invalid")
+
+func TestIndexMatchesBruteForce(t *testing.T) {
+	cfg := DefaultGeneratorConfig(32, 500, 1e5)
+	tr, err := Generate(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix := NewIndex(32, tr)
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 3000; trial++ {
+		node := rng.Intn(32)
+		after := rng.Float64() * 1e5
+		until := after + rng.Float64()*2e4
+		brute := false
+		count := 0
+		for _, e := range tr {
+			if e.Node == node && e.Time > after && e.Time <= until {
+				brute = true
+				count++
+			}
+		}
+		if got := ix.HasFailureWithin(node, after, until); got != brute {
+			t.Fatalf("HasFailureWithin(%d, %g, %g) = %v, brute = %v", node, after, until, got, brute)
+		}
+		if got := ix.CountWithin(node, after, until); got != count {
+			t.Fatalf("CountWithin(%d, %g, %g) = %d, brute = %d", node, after, until, got, count)
+		}
+	}
+}
+
+func TestIndexNextFailure(t *testing.T) {
+	tr := Trace{{Time: 10, Node: 1}, {Time: 20, Node: 1}, {Time: 30, Node: 2}}
+	ix := NewIndex(4, tr)
+	if tm, ok := ix.NextFailure(1, 0); !ok || tm != 10 {
+		t.Fatalf("NextFailure(1, 0) = %g, %v", tm, ok)
+	}
+	if tm, ok := ix.NextFailure(1, 10); !ok || tm != 20 {
+		t.Fatalf("NextFailure(1, 10) = %g, %v; strict after semantics", tm, ok)
+	}
+	if _, ok := ix.NextFailure(1, 20); ok {
+		t.Fatal("NextFailure past last event must report none")
+	}
+	if _, ok := ix.NextFailure(3, 0); ok {
+		t.Fatal("NextFailure on failure-free node must report none")
+	}
+	if _, ok := ix.NextFailure(-1, 0); ok {
+		t.Fatal("NextFailure on out-of-range node must report none")
+	}
+	if ix.FailureCount(1) != 2 || ix.FailureCount(0) != 0 {
+		t.Fatal("FailureCount wrong")
+	}
+}
+
+func TestIndexWindowEdges(t *testing.T) {
+	ix := NewIndex(2, Trace{{Time: 100, Node: 0}})
+	if ix.HasFailureWithin(0, 100, 200) {
+		t.Fatal("event at window-open boundary must be excluded")
+	}
+	if !ix.HasFailureWithin(0, 99, 100) {
+		t.Fatal("event at window-close boundary must be included")
+	}
+	if ix.HasFailureWithin(0, 200, 100) {
+		t.Fatal("inverted window must be empty")
+	}
+	if ix.HasFailureWithin(5, 0, 1000) {
+		t.Fatal("out-of-range node must report no failures")
+	}
+}
+
+func TestIndexProperty(t *testing.T) {
+	tr := Trace{}
+	rng := rand.New(rand.NewSource(8))
+	for i := 0; i < 200; i++ {
+		tr = append(tr, Event{Time: math.Floor(rng.Float64() * 1000), Node: rng.Intn(8)})
+	}
+	tr.Sort()
+	ix := NewIndex(8, tr)
+	// Window monotonicity: enlarging a window never loses a failure.
+	f := func(node uint8, a, d1, d2 uint16) bool {
+		n := int(node % 8)
+		after := float64(a)
+		u1 := after + float64(d1)
+		u2 := u1 + float64(d2)
+		if ix.HasFailureWithin(n, after, u1) && !ix.HasFailureWithin(n, after, u2) {
+			return false
+		}
+		return ix.CountWithin(n, after, u2) >= ix.CountWithin(n, after, u1)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	cfg := DefaultGeneratorConfig(64, 200, 1e5)
+	tr, err := Generate(cfg, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, tr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(tr, back) {
+		t.Fatal("CSV round trip mismatch")
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := []string{
+		"time_seconds,node\nabc,1\n",
+		"time_seconds,node\n1.5,xyz\n",
+		"justonefield\n",
+	}
+	for _, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("ReadCSV accepted %q", in)
+		}
+	}
+	// Comments and missing header are fine.
+	tr, err := ReadCSV(strings.NewReader("# a comment\n5,3\n1,2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 2 || tr[0].Time != 1 {
+		t.Fatalf("ReadCSV = %v", tr)
+	}
+}
+
+func TestValidateCatchesProblems(t *testing.T) {
+	if err := (Trace{{Time: -1, Node: 0}}).Validate(4); err == nil {
+		t.Error("negative time accepted")
+	}
+	if err := (Trace{{Time: 1, Node: 9}}).Validate(4); err == nil {
+		t.Error("out-of-range node accepted")
+	}
+	if err := (Trace{{Time: 5, Node: 0}, {Time: 1, Node: 0}}).Validate(4); err == nil {
+		t.Error("unsorted trace accepted")
+	}
+}

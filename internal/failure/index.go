@@ -1,0 +1,83 @@
+package failure
+
+import "sort"
+
+// Index answers "does node n fail within a time window" queries in
+// O(log k). It is the data structure behind both the balancing and the
+// tie-breaking predictors: the paper's predictors are defined directly
+// in terms of lookups into the failure log (Section 4).
+type Index struct {
+	nodes  int
+	byNode [][]float64
+}
+
+// NewIndex builds the per-node time index for a trace.
+func NewIndex(nodes int, tr Trace) *Index {
+	ix := &Index{nodes: nodes, byNode: make([][]float64, nodes)}
+	for _, e := range tr {
+		if e.Node >= 0 && e.Node < nodes {
+			ix.byNode[e.Node] = append(ix.byNode[e.Node], e.Time)
+		}
+	}
+	for _, times := range ix.byNode {
+		sort.Float64s(times)
+	}
+	return ix
+}
+
+// Nodes returns the machine size the index was built for.
+func (ix *Index) Nodes() int { return ix.nodes }
+
+// HasFailureWithin reports whether node has a failure event with time
+// in the half-open window (after, until].
+func (ix *Index) HasFailureWithin(node int, after, until float64) bool {
+	if node < 0 || node >= ix.nodes || until <= after {
+		return false
+	}
+	times := ix.byNode[node]
+	i := sort.SearchFloat64s(times, after)
+	// Skip events exactly at 'after': the window is open on the left.
+	for i < len(times) && times[i] == after {
+		i++
+	}
+	return i < len(times) && times[i] <= until
+}
+
+// NextFailure returns the first failure of node strictly after the
+// given time, if any.
+func (ix *Index) NextFailure(node int, after float64) (float64, bool) {
+	if node < 0 || node >= ix.nodes {
+		return 0, false
+	}
+	times := ix.byNode[node]
+	i := sort.SearchFloat64s(times, after)
+	for i < len(times) && times[i] == after {
+		i++
+	}
+	if i == len(times) {
+		return 0, false
+	}
+	return times[i], true
+}
+
+// CountWithin returns the number of failures of node in (after, until].
+func (ix *Index) CountWithin(node int, after, until float64) int {
+	if node < 0 || node >= ix.nodes || until <= after {
+		return 0
+	}
+	times := ix.byNode[node]
+	lo := sort.SearchFloat64s(times, after)
+	for lo < len(times) && times[lo] == after {
+		lo++
+	}
+	hi := sort.Search(len(times), func(i int) bool { return times[i] > until })
+	return hi - lo
+}
+
+// FailureCount returns the total number of indexed events for node.
+func (ix *Index) FailureCount(node int) int {
+	if node < 0 || node >= ix.nodes {
+		return 0
+	}
+	return len(ix.byNode[node])
+}

@@ -1,0 +1,51 @@
+// Package job defines the parallel job model and the FCFS wait queue
+// used by the schedulers. A job is the unit the paper's scheduler sees:
+// an arrival time, a node count, and an estimated execution time
+// (Section 3.2).
+package job
+
+import "fmt"
+
+// ID identifies a job. IDs are positive; they double as grid owner ids.
+type ID int64
+
+// Job is an immutable description of one parallel job. Mutable
+// scheduling state (start time, restarts, partition) lives in the
+// simulator, not here.
+type Job struct {
+	ID      ID
+	Arrival float64 // arrival time t_a, seconds from simulation origin
+	Size    int     // requested nodes s_j (supernodes)
+	// AllocSize is the partition size actually allocated: Size rounded
+	// up to the next size realisable as a rectangular block on the
+	// machine. AllocSize >= Size >= 1.
+	AllocSize int
+	Estimate  float64 // estimated execution time t_e, seconds
+	// Actual is the true execution time. The paper's runs take the
+	// estimate as exact; SWF replays may differ (Actual <= or >= Estimate).
+	Actual float64
+}
+
+// Validate reports a descriptive error for structurally impossible jobs.
+func (j *Job) Validate() error {
+	switch {
+	case j.ID <= 0:
+		return fmt.Errorf("job %d: non-positive id", j.ID)
+	case j.Size < 1:
+		return fmt.Errorf("job %d: size %d < 1", j.ID, j.Size)
+	case j.AllocSize < j.Size:
+		return fmt.Errorf("job %d: alloc size %d < requested %d", j.ID, j.AllocSize, j.Size)
+	case j.Estimate <= 0:
+		return fmt.Errorf("job %d: estimate %g <= 0", j.ID, j.Estimate)
+	case j.Actual <= 0:
+		return fmt.Errorf("job %d: actual runtime %g <= 0", j.ID, j.Actual)
+	case j.Arrival < 0:
+		return fmt.Errorf("job %d: negative arrival %g", j.ID, j.Arrival)
+	}
+	return nil
+}
+
+func (j *Job) String() string {
+	return fmt.Sprintf("job %d (s=%d alloc=%d t_e=%.0fs arr=%.0fs)",
+		j.ID, j.Size, j.AllocSize, j.Estimate, j.Arrival)
+}

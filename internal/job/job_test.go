@@ -1,0 +1,157 @@
+package job
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func validJob() *Job {
+	return &Job{ID: 1, Arrival: 0, Size: 4, AllocSize: 4, Estimate: 100, Actual: 100}
+}
+
+func TestValidate(t *testing.T) {
+	if err := validJob().Validate(); err != nil {
+		t.Fatalf("valid job rejected: %v", err)
+	}
+	cases := []struct {
+		name   string
+		mutate func(*Job)
+	}{
+		{"zero id", func(j *Job) { j.ID = 0 }},
+		{"negative id", func(j *Job) { j.ID = -3 }},
+		{"zero size", func(j *Job) { j.Size = 0 }},
+		{"alloc below size", func(j *Job) { j.AllocSize = 3 }},
+		{"zero estimate", func(j *Job) { j.Estimate = 0 }},
+		{"zero actual", func(j *Job) { j.Actual = 0 }},
+		{"negative arrival", func(j *Job) { j.Arrival = -1 }},
+	}
+	for _, tc := range cases {
+		j := validJob()
+		tc.mutate(j)
+		if err := j.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid job %+v", tc.name, j)
+		}
+	}
+}
+
+func TestJobString(t *testing.T) {
+	s := validJob().String()
+	if !strings.Contains(s, "job 1") || !strings.Contains(s, "s=4") {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestQueueFCFSOrder(t *testing.T) {
+	q := NewQueue()
+	q.Push(&Job{ID: 2, Arrival: 10})
+	q.Push(&Job{ID: 1, Arrival: 5})
+	q.Push(&Job{ID: 3, Arrival: 20})
+	if q.Len() != 3 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	if q.Peek().ID != 1 {
+		t.Fatalf("Peek = %v, want job 1", q.Peek())
+	}
+	wantOrder := []ID{1, 2, 3}
+	for i, want := range wantOrder {
+		if q.At(i).ID != want {
+			t.Fatalf("At(%d) = %d, want %d", i, q.At(i).ID, want)
+		}
+	}
+}
+
+func TestQueueTieBreakByID(t *testing.T) {
+	q := NewQueue()
+	q.Push(&Job{ID: 7, Arrival: 10})
+	q.Push(&Job{ID: 4, Arrival: 10})
+	if q.At(0).ID != 4 || q.At(1).ID != 7 {
+		t.Fatalf("equal arrivals not ordered by id: %d, %d", q.At(0).ID, q.At(1).ID)
+	}
+}
+
+func TestQueueRestartRegainsPriority(t *testing.T) {
+	q := NewQueue()
+	q.Push(&Job{ID: 1, Arrival: 0})
+	q.Push(&Job{ID: 2, Arrival: 50})
+	first := q.RemoveAt(0) // job 1 starts running
+	if first.ID != 1 {
+		t.Fatal("wrong head")
+	}
+	q.Push(&Job{ID: 3, Arrival: 100})
+	// Job 1 is killed by a failure and re-enters with original arrival.
+	q.Push(first)
+	if q.Peek().ID != 1 {
+		t.Fatalf("restarted job must head the queue, got %d", q.Peek().ID)
+	}
+}
+
+func TestQueueRemove(t *testing.T) {
+	q := NewQueue()
+	for i := 1; i <= 5; i++ {
+		q.Push(&Job{ID: ID(i), Arrival: float64(i)})
+	}
+	if !q.Remove(3) {
+		t.Fatal("Remove(3) = false")
+	}
+	if q.Remove(3) {
+		t.Fatal("Remove(3) twice = true")
+	}
+	if q.Len() != 4 {
+		t.Fatalf("Len = %d", q.Len())
+	}
+	for i := 0; i < q.Len(); i++ {
+		if q.At(i).ID == 3 {
+			t.Fatal("removed job still present")
+		}
+	}
+}
+
+func TestQueueRemoveMissing(t *testing.T) {
+	q := NewQueue()
+	if q.Remove(1) {
+		t.Fatal("Remove on empty queue = true")
+	}
+	if q.Peek() != nil {
+		t.Fatal("Peek on empty queue != nil")
+	}
+}
+
+func TestQueueDemandNodes(t *testing.T) {
+	q := NewQueue()
+	if q.DemandNodes() != 0 {
+		t.Fatal("empty queue demand != 0")
+	}
+	q.Push(&Job{ID: 1, Size: 3, AllocSize: 4})
+	q.Push(&Job{ID: 2, Size: 5, AllocSize: 8})
+	if got := q.DemandNodes(); got != 8 {
+		t.Fatalf("DemandNodes = %d, want 8 (requested sizes)", got)
+	}
+}
+
+func TestQueueJobsIsCopy(t *testing.T) {
+	q := NewQueue()
+	q.Push(&Job{ID: 1})
+	jobs := q.Jobs()
+	jobs[0] = nil
+	if q.Peek() == nil {
+		t.Fatal("mutating Jobs() result affected the queue")
+	}
+}
+
+func TestQueueRandomisedOrderInvariant(t *testing.T) {
+	q := NewQueue()
+	rng := rand.New(rand.NewSource(11))
+	for i := 1; i <= 500; i++ {
+		q.Push(&Job{ID: ID(i), Arrival: float64(rng.Intn(100))})
+		if rng.Intn(3) == 0 && q.Len() > 0 {
+			q.RemoveAt(rng.Intn(q.Len()))
+		}
+		for k := 1; k < q.Len(); k++ {
+			a, b := q.At(k-1), q.At(k)
+			if a.Arrival > b.Arrival || (a.Arrival == b.Arrival && a.ID > b.ID) {
+				t.Fatalf("queue order violated at %d: %v before %v", k, a, b)
+			}
+		}
+	}
+}

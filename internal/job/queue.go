@@ -1,0 +1,84 @@
+package job
+
+import "sort"
+
+// Queue is the scheduler's wait queue, ordered first-come first-served
+// by (Arrival, ID). A job killed by a node failure re-enters the queue
+// with its original arrival time, so it regains its FCFS priority
+// rather than going to the back.
+type Queue struct {
+	jobs []*Job
+}
+
+// NewQueue returns an empty wait queue.
+func NewQueue() *Queue { return &Queue{} }
+
+// Len returns the number of waiting jobs.
+func (q *Queue) Len() int { return len(q.jobs) }
+
+// Push inserts j in FCFS position.
+func (q *Queue) Push(j *Job) {
+	i := sort.Search(len(q.jobs), func(i int) bool {
+		a := q.jobs[i]
+		if a.Arrival != j.Arrival {
+			return a.Arrival > j.Arrival
+		}
+		return a.ID > j.ID
+	})
+	q.jobs = append(q.jobs, nil)
+	copy(q.jobs[i+1:], q.jobs[i:])
+	q.jobs[i] = j
+}
+
+// Peek returns the queue head (the oldest waiting job) without removing
+// it, or nil if the queue is empty.
+func (q *Queue) Peek() *Job {
+	if len(q.jobs) == 0 {
+		return nil
+	}
+	return q.jobs[0]
+}
+
+// At returns the i-th waiting job in FCFS order.
+func (q *Queue) At(i int) *Job { return q.jobs[i] }
+
+// RemoveAt removes and returns the i-th waiting job.
+func (q *Queue) RemoveAt(i int) *Job {
+	j := q.jobs[i]
+	copy(q.jobs[i:], q.jobs[i+1:])
+	q.jobs[len(q.jobs)-1] = nil
+	q.jobs = q.jobs[:len(q.jobs)-1]
+	return j
+}
+
+// Remove removes the job with the given id, reporting whether it was
+// present.
+func (q *Queue) Remove(id ID) bool {
+	for i, j := range q.jobs {
+		if j.ID == id {
+			q.RemoveAt(i)
+			return true
+		}
+	}
+	return false
+}
+
+// DemandNodes returns the total number of nodes requested by waiting
+// jobs — the q(t) of the paper's unused-capacity integral. The
+// requested (not rounded-up) sizes are summed, matching the paper's
+// definition in terms of job requests.
+func (q *Queue) DemandNodes() int {
+	total := 0
+	for _, j := range q.jobs {
+		total += j.Size
+	}
+	return total
+}
+
+// Jobs returns the waiting jobs in FCFS order. The slice is a copy; the
+// jobs are shared.
+func (q *Queue) Jobs() []*Job {
+	out := make([]*Job, len(q.jobs))
+	copy(out, q.jobs)
+	return out
+}

@@ -1,0 +1,80 @@
+package metrics
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SizeClass aggregates outcomes for jobs within one requested-size
+// band. Scheduling studies conventionally break slowdown down by job
+// size: small jobs backfill easily while large jobs pay for
+// fragmentation, and fault-aware placement shifts that balance.
+type SizeClass struct {
+	MinSize, MaxSize int // inclusive band of requested node counts
+	Jobs             int
+	AvgSlowdown      float64
+	AvgWait          float64
+	AvgResponse      float64
+	Restarts         int
+}
+
+// DefaultSizeBounds split the paper's 128-node machine into the bands
+// 1-8, 9-32, 33-64 and 65-128.
+var DefaultSizeBounds = []int{8, 32, 64, 128}
+
+// BySizeClass aggregates outcomes into size bands. bounds lists the
+// inclusive upper edge of each band in ascending order; jobs larger
+// than the last bound form a final overflow band. Empty bands are
+// returned with Jobs == 0 so callers can print aligned tables.
+func BySizeClass(outcomes []Outcome, bounds []int) ([]SizeClass, error) {
+	if len(bounds) == 0 {
+		return nil, fmt.Errorf("metrics: no size bounds")
+	}
+	if !sort.IntsAreSorted(bounds) {
+		return nil, fmt.Errorf("metrics: size bounds %v not ascending", bounds)
+	}
+	if bounds[0] < 1 {
+		return nil, fmt.Errorf("metrics: size bound %d < 1", bounds[0])
+	}
+	classes := make([]SizeClass, len(bounds)+1)
+	lo := 1
+	for i, b := range bounds {
+		classes[i].MinSize = lo
+		classes[i].MaxSize = b
+		lo = b + 1
+	}
+	classes[len(bounds)].MinSize = lo
+	classes[len(bounds)].MaxSize = int(^uint(0) >> 1)
+
+	for i := range outcomes {
+		o := &outcomes[i]
+		k := sort.SearchInts(bounds, o.Size)
+		c := &classes[k]
+		c.Jobs++
+		c.AvgSlowdown += o.Slowdown()
+		c.AvgWait += o.Wait()
+		c.AvgResponse += o.Response()
+		c.Restarts += o.Restarts
+	}
+	for i := range classes {
+		if classes[i].Jobs > 0 {
+			n := float64(classes[i].Jobs)
+			classes[i].AvgSlowdown /= n
+			classes[i].AvgWait /= n
+			classes[i].AvgResponse /= n
+		}
+	}
+	// Drop the overflow band if nothing landed there.
+	if classes[len(classes)-1].Jobs == 0 {
+		classes = classes[:len(classes)-1]
+	}
+	return classes, nil
+}
+
+// Label renders the band as "lo-hi" ("129+" for the overflow band).
+func (c SizeClass) Label() string {
+	if c.MaxSize == int(^uint(0)>>1) {
+		return fmt.Sprintf("%d+", c.MinSize)
+	}
+	return fmt.Sprintf("%d-%d", c.MinSize, c.MaxSize)
+}

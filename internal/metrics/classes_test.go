@@ -1,0 +1,85 @@
+package metrics
+
+import "testing"
+
+func mkOutcome(size int, wait, run float64, restarts int) Outcome {
+	return Outcome{
+		Arrival: 0, FirstStart: wait, LastStart: wait, Finish: wait + run,
+		Estimate: run, Actual: run, Size: size, Restarts: restarts,
+	}
+}
+
+func TestBySizeClass(t *testing.T) {
+	outcomes := []Outcome{
+		mkOutcome(1, 0, 100, 0),    // band 1-8, slowdown 1
+		mkOutcome(8, 100, 100, 1),  // band 1-8, slowdown 2
+		mkOutcome(16, 300, 100, 0), // band 9-32, slowdown 4
+		mkOutcome(128, 0, 100, 0),  // band 65-128, slowdown 1
+	}
+	classes, err := BySizeClass(outcomes, DefaultSizeBounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overflow band empty: dropped. 4 remaining bands.
+	if len(classes) != 4 {
+		t.Fatalf("classes = %d, want 4", len(classes))
+	}
+	small := classes[0]
+	if small.Label() != "1-8" || small.Jobs != 2 {
+		t.Fatalf("small band = %+v", small)
+	}
+	if small.AvgSlowdown != 1.5 {
+		t.Fatalf("small slowdown = %g, want 1.5", small.AvgSlowdown)
+	}
+	if small.AvgWait != 50 {
+		t.Fatalf("small wait = %g", small.AvgWait)
+	}
+	if small.Restarts != 1 {
+		t.Fatalf("small restarts = %d", small.Restarts)
+	}
+	if classes[1].Jobs != 1 || classes[1].AvgSlowdown != 4 {
+		t.Fatalf("mid band = %+v", classes[1])
+	}
+	if classes[2].Jobs != 0 {
+		t.Fatalf("33-64 band should be empty: %+v", classes[2])
+	}
+	if classes[3].Label() != "65-128" || classes[3].Jobs != 1 {
+		t.Fatalf("large band = %+v", classes[3])
+	}
+}
+
+func TestBySizeClassOverflow(t *testing.T) {
+	outcomes := []Outcome{mkOutcome(500, 0, 100, 0)}
+	classes, err := BySizeClass(outcomes, []int{8, 128})
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := classes[len(classes)-1]
+	if last.Label() != "129+" || last.Jobs != 1 {
+		t.Fatalf("overflow band = %+v", last)
+	}
+}
+
+func TestBySizeClassErrors(t *testing.T) {
+	if _, err := BySizeClass(nil, nil); err == nil {
+		t.Error("empty bounds accepted")
+	}
+	if _, err := BySizeClass(nil, []int{32, 8}); err == nil {
+		t.Error("unsorted bounds accepted")
+	}
+	if _, err := BySizeClass(nil, []int{0, 8}); err == nil {
+		t.Error("zero bound accepted")
+	}
+}
+
+func TestBySizeClassBoundaryAssignment(t *testing.T) {
+	// A size exactly at a bound belongs to the lower band.
+	outcomes := []Outcome{mkOutcome(8, 0, 100, 0), mkOutcome(9, 0, 100, 0)}
+	classes, err := BySizeClass(outcomes, []int{8, 32})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if classes[0].Jobs != 1 || classes[1].Jobs != 1 {
+		t.Fatalf("boundary assignment wrong: %+v", classes[:2])
+	}
+}

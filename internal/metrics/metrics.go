@@ -1,0 +1,193 @@
+// Package metrics computes the paper's evaluation metrics (Sections 3.4
+// and 6.1): per-job wait time, response time and bounded slowdown, and
+// the system-level capacity split into utilised, unused and lost
+// fractions.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"bgsched/internal/job"
+)
+
+// Gamma is the bounded-slowdown threshold (seconds), Γ = 10 in the
+// paper.
+const Gamma = 10.0
+
+// BoundedSlowdown is the standard JSSPP bounded slowdown
+// max(t_r, Γ) / max(t_e, Γ).
+func BoundedSlowdown(response, estimate float64) float64 {
+	return math.Max(response, Gamma) / math.Max(estimate, Gamma)
+}
+
+// BoundedSlowdownPaper is the formula exactly as printed in the paper,
+// max(t_r, Γ) / min(t_e, Γ). For any job longer than Γ the denominator
+// is the constant Γ, which makes the metric a scaled response time;
+// this is almost certainly a typo in the paper (see DESIGN.md), but the
+// literal form is kept for comparison.
+func BoundedSlowdownPaper(response, estimate float64) float64 {
+	return math.Max(response, Gamma) / math.Min(estimate, Gamma)
+}
+
+// Outcome is the simulator's record of one finished job.
+type Outcome struct {
+	ID         job.ID
+	Arrival    float64
+	FirstStart float64 // first time the job began executing
+	LastStart  float64 // latest (re)start time t_s; the paper's start value
+	Finish     float64 // actual completion time t_f
+	Estimate   float64 // estimated execution time t_e
+	Actual     float64 // actual execution time of the successful run
+	Size       int     // requested nodes s_j
+	AllocSize  int     // allocated partition size
+	Restarts   int     // number of failure-induced restarts
+	LostWork   float64 // node-seconds thrown away by failures
+}
+
+// Wait returns the paper's wait time t_w = t_s - t_a (latest start).
+func (o *Outcome) Wait() float64 { return o.LastStart - o.Arrival }
+
+// Response returns t_r = t_f - t_a.
+func (o *Outcome) Response() float64 { return o.Finish - o.Arrival }
+
+// Slowdown returns the standard bounded slowdown of the outcome.
+func (o *Outcome) Slowdown() float64 { return BoundedSlowdown(o.Response(), o.Estimate) }
+
+// CapacityTracker integrates the unused-capacity function
+// ∫ max(0, f(t) - q(t)) dt from piecewise-constant observations of the
+// number of free nodes f and the queued node demand q. Observe must be
+// called with non-decreasing times at every instant either value
+// changes; each call closes the interval since the previous one using
+// the previous values.
+type CapacityTracker struct {
+	started  bool
+	lastTime float64
+	free     int
+	demand   int
+	unused   float64
+}
+
+// Observe records the state (free nodes, queued demand) holding from
+// time t onward.
+func (c *CapacityTracker) Observe(t float64, freeNodes, queuedDemand int) error {
+	if c.started {
+		if t < c.lastTime {
+			return fmt.Errorf("metrics: time went backwards: %g after %g", t, c.lastTime)
+		}
+		if excess := c.free - c.demand; excess > 0 {
+			c.unused += float64(excess) * (t - c.lastTime)
+		}
+	}
+	c.started = true
+	c.lastTime = t
+	c.free = freeNodes
+	c.demand = queuedDemand
+	return nil
+}
+
+// CloseAt integrates up to the final time t and returns the accumulated
+// unused node-seconds.
+func (c *CapacityTracker) CloseAt(t float64) (float64, error) {
+	if err := c.Observe(t, c.free, c.demand); err != nil {
+		return 0, err
+	}
+	return c.unused, nil
+}
+
+// UnusedNodeSeconds returns the integral accumulated so far.
+func (c *CapacityTracker) UnusedNodeSeconds() float64 { return c.unused }
+
+// Summary aggregates a simulation run.
+type Summary struct {
+	Jobs int
+
+	AvgWait          float64
+	AvgResponse      float64
+	AvgSlowdown      float64 // standard bounded slowdown
+	AvgSlowdownPaper float64 // literal paper formula
+	MedianSlowdown   float64
+	MaxSlowdown      float64
+
+	TotalRestarts   int
+	LostWorkNodeSec float64
+	MakespanSeconds float64 // T = max t_f - min t_a
+	Utilization     float64 // ω_util
+	UnusedCapacity  float64 // ω_unused
+	LostCapacity    float64 // ω_lost
+}
+
+// Summarize computes the run summary for a machine of n nodes given the
+// per-job outcomes and the integrated unused node-seconds.
+func Summarize(outcomes []Outcome, n int, unusedNodeSec float64) (Summary, error) {
+	if len(outcomes) == 0 {
+		return Summary{}, fmt.Errorf("metrics: no outcomes")
+	}
+	if n <= 0 {
+		return Summary{}, fmt.Errorf("metrics: machine size %d", n)
+	}
+	var s Summary
+	s.Jobs = len(outcomes)
+	minArr := math.Inf(1)
+	maxFin := math.Inf(-1)
+	slowdowns := make([]float64, 0, len(outcomes))
+	work := 0.0
+	for i := range outcomes {
+		o := &outcomes[i]
+		if o.Finish < o.LastStart || o.LastStart < o.Arrival {
+			return Summary{}, fmt.Errorf("metrics: job %d: inconsistent times a=%g s=%g f=%g",
+				o.ID, o.Arrival, o.LastStart, o.Finish)
+		}
+		minArr = math.Min(minArr, o.Arrival)
+		maxFin = math.Max(maxFin, o.Finish)
+		s.AvgWait += o.Wait()
+		s.AvgResponse += o.Response()
+		sd := o.Slowdown()
+		slowdowns = append(slowdowns, sd)
+		s.AvgSlowdown += sd
+		s.AvgSlowdownPaper += BoundedSlowdownPaper(o.Response(), o.Estimate)
+		s.TotalRestarts += o.Restarts
+		s.LostWorkNodeSec += o.LostWork
+		work += float64(o.Size) * o.Actual
+	}
+	nf := float64(len(outcomes))
+	s.AvgWait /= nf
+	s.AvgResponse /= nf
+	s.AvgSlowdown /= nf
+	s.AvgSlowdownPaper /= nf
+	sort.Float64s(slowdowns)
+	s.MedianSlowdown = percentile(slowdowns, 0.5)
+	s.MaxSlowdown = slowdowns[len(slowdowns)-1]
+
+	s.MakespanSeconds = maxFin - minArr
+	if s.MakespanSeconds > 0 {
+		capacity := s.MakespanSeconds * float64(n)
+		s.Utilization = work / capacity
+		s.UnusedCapacity = unusedNodeSec / capacity
+	}
+	s.LostCapacity = 1 - s.Utilization - s.UnusedCapacity
+	return s, nil
+}
+
+// percentile returns the p-quantile (0..1) of sorted values by linear
+// interpolation.
+func percentile(sorted []float64, p float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}

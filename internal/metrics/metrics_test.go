@@ -1,0 +1,214 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoundedSlowdown(t *testing.T) {
+	// Long job, no wait: slowdown 1.
+	if got := BoundedSlowdown(100, 100); got != 1 {
+		t.Fatalf("BoundedSlowdown(100,100) = %g", got)
+	}
+	// Short job bounded by Gamma in both places.
+	if got := BoundedSlowdown(5, 5); got != 1 {
+		t.Fatalf("BoundedSlowdown(5,5) = %g, want 1 (Γ-bounded)", got)
+	}
+	// Waited job.
+	if got := BoundedSlowdown(300, 100); got != 3 {
+		t.Fatalf("BoundedSlowdown(300,100) = %g", got)
+	}
+	// Tiny job with long wait: denominator clamps at Γ.
+	if got := BoundedSlowdown(100, 1); got != 10 {
+		t.Fatalf("BoundedSlowdown(100,1) = %g, want 10", got)
+	}
+}
+
+func TestBoundedSlowdownPaperLiteral(t *testing.T) {
+	// For estimates above Γ the denominator is Γ itself.
+	if got := BoundedSlowdownPaper(300, 100); got != 30 {
+		t.Fatalf("BoundedSlowdownPaper(300,100) = %g, want 30", got)
+	}
+	if got := BoundedSlowdownPaper(100, 5); got != 20 {
+		t.Fatalf("BoundedSlowdownPaper(100,5) = %g, want 20", got)
+	}
+}
+
+func TestSlowdownAtLeastOne(t *testing.T) {
+	f := func(respRaw, estRaw uint16) bool {
+		resp := float64(respRaw)
+		est := float64(estRaw%1000) + 1
+		if resp < est {
+			resp = est // response is at least the run time
+		}
+		return BoundedSlowdown(resp, est) >= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOutcomeAccessors(t *testing.T) {
+	o := Outcome{Arrival: 100, FirstStart: 150, LastStart: 200, Finish: 500, Estimate: 300}
+	if o.Wait() != 100 {
+		t.Fatalf("Wait = %g", o.Wait())
+	}
+	if o.Response() != 400 {
+		t.Fatalf("Response = %g", o.Response())
+	}
+	if got := o.Slowdown(); math.Abs(got-400.0/300) > 1e-12 {
+		t.Fatalf("Slowdown = %g", got)
+	}
+}
+
+func TestCapacityTracker(t *testing.T) {
+	var c CapacityTracker
+	// 10 free, 0 demand for 5s -> 50 unused node-sec.
+	if err := c.Observe(0, 10, 0); err != nil {
+		t.Fatal(err)
+	}
+	// 4 free, 6 demand for 5s -> 0 (demand exceeds free).
+	if err := c.Observe(5, 4, 6); err != nil {
+		t.Fatal(err)
+	}
+	// 8 free, 3 demand for 10s -> 50.
+	if err := c.Observe(10, 8, 3); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.CloseAt(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != 100 {
+		t.Fatalf("unused integral = %g, want 100", got)
+	}
+}
+
+func TestCapacityTrackerBackwardsTime(t *testing.T) {
+	var c CapacityTracker
+	if err := c.Observe(10, 5, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Observe(5, 5, 0); err == nil {
+		t.Fatal("backwards time accepted")
+	}
+}
+
+func TestCapacityTrackerZeroLengthIntervals(t *testing.T) {
+	var c CapacityTracker
+	for i := 0; i < 5; i++ {
+		if err := c.Observe(3, 10, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if c.UnusedNodeSeconds() != 0 {
+		t.Fatalf("zero-length intervals accumulated %g", c.UnusedNodeSeconds())
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	outcomes := []Outcome{
+		{ID: 1, Arrival: 0, LastStart: 0, FirstStart: 0, Finish: 100, Estimate: 100, Actual: 100, Size: 64},
+		{ID: 2, Arrival: 0, LastStart: 100, FirstStart: 100, Finish: 200, Estimate: 100, Actual: 100, Size: 64, Restarts: 1, LostWork: 320},
+	}
+	// Machine of 128 nodes; T = 200; work = 64*100*2 = 12800;
+	// capacity = 25600 -> util = 0.5.
+	s, err := Summarize(outcomes, 128, 6400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Jobs != 2 {
+		t.Fatalf("Jobs = %d", s.Jobs)
+	}
+	if s.AvgWait != 50 {
+		t.Fatalf("AvgWait = %g, want 50", s.AvgWait)
+	}
+	if s.AvgResponse != 150 {
+		t.Fatalf("AvgResponse = %g, want 150", s.AvgResponse)
+	}
+	if want := (1.0 + 2.0) / 2; s.AvgSlowdown != want {
+		t.Fatalf("AvgSlowdown = %g, want %g", s.AvgSlowdown, want)
+	}
+	if s.Utilization != 0.5 {
+		t.Fatalf("Utilization = %g, want 0.5", s.Utilization)
+	}
+	if s.UnusedCapacity != 0.25 {
+		t.Fatalf("UnusedCapacity = %g, want 0.25", s.UnusedCapacity)
+	}
+	if math.Abs(s.LostCapacity-0.25) > 1e-12 {
+		t.Fatalf("LostCapacity = %g, want 0.25", s.LostCapacity)
+	}
+	if s.TotalRestarts != 1 || s.LostWorkNodeSec != 320 {
+		t.Fatalf("restarts/lost = %d/%g", s.TotalRestarts, s.LostWorkNodeSec)
+	}
+	if s.MakespanSeconds != 200 {
+		t.Fatalf("Makespan = %g", s.MakespanSeconds)
+	}
+	if s.MaxSlowdown != 2 || s.MedianSlowdown != 1.5 {
+		t.Fatalf("Max/Median slowdown = %g/%g", s.MaxSlowdown, s.MedianSlowdown)
+	}
+}
+
+func TestSummarizeErrors(t *testing.T) {
+	if _, err := Summarize(nil, 128, 0); err == nil {
+		t.Error("empty outcomes accepted")
+	}
+	bad := []Outcome{{ID: 1, Arrival: 100, LastStart: 50, Finish: 200, Estimate: 10, Actual: 10, Size: 1}}
+	if _, err := Summarize(bad, 128, 0); err == nil {
+		t.Error("start before arrival accepted")
+	}
+	ok := []Outcome{{ID: 1, Arrival: 0, LastStart: 0, Finish: 10, Estimate: 10, Actual: 10, Size: 1}}
+	if _, err := Summarize(ok, 0, 0); err == nil {
+		t.Error("zero machine size accepted")
+	}
+}
+
+// Capacity identity: util + unused + lost = 1 by construction, and with
+// no failures and no idle-with-demand time the three parts are
+// consistent under random loads.
+func TestCapacityIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(200)
+		jobs := 1 + rng.Intn(20)
+		outcomes := make([]Outcome, jobs)
+		for i := range outcomes {
+			arr := rng.Float64() * 1000
+			run := 1 + rng.Float64()*1000
+			wait := rng.Float64() * 100
+			outcomes[i] = Outcome{
+				ID: 1, Arrival: arr, FirstStart: arr + wait, LastStart: arr + wait,
+				Finish: arr + wait + run, Estimate: run, Actual: run,
+				Size: 1 + rng.Intn(n),
+			}
+		}
+		unused := rng.Float64() * 1000
+		s, err := Summarize(outcomes, n, unused)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sum := s.Utilization + s.UnusedCapacity + s.LostCapacity; math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("capacity fractions sum to %g", sum)
+		}
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	vals := []float64{1, 2, 3, 4, 5}
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {-1, 1}, {2, 5},
+	}
+	for _, tc := range cases {
+		if got := percentile(vals, tc.p); got != tc.want {
+			t.Errorf("percentile(%g) = %g, want %g", tc.p, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("percentile(empty) = %g", got)
+	}
+	if got := percentile([]float64{1, 2}, 0.5); got != 1.5 {
+		t.Errorf("interpolated percentile = %g, want 1.5", got)
+	}
+}

@@ -1,0 +1,34 @@
+package partition_test
+
+import (
+	"fmt"
+
+	"bgsched/internal/partition"
+	"bgsched/internal/torus"
+)
+
+// Finding every free partition for an 8-node job, and the machine's
+// maximal free partition, after half the torus is occupied.
+func Example() {
+	g := torus.BlueGeneL()
+	grid := torus.NewGrid(g)
+
+	// Occupy the z < 4 half of the machine.
+	half := torus.Partition{Base: torus.Coord{}, Shape: torus.Shape{X: 4, Y: 4, Z: 4}}
+	if err := grid.Allocate(half, 1); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	finder := partition.ShapeFinder{} // the paper's Appendix 9 algorithm
+	cands := finder.FreeOfSize(grid, 8)
+	fmt.Println("free 8-node partitions:", len(cands))
+	fmt.Println("first candidate:", cands[0])
+
+	mfp, size := partition.MaxFree(grid)
+	fmt.Println("maximal free partition:", mfp, "=", size, "nodes")
+	// Output:
+	// free 8-node partitions: 136
+	// first candidate: (0,0,4)+1x2x4
+	// maximal free partition: (0,0,4)+4x4x4 = 64 nodes
+}

@@ -1,0 +1,257 @@
+// Package partition implements the free-partition search algorithms the
+// scheduler relies on: the naive exhaustive search, a Projection-of-
+// Partitions (POP) style dynamic-programming finder in the spirit of
+// Krevat et al., and the paper's shape-enumeration finder (Appendix 9)
+// with lazily built run-length tables and early termination.
+//
+// All finders return exactly the same set of partitions; they differ
+// only in asymptotic cost. The set is the paper's FREEPARTS: every
+// free, contiguous, rectangular partition of a requested size.
+//
+// Canonicalisation: when a shape spans a full torus dimension, every
+// base along that dimension denotes the same node set; finders emit
+// only the base with component 0, so each distinct node set appears
+// exactly once.
+package partition
+
+import (
+	"sort"
+	"sync"
+
+	"bgsched/internal/torus"
+)
+
+// Finder enumerates all free partitions of an exact size.
+type Finder interface {
+	// FreeOfSize returns every free partition of exactly size nodes,
+	// canonicalised and in deterministic order.
+	FreeOfSize(gr *torus.Grid, size int) []torus.Partition
+	// Name identifies the algorithm in benchmarks and reports.
+	Name() string
+}
+
+// baseRange returns the number of candidate base positions along a
+// dimension of extent dim for a shape extent ext.
+func baseRange(dim, ext int, wrap bool) int {
+	if ext > dim {
+		return 0
+	}
+	if !wrap {
+		return dim - ext + 1
+	}
+	if ext == dim {
+		return 1 // all bases equivalent; canonical base is 0
+	}
+	return dim
+}
+
+// sortPartitions orders partitions lexicographically by shape then base,
+// giving every finder the same deterministic output order.
+func sortPartitions(ps []torus.Partition) {
+	sort.Slice(ps, func(i, j int) bool {
+		a, b := ps[i], ps[j]
+		if a.Shape != b.Shape {
+			if a.Shape.X != b.Shape.X {
+				return a.Shape.X < b.Shape.X
+			}
+			if a.Shape.Y != b.Shape.Y {
+				return a.Shape.Y < b.Shape.Y
+			}
+			return a.Shape.Z < b.Shape.Z
+		}
+		if a.Base.X != b.Base.X {
+			return a.Base.X < b.Base.X
+		}
+		if a.Base.Y != b.Base.Y {
+			return a.Base.Y < b.Base.Y
+		}
+		return a.Base.Z < b.Base.Z
+	})
+}
+
+// computeRunsInto fills runs[i] with the length of the maximal run of
+// true values starting at index i (wrap-aware, capped at n).
+// len(runs) must be >= n; val is consulted for indices [0, n).
+func computeRunsInto(val func(int) bool, n int, wrap bool, runs []int) {
+	allTrue := true
+	for i := n - 1; i >= 0; i-- {
+		if !val(i) {
+			runs[i] = 0
+			allTrue = false
+		} else if i == n-1 {
+			runs[i] = 1
+		} else {
+			runs[i] = runs[i+1] + 1
+		}
+	}
+	if allTrue {
+		for i := 0; i < n; i++ {
+			runs[i] = n
+		}
+		return
+	}
+	if wrap && n > 1 && val(n-1) && val(0) {
+		// Extend runs touching the high edge around the wrap point.
+		head := runs[0]
+		for i := n - 1; i >= 0 && val(i); i-- {
+			runs[i] += head
+			if runs[i] > n {
+				runs[i] = n
+			}
+		}
+	}
+}
+
+// mfpScratch holds reusable buffers for MaxFree; pooled to keep the
+// hot placement-evaluation path allocation-free.
+type mfpScratch struct {
+	zRuns []int  // per-node z run lengths
+	colOK []bool // dimX*dimY projected plane
+	yRun  []int  // dimX*dimY y-run lengths on the plane
+	rowOK []bool // dimX row flags
+	xRun  []int  // dimX x-run lengths
+}
+
+var scratchPool = sync.Pool{New: func() any { return new(mfpScratch) }}
+
+func (s *mfpScratch) ensure(g torus.Geometry) {
+	n := g.N()
+	plane := g.Dims.X * g.Dims.Y
+	if cap(s.zRuns) < n {
+		s.zRuns = make([]int, n)
+	}
+	s.zRuns = s.zRuns[:n]
+	if cap(s.colOK) < plane {
+		s.colOK = make([]bool, plane)
+		s.yRun = make([]int, plane)
+	}
+	s.colOK = s.colOK[:plane]
+	s.yRun = s.yRun[:plane]
+	if cap(s.rowOK) < g.Dims.X {
+		s.rowOK = make([]bool, g.Dims.X)
+		s.xRun = make([]int, g.Dims.X)
+	}
+	s.rowOK = s.rowOK[:g.Dims.X]
+	s.xRun = s.xRun[:g.Dims.X]
+}
+
+// fillZRuns computes per-column z run lengths of free nodes.
+func (s *mfpScratch) fillZRuns(gr *torus.Grid) {
+	g := gr.Geometry()
+	dims := g.Dims
+	for x := 0; x < dims.X; x++ {
+		for y := 0; y < dims.Y; y++ {
+			col := (x*dims.Y + y) * dims.Z
+			computeRunsInto(func(z int) bool { return gr.NodeFree(col + z) },
+				dims.Z, g.Wrap, s.zRuns[col:col+dims.Z])
+		}
+	}
+}
+
+// MaxFree returns the maximal free partition (MFP) of the grid: the
+// free, contiguous, rectangular partition with the greatest node count,
+// and that count. If the machine is completely full it returns size 0.
+//
+// The MFP is the quantity Krevat's heuristic (and this paper's L_MFP
+// factor) is built on. The implementation projects each z-window onto a
+// 2D plane and finds the plane's maximum all-true rectangle, reusing
+// pooled scratch buffers so repeated hypothetical-placement evaluations
+// do not allocate.
+func MaxFree(gr *torus.Grid) (torus.Partition, int) {
+	g := gr.Geometry()
+	dims := g.Dims
+	sc := scratchPool.Get().(*mfpScratch)
+	defer scratchPool.Put(sc)
+	sc.ensure(g)
+	sc.fillZRuns(gr)
+
+	best := 0
+	var bestPart torus.Partition
+	plane := dims.X * dims.Y
+
+	for bz := 0; bz < dims.Z; bz++ {
+		// Descending sz gives the strongest pruning: once a window
+		// cannot beat the best volume even with a full plane, no
+		// smaller sz at this bz can either.
+		for sz := dims.Z; sz >= 1; sz-- {
+			if plane*sz <= best {
+				break
+			}
+			if g.Wrap && sz == dims.Z && bz != 0 {
+				continue
+			}
+			if !g.Wrap && bz+sz > dims.Z {
+				continue
+			}
+			// Project: column (x,y) is usable if its z-run covers the
+			// window.
+			usable := 0
+			for x := 0; x < dims.X; x++ {
+				row := x * dims.Y
+				zrow := row * dims.Z
+				for y := 0; y < dims.Y; y++ {
+					ok := sc.zRuns[zrow+y*dims.Z+bz] >= sz
+					sc.colOK[row+y] = ok
+					if ok {
+						usable++
+					}
+				}
+			}
+			if usable*sz <= best {
+				continue
+			}
+			area, bx, by, sx, sy := sc.maxRect2D(dims.X, dims.Y, g.Wrap)
+			if area*sz > best {
+				best = area * sz
+				bestPart = torus.Partition{
+					Base:  torus.Coord{X: bx, Y: by, Z: bz},
+					Shape: torus.Shape{X: sx, Y: sy, Z: sz},
+				}
+			}
+		}
+	}
+	return bestPart, best
+}
+
+// MaxFreeSize returns just the size of the maximal free partition.
+func MaxFreeSize(gr *torus.Grid) int {
+	_, s := MaxFree(gr)
+	return s
+}
+
+// maxRect2D finds the maximum-area all-true rectangle in the scratch's
+// colOK plane (dx*dy, wrap-aware in both dimensions). Rectangles
+// spanning a full dimension are canonicalised to base 0.
+func (s *mfpScratch) maxRect2D(dx, dy int, wrap bool) (area, bx, by, sx, sy int) {
+	for x := 0; x < dx; x++ {
+		row := x * dy
+		computeRunsInto(func(y int) bool { return s.colOK[row+y] }, dy, wrap, s.yRun[row:row+dy])
+	}
+	for by0 := 0; by0 < dy; by0++ {
+		for sy0 := dy; sy0 >= 1; sy0-- {
+			if dx*sy0 <= area {
+				break
+			}
+			if wrap && sy0 == dy && by0 != 0 {
+				continue
+			}
+			if !wrap && by0+sy0 > dy {
+				continue
+			}
+			for x := 0; x < dx; x++ {
+				s.rowOK[x] = s.yRun[x*dy+by0] >= sy0
+			}
+			computeRunsInto(func(x int) bool { return s.rowOK[x] }, dx, wrap, s.xRun)
+			for x := 0; x < dx; x++ {
+				r := s.xRun[x]
+				if wrap && r == dx && x != 0 {
+					continue
+				}
+				if a := r * sy0; a > area {
+					area, bx, by, sx, sy = a, x, by0, r, sy0
+				}
+			}
+		}
+	}
+	return
+}

@@ -1,0 +1,287 @@
+package partition
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"bgsched/internal/torus"
+)
+
+var finders = []Finder{NaiveFinder{}, POPFinder{}, ShapeFinder{}}
+
+func randomGrid(t *testing.T, g torus.Geometry, fillProb float64, seed int64) *torus.Grid {
+	t.Helper()
+	gr := torus.NewGrid(g)
+	rng := rand.New(rand.NewSource(seed))
+	owner := int64(1)
+	for id := 0; id < g.N(); id++ {
+		if rng.Float64() < fillProb {
+			c := g.CoordOf(id)
+			p := torus.Partition{Base: c, Shape: torus.Shape{X: 1, Y: 1, Z: 1}}
+			if err := gr.Allocate(p, owner); err != nil {
+				t.Fatalf("Allocate: %v", err)
+			}
+			owner++
+		}
+	}
+	return gr
+}
+
+func TestFindersAgreeOnEmptyGrid(t *testing.T) {
+	for _, g := range []torus.Geometry{torus.BlueGeneL(), torus.NewGeometry(4, 4, 8, false)} {
+		gr := torus.NewGrid(g)
+		for _, size := range []int{1, 2, 3, 8, 12, 32, 64, 128} {
+			want := finders[0].FreeOfSize(gr, size)
+			for _, f := range finders[1:] {
+				got := f.FreeOfSize(gr, size)
+				if !reflect.DeepEqual(want, got) {
+					t.Fatalf("wrap=%v size=%d: %s returned %d parts, %s returned %d",
+						g.Wrap, size, finders[0].Name(), len(want), f.Name(), len(got))
+				}
+			}
+		}
+	}
+}
+
+// TestFindersAgreeAsymmetric covers a machine with three distinct
+// dimensions, where axis-confusion bugs show up.
+func TestFindersAgreeAsymmetric(t *testing.T) {
+	for _, wrap := range []bool{true, false} {
+		g := torus.NewGeometry(3, 5, 7, wrap)
+		for seed := int64(0); seed < 10; seed++ {
+			gr := randomGrid(t, g, float64(seed)/10, 900+seed)
+			for _, size := range []int{1, 3, 5, 7, 15, 21, 35, 105} {
+				want := finders[0].FreeOfSize(gr, size)
+				for _, f := range finders[1:] {
+					got := f.FreeOfSize(gr, size)
+					if !reflect.DeepEqual(want, got) {
+						t.Fatalf("3x5x7 wrap=%v seed=%d size=%d: %s != %s (%d vs %d)",
+							wrap, seed, size, f.Name(), finders[0].Name(), len(got), len(want))
+					}
+				}
+			}
+			_, fast := MaxFree(gr)
+			_, naive := MaxFreeNaive(gr)
+			if fast != naive {
+				t.Fatalf("3x5x7 wrap=%v seed=%d: MaxFree %d != naive %d", wrap, seed, fast, naive)
+			}
+		}
+	}
+}
+
+func TestFindersAgreeOnRandomGrids(t *testing.T) {
+	for _, wrap := range []bool{true, false} {
+		g := torus.NewGeometry(4, 4, 8, wrap)
+		for seed := int64(0); seed < 30; seed++ {
+			fill := float64(seed%10) / 10.0
+			gr := randomGrid(t, g, fill, seed)
+			for _, size := range []int{1, 2, 4, 6, 8, 16, 24, 32, 64, 128} {
+				want := finders[0].FreeOfSize(gr, size)
+				for _, f := range finders[1:] {
+					got := f.FreeOfSize(gr, size)
+					if !reflect.DeepEqual(want, got) {
+						t.Fatalf("wrap=%v seed=%d fill=%.1f size=%d: %s != %s (%d vs %d parts)",
+							wrap, seed, fill, size, f.Name(), finders[0].Name(), len(got), len(want))
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFreeOfSizeResultsAreActuallyFree(t *testing.T) {
+	g := torus.BlueGeneL()
+	for seed := int64(0); seed < 10; seed++ {
+		gr := randomGrid(t, g, 0.4, 100+seed)
+		for _, f := range finders {
+			for _, size := range []int{4, 8, 16} {
+				for _, p := range f.FreeOfSize(gr, size) {
+					if p.Size() != size {
+						t.Fatalf("%s returned partition %v of size %d, want %d", f.Name(), p, p.Size(), size)
+					}
+					if !g.ValidPartition(p) {
+						t.Fatalf("%s returned invalid partition %v", f.Name(), p)
+					}
+					if !gr.PartitionFree(p) {
+						t.Fatalf("%s returned non-free partition %v", f.Name(), p)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestFreeOfSizeCanonicalBases(t *testing.T) {
+	g := torus.BlueGeneL()
+	gr := torus.NewGrid(g)
+	for _, f := range finders {
+		seen := make(map[torus.Partition]bool)
+		for _, p := range f.FreeOfSize(gr, 128) {
+			if seen[p] {
+				t.Fatalf("%s returned duplicate partition %v", f.Name(), p)
+			}
+			seen[p] = true
+			if p.Base != (torus.Coord{}) {
+				t.Fatalf("%s: full-machine partition must have canonical base 0, got %v", f.Name(), p)
+			}
+		}
+		// Full x extent: base.X must be 0.
+		for _, p := range f.FreeOfSize(gr, 16) {
+			if p.Shape.X == 4 && p.Base.X != 0 {
+				t.Fatalf("%s: shape spanning x must have Base.X=0, got %v", f.Name(), p)
+			}
+		}
+	}
+}
+
+func TestFreeOfSizeInfeasible(t *testing.T) {
+	g := torus.BlueGeneL()
+	gr := torus.NewGrid(g)
+	for _, f := range finders {
+		if got := f.FreeOfSize(gr, 11); len(got) != 0 {
+			t.Errorf("%s: FreeOfSize(11) = %v, want empty (infeasible)", f.Name(), got)
+		}
+		if got := f.FreeOfSize(gr, 0); len(got) != 0 {
+			t.Errorf("%s: FreeOfSize(0) = %v, want empty", f.Name(), got)
+		}
+		if got := f.FreeOfSize(gr, 200); len(got) != 0 {
+			t.Errorf("%s: FreeOfSize(200) = %v, want empty", f.Name(), got)
+		}
+	}
+}
+
+func TestFreeOfSizeOnFullMachine(t *testing.T) {
+	g := torus.BlueGeneL()
+	gr := torus.NewGrid(g)
+	full := torus.Partition{Base: torus.Coord{}, Shape: torus.Shape{X: 4, Y: 4, Z: 8}}
+	if err := gr.Allocate(full, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range finders {
+		for _, size := range []int{1, 8, 128} {
+			if got := f.FreeOfSize(gr, size); len(got) != 0 {
+				t.Errorf("%s: full machine FreeOfSize(%d) = %d parts, want 0", f.Name(), size, len(got))
+			}
+		}
+	}
+}
+
+func TestMaxFreeMatchesNaive(t *testing.T) {
+	for _, wrap := range []bool{true, false} {
+		g := torus.NewGeometry(4, 4, 8, wrap)
+		for seed := int64(0); seed < 40; seed++ {
+			fill := float64(seed%10) / 10.0
+			gr := randomGrid(t, g, fill, 500+seed)
+			pFast, sFast := MaxFree(gr)
+			_, sNaive := MaxFreeNaive(gr)
+			if sFast != sNaive {
+				t.Fatalf("wrap=%v seed=%d: MaxFree size = %d, naive = %d", wrap, seed, sFast, sNaive)
+			}
+			if sFast > 0 {
+				if !gr.PartitionFree(pFast) {
+					t.Fatalf("MaxFree returned non-free partition %v", pFast)
+				}
+				if pFast.Size() != sFast {
+					t.Fatalf("MaxFree partition %v has size %d, reported %d", pFast, pFast.Size(), sFast)
+				}
+			}
+		}
+	}
+}
+
+func TestMaxFreeEmptyAndFull(t *testing.T) {
+	g := torus.BlueGeneL()
+	gr := torus.NewGrid(g)
+	p, s := MaxFree(gr)
+	if s != 128 || p.Size() != 128 {
+		t.Fatalf("empty machine MaxFree = %v size %d, want full 128", p, s)
+	}
+	full := torus.Partition{Base: torus.Coord{}, Shape: torus.Shape{X: 4, Y: 4, Z: 8}}
+	if err := gr.Allocate(full, 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, s := MaxFree(gr); s != 0 {
+		t.Fatalf("full machine MaxFree size = %d, want 0", s)
+	}
+	if s := MaxFreeSize(torus.NewGrid(g)); s != 128 {
+		t.Fatalf("MaxFreeSize(empty) = %d, want 128", s)
+	}
+}
+
+func TestMaxFreeWrapWindow(t *testing.T) {
+	// Occupy the middle z plane; the largest free box must wrap around
+	// the z edge on a torus but not on a mesh.
+	for _, wrap := range []bool{true, false} {
+		g := torus.NewGeometry(4, 4, 8, wrap)
+		gr := torus.NewGrid(g)
+		plane := torus.Partition{Base: torus.Coord{Z: 4}, Shape: torus.Shape{X: 4, Y: 4, Z: 1}}
+		if err := gr.Allocate(plane, 1); err != nil {
+			t.Fatal(err)
+		}
+		_, s := MaxFree(gr)
+		want := 4 * 4 * 4 // mesh: z in [0,4)
+		if wrap {
+			want = 4 * 4 * 7 // torus: z window [5..7,0..3] wraps
+		}
+		if s != want {
+			t.Fatalf("wrap=%v MaxFree size = %d, want %d", wrap, s, want)
+		}
+	}
+}
+
+func TestFinderNames(t *testing.T) {
+	names := map[string]bool{}
+	for _, f := range finders {
+		if f.Name() == "" {
+			t.Fatal("empty finder name")
+		}
+		if names[f.Name()] {
+			t.Fatalf("duplicate finder name %q", f.Name())
+		}
+		names[f.Name()] = true
+	}
+}
+
+func benchGrid(b *testing.B, fill float64) *torus.Grid {
+	b.Helper()
+	g := torus.BlueGeneL()
+	gr := torus.NewGrid(g)
+	rng := rand.New(rand.NewSource(1))
+	owner := int64(1)
+	for id := 0; id < g.N(); id++ {
+		if rng.Float64() < fill {
+			c := g.CoordOf(id)
+			if err := gr.Allocate(torus.Partition{Base: c, Shape: torus.Shape{X: 1, Y: 1, Z: 1}}, owner); err != nil {
+				b.Fatal(err)
+			}
+			owner++
+		}
+	}
+	return gr
+}
+
+func BenchmarkFreeOfSize(b *testing.B) {
+	gr := benchGrid(b, 0.3)
+	for _, f := range finders {
+		b.Run(f.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				f.FreeOfSize(gr, 8)
+			}
+		})
+	}
+}
+
+func BenchmarkMaxFree(b *testing.B) {
+	gr := benchGrid(b, 0.3)
+	b.Run("projection", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			MaxFree(gr)
+		}
+	})
+	b.Run("naive", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			MaxFreeNaive(gr)
+		}
+	})
+}

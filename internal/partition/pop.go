@@ -1,0 +1,91 @@
+package partition
+
+import "bgsched/internal/torus"
+
+// POPFinder is a Projection-of-Partitions style finder in the spirit of
+// Krevat et al.: the 3D search is reduced to a sequence of 2D searches
+// by projecting, for each z-window, the columns that are free across
+// the whole window onto a 2D plane, and then reducing each 2D search to
+// 1D run-length scans. The cost is O(M^5)-ish, independent of the
+// divisor structure of the requested size.
+type POPFinder struct{}
+
+// Name implements Finder.
+func (POPFinder) Name() string { return "pop" }
+
+// FreeOfSize implements Finder.
+func (POPFinder) FreeOfSize(gr *torus.Grid, size int) []torus.Partition {
+	g := gr.Geometry()
+	dims := g.Dims
+	shapes := g.ShapesOf(size)
+	if len(shapes) == 0 {
+		return nil
+	}
+	zRuns := make([]int, g.N())
+	for x := 0; x < dims.X; x++ {
+		for y := 0; y < dims.Y; y++ {
+			col := (x*dims.Y + y) * dims.Z
+			computeRunsInto(func(z int) bool { return gr.NodeFree(col + z) },
+				dims.Z, g.Wrap, zRuns[col:col+dims.Z])
+		}
+	}
+
+	// Group shapes by their z extent so each z-window projection is
+	// computed once per (bz, sz) pair and reused for every (sx, sy).
+	byZ := make(map[int][]torus.Shape)
+	for _, s := range shapes {
+		byZ[s.Z] = append(byZ[s.Z], s)
+	}
+
+	plane := dims.X * dims.Y
+	colOK := make([]bool, plane)
+	yRun := make([]int, plane)
+	rowOK := make([]bool, dims.X)
+	xRun := make([]int, dims.X)
+
+	var out []torus.Partition
+	for sz := 1; sz <= dims.Z; sz++ {
+		group := byZ[sz]
+		if len(group) == 0 {
+			continue
+		}
+		for bz := 0; bz < baseRange(dims.Z, sz, g.Wrap); bz++ {
+			for x := 0; x < dims.X; x++ {
+				row := x * dims.Y
+				for y := 0; y < dims.Y; y++ {
+					colOK[row+y] = zRuns[(row+y)*dims.Z+bz] >= sz
+				}
+			}
+			// yRun[x*dy+y]: consecutive projected-free cells along +y.
+			for x := 0; x < dims.X; x++ {
+				row := x * dims.Y
+				computeRunsInto(func(y int) bool { return colOK[row+y] },
+					dims.Y, g.Wrap, yRun[row:row+dims.Y])
+			}
+			for _, shape := range group {
+				rx := baseRange(dims.X, shape.X, g.Wrap)
+				ry := baseRange(dims.Y, shape.Y, g.Wrap)
+				for by := 0; by < ry; by++ {
+					// rowOK[x]: the y-window starting at by is free in
+					// the projected plane for column x.
+					for x := 0; x < dims.X; x++ {
+						rowOK[x] = yRun[x*dims.Y+by] >= shape.Y
+					}
+					computeRunsInto(func(x int) bool { return rowOK[x] },
+						dims.X, g.Wrap, xRun)
+					for bx := 0; bx < rx; bx++ {
+						if xRun[bx] < shape.X {
+							continue
+						}
+						out = append(out, torus.Partition{
+							Base:  torus.Coord{X: bx, Y: by, Z: bz},
+							Shape: shape,
+						})
+					}
+				}
+			}
+		}
+	}
+	sortPartitions(out)
+	return out
+}

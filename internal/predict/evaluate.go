@@ -1,0 +1,107 @@
+package predict
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// NodePredictor is any predictor that can answer the boolean per-node
+// question "will this node fail within (now, until]?".
+type NodePredictor interface {
+	NodeWillFail(node int, now, until float64) bool
+}
+
+// Confusion is the confusion matrix of a boolean predictor against the
+// ground-truth failure log.
+type Confusion struct {
+	TP, FP, TN, FN int
+}
+
+// Precision returns TP / (TP + FP), or 0 when the predictor never says
+// yes.
+func (c Confusion) Precision() float64 {
+	if c.TP+c.FP == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FP)
+}
+
+// Recall returns TP / (TP + FN) — the paper's "accuracy" a is exactly
+// this quantity (1 minus the false-negative rate).
+func (c Confusion) Recall() float64 {
+	if c.TP+c.FN == 0 {
+		return 0
+	}
+	return float64(c.TP) / float64(c.TP+c.FN)
+}
+
+// FalsePositiveRate returns FP / (FP + TN).
+func (c Confusion) FalsePositiveRate() float64 {
+	if c.FP+c.TN == 0 {
+		return 0
+	}
+	return float64(c.FP) / float64(c.FP+c.TN)
+}
+
+// Total returns the number of evaluated queries.
+func (c Confusion) Total() int { return c.TP + c.FP + c.TN + c.FN }
+
+// String renders the matrix with derived rates.
+func (c Confusion) String() string {
+	return fmt.Sprintf("tp=%d fp=%d tn=%d fn=%d precision=%.3f recall=%.3f fpr=%.4f",
+		c.TP, c.FP, c.TN, c.FN, c.Precision(), c.Recall(), c.FalsePositiveRate())
+}
+
+// TruthSource answers ground-truth window queries; *failure.Index
+// satisfies it.
+type TruthSource interface {
+	HasFailureWithin(node int, after, until float64) bool
+	Nodes() int
+}
+
+// EvalConfig parameterises Evaluate.
+type EvalConfig struct {
+	Span    float64 // time range to sample query instants from
+	Horizon float64 // prediction window length s
+	Samples int     // number of random (node, time) queries
+	Seed    int64
+	// SkipBefore excludes query times earlier than this (e.g. to give
+	// a learned predictor a training prefix).
+	SkipBefore float64
+}
+
+// Evaluate measures a boolean node predictor against the ground truth
+// over randomly sampled queries. The paper quotes exactly these
+// quantities when justifying its accuracy knob: recall (= accuracy a)
+// and the false-positive rate that real predictors keep "well below"
+// the false-negative rate.
+func Evaluate(truth TruthSource, pred NodePredictor, cfg EvalConfig) (Confusion, error) {
+	if cfg.Span <= 0 || cfg.Horizon <= 0 {
+		return Confusion{}, fmt.Errorf("predict: bad evaluation window span=%g horizon=%g", cfg.Span, cfg.Horizon)
+	}
+	if cfg.Samples < 1 {
+		return Confusion{}, fmt.Errorf("predict: %d samples", cfg.Samples)
+	}
+	if cfg.SkipBefore >= cfg.Span {
+		return Confusion{}, fmt.Errorf("predict: SkipBefore %g >= Span %g", cfg.SkipBefore, cfg.Span)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var c Confusion
+	for i := 0; i < cfg.Samples; i++ {
+		node := rng.Intn(truth.Nodes())
+		t := cfg.SkipBefore + rng.Float64()*(cfg.Span-cfg.SkipBefore)
+		actual := truth.HasFailureWithin(node, t, t+cfg.Horizon)
+		predicted := pred.NodeWillFail(node, t, t+cfg.Horizon)
+		switch {
+		case actual && predicted:
+			c.TP++
+		case actual && !predicted:
+			c.FN++
+		case !actual && predicted:
+			c.FP++
+		default:
+			c.TN++
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,59 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"bgsched/internal/core"
+	"bgsched/internal/failure"
+	"bgsched/internal/torus"
+	"bgsched/internal/workload"
+)
+
+// TestWorkConservation checks the global occupancy ledger: the busy
+// node-seconds integrated from the recorded timeline must equal the
+// node-seconds of successful runs plus the node-seconds wasted by
+// failure-induced restarts. Any leak in allocation, release, restart
+// or lost-work accounting breaks this identity.
+func TestWorkConservation(t *testing.T) {
+	log, err := workload.Synthesize(workload.SDSC(200), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := log.ToJobs(torus.BlueGeneL(), workload.ToJobsConfig{LoadScale: 1, ExactEstimates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace, err := failure.Generate(failure.DefaultGeneratorConfig(128, 60, log.Span()*1.1), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := baselineScheduler(t, core.BackfillEASY)
+	res := runSim(t, Config{
+		Geometry:       torus.BlueGeneL(),
+		Scheduler:      sched,
+		Jobs:           jobs,
+		Failures:       trace,
+		RecordTimeline: true,
+	})
+
+	// Busy node-seconds from the piecewise-constant timeline.
+	busy := 0.0
+	for i := 0; i+1 < len(res.Timeline); i++ {
+		dt := res.Timeline[i+1].Time - res.Timeline[i].Time
+		busy += float64(128-res.Timeline[i].FreeNodes) * dt
+	}
+
+	// Ledger: successful runs occupy AllocSize*Actual; failed attempts
+	// are exactly the recorded LostWork (in allocated node-seconds).
+	want := 0.0
+	for _, o := range res.Outcomes {
+		want += float64(o.AllocSize)*o.Actual + o.LostWork
+	}
+	if math.Abs(busy-want)/want > 1e-9 {
+		t.Fatalf("occupancy ledger broken: timeline busy %.0f node-s, accounted %.0f node-s", busy, want)
+	}
+	if res.JobKills == 0 {
+		t.Fatal("test needs kills to exercise the lost-work ledger")
+	}
+}

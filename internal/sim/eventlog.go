@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"bgsched/internal/job"
+	"bgsched/internal/torus"
+)
+
+// LoggedEvent is one line of the structured simulation event log: a
+// flat JSON object per state change, for post-hoc analysis with
+// standard tooling (jq, dataframes). Fields are omitted when not
+// applicable to the event kind.
+type LoggedEvent struct {
+	Time float64 `json:"t"`
+	Kind string  `json:"kind"` // arrival|start|finish|failure|kill|checkpoint|migrate|nodeup
+	Job  int64   `json:"job,omitempty"`
+	Node int     `json:"node,omitempty"`
+	Part string  `json:"part,omitempty"`
+	// Free is the number of free nodes after the event was applied.
+	Free int `json:"free"`
+	// Queue is the number of waiting jobs after the event.
+	Queue int `json:"queue"`
+}
+
+// eventLogger serialises simulation events to a writer. A nil logger
+// discards everything, so call sites need no guards.
+type eventLogger struct {
+	enc *json.Encoder
+	err error
+}
+
+func newEventLogger(w io.Writer) *eventLogger {
+	if w == nil {
+		return nil
+	}
+	return &eventLogger{enc: json.NewEncoder(w)}
+}
+
+// log writes one event, remembering the first encoding error.
+func (l *eventLogger) log(e LoggedEvent) {
+	if l == nil || l.err != nil {
+		return
+	}
+	l.err = l.enc.Encode(e)
+}
+
+// flushErr surfaces any write error at the end of the run.
+func (l *eventLogger) flushErr() error {
+	if l == nil || l.err == nil {
+		return nil
+	}
+	return fmt.Errorf("sim: event log: %w", l.err)
+}
+
+// logEvent is the simulator's convenience wrapper filling the common
+// fields.
+func (s *Simulator) logEvent(kind string, id job.ID, node int, part *torus.Partition) {
+	if s.elog == nil {
+		return
+	}
+	e := LoggedEvent{
+		Time:  s.now,
+		Kind:  kind,
+		Job:   int64(id),
+		Node:  node,
+		Free:  s.grid.FreeCount(),
+		Queue: s.queue.Len(),
+	}
+	if part != nil {
+		e.Part = part.String()
+	}
+	s.elog.log(e)
+}
+
+// ReadEventLog parses a JSONL event log written via Config.EventLog.
+func ReadEventLog(r io.Reader) ([]LoggedEvent, error) {
+	dec := json.NewDecoder(r)
+	var out []LoggedEvent
+	for dec.More() {
+		var e LoggedEvent
+		if err := dec.Decode(&e); err != nil {
+			return nil, fmt.Errorf("sim: event log line %d: %w", len(out)+1, err)
+		}
+		out = append(out, e)
+	}
+	return out, nil
+}

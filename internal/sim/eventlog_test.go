@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bgsched/internal/core"
+	"bgsched/internal/failure"
+	"bgsched/internal/job"
+	"bgsched/internal/torus"
+)
+
+func TestEventLogRecordsLifecycle(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{
+		Geometry:  torus.BlueGeneL(),
+		Scheduler: baselineScheduler(t, core.BackfillEASY),
+		Jobs:      []*job.Job{mkJob(1, 0, 128, 100)},
+		Failures:  failure.Trace{{Time: 50, Node: 0}},
+		EventLog:  &buf,
+	}
+	runSim(t, cfg)
+
+	events, err := ReadEventLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := make([]string, len(events))
+	for i, e := range events {
+		kinds[i] = e.Kind
+	}
+	joined := strings.Join(kinds, ",")
+	// arrival -> start -> failure -> kill -> restart -> finish.
+	want := "arrival,start,failure,kill,start,finish"
+	if joined != want {
+		t.Fatalf("event sequence %q, want %q", joined, want)
+	}
+	// Times are monotone; free counts sane.
+	prev := -1.0
+	for _, e := range events {
+		if e.Time < prev {
+			t.Fatalf("event log time went backwards at %+v", e)
+		}
+		prev = e.Time
+		if e.Free < 0 || e.Free > 128 {
+			t.Fatalf("bad free count %d", e.Free)
+		}
+	}
+	// Starts carry partitions; failure carries the node.
+	for _, e := range events {
+		switch e.Kind {
+		case "start", "finish", "kill":
+			if e.Part == "" {
+				t.Fatalf("%s without partition: %+v", e.Kind, e)
+			}
+		}
+	}
+}
+
+func TestEventLogDisabled(t *testing.T) {
+	// No EventLog configured: nothing breaks, nothing recorded.
+	res := runSim(t, Config{
+		Geometry:  torus.BlueGeneL(),
+		Scheduler: baselineScheduler(t, core.BackfillEASY),
+		Jobs:      []*job.Job{mkJob(1, 0, 1, 10)},
+	})
+	if res.Summary.Jobs != 1 {
+		t.Fatal("run failed without event log")
+	}
+}
+
+func TestReadEventLogErrors(t *testing.T) {
+	if _, err := ReadEventLog(strings.NewReader("{not json")); err == nil {
+		t.Fatal("malformed log accepted")
+	}
+	events, err := ReadEventLog(strings.NewReader(""))
+	if err != nil || len(events) != 0 {
+		t.Fatalf("empty log: %v, %d events", err, len(events))
+	}
+}
+
+type failingWriter struct{ n int }
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	w.n++
+	if w.n > 2 {
+		return 0, strings.NewReader("").UnreadByte() // any non-nil error
+	}
+	return len(p), nil
+}
+
+func TestEventLogWriteErrorSurfaces(t *testing.T) {
+	cfg := Config{
+		Geometry:  torus.BlueGeneL(),
+		Scheduler: baselineScheduler(t, core.BackfillEASY),
+		Jobs:      []*job.Job{mkJob(1, 0, 1, 10), mkJob(2, 5, 1, 10)},
+		EventLog:  &failingWriter{},
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(); err == nil {
+		t.Fatal("write error swallowed")
+	}
+}

@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"container/heap"
+
+	"bgsched/internal/job"
+)
+
+// eventKind discriminates simulator events (Section 6.1): job arrivals,
+// job completions, node failures, checkpoint completions, and — when a
+// node downtime is configured — node recoveries.
+type eventKind int
+
+const (
+	evArrival eventKind = iota
+	evFinish
+	evFailure
+	evCheckpoint
+	evCkptPoll
+	evNodeUp
+)
+
+func (k eventKind) String() string {
+	switch k {
+	case evArrival:
+		return "arrival"
+	case evFinish:
+		return "finish"
+	case evFailure:
+		return "failure"
+	case evCheckpoint:
+		return "checkpoint"
+	case evCkptPoll:
+		return "ckpt-poll"
+	case evNodeUp:
+		return "nodeup"
+	}
+	return "unknown"
+}
+
+// event is one entry of the simulation calendar. Finish and checkpoint
+// events carry the epoch of the run they were scheduled for; a restart
+// or checkpoint-induced reschedule bumps the job's epoch, silently
+// invalidating stale events.
+type event struct {
+	time  float64
+	seq   int64
+	kind  eventKind
+	jobID job.ID
+	epoch int
+	node  int
+}
+
+// eventQueue is a deterministic min-heap over (time, seq).
+type eventQueue struct {
+	events  []event
+	nextSeq int64
+}
+
+func (q *eventQueue) Len() int { return len(q.events) }
+
+func (q *eventQueue) Less(i, j int) bool {
+	a, b := q.events[i], q.events[j]
+	if a.time != b.time {
+		return a.time < b.time
+	}
+	return a.seq < b.seq
+}
+
+func (q *eventQueue) Swap(i, j int) { q.events[i], q.events[j] = q.events[j], q.events[i] }
+
+func (q *eventQueue) Push(x any) { q.events = append(q.events, x.(event)) }
+
+func (q *eventQueue) Pop() any {
+	old := q.events
+	n := len(old)
+	e := old[n-1]
+	q.events = old[:n-1]
+	return e
+}
+
+// push enqueues an event, stamping its sequence number.
+func (q *eventQueue) push(e event) {
+	e.seq = q.nextSeq
+	q.nextSeq++
+	heap.Push(q, e)
+}
+
+// pop removes and returns the earliest event.
+func (q *eventQueue) pop() event {
+	return heap.Pop(q).(event)
+}

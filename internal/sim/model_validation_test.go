@@ -1,0 +1,105 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bgsched/internal/checkpoint"
+	"bgsched/internal/core"
+	"bgsched/internal/failure"
+	"bgsched/internal/job"
+	"bgsched/internal/torus"
+)
+
+// TestModelMatchesSimulator cross-validates the analytic
+// checkpoint.ExpectedRuntime model against the event-driven simulator:
+// a single full-machine job under Poisson failures, completion time
+// averaged over many replicates, must match the renewal-model
+// prediction within sampling error. This ties the two implementations
+// of the same physics together.
+func TestModelMatchesSimulator(t *testing.T) {
+	g := torus.BlueGeneL()
+	work := 5000.0
+	lam := 1.0 / 8000 // partition failure rate per second
+
+	cases := []struct {
+		name string
+		ckpt *checkpoint.Config
+		p    checkpoint.ModelParams
+	}{
+		{
+			name: "no-checkpointing",
+			ckpt: nil,
+			p:    checkpoint.ModelParams{Work: work, FailureRate: lam},
+		},
+		{
+			name: "periodic",
+			ckpt: &checkpoint.Config{
+				Policy:         &checkpoint.Periodic{Interval: 1000},
+				Overhead:       20,
+				RestartPenalty: 15,
+			},
+			p: checkpoint.ModelParams{
+				Work: work, Interval: 1000, Overhead: 20,
+				RestartPenalty: 15, FailureRate: lam,
+			},
+		},
+	}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			want, err := checkpoint.ExpectedRuntime(tc.p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			const reps = 300
+			rng := rand.New(rand.NewSource(42))
+			total := 0.0
+			for r := 0; r < reps; r++ {
+				// Poisson failure process on one node of the job's
+				// partition (the job holds the whole machine, so any
+				// node kills it; rate lam on node 0 ≡ partition rate).
+				var tr failure.Trace
+				tm := 0.0
+				for {
+					tm += rng.ExpFloat64() / lam
+					if tm > 50*work {
+						break
+					}
+					tr = append(tr, failure.Event{Time: tm, Node: 0})
+				}
+				sched, err := core.NewScheduler(core.Config{Policy: core.Baseline{}, Backfill: core.BackfillNone})
+				if err != nil {
+					t.Fatal(err)
+				}
+				alloc, _ := g.RoundUpFeasible(128)
+				s, err := New(Config{
+					Geometry:  g,
+					Scheduler: sched,
+					Jobs: []*job.Job{{
+						ID: 1, Arrival: 0, Size: 128, AllocSize: alloc,
+						Estimate: work, Actual: work,
+					}},
+					Failures:   tr,
+					Checkpoint: tc.ckpt,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				res, err := s.Run()
+				if err != nil {
+					t.Fatal(err)
+				}
+				total += res.Outcomes[0].Finish
+			}
+			got := total / reps
+			// Sampling error of the mean: generous 10% tolerance.
+			if math.Abs(got-want)/want > 0.10 {
+				t.Fatalf("simulated mean completion %.0f vs analytic %.0f (%.1f%% off)",
+					got, want, 100*math.Abs(got-want)/want)
+			}
+			t.Logf("simulated %.0f vs analytic %.0f", got, want)
+		})
+	}
+}

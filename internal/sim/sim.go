@@ -1,0 +1,560 @@
+// Package sim is the event-driven simulator of Section 6.1: it replays
+// a job log against a failure trace on the simulated BG/L torus,
+// invoking the configured scheduler at every arrival, completion and
+// failure-induced restart, and produces the paper's timing and
+// capacity metrics.
+//
+// Simulation semantics follow the paper:
+//
+//   - jobs scheduled for execution start immediately (no dispatch
+//     latency);
+//   - failures are transient: the node is instantly reusable, but the
+//     job running on it loses all unsaved work and re-enters the queue
+//     at its original FCFS position;
+//   - without checkpointing (the paper's main configuration) "unsaved"
+//     means everything: the job restarts from the beginning.
+//
+// Extensions beyond the paper's main runs, all off by default:
+// per-failure node downtime, and checkpointing with periodic or
+// prediction-triggered policies (Section 8 future work).
+package sim
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"bgsched/internal/checkpoint"
+	"bgsched/internal/core"
+	"bgsched/internal/failure"
+	"bgsched/internal/job"
+	"bgsched/internal/metrics"
+	"bgsched/internal/torus"
+)
+
+// downOwner marks nodes held unavailable during a configured downtime.
+const downOwner int64 = -2
+
+// Config assembles one simulation run.
+type Config struct {
+	Geometry  torus.Geometry
+	Scheduler *core.Scheduler
+	Jobs      []*job.Job
+	Failures  failure.Trace
+
+	// Downtime holds a failed node out of service for this many
+	// seconds. The paper's model uses 0 (transient faults, instant
+	// recovery); Section 7.1 discusses the consequences.
+	Downtime float64
+
+	// MigrationCost charges each migrated job this many seconds of
+	// checkpoint-and-restart delay. The paper's model migrates for
+	// free (0); a real BG/L migration checkpoints the job, moves it,
+	// and restarts it.
+	MigrationCost float64
+
+	// Checkpoint enables the Section 8 checkpointing extension.
+	Checkpoint *checkpoint.Config
+
+	// RecordTimeline samples machine state at every event into
+	// Result.Timeline, for RenderTimeline and debugging.
+	RecordTimeline bool
+
+	// EventLog, when non-nil, receives one JSON object per simulation
+	// state change (see LoggedEvent / ReadEventLog).
+	EventLog io.Writer
+}
+
+// Result is the outcome of a run.
+type Result struct {
+	Outcomes []metrics.Outcome
+	Summary  metrics.Summary
+
+	FailureEvents int // failure events delivered within the run
+	JobKills      int // failures that killed a running job
+	Migrations    int // migration moves performed
+	Checkpoints   int // checkpoints taken
+	Backfills     int // jobs started ahead of the queue head
+
+	// Timeline holds machine-state samples when Config.RecordTimeline
+	// is set; nil otherwise.
+	Timeline []TimelinePoint
+}
+
+// runState is the mutable execution state of one job.
+type runState struct {
+	job   *job.Job
+	part  torus.Partition
+	start float64
+	epoch int
+	// finishTime is the absolute completion time under the current
+	// schedule (including checkpoint overheads incurred so far).
+	finishTime float64
+	// expFinish is the scheduler-visible estimated completion.
+	expFinish float64
+	// overheadSoFar is checkpoint overhead accumulated in this run.
+	overheadSoFar float64
+	// savedAtStart is the checkpointed work the run began with.
+	savedAtStart float64
+	// restartPenaltyPaid is the restore cost charged at this start.
+	restartPenaltyPaid float64
+}
+
+// jobProgress is per-job state that survives restarts.
+type jobProgress struct {
+	firstStart float64
+	started    bool
+	restarts   int
+	lostWork   float64
+	savedWork  float64 // checkpointed work, seconds of computation
+	lastStart  float64
+	// nextEpoch issues globally unique epochs for this job's finish and
+	// checkpoint events, across restarts and checkpoint reschedules.
+	nextEpoch int
+}
+
+// Simulator holds the state of one run. Create with New, execute with
+// Run; a Simulator is single-use.
+type Simulator struct {
+	cfg      Config
+	grid     *torus.Grid
+	queue    *job.Queue
+	events   eventQueue
+	running  map[job.ID]*runState
+	progress map[job.ID]*jobProgress
+	jobsByID map[job.ID]*job.Job
+	elog     *eventLogger
+	tracker  metrics.CapacityTracker
+	outcomes []metrics.Outcome
+	result   Result
+	now      float64
+	pending  int // jobs not yet finished
+}
+
+// New validates the configuration and prepares a simulator.
+func New(cfg Config) (*Simulator, error) {
+	if cfg.Scheduler == nil {
+		return nil, fmt.Errorf("sim: Scheduler is required")
+	}
+	if len(cfg.Jobs) == 0 {
+		return nil, fmt.Errorf("sim: no jobs")
+	}
+	if cfg.Downtime < 0 {
+		return nil, fmt.Errorf("sim: negative downtime %g", cfg.Downtime)
+	}
+	if cfg.MigrationCost < 0 {
+		return nil, fmt.Errorf("sim: negative migration cost %g", cfg.MigrationCost)
+	}
+	if cfg.Checkpoint != nil {
+		if err := cfg.Checkpoint.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	n := cfg.Geometry.N()
+	if n == 0 {
+		return nil, fmt.Errorf("sim: empty geometry")
+	}
+	seen := make(map[job.ID]bool, len(cfg.Jobs))
+	for _, j := range cfg.Jobs {
+		if err := j.Validate(); err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+		if j.AllocSize > n {
+			return nil, fmt.Errorf("sim: %v cannot fit on %d-node machine", j, n)
+		}
+		if seen[j.ID] {
+			return nil, fmt.Errorf("sim: duplicate job id %d", j.ID)
+		}
+		seen[j.ID] = true
+	}
+	if err := cfg.Failures.Validate(n); err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+
+	s := &Simulator{
+		cfg:      cfg,
+		elog:     newEventLogger(cfg.EventLog),
+		grid:     torus.NewGrid(cfg.Geometry),
+		queue:    job.NewQueue(),
+		running:  make(map[job.ID]*runState),
+		progress: make(map[job.ID]*jobProgress),
+		pending:  len(cfg.Jobs),
+	}
+	// Arrivals in time order, then failures: the sequence numbers make
+	// simultaneous events deterministic.
+	jobs := make([]*job.Job, len(cfg.Jobs))
+	copy(jobs, cfg.Jobs)
+	sort.Slice(jobs, func(i, k int) bool {
+		if jobs[i].Arrival != jobs[k].Arrival {
+			return jobs[i].Arrival < jobs[k].Arrival
+		}
+		return jobs[i].ID < jobs[k].ID
+	})
+	for _, j := range jobs {
+		s.events.push(event{time: j.Arrival, kind: evArrival, jobID: j.ID})
+		s.progress[j.ID] = &jobProgress{}
+	}
+	for _, f := range cfg.Failures {
+		s.events.push(event{time: f.Time, kind: evFailure, node: f.Node})
+	}
+	s.jobsByID = make(map[job.ID]*job.Job, len(jobs))
+	for _, j := range jobs {
+		s.jobsByID[j.ID] = j
+	}
+	return s, nil
+}
+
+// Run executes the simulation to completion and returns the result.
+func (s *Simulator) Run() (Result, error) {
+	if err := s.observe(); err != nil {
+		return Result{}, err
+	}
+	for s.pending > 0 {
+		if s.events.Len() == 0 {
+			return Result{}, fmt.Errorf("sim: deadlock at t=%g: %d jobs unfinished, no events pending",
+				s.now, s.pending)
+		}
+		e := s.events.pop()
+		if e.time < s.now {
+			return Result{}, fmt.Errorf("sim: event time went backwards: %g after %g", e.time, s.now)
+		}
+		s.now = e.time
+		var err error
+		switch e.kind {
+		case evArrival:
+			err = s.handleArrival(e)
+		case evFinish:
+			err = s.handleFinish(e)
+		case evFailure:
+			err = s.handleFailure(e)
+		case evCheckpoint:
+			err = s.handleCheckpoint(e)
+		case evCkptPoll:
+			err = s.handleCkptPoll(e)
+		case evNodeUp:
+			err = s.handleNodeUp(e)
+		default:
+			err = fmt.Errorf("sim: unknown event kind %d", int(e.kind))
+		}
+		if err != nil {
+			return Result{}, err
+		}
+	}
+	unused, err := s.tracker.CloseAt(s.now)
+	if err != nil {
+		return Result{}, err
+	}
+	if err := s.elog.flushErr(); err != nil {
+		return Result{}, err
+	}
+	summary, err := metrics.Summarize(s.outcomes, s.cfg.Geometry.N(), unused)
+	if err != nil {
+		return Result{}, err
+	}
+	s.result.Outcomes = s.outcomes
+	s.result.Summary = summary
+	return s.result, nil
+}
+
+// observe feeds the capacity tracker with the current (f, q) state.
+func (s *Simulator) observe() error {
+	s.recordTimeline()
+	return s.tracker.Observe(s.now, s.grid.FreeCount(), s.queue.DemandNodes())
+}
+
+func (s *Simulator) handleArrival(e event) error {
+	j := s.jobsByID[e.jobID]
+	if j == nil {
+		return fmt.Errorf("sim: arrival for unknown job %d", e.jobID)
+	}
+	s.queue.Push(j)
+	s.logEvent("arrival", j.ID, 0, nil)
+	if err := s.schedule(); err != nil {
+		return err
+	}
+	return s.observe()
+}
+
+func (s *Simulator) handleFinish(e event) error {
+	r, ok := s.running[e.jobID]
+	if !ok || r.epoch != e.epoch {
+		return nil // stale: the run was killed or rescheduled
+	}
+	if err := s.grid.Release(r.part, int64(e.jobID)); err != nil {
+		return fmt.Errorf("sim: finish: %w", err)
+	}
+	delete(s.running, e.jobID)
+	s.logEvent("finish", e.jobID, 0, &r.part)
+	p := s.progress[e.jobID]
+	s.outcomes = append(s.outcomes, metrics.Outcome{
+		ID:         e.jobID,
+		Arrival:    r.job.Arrival,
+		FirstStart: p.firstStart,
+		LastStart:  r.start,
+		Finish:     s.now,
+		Estimate:   r.job.Estimate,
+		Actual:     r.job.Actual,
+		Size:       r.job.Size,
+		AllocSize:  r.job.AllocSize,
+		Restarts:   p.restarts,
+		LostWork:   p.lostWork,
+	})
+	s.pending--
+
+	if s.cfg.Scheduler.Config().Migration {
+		if err := s.migrate(); err != nil {
+			return err
+		}
+	}
+	if err := s.schedule(); err != nil {
+		return err
+	}
+	return s.observe()
+}
+
+func (s *Simulator) handleFailure(e event) error {
+	if s.pending == 0 {
+		return nil
+	}
+	s.result.FailureEvents++
+	owner := s.grid.OwnerAt(e.node)
+	s.logEvent("failure", job.ID(max64(owner, 0)), e.node, nil)
+	if owner == downOwner {
+		return nil // node already held down; the failure is absorbed
+	}
+	if owner > 0 {
+		if err := s.kill(job.ID(owner)); err != nil {
+			return err
+		}
+	}
+	if s.cfg.Downtime > 0 && s.grid.NodeFree(e.node) {
+		p := torus.Partition{Base: s.cfg.Geometry.CoordOf(e.node), Shape: torus.Shape{X: 1, Y: 1, Z: 1}}
+		if err := s.grid.Allocate(p, downOwner); err != nil {
+			return fmt.Errorf("sim: downtime hold: %w", err)
+		}
+		s.events.push(event{time: s.now + s.cfg.Downtime, kind: evNodeUp, node: e.node})
+	}
+	if owner > 0 || s.cfg.Downtime > 0 {
+		if err := s.schedule(); err != nil {
+			return err
+		}
+	}
+	return s.observe()
+}
+
+// kill terminates the run of a job hit by a failure and requeues it.
+func (s *Simulator) kill(id job.ID) error {
+	r, ok := s.running[id]
+	if !ok {
+		return fmt.Errorf("sim: failure killed job %d which is not running", id)
+	}
+	s.result.JobKills++
+	if err := s.grid.Release(r.part, int64(id)); err != nil {
+		return fmt.Errorf("sim: kill: %w", err)
+	}
+	p := s.progress[id]
+	// Occupancy spent in this run that produced no retained work:
+	// everything except the checkpointed progress gained in this run.
+	gained := p.savedWork - r.savedAtStart
+	wasted := s.now - r.start - gained
+	if wasted < 0 {
+		wasted = 0
+	}
+	p.lostWork += float64(r.part.Size()) * wasted
+	p.restarts++
+	s.logEvent("kill", id, 0, &r.part)
+	// Removing the run state invalidates this run's pending finish and
+	// checkpoint events: their epoch can never match a future run.
+	delete(s.running, id)
+	s.queue.Push(r.job) // original arrival time: regains FCFS priority
+	return nil
+}
+
+func (s *Simulator) handleNodeUp(e event) error {
+	p := torus.Partition{Base: s.cfg.Geometry.CoordOf(e.node), Shape: torus.Shape{X: 1, Y: 1, Z: 1}}
+	if err := s.grid.Release(p, downOwner); err != nil {
+		return fmt.Errorf("sim: node up: %w", err)
+	}
+	s.logEvent("nodeup", 0, e.node, nil)
+	if err := s.schedule(); err != nil {
+		return err
+	}
+	return s.observe()
+}
+
+func (s *Simulator) handleCheckpoint(e event) error {
+	r, ok := s.running[e.jobID]
+	if !ok || r.epoch != e.epoch || s.cfg.Checkpoint == nil {
+		return nil // stale
+	}
+	p := s.progress[e.jobID]
+	// Work completed in this run up to now (checkpoint overheads and
+	// the restart penalty do not produce work).
+	done := (s.now - r.start) - r.overheadSoFar - r.restartPenaltyPaid
+	if done < 0 {
+		done = 0
+	}
+	p.savedWork = r.savedAtStart + done
+	if p.savedWork > r.job.Actual {
+		p.savedWork = r.job.Actual
+	}
+	s.result.Checkpoints++
+	s.logEvent("checkpoint", e.jobID, 0, &r.part)
+
+	// The checkpoint itself costs Overhead: completion slips, and the
+	// finish event is reissued under a fresh epoch.
+	over := s.cfg.Checkpoint.Overhead
+	r.overheadSoFar += over
+	r.finishTime += over
+	r.expFinish += over
+	r.epoch = p.nextEpoch
+	p.nextEpoch++
+	s.events.push(event{time: r.finishTime, kind: evFinish, jobID: e.jobID, epoch: r.epoch})
+	s.scheduleNextCheckpoint(r)
+	return nil
+}
+
+// handleCkptPoll re-consults the checkpoint policy for a running job.
+func (s *Simulator) handleCkptPoll(e event) error {
+	r, ok := s.running[e.jobID]
+	if !ok || r.epoch != e.epoch || s.cfg.Checkpoint == nil {
+		return nil // stale
+	}
+	s.scheduleNextCheckpoint(r)
+	return nil
+}
+
+// scheduleNextCheckpoint consults the policy for the job's next
+// checkpoint and enqueues it. If the policy has nothing scheduled and a
+// poll interval is configured, a re-poll is enqueued instead so
+// prediction-triggered policies see the sliding horizon.
+func (s *Simulator) scheduleNextCheckpoint(r *runState) {
+	if s.cfg.Checkpoint == nil {
+		return
+	}
+	nodes := s.cfg.Geometry.Nodes(r.part)
+	if t, ok := s.cfg.Checkpoint.Policy.Next(int64(r.job.ID), s.now, r.expFinish, nodes); ok {
+		s.events.push(event{time: t, kind: evCheckpoint, jobID: r.job.ID, epoch: r.epoch})
+		return
+	}
+	if poll := s.cfg.Checkpoint.PollInterval; poll > 0 && s.now+poll < r.expFinish {
+		s.events.push(event{time: s.now + poll, kind: evCkptPoll, jobID: r.job.ID, epoch: r.epoch})
+	}
+}
+
+// schedule invokes the scheduler and starts the jobs it selects.
+func (s *Simulator) schedule() error {
+	decisions, err := s.cfg.Scheduler.Schedule(s.grid, s.queue, s.runningList(), s.now)
+	if err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	for _, d := range decisions {
+		s.start(d)
+	}
+	// Count backfills: started jobs that left an older job waiting.
+	if s.queue.Len() > 0 {
+		oldest := s.queue.Peek()
+		for _, d := range decisions {
+			if d.Job.Arrival > oldest.Arrival ||
+				(d.Job.Arrival == oldest.Arrival && d.Job.ID > oldest.ID) {
+				s.result.Backfills++
+			}
+		}
+	}
+	return nil
+}
+
+// start activates one scheduling decision: the partition was already
+// allocated by the scheduler.
+func (s *Simulator) start(d core.Decision) {
+	p := s.progress[d.Job.ID]
+	penalty := 0.0
+	if s.cfg.Checkpoint != nil && p.savedWork > 0 {
+		penalty = s.cfg.Checkpoint.RestartPenalty
+	}
+	remainingActual := d.Job.Actual - p.savedWork
+	if remainingActual < 0 {
+		remainingActual = 0
+	}
+	remainingEst := d.Job.Estimate - p.savedWork
+	if remainingEst < 1 {
+		remainingEst = 1
+	}
+	epoch := p.nextEpoch
+	p.nextEpoch++
+	r := &runState{
+		job:                d.Job,
+		part:               d.Part,
+		start:              s.now,
+		epoch:              epoch,
+		finishTime:         s.now + penalty + remainingActual,
+		expFinish:          s.now + penalty + remainingEst,
+		savedAtStart:       p.savedWork,
+		restartPenaltyPaid: penalty,
+	}
+	s.running[d.Job.ID] = r
+	if !p.started {
+		p.started = true
+		p.firstStart = s.now
+	}
+	p.lastStart = s.now
+	s.logEvent("start", d.Job.ID, 0, &d.Part)
+	s.events.push(event{time: r.finishTime, kind: evFinish, jobID: d.Job.ID, epoch: r.epoch})
+	s.scheduleNextCheckpoint(r)
+}
+
+// runningList snapshots the running jobs for the scheduler, in
+// deterministic job-id order.
+func (s *Simulator) runningList() []core.Running {
+	ids := make([]job.ID, 0, len(s.running))
+	for id := range s.running {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]core.Running, 0, len(ids))
+	for _, id := range ids {
+		r := s.running[id]
+		out = append(out, core.Running{Job: r.job, Part: r.part, Start: r.start, ExpFinish: r.expFinish})
+	}
+	return out
+}
+
+// migrate runs the scheduler's compaction pass and applies the moves.
+func (s *Simulator) migrate() error {
+	list := s.runningList()
+	if len(list) == 0 {
+		return nil
+	}
+	moves, err := s.cfg.Scheduler.Migrate(s.grid, list)
+	if err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
+	for _, m := range moves {
+		r := s.running[list[m.JobIndex].Job.ID]
+		r.part = m.To
+		s.result.Migrations++
+		if cost := s.cfg.MigrationCost; cost > 0 {
+			// The move checkpoints and restarts the job: completion
+			// slips and the pause produces no work. The pending finish
+			// event is reissued under a fresh epoch.
+			p := s.progress[r.job.ID]
+			r.overheadSoFar += cost
+			r.finishTime += cost
+			r.expFinish += cost
+			r.epoch = p.nextEpoch
+			p.nextEpoch++
+			s.events.push(event{time: r.finishTime, kind: evFinish, jobID: r.job.ID, epoch: r.epoch})
+		}
+		s.logEvent("migrate", r.job.ID, 0, &m.To)
+	}
+	return nil
+}
+
+// max64 clamps negative owner ids (probe/down markers) to zero for the
+// event log.
+func max64(a, b int64) int64 {
+	if a > b {
+		return a
+	}
+	return b
+}

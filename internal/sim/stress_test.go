@@ -1,0 +1,144 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"bgsched/internal/checkpoint"
+	"bgsched/internal/core"
+	"bgsched/internal/failure"
+	"bgsched/internal/job"
+	"bgsched/internal/predict"
+	"bgsched/internal/torus"
+)
+
+// TestSimStressInvariants runs many small randomized simulations across
+// scheduler/backfill/migration/checkpoint configurations and checks
+// global invariants on every one.
+func TestSimStressInvariants(t *testing.T) {
+	g := torus.BlueGeneL()
+	rng := rand.New(rand.NewSource(77))
+
+	for trial := 0; trial < 25; trial++ {
+		// Random workload.
+		nJobs := 20 + rng.Intn(60)
+		jobs := make([]*job.Job, nJobs)
+		arr := 0.0
+		for i := range jobs {
+			arr += rng.ExpFloat64() * 300
+			size := 1 + rng.Intn(128)
+			alloc, ok := g.RoundUpFeasible(size)
+			if !ok {
+				t.Fatal("size not feasible")
+			}
+			jobs[i] = &job.Job{
+				ID: job.ID(i + 1), Arrival: arr, Size: size, AllocSize: alloc,
+				Estimate: 10 + rng.Float64()*3000, Actual: 10 + rng.Float64()*3000,
+			}
+			jobs[i].Actual = jobs[i].Estimate // paper mode
+		}
+		// Random failures across ~the workload span.
+		var trace failure.Trace
+		nFail := rng.Intn(40)
+		for i := 0; i < nFail; i++ {
+			trace = append(trace, failure.Event{
+				Time: rng.Float64() * (arr + 5000),
+				Node: rng.Intn(g.N()),
+			})
+		}
+		trace.Sort()
+		ix := failure.NewIndex(g.N(), trace)
+
+		// Random configuration.
+		var policy core.Policy
+		switch trial % 3 {
+		case 0:
+			policy = core.Baseline{}
+		case 1:
+			policy = &core.Balancing{Prober: &predict.Balancing{Index: ix, Confidence: rng.Float64()}}
+		default:
+			policy = &core.TieBreak{Oracle: predict.NewTieBreak(ix, rng.Float64(), 3)}
+		}
+		backfills := []core.BackfillMode{core.BackfillNone, core.BackfillAggressive, core.BackfillEASY}
+		sched, err := core.NewScheduler(core.Config{
+			Policy:    policy,
+			Backfill:  backfills[trial%len(backfills)],
+			Migration: trial%2 == 0,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{
+			Geometry:  g,
+			Scheduler: sched,
+			Jobs:      jobs,
+			Failures:  trace,
+		}
+		if trial%4 == 0 {
+			cfg.Downtime = rng.Float64() * 500
+		}
+		if trial%5 == 0 {
+			cfg.Checkpoint = &checkpoint.Config{
+				Policy:   &checkpoint.Periodic{Interval: 200 + rng.Float64()*1000},
+				Overhead: rng.Float64() * 20,
+			}
+		}
+		s, err := New(cfg)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+
+		// Invariant: every job finishes exactly once.
+		if len(res.Outcomes) != nJobs {
+			t.Fatalf("trial %d: %d outcomes for %d jobs", trial, len(res.Outcomes), nJobs)
+		}
+		seen := map[job.ID]bool{}
+		for _, o := range res.Outcomes {
+			if seen[o.ID] {
+				t.Fatalf("trial %d: job %d finished twice", trial, o.ID)
+			}
+			seen[o.ID] = true
+			// Time sanity.
+			if o.LastStart < o.Arrival || o.Finish < o.LastStart || o.FirstStart > o.LastStart {
+				t.Fatalf("trial %d: job %d inconsistent times %+v", trial, o.ID, o)
+			}
+			// Without checkpointing the successful run takes exactly
+			// Actual; with it, at least Actual.
+			runLen := o.Finish - o.LastStart
+			if cfg.Checkpoint == nil {
+				if math.Abs(runLen-o.Actual) > 1e-6 && o.Restarts >= 0 {
+					// The final run always executes the full remaining
+					// work; with no checkpointing that is all of it.
+					t.Fatalf("trial %d: job %d final run %.3f != actual %.3f",
+						trial, o.ID, runLen, o.Actual)
+				}
+			} else if runLen < o.Actual-1e-6 && o.Restarts == 0 {
+				t.Fatalf("trial %d: job %d ran %.3f < actual %.3f with checkpointing",
+					trial, o.ID, runLen, o.Actual)
+			}
+			if o.Restarts == 0 && o.LostWork != 0 {
+				t.Fatalf("trial %d: job %d lost work without restarts", trial, o.ID)
+			}
+		}
+		// Invariant: capacity fractions sum to 1 and are sane.
+		sum := res.Summary.Utilization + res.Summary.UnusedCapacity + res.Summary.LostCapacity
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("trial %d: capacity sum %g", trial, sum)
+		}
+		if res.Summary.Utilization < 0 || res.Summary.UnusedCapacity < 0 {
+			t.Fatalf("trial %d: negative capacity component %+v", trial, res.Summary)
+		}
+		// Kills cannot exceed failure events; restarts equal kills.
+		if res.JobKills > res.FailureEvents {
+			t.Fatalf("trial %d: kills %d > failures %d", trial, res.JobKills, res.FailureEvents)
+		}
+		if res.Summary.TotalRestarts != res.JobKills {
+			t.Fatalf("trial %d: restarts %d != kills %d", trial, res.Summary.TotalRestarts, res.JobKills)
+		}
+	}
+}

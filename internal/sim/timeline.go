@@ -1,0 +1,108 @@
+package sim
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// TimelinePoint is one sample of machine state, recorded at every
+// event when Config.RecordTimeline is set.
+type TimelinePoint struct {
+	Time        float64
+	FreeNodes   int
+	QueueJobs   int
+	QueueDemand int
+	Running     int
+}
+
+// recordTimeline appends a sample, collapsing repeated samples at the
+// same instant (several events can share one timestamp).
+func (s *Simulator) recordTimeline() {
+	if !s.cfg.RecordTimeline {
+		return
+	}
+	p := TimelinePoint{
+		Time:        s.now,
+		FreeNodes:   s.grid.FreeCount(),
+		QueueJobs:   s.queue.Len(),
+		QueueDemand: s.queue.DemandNodes(),
+		Running:     len(s.running),
+	}
+	if n := len(s.result.Timeline); n > 0 && s.result.Timeline[n-1].Time == s.now {
+		s.result.Timeline[n-1] = p
+		return
+	}
+	s.result.Timeline = append(s.result.Timeline, p)
+}
+
+// RenderTimeline writes the recorded machine-state timeline as an
+// aligned strip chart: one row per time bucket showing the busy
+// fraction of the torus and the queue backlog. n is the machine size.
+func RenderTimeline(w io.Writer, timeline []TimelinePoint, n, buckets int) error {
+	if len(timeline) == 0 {
+		return fmt.Errorf("sim: empty timeline (was RecordTimeline set?)")
+	}
+	if n < 1 {
+		return fmt.Errorf("sim: machine size %d", n)
+	}
+	if buckets < 1 {
+		buckets = 40
+	}
+	t0 := timeline[0].Time
+	t1 := timeline[len(timeline)-1].Time
+	if t1 <= t0 {
+		t1 = t0 + 1
+	}
+	width := (t1 - t0) / float64(buckets)
+
+	// Time-weighted busy fraction and max queue depth per bucket.
+	busy := make([]float64, buckets)
+	weight := make([]float64, buckets)
+	queue := make([]int, buckets)
+	for i, p := range timeline {
+		end := t1
+		if i+1 < len(timeline) {
+			end = timeline[i+1].Time
+		}
+		frac := float64(n-p.FreeNodes) / float64(n)
+		for t := p.Time; t < end; {
+			b := int((t - t0) / width)
+			if b >= buckets {
+				b = buckets - 1
+			}
+			bucketEnd := t0 + float64(b+1)*width
+			if bucketEnd > end {
+				bucketEnd = end
+			}
+			dt := bucketEnd - t
+			if dt <= 0 {
+				break
+			}
+			busy[b] += frac * dt
+			weight[b] += dt
+			if p.QueueJobs > queue[b] {
+				queue[b] = p.QueueJobs
+			}
+			t = bucketEnd
+		}
+	}
+
+	const barWidth = 50
+	if _, err := fmt.Fprintf(w, "%12s  %-*s  %s\n", "time (h)", barWidth, "busy nodes", "queued jobs"); err != nil {
+		return err
+	}
+	for b := 0; b < buckets; b++ {
+		f := 0.0
+		if weight[b] > 0 {
+			f = busy[b] / weight[b]
+		}
+		bar := int(f*barWidth + 0.5)
+		_, err := fmt.Fprintf(w, "%12.1f  |%-*s| %3.0f%%  q=%d\n",
+			(t0+float64(b)*width)/3600, barWidth, strings.Repeat("#", bar), f*100, queue[b])
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bgsched/internal/core"
+	"bgsched/internal/job"
+	"bgsched/internal/torus"
+)
+
+func TestTimelineRecording(t *testing.T) {
+	cfg := Config{
+		Geometry:       torus.BlueGeneL(),
+		Scheduler:      baselineScheduler(t, core.BackfillEASY),
+		Jobs:           []*job.Job{mkJob(1, 0, 64, 100), mkJob(2, 10, 64, 100)},
+		RecordTimeline: true,
+	}
+	res := runSim(t, cfg)
+	if len(res.Timeline) == 0 {
+		t.Fatal("no timeline recorded")
+	}
+	prev := -1.0
+	for i, p := range res.Timeline {
+		if p.Time < prev {
+			t.Fatalf("timeline point %d goes backwards", i)
+		}
+		if p.Time == prev {
+			t.Fatalf("duplicate timestamp %g at point %d (should collapse)", p.Time, i)
+		}
+		prev = p.Time
+		if p.FreeNodes < 0 || p.FreeNodes > 128 {
+			t.Fatalf("free nodes %d out of range", p.FreeNodes)
+		}
+	}
+	// The first sample is the empty machine; at some point both jobs
+	// run together (0 free).
+	sawFull := false
+	for _, p := range res.Timeline {
+		if p.FreeNodes == 0 && p.Running == 2 {
+			sawFull = true
+		}
+	}
+	if !sawFull {
+		t.Fatal("timeline never shows both jobs running")
+	}
+}
+
+func TestTimelineDisabledByDefault(t *testing.T) {
+	res := runSim(t, Config{
+		Geometry:  torus.BlueGeneL(),
+		Scheduler: baselineScheduler(t, core.BackfillEASY),
+		Jobs:      []*job.Job{mkJob(1, 0, 1, 10)},
+	})
+	if res.Timeline != nil {
+		t.Fatal("timeline recorded without RecordTimeline")
+	}
+}
+
+func TestRenderTimeline(t *testing.T) {
+	timeline := []TimelinePoint{
+		{Time: 0, FreeNodes: 128, QueueJobs: 0},
+		{Time: 3600, FreeNodes: 0, QueueJobs: 5},
+		{Time: 7200, FreeNodes: 64, QueueJobs: 1},
+		{Time: 10800, FreeNodes: 128, QueueJobs: 0},
+	}
+	var buf bytes.Buffer
+	if err := RenderTimeline(&buf, timeline, 128, 6); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "busy nodes") || !strings.Contains(out, "q=5") {
+		t.Fatalf("render output:\n%s", out)
+	}
+	// 6 bucket rows + header.
+	if got := strings.Count(out, "\n"); got != 7 {
+		t.Fatalf("lines = %d, want 7", got)
+	}
+	if !strings.Contains(out, "100%") {
+		t.Fatalf("fully-busy bucket missing:\n%s", out)
+	}
+}
+
+func TestRenderTimelineErrors(t *testing.T) {
+	var buf bytes.Buffer
+	if err := RenderTimeline(&buf, nil, 128, 10); err == nil {
+		t.Error("empty timeline accepted")
+	}
+	pts := []TimelinePoint{{Time: 0, FreeNodes: 10}}
+	if err := RenderTimeline(&buf, pts, 0, 10); err == nil {
+		t.Error("zero machine size accepted")
+	}
+	// Single point and zero buckets must not panic.
+	if err := RenderTimeline(&buf, pts, 128, 0); err != nil {
+		t.Errorf("single point: %v", err)
+	}
+}

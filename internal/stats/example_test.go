@@ -1,0 +1,32 @@
+package stats_test
+
+import (
+	"fmt"
+
+	"bgsched/internal/stats"
+)
+
+// Summarising a sample and bootstrapping a confidence interval for its
+// mean.
+func Example() {
+	slowdowns := []float64{1.0, 1.2, 2.5, 1.1, 40.0, 1.3, 1.0, 3.2}
+
+	fmt.Println(stats.Describe(slowdowns))
+
+	ci, _ := stats.BootstrapMeanCI(slowdowns, 0.95, 2000, 1)
+	fmt.Println("mean CI contains the sample mean:", ci.Contains(stats.Mean(slowdowns)))
+	// Output:
+	// n=8 mean=6.41 sd=13.6 min=1 p50=1.25 p90=14.2 max=40
+	// mean CI contains the sample mean: true
+}
+
+// Comparing two scheduler variants across replicated runs.
+func ExampleWelchT() {
+	baseline := []float64{410, 395, 422, 388, 405}
+	faultAware := []float64{240, 255, 231, 262, 248}
+
+	t, _, _ := stats.WelchT(baseline, faultAware)
+	fmt.Println("baseline clearly worse:", t > 5)
+	// Output:
+	// baseline clearly worse: true
+}

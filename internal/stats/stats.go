@@ -1,0 +1,245 @@
+// Package stats provides the small statistical toolkit the experiment
+// harness uses: summary statistics, quantiles, histograms, and
+// bootstrap confidence intervals for comparing scheduler variants
+// across replicated runs.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Mean returns the arithmetic mean, or 0 for an empty sample.
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance (n-1 denominator), or
+// 0 for samples of size < 2.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	s := 0.0
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Quantile returns the p-quantile (0 <= p <= 1) by linear
+// interpolation. The input need not be sorted.
+func Quantile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return quantileSorted(sorted, p)
+}
+
+func quantileSorted(sorted []float64, p float64) float64 {
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := p * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// Summary condenses a sample.
+type Summary struct {
+	N             int
+	Mean, StdDev  float64
+	Min, Max      float64
+	P25, P50, P90 float64
+}
+
+// Describe computes a Summary.
+func Describe(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	return Summary{
+		N:      len(xs),
+		Mean:   Mean(xs),
+		StdDev: StdDev(xs),
+		Min:    sorted[0],
+		Max:    sorted[len(sorted)-1],
+		P25:    quantileSorted(sorted, 0.25),
+		P50:    quantileSorted(sorted, 0.50),
+		P90:    quantileSorted(sorted, 0.90),
+	}
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf("n=%d mean=%.3g sd=%.3g min=%.3g p50=%.3g p90=%.3g max=%.3g",
+		s.N, s.Mean, s.StdDev, s.Min, s.P50, s.P90, s.Max)
+}
+
+// Interval is a two-sided confidence interval around a point estimate.
+type Interval struct {
+	Point  float64
+	Lo, Hi float64
+	Level  float64 // e.g. 0.95
+}
+
+// String renders the interval as "point [lo, hi]".
+func (iv Interval) String() string {
+	return fmt.Sprintf("%.4g [%.4g, %.4g]", iv.Point, iv.Lo, iv.Hi)
+}
+
+// Contains reports whether v lies inside the interval.
+func (iv Interval) Contains(v float64) bool { return v >= iv.Lo && v <= iv.Hi }
+
+// BootstrapMeanCI estimates a confidence interval for the mean by the
+// percentile bootstrap with the given number of resamples.
+func BootstrapMeanCI(xs []float64, level float64, resamples int, seed int64) (Interval, error) {
+	if len(xs) == 0 {
+		return Interval{}, fmt.Errorf("stats: empty sample")
+	}
+	if level <= 0 || level >= 1 {
+		return Interval{}, fmt.Errorf("stats: confidence level %g outside (0,1)", level)
+	}
+	if resamples < 10 {
+		return Interval{}, fmt.Errorf("stats: %d resamples, want >= 10", resamples)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	means := make([]float64, resamples)
+	for r := range means {
+		s := 0.0
+		for i := 0; i < len(xs); i++ {
+			s += xs[rng.Intn(len(xs))]
+		}
+		means[r] = s / float64(len(xs))
+	}
+	sort.Float64s(means)
+	alpha := (1 - level) / 2
+	return Interval{
+		Point: Mean(xs),
+		Lo:    quantileSorted(means, alpha),
+		Hi:    quantileSorted(means, 1-alpha),
+		Level: level,
+	}, nil
+}
+
+// Histogram bins a sample into equal-width bins over [min, max].
+type Histogram struct {
+	Min, Max float64
+	Counts   []int
+}
+
+// NewHistogram builds a histogram with the given number of bins.
+func NewHistogram(xs []float64, bins int) (*Histogram, error) {
+	if bins < 1 {
+		return nil, fmt.Errorf("stats: %d bins", bins)
+	}
+	if len(xs) == 0 {
+		return nil, fmt.Errorf("stats: empty sample")
+	}
+	min, max := xs[0], xs[0]
+	for _, x := range xs {
+		min = math.Min(min, x)
+		max = math.Max(max, x)
+	}
+	h := &Histogram{Min: min, Max: max, Counts: make([]int, bins)}
+	width := (max - min) / float64(bins)
+	for _, x := range xs {
+		i := 0
+		if width > 0 {
+			i = int((x - min) / width)
+			if i >= bins {
+				i = bins - 1
+			}
+		}
+		h.Counts[i]++
+	}
+	return h, nil
+}
+
+// Total returns the number of binned observations.
+func (h *Histogram) Total() int {
+	n := 0
+	for _, c := range h.Counts {
+		n += c
+	}
+	return n
+}
+
+// Render draws the histogram as ASCII bars of at most width characters.
+func (h *Histogram) Render(width int) string {
+	if width < 1 {
+		width = 40
+	}
+	maxC := 0
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	var b []byte
+	binW := (h.Max - h.Min) / float64(len(h.Counts))
+	for i, c := range h.Counts {
+		bar := 0
+		if maxC > 0 {
+			bar = c * width / maxC
+		}
+		lo := h.Min + float64(i)*binW
+		b = append(b, fmt.Sprintf("%12.4g | %-*s %d\n", lo, width, repeat('#', bar), c)...)
+	}
+	return string(b)
+}
+
+func repeat(ch byte, n int) string {
+	if n <= 0 {
+		return ""
+	}
+	out := make([]byte, n)
+	for i := range out {
+		out[i] = ch
+	}
+	return string(out)
+}
+
+// WelchT computes Welch's t statistic for two samples; large |t| means
+// the means differ relative to their pooled uncertainty. Degrees of
+// freedom follow the Welch–Satterthwaite approximation.
+func WelchT(a, b []float64) (t, df float64, err error) {
+	if len(a) < 2 || len(b) < 2 {
+		return 0, 0, fmt.Errorf("stats: Welch t needs >= 2 observations per sample")
+	}
+	va, vb := Variance(a), Variance(b)
+	na, nb := float64(len(a)), float64(len(b))
+	se2 := va/na + vb/nb
+	if se2 == 0 {
+		return 0, 0, fmt.Errorf("stats: zero variance in both samples")
+	}
+	t = (Mean(a) - Mean(b)) / math.Sqrt(se2)
+	df = se2 * se2 / ((va*va)/(na*na*(na-1)) + (vb*vb)/(nb*nb*(nb-1)))
+	return t, df, nil
+}

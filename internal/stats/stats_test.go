@@ -1,0 +1,214 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestMeanVarianceStdDev(t *testing.T) {
+	xs := []float64{2, 4, 4, 4, 5, 5, 7, 9}
+	if got := Mean(xs); got != 5 {
+		t.Fatalf("Mean = %g", got)
+	}
+	// Sample variance with n-1: sum sq dev = 32, / 7.
+	if got := Variance(xs); !almost(got, 32.0/7, 1e-12) {
+		t.Fatalf("Variance = %g", got)
+	}
+	if got := StdDev(xs); !almost(got, math.Sqrt(32.0/7), 1e-12) {
+		t.Fatalf("StdDev = %g", got)
+	}
+	if Mean(nil) != 0 || Variance(nil) != 0 || Variance([]float64{1}) != 0 {
+		t.Fatal("empty/singleton edge cases")
+	}
+}
+
+func TestQuantile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4} // unsorted on purpose
+	cases := []struct{ p, want float64 }{
+		{0, 1}, {1, 5}, {0.5, 3}, {0.25, 2}, {0.75, 4},
+	}
+	for _, tc := range cases {
+		if got := Quantile(xs, tc.p); got != tc.want {
+			t.Errorf("Quantile(%g) = %g, want %g", tc.p, got, tc.want)
+		}
+	}
+	if Quantile(nil, 0.5) != 0 {
+		t.Error("empty quantile")
+	}
+	// Input must not be mutated.
+	if xs[0] != 5 {
+		t.Error("Quantile sorted its input in place")
+	}
+}
+
+func TestQuantileMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, 50)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	f := func(p1, p2 uint8) bool {
+		a := float64(p1%101) / 100
+		b := float64(p2%101) / 100
+		if a > b {
+			a, b = b, a
+		}
+		return Quantile(xs, a) <= Quantile(xs, b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDescribe(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	s := Describe(xs)
+	if s.N != 5 || s.Mean != 3 || s.Min != 1 || s.Max != 5 || s.P50 != 3 {
+		t.Fatalf("Describe = %+v", s)
+	}
+	if !strings.Contains(s.String(), "n=5") {
+		t.Fatalf("String = %q", s.String())
+	}
+	if Describe(nil).N != 0 {
+		t.Fatal("empty Describe")
+	}
+}
+
+func TestBootstrapMeanCI(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	xs := make([]float64, 200)
+	for i := range xs {
+		xs[i] = 10 + rng.NormFloat64()
+	}
+	iv, err := BootstrapMeanCI(xs, 0.95, 2000, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !iv.Contains(10) {
+		t.Fatalf("CI %v should contain the true mean 10", iv)
+	}
+	if iv.Lo > iv.Point || iv.Point > iv.Hi {
+		t.Fatalf("inconsistent interval %v", iv)
+	}
+	// ~95% CI of a sd=1 sample of 200 has half-width ~0.14.
+	if iv.Hi-iv.Lo > 0.5 {
+		t.Fatalf("CI too wide: %v", iv)
+	}
+	if !strings.Contains(iv.String(), "[") {
+		t.Fatal("Interval.String")
+	}
+}
+
+func TestBootstrapMeanCIErrors(t *testing.T) {
+	if _, err := BootstrapMeanCI(nil, 0.95, 100, 1); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := BootstrapMeanCI([]float64{1}, 1.5, 100, 1); err == nil {
+		t.Error("bad level accepted")
+	}
+	if _, err := BootstrapMeanCI([]float64{1}, 0.95, 2, 1); err == nil {
+		t.Error("too few resamples accepted")
+	}
+}
+
+func TestBootstrapDeterministic(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5, 6}
+	a, _ := BootstrapMeanCI(xs, 0.9, 100, 7)
+	b, _ := BootstrapMeanCI(xs, 0.9, 100, 7)
+	if a != b {
+		t.Fatal("same seed produced different intervals")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 1, 2, 3, 4, 5, 6, 7, 8, 9}
+	h, err := NewHistogram(xs, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != 10 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	for i, c := range h.Counts {
+		if c != 2 {
+			t.Fatalf("bin %d = %d, want 2", i, c)
+		}
+	}
+	out := h.Render(20)
+	if !strings.Contains(out, "#") {
+		t.Fatalf("Render:\n%s", out)
+	}
+	if _, err := NewHistogram(nil, 5); err == nil {
+		t.Error("empty sample accepted")
+	}
+	if _, err := NewHistogram(xs, 0); err == nil {
+		t.Error("zero bins accepted")
+	}
+}
+
+func TestHistogramConstantSample(t *testing.T) {
+	h, err := NewHistogram([]float64{3, 3, 3}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Total() != 3 {
+		t.Fatalf("Total = %d", h.Total())
+	}
+	if h.Counts[0] != 3 {
+		t.Fatalf("constant sample counts = %v", h.Counts)
+	}
+	_ = h.Render(0) // width clamp must not panic
+}
+
+func TestWelchT(t *testing.T) {
+	a := []float64{10, 11, 9, 10, 10.5}
+	b := []float64{20, 21, 19, 20, 20.5}
+	tstat, df, err := WelchT(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tstat >= 0 {
+		t.Fatalf("t = %g, want strongly negative (a << b)", tstat)
+	}
+	if math.Abs(tstat) < 5 {
+		t.Fatalf("|t| = %g, want clearly significant", math.Abs(tstat))
+	}
+	if df <= 0 {
+		t.Fatalf("df = %g", df)
+	}
+	if _, _, err := WelchT([]float64{1}, b); err == nil {
+		t.Error("tiny sample accepted")
+	}
+	if _, _, err := WelchT([]float64{1, 1}, []float64{1, 1}); err == nil {
+		t.Error("zero-variance pair accepted")
+	}
+}
+
+// Same-distribution samples should usually give small |t|.
+func TestWelchTNull(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	small := 0
+	for trial := 0; trial < 50; trial++ {
+		a := make([]float64, 30)
+		b := make([]float64, 30)
+		for i := range a {
+			a[i] = rng.NormFloat64()
+			b[i] = rng.NormFloat64()
+		}
+		tstat, _, err := WelchT(a, b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(tstat) < 2 {
+			small++
+		}
+	}
+	if small < 40 {
+		t.Fatalf("only %d/50 null comparisons had |t| < 2", small)
+	}
+}

@@ -1,0 +1,73 @@
+package torus_test
+
+import (
+	"fmt"
+
+	"bgsched/internal/torus"
+)
+
+// Allocating and releasing a partition on the BlueGene/L torus.
+func Example() {
+	machine := torus.BlueGeneL()
+	grid := torus.NewGrid(machine)
+
+	p := torus.Partition{
+		Base:  torus.Coord{X: 3, Y: 3, Z: 7}, // wraps around all axes
+		Shape: torus.Shape{X: 2, Y: 2, Z: 2},
+	}
+	if err := grid.Allocate(p, 42); err != nil {
+		fmt.Println("allocate:", err)
+		return
+	}
+	fmt.Println("allocated", p, "free nodes:", grid.FreeCount())
+
+	if err := grid.Release(p, 42); err != nil {
+		fmt.Println("release:", err)
+		return
+	}
+	fmt.Println("released, free nodes:", grid.FreeCount())
+	// Output:
+	// allocated (3,3,7)+2x2x2 free nodes: 120
+	// released, free nodes: 128
+}
+
+// Job sizes that cannot form a rectangular block are rounded up to the
+// next feasible size.
+func ExampleGeometry_RoundUpFeasible() {
+	g := torus.BlueGeneL()
+	for _, want := range []int{7, 11, 100} {
+		got, _ := g.RoundUpFeasible(want)
+		fmt.Printf("%d -> %d\n", want, got)
+	}
+	// Output:
+	// 7 -> 7
+	// 11 -> 12
+	// 100 -> 112
+}
+
+// The paper's SHAPES set: every orientation of a given partition size.
+func ExampleGeometry_ShapesOf() {
+	g := torus.BlueGeneL()
+	for _, s := range g.ShapesOf(16) {
+		fmt.Println(s)
+	}
+	// Output:
+	// 1x2x8
+	// 1x4x4
+	// 2x1x8
+	// 2x2x4
+	// 2x4x2
+	// 4x1x4
+	// 4x2x2
+	// 4x4x1
+}
+
+// Mapping compute-node failures onto scheduler supernodes.
+func ExampleSupernodeMap() {
+	m := torus.BlueGeneLMap()
+	computeNode := m.Compute.Index(torus.Coord{X: 17, Y: 9, Z: 40})
+	super, _ := m.SupernodeOf(computeNode)
+	fmt.Println("compute node", computeNode, "is in supernode", m.Super.CoordOf(super))
+	// Output:
+	// compute node 35432 is in supernode (2,1,5)
+}

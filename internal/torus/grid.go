@@ -1,0 +1,103 @@
+package torus
+
+import "fmt"
+
+// FreeOwner is the owner value of an unallocated node.
+const FreeOwner int64 = 0
+
+// Grid is the occupancy map of the machine: which job (by opaque int64
+// owner id) holds each node. Owner ids must be non-zero.
+//
+// Grid is not safe for concurrent use; the simulator is single-threaded
+// by design (a discrete-event loop), and experiment-level parallelism
+// uses one Grid per simulation.
+type Grid struct {
+	geom      Geometry
+	owner     []int64
+	freeCount int
+}
+
+// NewGrid returns an empty occupancy grid for the machine.
+func NewGrid(g Geometry) *Grid {
+	return &Grid{
+		geom:      g,
+		owner:     make([]int64, g.N()),
+		freeCount: g.N(),
+	}
+}
+
+// Geometry returns the machine geometry of the grid.
+func (gr *Grid) Geometry() Geometry { return gr.geom }
+
+// FreeCount returns the number of unallocated nodes.
+func (gr *Grid) FreeCount() int { return gr.freeCount }
+
+// NodeFree reports whether the node with the given dense id is free.
+func (gr *Grid) NodeFree(id int) bool { return gr.owner[id] == FreeOwner }
+
+// OwnerAt returns the owner of the node with the given dense id, or
+// FreeOwner if the node is unallocated.
+func (gr *Grid) OwnerAt(id int) int64 { return gr.owner[id] }
+
+// PartitionFree reports whether every node of p is unallocated.
+func (gr *Grid) PartitionFree(p Partition) bool {
+	return gr.geom.ForEachNode(p, func(id int) bool {
+		return gr.owner[id] == FreeOwner
+	})
+}
+
+// Allocate assigns every node of p to owner. It fails if the partition
+// is invalid, the owner id is FreeOwner, or any node is already taken.
+func (gr *Grid) Allocate(p Partition, owner int64) error {
+	if owner == FreeOwner {
+		return fmt.Errorf("torus: cannot allocate to the free owner id")
+	}
+	if !gr.geom.ValidPartition(p) {
+		return fmt.Errorf("torus: allocate %v: %w", p, ErrBadPartition)
+	}
+	if !gr.PartitionFree(p) {
+		return fmt.Errorf("torus: allocate %v for owner %d: partition not free", p, owner)
+	}
+	gr.geom.ForEachNode(p, func(id int) bool {
+		gr.owner[id] = owner
+		return true
+	})
+	gr.freeCount -= p.Size()
+	return nil
+}
+
+// Release frees every node of p, verifying each is held by owner.
+func (gr *Grid) Release(p Partition, owner int64) error {
+	if !gr.geom.ValidPartition(p) {
+		return fmt.Errorf("torus: release %v: %w", p, ErrBadPartition)
+	}
+	ok := gr.geom.ForEachNode(p, func(id int) bool {
+		return gr.owner[id] == owner
+	})
+	if !ok {
+		return fmt.Errorf("torus: release %v: partition not fully owned by %d", p, owner)
+	}
+	gr.geom.ForEachNode(p, func(id int) bool {
+		gr.owner[id] = FreeOwner
+		return true
+	})
+	gr.freeCount += p.Size()
+	return nil
+}
+
+// Clone returns a deep copy of the grid. Schedulers use clones to
+// evaluate hypothetical placements without disturbing machine state.
+func (gr *Grid) Clone() *Grid {
+	owner := make([]int64, len(gr.owner))
+	copy(owner, gr.owner)
+	return &Grid{geom: gr.geom, owner: owner, freeCount: gr.freeCount}
+}
+
+// FreeMask returns a snapshot bitmap where true means the node is free.
+func (gr *Grid) FreeMask() []bool {
+	m := make([]bool, len(gr.owner))
+	for i, o := range gr.owner {
+		m[i] = o == FreeOwner
+	}
+	return m
+}

@@ -1,0 +1,191 @@
+package torus
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestGridAllocateRelease(t *testing.T) {
+	g := BlueGeneL()
+	gr := NewGrid(g)
+	if gr.FreeCount() != 128 {
+		t.Fatalf("new grid FreeCount = %d, want 128", gr.FreeCount())
+	}
+	p := Partition{Base: Coord{0, 0, 0}, Shape: Shape{2, 2, 2}}
+	if err := gr.Allocate(p, 42); err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if gr.FreeCount() != 120 {
+		t.Fatalf("FreeCount after alloc = %d, want 120", gr.FreeCount())
+	}
+	for _, id := range g.Nodes(p) {
+		if gr.OwnerAt(id) != 42 {
+			t.Fatalf("node %d owner = %d, want 42", id, gr.OwnerAt(id))
+		}
+		if gr.NodeFree(id) {
+			t.Fatalf("node %d should not be free", id)
+		}
+	}
+	if gr.PartitionFree(p) {
+		t.Fatal("allocated partition reported free")
+	}
+	if err := gr.Release(p, 42); err != nil {
+		t.Fatalf("Release: %v", err)
+	}
+	if gr.FreeCount() != 128 {
+		t.Fatalf("FreeCount after release = %d, want 128", gr.FreeCount())
+	}
+	if !gr.PartitionFree(p) {
+		t.Fatal("released partition not free")
+	}
+}
+
+func TestGridAllocateErrors(t *testing.T) {
+	g := BlueGeneL()
+	gr := NewGrid(g)
+	p := Partition{Base: Coord{0, 0, 0}, Shape: Shape{2, 2, 2}}
+	if err := gr.Allocate(p, FreeOwner); err == nil {
+		t.Error("Allocate with FreeOwner id must fail")
+	}
+	if err := gr.Allocate(Partition{Base: Coord{0, 0, 0}, Shape: Shape{9, 1, 1}}, 1); err == nil {
+		t.Error("Allocate with oversized shape must fail")
+	}
+	if err := gr.Allocate(p, 1); err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	// Overlapping allocation must fail and leave state unchanged.
+	q := Partition{Base: Coord{1, 1, 1}, Shape: Shape{2, 2, 2}}
+	if err := gr.Allocate(q, 2); err == nil {
+		t.Error("overlapping Allocate must fail")
+	}
+	if gr.FreeCount() != 120 {
+		t.Errorf("failed Allocate changed FreeCount to %d", gr.FreeCount())
+	}
+	for id := 0; id < g.N(); id++ {
+		if gr.OwnerAt(id) == 2 {
+			t.Fatal("failed Allocate left owner marks behind")
+		}
+	}
+}
+
+func TestGridReleaseErrors(t *testing.T) {
+	g := BlueGeneL()
+	gr := NewGrid(g)
+	p := Partition{Base: Coord{0, 0, 0}, Shape: Shape{2, 2, 2}}
+	if err := gr.Allocate(p, 7); err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if err := gr.Release(p, 8); err == nil {
+		t.Error("Release by wrong owner must fail")
+	}
+	if gr.FreeCount() != 120 {
+		t.Errorf("failed Release changed FreeCount to %d", gr.FreeCount())
+	}
+	if err := gr.Release(Partition{Base: Coord{0, 0, 0}, Shape: Shape{0, 1, 1}}, 7); err == nil {
+		t.Error("Release of invalid partition must fail")
+	}
+}
+
+func TestGridWrapAllocation(t *testing.T) {
+	g := BlueGeneL()
+	gr := NewGrid(g)
+	// Partition wrapping around all three dimensions.
+	p := Partition{Base: Coord{3, 3, 7}, Shape: Shape{2, 2, 2}}
+	if err := gr.Allocate(p, 5); err != nil {
+		t.Fatalf("Allocate wrapped: %v", err)
+	}
+	expected := map[Coord]bool{}
+	for _, x := range []int{3, 0} {
+		for _, y := range []int{3, 0} {
+			for _, z := range []int{7, 0} {
+				expected[Coord{x, y, z}] = true
+			}
+		}
+	}
+	for id := 0; id < g.N(); id++ {
+		want := expected[g.CoordOf(id)]
+		got := gr.OwnerAt(id) == 5
+		if got != want {
+			t.Fatalf("node %v allocated=%v, want %v", g.CoordOf(id), got, want)
+		}
+	}
+}
+
+func TestGridClone(t *testing.T) {
+	g := BlueGeneL()
+	gr := NewGrid(g)
+	p := Partition{Base: Coord{0, 0, 0}, Shape: Shape{4, 4, 1}}
+	if err := gr.Allocate(p, 3); err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	cl := gr.Clone()
+	if cl.FreeCount() != gr.FreeCount() {
+		t.Fatal("clone FreeCount mismatch")
+	}
+	// Mutating the clone must not affect the original.
+	if err := cl.Release(p, 3); err != nil {
+		t.Fatalf("clone Release: %v", err)
+	}
+	if gr.PartitionFree(p) {
+		t.Fatal("mutating clone affected original grid")
+	}
+}
+
+func TestGridFreeMask(t *testing.T) {
+	g := BlueGeneL()
+	gr := NewGrid(g)
+	p := Partition{Base: Coord{1, 1, 1}, Shape: Shape{1, 1, 3}}
+	if err := gr.Allocate(p, 9); err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	mask := gr.FreeMask()
+	for id := 0; id < g.N(); id++ {
+		if mask[id] != gr.NodeFree(id) {
+			t.Fatalf("FreeMask[%d] = %v, NodeFree = %v", id, mask[id], gr.NodeFree(id))
+		}
+	}
+}
+
+// TestGridRandomWorkload exercises a long random allocate/release
+// sequence and checks the free-count invariant throughout.
+func TestGridRandomWorkload(t *testing.T) {
+	g := BlueGeneL()
+	gr := NewGrid(g)
+	rng := rand.New(rand.NewSource(99))
+	type alloc struct {
+		p     Partition
+		owner int64
+	}
+	var live []alloc
+	nextOwner := int64(1)
+	for step := 0; step < 5000; step++ {
+		if len(live) > 0 && rng.Intn(2) == 0 {
+			i := rng.Intn(len(live))
+			a := live[i]
+			if err := gr.Release(a.p, a.owner); err != nil {
+				t.Fatalf("step %d: Release(%v): %v", step, a.p, err)
+			}
+			live[i] = live[len(live)-1]
+			live = live[:len(live)-1]
+		} else {
+			p := Partition{
+				Base:  Coord{rng.Intn(4), rng.Intn(4), rng.Intn(8)},
+				Shape: Shape{1 + rng.Intn(2), 1 + rng.Intn(2), 1 + rng.Intn(3)},
+			}
+			if gr.PartitionFree(p) {
+				if err := gr.Allocate(p, nextOwner); err != nil {
+					t.Fatalf("step %d: Allocate(%v): %v", step, p, err)
+				}
+				live = append(live, alloc{p, nextOwner})
+				nextOwner++
+			}
+		}
+		want := g.N()
+		for _, a := range live {
+			want -= a.p.Size()
+		}
+		if gr.FreeCount() != want {
+			t.Fatalf("step %d: FreeCount = %d, want %d", step, gr.FreeCount(), want)
+		}
+	}
+}

@@ -1,0 +1,50 @@
+package torus
+
+import "fmt"
+
+// SupernodeMap relates the physical compute-node torus to the
+// supernode torus the scheduler allocates. On BlueGene/L the machine
+// is a 32x32x64 torus of compute nodes, partitions are composed of
+// 8x8x8 blocks, and the scheduler therefore sees a 4x4x8 torus of
+// 512-node supernodes (Section 3.1). Failures happen to compute
+// nodes; the map folds them onto the supernode that contains them.
+type SupernodeMap struct {
+	Compute Geometry // the physical machine
+	Block   Shape    // compute nodes per supernode along each axis
+	Super   Geometry // the scheduler's view
+}
+
+// NewSupernodeMap validates divisibility and builds the map.
+func NewSupernodeMap(compute Geometry, block Shape) (*SupernodeMap, error) {
+	if !block.Positive() {
+		return nil, fmt.Errorf("torus: block %v not positive", block)
+	}
+	if compute.Dims.X%block.X != 0 || compute.Dims.Y%block.Y != 0 || compute.Dims.Z%block.Z != 0 {
+		return nil, fmt.Errorf("torus: block %v does not tile machine %v", block, compute.Dims)
+	}
+	super := NewGeometry(compute.Dims.X/block.X, compute.Dims.Y/block.Y, compute.Dims.Z/block.Z, compute.Wrap)
+	return &SupernodeMap{Compute: compute, Block: block, Super: super}, nil
+}
+
+// BlueGeneLMap returns the real machine's mapping: a 32x32x64 compute
+// torus tiled by 8x8x8 blocks into the 4x4x8 supernode torus.
+func BlueGeneLMap() *SupernodeMap {
+	m, err := NewSupernodeMap(NewGeometry(32, 32, 64, true), Shape{X: 8, Y: 8, Z: 8})
+	if err != nil {
+		panic(err) // static configuration; cannot fail
+	}
+	return m
+}
+
+// SupernodeOf returns the dense supernode id containing the compute
+// node with the given dense id.
+func (m *SupernodeMap) SupernodeOf(computeID int) (int, error) {
+	if computeID < 0 || computeID >= m.Compute.N() {
+		return 0, fmt.Errorf("torus: compute node %d outside machine of %d", computeID, m.Compute.N())
+	}
+	c := m.Compute.CoordOf(computeID)
+	return m.Super.Index(Coord{X: c.X / m.Block.X, Y: c.Y / m.Block.Y, Z: c.Z / m.Block.Z}), nil
+}
+
+// ComputeNodesPerSupernode returns the block volume (512 on BG/L).
+func (m *SupernodeMap) ComputeNodesPerSupernode() int { return m.Block.Size() }

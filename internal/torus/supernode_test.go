@@ -1,0 +1,78 @@
+package torus
+
+import "testing"
+
+func TestBlueGeneLMap(t *testing.T) {
+	m := BlueGeneLMap()
+	if m.Compute.Dims != (Shape{32, 32, 64}) {
+		t.Fatalf("compute dims = %v", m.Compute.Dims)
+	}
+	if m.Super.Dims != (Shape{4, 4, 8}) {
+		t.Fatalf("super dims = %v, want the paper's 4x4x8", m.Super.Dims)
+	}
+	if m.ComputeNodesPerSupernode() != 512 {
+		t.Fatalf("nodes per supernode = %d, want 512", m.ComputeNodesPerSupernode())
+	}
+	if m.Compute.N() != 65536 {
+		t.Fatalf("compute N = %d, want 65536", m.Compute.N())
+	}
+}
+
+func TestSupernodeOf(t *testing.T) {
+	m := BlueGeneLMap()
+	// Compute node (0,0,0) is in supernode (0,0,0).
+	id, err := m.SupernodeOf(m.Compute.Index(Coord{0, 0, 0}))
+	if err != nil || id != m.Super.Index(Coord{0, 0, 0}) {
+		t.Fatalf("origin: %d, %v", id, err)
+	}
+	// Compute node (7,7,7) still in supernode 0; (8,0,0) in (1,0,0).
+	id, err = m.SupernodeOf(m.Compute.Index(Coord{7, 7, 7}))
+	if err != nil || id != 0 {
+		t.Fatalf("(7,7,7): %d, %v", id, err)
+	}
+	id, err = m.SupernodeOf(m.Compute.Index(Coord{8, 0, 0}))
+	if err != nil || id != m.Super.Index(Coord{1, 0, 0}) {
+		t.Fatalf("(8,0,0): %d, %v", id, err)
+	}
+	// Last compute node maps to last supernode.
+	id, err = m.SupernodeOf(m.Compute.N() - 1)
+	if err != nil || id != m.Super.N()-1 {
+		t.Fatalf("last: %d, %v", id, err)
+	}
+	if _, err := m.SupernodeOf(-1); err == nil {
+		t.Fatal("negative id accepted")
+	}
+	if _, err := m.SupernodeOf(m.Compute.N()); err == nil {
+		t.Fatal("out-of-range id accepted")
+	}
+}
+
+// Every supernode receives exactly Block.Size() compute nodes.
+func TestSupernodeMapPartitionOfComputeNodes(t *testing.T) {
+	m, err := NewSupernodeMap(NewGeometry(8, 8, 8, true), Shape{2, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, m.Super.N())
+	for id := 0; id < m.Compute.N(); id++ {
+		sid, err := m.SupernodeOf(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[sid]++
+	}
+	for sid, c := range counts {
+		if c != m.ComputeNodesPerSupernode() {
+			t.Fatalf("supernode %d has %d compute nodes, want %d", sid, c, m.ComputeNodesPerSupernode())
+		}
+	}
+}
+
+func TestNewSupernodeMapErrors(t *testing.T) {
+	if _, err := NewSupernodeMap(NewGeometry(8, 8, 8, true), Shape{3, 2, 2}); err == nil {
+		t.Fatal("non-tiling block accepted")
+	}
+	if _, err := NewSupernodeMap(NewGeometry(8, 8, 8, true), Shape{0, 2, 2}); err == nil {
+		t.Fatal("zero block accepted")
+	}
+}

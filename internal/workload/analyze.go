@@ -1,0 +1,132 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// LogStats summarises the statistical character of a job log — the
+// properties the synthetic presets are calibrated to reproduce.
+type LogStats struct {
+	Jobs     int
+	Usable   int // positive runtime and size
+	SpanDays float64
+
+	OfferedLoad float64
+
+	// Size mix.
+	MeanSize     float64
+	MedianSize   float64
+	PowerOfTwo   float64 // fraction of jobs with power-of-two sizes
+	FullMachine  float64 // fraction requesting the whole machine
+	MeanRuntime  float64
+	MedianRun    float64
+	P90Run       float64
+	RuntimeCV    float64 // coefficient of variation (tail heaviness)
+	InterarrCV   float64 // arrival burstiness; 1 for Poisson
+	DiurnalIndex float64 // peak-hour arrival share / uniform share (1 = flat)
+}
+
+// Analyze computes LogStats.
+func Analyze(l *Log) (LogStats, error) {
+	if l.MachineNodes <= 0 {
+		return LogStats{}, fmt.Errorf("workload: log %q has no machine size", l.Name)
+	}
+	if len(l.Jobs) == 0 {
+		return LogStats{}, fmt.Errorf("workload: log %q is empty", l.Name)
+	}
+	s := LogStats{Jobs: len(l.Jobs), SpanDays: l.Span() / 86400, OfferedLoad: l.OfferedLoad(l.MachineNodes)}
+
+	var sizes, runs, gaps []float64
+	hourCounts := make([]int, 24)
+	prevSubmit := math.Inf(-1)
+	for _, tj := range l.Jobs {
+		if tj.Run <= 0 || tj.Procs <= 0 {
+			continue
+		}
+		s.Usable++
+		sizes = append(sizes, float64(tj.Procs))
+		runs = append(runs, tj.Run)
+		if tj.Procs&(tj.Procs-1) == 0 {
+			s.PowerOfTwo++
+		}
+		if tj.Procs == l.MachineNodes {
+			s.FullMachine++
+		}
+		if !math.IsInf(prevSubmit, -1) {
+			gaps = append(gaps, tj.Submit-prevSubmit)
+		}
+		prevSubmit = tj.Submit
+		hour := int(math.Mod(tj.Submit, 86400) / 3600)
+		if hour >= 0 && hour < 24 {
+			hourCounts[hour]++
+		}
+	}
+	if s.Usable == 0 {
+		return LogStats{}, fmt.Errorf("workload: log %q has no usable jobs", l.Name)
+	}
+	u := float64(s.Usable)
+	s.PowerOfTwo /= u
+	s.FullMachine /= u
+	s.MeanSize, _ = meanCV(sizes)
+	s.MedianSize = median(sizes)
+	s.MeanRuntime, s.RuntimeCV = meanCV(runs)
+	s.MedianRun = median(runs)
+	s.P90Run = quantile(runs, 0.9)
+	_, s.InterarrCV = meanCV(gaps)
+
+	maxHour := 0
+	total := 0
+	for _, c := range hourCounts {
+		total += c
+		if c > maxHour {
+			maxHour = c
+		}
+	}
+	if total > 0 {
+		s.DiurnalIndex = float64(maxHour) / (float64(total) / 24)
+	}
+	return s, nil
+}
+
+func meanCV(xs []float64) (mean, cv float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 || mean == 0 {
+		return mean, 0
+	}
+	variance := 0.0
+	for _, x := range xs {
+		d := x - mean
+		variance += d * d
+	}
+	variance /= float64(len(xs) - 1)
+	return mean, math.Sqrt(variance) / mean
+}
+
+func median(xs []float64) float64 { return quantile(xs, 0.5) }
+
+func quantile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	i := int(math.Round(p * float64(len(sorted)-1)))
+	return sorted[i]
+}
+
+// String renders the stats on a few lines.
+func (s LogStats) String() string {
+	return fmt.Sprintf(
+		"jobs=%d usable=%d span=%.1fd load=%.2f pow2=%.0f%% size(p50=%.0f mean=%.1f) run(p50=%.0fs mean=%.0fs cv=%.1f) arrivalCV=%.1f diurnal=%.1fx",
+		s.Jobs, s.Usable, s.SpanDays, s.OfferedLoad, s.PowerOfTwo*100,
+		s.MedianSize, s.MeanSize, s.MedianRun, s.MeanRuntime, s.RuntimeCV,
+		s.InterarrCV, s.DiurnalIndex)
+}

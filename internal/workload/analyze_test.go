@@ -1,0 +1,81 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAnalyzeHandMade(t *testing.T) {
+	log := &Log{
+		Name:         "hand",
+		MachineNodes: 128,
+		Jobs: []TraceJob{
+			{Submit: 0, Run: 100, Procs: 8},
+			{Submit: 100, Run: 200, Procs: 7},   // not a power of two
+			{Submit: 200, Run: 300, Procs: 128}, // full machine
+			{Submit: 250, Run: -1, Procs: 4},    // unusable
+		},
+	}
+	s, err := Analyze(log)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Jobs != 4 || s.Usable != 3 {
+		t.Fatalf("jobs/usable = %d/%d", s.Jobs, s.Usable)
+	}
+	if s.PowerOfTwo < 0.66 || s.PowerOfTwo > 0.67 {
+		t.Fatalf("pow2 fraction = %g, want 2/3", s.PowerOfTwo)
+	}
+	if s.FullMachine < 0.33 || s.FullMachine > 0.34 {
+		t.Fatalf("full-machine fraction = %g, want 1/3", s.FullMachine)
+	}
+	if s.MedianRun != 200 {
+		t.Fatalf("median run = %g", s.MedianRun)
+	}
+	if !strings.Contains(s.String(), "usable=3") {
+		t.Fatal("String")
+	}
+}
+
+func TestAnalyzeErrors(t *testing.T) {
+	if _, err := Analyze(&Log{Name: "x"}); err == nil {
+		t.Error("no machine size accepted")
+	}
+	if _, err := Analyze(&Log{Name: "x", MachineNodes: 128}); err == nil {
+		t.Error("empty log accepted")
+	}
+	onlyBad := &Log{Name: "x", MachineNodes: 4, Jobs: []TraceJob{{Run: -1, Procs: 1}}}
+	if _, err := Analyze(onlyBad); err == nil {
+		t.Error("log with no usable jobs accepted")
+	}
+}
+
+// The synthetic presets must measure as what they claim to model.
+func TestAnalyzePresetCharacter(t *testing.T) {
+	for _, tc := range []struct {
+		cfg      SyntheticConfig
+		wantPow2 float64 // minimum fraction of power-of-two sizes
+	}{
+		{NASA(2000), 0.99}, // iPSC/860: pure power-of-two
+		{LLNL(2000), 0.99}, // T3D: pure power-of-two
+		{SDSC(2000), 0.75}, // SP2: mostly, with a non-pow2 tail
+	} {
+		log, err := Synthesize(tc.cfg, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := Analyze(log)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.PowerOfTwo < tc.wantPow2 {
+			t.Errorf("%s: pow2 fraction %.2f < %.2f", tc.cfg.Name, s.PowerOfTwo, tc.wantPow2)
+		}
+		if s.DiurnalIndex <= 1.05 {
+			t.Errorf("%s: diurnal index %.2f, want clearly > 1", tc.cfg.Name, s.DiurnalIndex)
+		}
+		if s.RuntimeCV <= 1 {
+			t.Errorf("%s: runtime CV %.2f, want heavy-tailed (> 1)", tc.cfg.Name, s.RuntimeCV)
+		}
+	}
+}

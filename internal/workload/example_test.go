@@ -1,0 +1,31 @@
+package workload_test
+
+import (
+	"fmt"
+
+	"bgsched/internal/torus"
+	"bgsched/internal/workload"
+)
+
+// Generating a synthetic SDSC-like log and mapping it onto the
+// simulated torus at 20% extra load (the paper's c = 1.2).
+func ExampleSynthesize() {
+	log, err := workload.Synthesize(workload.SDSC(500), 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	jobs, err := log.ToJobs(torus.BlueGeneL(), workload.ToJobsConfig{
+		LoadScale:      1.2,
+		ExactEstimates: true,
+	})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Println("jobs:", len(jobs))
+	fmt.Println("machine-feasible sizes:", jobs[0].AllocSize >= jobs[0].Size)
+	// Output:
+	// jobs: 500
+	// machine-feasible sizes: true
+}

@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// SWF field indices (0-based) of the standard workload format v2.2 of
+// the Parallel Workloads Archive. Every record has 18 whitespace-
+// separated fields; -1 marks an unknown value.
+const (
+	swfJobNumber = iota
+	swfSubmitTime
+	swfWaitTime
+	swfRunTime
+	swfAllocProcs
+	swfAvgCPUTime
+	swfUsedMemory
+	swfReqProcs
+	swfReqTime
+	swfReqMemory
+	swfStatus
+	swfUserID
+	swfGroupID
+	swfExecutable
+	swfQueue
+	swfPartition
+	swfPrecedingJob
+	swfThinkTime
+	swfFieldCount
+)
+
+// ReadSWF parses a standard workload format log. Header directives
+// (lines starting with ';') are scanned for "MaxProcs:" to learn the
+// machine size; if absent, machineNodes must be supplied by the caller
+// via the returned log's MachineNodes field before use. Records with
+// non-positive run time or processor count (cancelled jobs) are kept in
+// the log and filtered by ToJobs.
+func ReadSWF(r io.Reader, name string) (*Log, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	log := &Log{Name: name}
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, ";") {
+			if v, ok := headerInt(line, "MaxProcs:"); ok {
+				log.MachineNodes = v
+			}
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < swfFieldCount {
+			return nil, fmt.Errorf("workload: swf line %d: %d fields, want %d", lineNo, len(fields), swfFieldCount)
+		}
+		get := func(i int) (float64, error) {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				return 0, fmt.Errorf("workload: swf line %d field %d: %w", lineNo, i+1, err)
+			}
+			return v, nil
+		}
+		submit, err := get(swfSubmitTime)
+		if err != nil {
+			return nil, err
+		}
+		run, err := get(swfRunTime)
+		if err != nil {
+			return nil, err
+		}
+		reqProcs, err := get(swfReqProcs)
+		if err != nil {
+			return nil, err
+		}
+		allocProcs, err := get(swfAllocProcs)
+		if err != nil {
+			return nil, err
+		}
+		reqTime, err := get(swfReqTime)
+		if err != nil {
+			return nil, err
+		}
+		procs := int(reqProcs)
+		if procs <= 0 {
+			procs = int(allocProcs)
+		}
+		if reqTime < 0 {
+			reqTime = 0
+		}
+		log.Jobs = append(log.Jobs, TraceJob{
+			Submit:  submit,
+			Run:     run,
+			ReqTime: reqTime,
+			Procs:   procs,
+		})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("workload: swf: %w", err)
+	}
+	return log, nil
+}
+
+func headerInt(line, key string) (int, bool) {
+	i := strings.Index(line, key)
+	if i < 0 {
+		return 0, false
+	}
+	rest := strings.TrimSpace(line[i+len(key):])
+	fields := strings.Fields(rest)
+	if len(fields) == 0 {
+		return 0, false
+	}
+	v, err := strconv.Atoi(fields[0])
+	if err != nil {
+		return 0, false
+	}
+	return v, true
+}
+
+// WriteSWF writes the log in standard workload format. Fields this
+// model does not track are emitted as -1.
+func WriteSWF(w io.Writer, log *Log) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "; Computer: %s\n; MaxProcs: %d\n", log.Name, log.MachineNodes); err != nil {
+		return err
+	}
+	for i, tj := range log.Jobs {
+		reqTime := int64(tj.ReqTime)
+		if reqTime == 0 {
+			reqTime = -1
+		}
+		_, err := fmt.Fprintf(bw, "%d %d -1 %d %d -1 -1 %d %d -1 1 -1 -1 -1 -1 -1 -1 -1\n",
+			i+1, int64(tj.Submit), int64(tj.Run), tj.Procs, tj.Procs, reqTime)
+		if err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

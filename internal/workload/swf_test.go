@@ -1,0 +1,149 @@
+package workload
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"bgsched/internal/torus"
+)
+
+const sampleSWF = `; Computer: Test Machine
+; MaxProcs: 128
+; UnixStartTime: 0
+1 0 5 100 8 -1 -1 8 200 -1 1 3 1 -1 1 -1 -1 -1
+2 60 0 50 16 -1 -1 16 -1 -1 1 4 1 -1 1 -1 -1 -1
+3 120 0 -1 4 -1 -1 4 100 -1 5 4 1 -1 1 -1 -1 -1
+4 180 0 30 0 -1 -1 -1 40 -1 1 4 1 -1 1 -1 -1 -1
+`
+
+func TestReadSWF(t *testing.T) {
+	log, err := ReadSWF(strings.NewReader(sampleSWF), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if log.MachineNodes != 128 {
+		t.Fatalf("MachineNodes = %d, want 128 from header", log.MachineNodes)
+	}
+	if len(log.Jobs) != 4 {
+		t.Fatalf("parsed %d jobs, want 4", len(log.Jobs))
+	}
+	j := log.Jobs[0]
+	if j.Submit != 0 || j.Run != 100 || j.Procs != 8 || j.ReqTime != 200 {
+		t.Fatalf("job 1 = %+v", j)
+	}
+	if log.Jobs[1].ReqTime != 0 {
+		t.Fatalf("missing request time should parse as 0, got %g", log.Jobs[1].ReqTime)
+	}
+	// Job 4 has -1 requested procs; falls back to allocated (0).
+	if log.Jobs[3].Procs != 0 {
+		t.Fatalf("job 4 procs = %d", log.Jobs[3].Procs)
+	}
+}
+
+func TestReadSWFErrors(t *testing.T) {
+	if _, err := ReadSWF(strings.NewReader("1 2 3\n"), "x"); err == nil {
+		t.Error("short record accepted")
+	}
+	if _, err := ReadSWF(strings.NewReader(strings.Replace(sampleSWF, "1 0 5", "1 z 5", 1)), "x"); err == nil {
+		t.Error("non-numeric field accepted")
+	}
+}
+
+func TestSWFRoundTrip(t *testing.T) {
+	cfg := NASA(200)
+	log, err := Synthesize(cfg, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSWF(&buf, log); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadSWF(&buf, log.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.MachineNodes != log.MachineNodes {
+		t.Fatalf("MachineNodes = %d, want %d", back.MachineNodes, log.MachineNodes)
+	}
+	if len(back.Jobs) != len(log.Jobs) {
+		t.Fatalf("round trip job count %d, want %d", len(back.Jobs), len(log.Jobs))
+	}
+	for i := range back.Jobs {
+		a, b := log.Jobs[i], back.Jobs[i]
+		// SWF stores integer seconds; allow truncation.
+		if int64(a.Submit) != int64(b.Submit) || int64(a.Run) != int64(b.Run) || a.Procs != b.Procs {
+			t.Fatalf("job %d: %+v != %+v", i, a, b)
+		}
+	}
+}
+
+func TestSWFToJobsEndToEnd(t *testing.T) {
+	log, err := ReadSWF(strings.NewReader(sampleSWF), "test")
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs, err := log.ToJobs(torus.BlueGeneL(), ToJobsConfig{LoadScale: 1.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Jobs 3 (run=-1) and 4 (procs<=0) are dropped.
+	if len(jobs) != 2 {
+		t.Fatalf("got %d jobs, want 2", len(jobs))
+	}
+	if jobs[0].Actual != 120 {
+		t.Fatalf("load scale not applied: actual = %g, want 120", jobs[0].Actual)
+	}
+	if jobs[0].Estimate != 240 {
+		t.Fatalf("estimate = %g, want 240", jobs[0].Estimate)
+	}
+}
+
+func TestToJobsExactEstimates(t *testing.T) {
+	log := &Log{Name: "x", MachineNodes: 128, Jobs: []TraceJob{
+		{Submit: 0, Run: 100, ReqTime: 500, Procs: 4},
+	}}
+	jobs, err := log.ToJobs(torus.BlueGeneL(), ToJobsConfig{LoadScale: 1, ExactEstimates: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jobs[0].Estimate != jobs[0].Actual {
+		t.Fatalf("ExactEstimates: estimate %g != actual %g", jobs[0].Estimate, jobs[0].Actual)
+	}
+}
+
+func TestToJobsErrors(t *testing.T) {
+	log := &Log{Name: "x", MachineNodes: 128, Jobs: []TraceJob{{Submit: 0, Run: 1, Procs: 1}}}
+	if _, err := log.ToJobs(torus.BlueGeneL(), ToJobsConfig{LoadScale: 0}); err == nil {
+		t.Error("LoadScale=0 accepted")
+	}
+	empty := &Log{Name: "x", MachineNodes: 128, Jobs: []TraceJob{{Submit: 0, Run: -1, Procs: 1}}}
+	if _, err := empty.ToJobs(torus.BlueGeneL(), ToJobsConfig{LoadScale: 1}); err == nil {
+		t.Error("log with no usable jobs accepted")
+	}
+	noMachine := &Log{Name: "x", Jobs: []TraceJob{{Submit: 0, Run: 1, Procs: 1}}}
+	if _, err := noMachine.ToJobs(torus.BlueGeneL(), ToJobsConfig{LoadScale: 1}); err == nil {
+		t.Error("log without MachineNodes accepted")
+	}
+}
+
+func TestLogSpanAndOfferedLoad(t *testing.T) {
+	log := &Log{Name: "x", MachineNodes: 10, Jobs: []TraceJob{
+		{Submit: 0, Run: 50, Procs: 2},
+		{Submit: 100, Run: 50, Procs: 2},
+	}}
+	if got := log.Span(); got != 100 {
+		t.Fatalf("Span = %g", got)
+	}
+	// work = 2*50 + 2*50 = 200; capacity = 100 * 10.
+	if got := log.OfferedLoad(10); got != 0.2 {
+		t.Fatalf("OfferedLoad = %g, want 0.2", got)
+	}
+	if got := (&Log{}).Span(); got != 0 {
+		t.Fatalf("empty Span = %g", got)
+	}
+	if got := (&Log{}).OfferedLoad(10); got != 0 {
+		t.Fatalf("empty OfferedLoad = %g", got)
+	}
+}

@@ -1,0 +1,128 @@
+// Package workload provides the job-log substrate: a parser and writer
+// for the Parallel Workloads Archive standard workload format (SWF), so
+// the real NASA/SDSC/LLNL logs can be replayed when available, and
+// synthetic generators that reproduce each log's first-order statistics
+// (machine size, power-of-two-dominated size mix, heavy-tailed
+// runtimes, diurnal arrivals) for offline use.
+//
+// A Log is machine-relative (sizes refer to the traced machine);
+// ToJobs maps it onto the simulated torus: sizes are rescaled when the
+// traced machine is larger than the torus, rounded up to feasible
+// rectangular sizes, and execution times are multiplied by the paper's
+// load-scaling coefficient c (Section 6.2).
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"bgsched/internal/job"
+	"bgsched/internal/torus"
+)
+
+// TraceJob is one record of a job log, machine-relative.
+type TraceJob struct {
+	Submit  float64 // submission (arrival) time, seconds from log origin
+	Run     float64 // actual run time, seconds
+	ReqTime float64 // user-requested (estimated) run time, seconds; 0 if unknown
+	Procs   int     // processors requested
+}
+
+// Log is a job log together with the size of the machine it was
+// collected on.
+type Log struct {
+	Name         string
+	MachineNodes int
+	Jobs         []TraceJob
+}
+
+// Span returns the time between the first and last submission.
+func (l *Log) Span() float64 {
+	if len(l.Jobs) == 0 {
+		return 0
+	}
+	return l.Jobs[len(l.Jobs)-1].Submit - l.Jobs[0].Submit
+}
+
+// OfferedLoad returns the offered load fraction relative to a machine
+// of n nodes over the log's span: sum(procs*run) / (span * n).
+func (l *Log) OfferedLoad(n int) float64 {
+	span := l.Span()
+	if span <= 0 || n <= 0 {
+		return 0
+	}
+	work := 0.0
+	for _, tj := range l.Jobs {
+		work += float64(tj.Procs) * tj.Run
+	}
+	return work / (span * float64(n))
+}
+
+// ToJobsConfig controls the mapping from a log onto the simulated
+// machine.
+type ToJobsConfig struct {
+	// LoadScale is the paper's coefficient c: every job's execution
+	// time is multiplied by it. 1.0 replays the log as-is.
+	LoadScale float64
+	// ExactEstimates forces Estimate == Actual, matching the paper's
+	// simulations where the estimated execution time is taken as true.
+	// When false, the log's requested time is used as the estimate.
+	ExactEstimates bool
+}
+
+// ToJobs maps the log onto the torus g. Sizes are scaled by
+// g.N()/MachineNodes when the traced machine is larger than the torus
+// (e.g. the 256-node LLNL log on the 128-supernode machine), clamped to
+// [1, g.N()], and rounded up to the next feasible rectangular size.
+func (l *Log) ToJobs(g torus.Geometry, cfg ToJobsConfig) ([]*job.Job, error) {
+	if cfg.LoadScale <= 0 {
+		return nil, fmt.Errorf("workload: LoadScale = %g, want > 0", cfg.LoadScale)
+	}
+	if l.MachineNodes <= 0 {
+		return nil, fmt.Errorf("workload: log %q has MachineNodes = %d", l.Name, l.MachineNodes)
+	}
+	scale := 1.0
+	if l.MachineNodes > g.N() {
+		scale = float64(g.N()) / float64(l.MachineNodes)
+	}
+	jobs := make([]*job.Job, 0, len(l.Jobs))
+	var id job.ID
+	for i, tj := range l.Jobs {
+		if tj.Run <= 0 || tj.Procs <= 0 {
+			continue // cancelled or malformed record
+		}
+		size := int(math.Ceil(float64(tj.Procs) * scale))
+		if size < 1 {
+			size = 1
+		}
+		if size > g.N() {
+			size = g.N()
+		}
+		alloc, ok := g.RoundUpFeasible(size)
+		if !ok {
+			return nil, fmt.Errorf("workload: job %d: size %d not placeable", i, size)
+		}
+		actual := tj.Run * cfg.LoadScale
+		estimate := actual
+		if !cfg.ExactEstimates && tj.ReqTime > 0 {
+			estimate = tj.ReqTime * cfg.LoadScale
+		}
+		id++
+		j := &job.Job{
+			ID:        id,
+			Arrival:   tj.Submit,
+			Size:      size,
+			AllocSize: alloc,
+			Estimate:  estimate,
+			Actual:    actual,
+		}
+		if err := j.Validate(); err != nil {
+			return nil, fmt.Errorf("workload: record %d: %w", i, err)
+		}
+		jobs = append(jobs, j)
+	}
+	if len(jobs) == 0 {
+		return nil, fmt.Errorf("workload: log %q produced no usable jobs", l.Name)
+	}
+	return jobs, nil
+}

@@ -1,0 +1,181 @@
+package workload
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"bgsched/internal/job"
+	"bgsched/internal/torus"
+)
+
+func TestSynthesizeDeterministic(t *testing.T) {
+	cfg := SDSC(500)
+	a, err := Synthesize(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Synthesize(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("same seed produced different logs")
+	}
+	c, err := Synthesize(cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(a.Jobs, c.Jobs) {
+		t.Fatal("different seeds produced identical logs")
+	}
+}
+
+func TestSynthesizeBasicShape(t *testing.T) {
+	for _, preset := range []SyntheticConfig{NASA(800), SDSC(800), LLNL(800)} {
+		log, err := Synthesize(preset, 7)
+		if err != nil {
+			t.Fatalf("%s: %v", preset.Name, err)
+		}
+		if len(log.Jobs) != 800 {
+			t.Fatalf("%s: %d jobs, want 800", preset.Name, len(log.Jobs))
+		}
+		prev := -1.0
+		for i, tj := range log.Jobs {
+			if tj.Submit < prev {
+				t.Fatalf("%s: job %d submits out of order", preset.Name, i)
+			}
+			prev = tj.Submit
+			if tj.Procs < 1 || tj.Procs > preset.MachineNodes {
+				t.Fatalf("%s: job %d procs %d out of range", preset.Name, i, tj.Procs)
+			}
+			if tj.Run <= 0 {
+				t.Fatalf("%s: job %d run %g", preset.Name, i, tj.Run)
+			}
+			if tj.ReqTime < tj.Run-1e-9 {
+				t.Fatalf("%s: job %d estimate %g below actual %g", preset.Name, i, tj.ReqTime, tj.Run)
+			}
+		}
+	}
+}
+
+func TestSynthesizeLoadCalibration(t *testing.T) {
+	for _, preset := range []SyntheticConfig{NASA(3000), SDSC(3000), LLNL(3000)} {
+		log, err := Synthesize(preset, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		load := log.OfferedLoad(preset.MachineNodes)
+		// The min-runtime clamp can push calibration slightly; allow 10%.
+		if math.Abs(load-preset.TargetLoad) > 0.1*preset.TargetLoad {
+			t.Errorf("%s: offered load %.3f, want ~%.2f", preset.Name, load, preset.TargetLoad)
+		}
+	}
+}
+
+func TestSynthesizeValidation(t *testing.T) {
+	bad := NASA(100)
+	bad.JobCount = 0
+	if _, err := Synthesize(bad, 1); err == nil {
+		t.Error("JobCount=0 accepted")
+	}
+	bad = NASA(100)
+	bad.SizeWeights = nil
+	if _, err := Synthesize(bad, 1); err == nil {
+		t.Error("empty SizeWeights accepted")
+	}
+	bad = NASA(100)
+	bad.DiurnalAmp = 1.5
+	if _, err := Synthesize(bad, 1); err == nil {
+		t.Error("DiurnalAmp=1.5 accepted")
+	}
+	bad = NASA(100)
+	bad.SizeWeights = map[int]float64{500: 1}
+	if _, err := Synthesize(bad, 1); err == nil {
+		t.Error("size weight above machine accepted")
+	}
+	bad = NASA(100)
+	bad.EstimateFactor = 0.5
+	if _, err := Synthesize(bad, 1); err == nil {
+		t.Error("EstimateFactor<1 accepted")
+	}
+}
+
+// Diurnal modulation: more arrivals land in the daytime half-cycle
+// (peak at 0.25 day) than in the night half.
+func TestSynthesizeDiurnalPattern(t *testing.T) {
+	cfg := SDSC(5000)
+	cfg.DiurnalAmp = 0.8
+	cfg.WeekendFactor = 1
+	log, err := Synthesize(cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	day, night := 0, 0
+	for _, tj := range log.Jobs {
+		frac := math.Mod(tj.Submit, Day) / Day
+		if frac > 0.25 && frac < 0.75 { // the half-cycle where the rate model peaks
+			day++
+		} else {
+			night++
+		}
+	}
+	if day <= night {
+		t.Fatalf("diurnal pattern missing: %d day vs %d night arrivals", day, night)
+	}
+}
+
+func TestPresetByName(t *testing.T) {
+	for _, name := range []string{"NASA", "SDSC", "LLNL", "nasa", "sdsc", "llnl"} {
+		cfg, err := PresetByName(name, 10)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if cfg.JobCount != 10 {
+			t.Fatalf("%s: JobCount not threaded through", name)
+		}
+	}
+	if _, err := PresetByName("CRAY", 10); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestToJobsMapping(t *testing.T) {
+	g := torus.BlueGeneL()
+	log := &Log{
+		Name:         "test",
+		MachineNodes: 256, // twice the simulated machine: sizes halve
+		Jobs: []TraceJob{
+			{Submit: 0, Run: 100, ReqTime: 200, Procs: 256},
+			{Submit: 10, Run: 50, ReqTime: 60, Procs: 22}, // 22/2 = 11 -> rounds up to 12
+			{Submit: 20, Run: -1, Procs: 4},               // cancelled: dropped
+			{Submit: 30, Run: 10, Procs: 0},               // malformed: dropped
+			{Submit: 40, Run: 10, ReqTime: 0, Procs: 1},
+		},
+	}
+	jobs, err := log.ToJobs(g, ToJobsConfig{LoadScale: 1.0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jobs) != 3 {
+		t.Fatalf("got %d jobs, want 3", len(jobs))
+	}
+	if jobs[0].Size != 128 || jobs[0].AllocSize != 128 {
+		t.Fatalf("full-machine job mapped to %d/%d", jobs[0].Size, jobs[0].AllocSize)
+	}
+	if jobs[1].Size != 11 || jobs[1].AllocSize != 12 {
+		t.Fatalf("job 2 mapped to size %d alloc %d, want 11/12", jobs[1].Size, jobs[1].AllocSize)
+	}
+	if jobs[1].Estimate != 60 {
+		t.Fatalf("job 2 estimate = %g, want requested 60", jobs[1].Estimate)
+	}
+	if jobs[2].Estimate != 10 {
+		t.Fatalf("job with unknown request must fall back to actual, got %g", jobs[2].Estimate)
+	}
+	// IDs are dense and positive.
+	for i, j := range jobs {
+		if j.ID != job.ID(i+1) {
+			t.Fatalf("job %d has id %d", i, j.ID)
+		}
+	}
+}
