@@ -1,0 +1,32 @@
+GO ?= go
+
+.PHONY: all build test race vet bench bench-micro check clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Concurrency-sensitive packages under the race detector: the atomic
+# instruments in telemetry and their use from the simulator.
+race:
+	$(GO) test -race ./internal/telemetry ./internal/sim
+
+vet:
+	$(GO) vet ./...
+
+# Full benchmark sweep (figure regeneration + ablations); minutes.
+bench:
+	$(GO) test -run NONE -bench . -benchtime 1x .
+
+# Just the scheduling-cost microbenchmarks recorded in EXPERIMENTS.md.
+bench-micro:
+	$(GO) test -run NONE -bench 'BenchmarkSchedulerDecision|BenchmarkFinderAlgorithms' .
+
+check: build vet test race
+
+clean:
+	$(GO) clean ./...

@@ -19,6 +19,7 @@ import (
 
 	"bgsched/internal/core"
 	"bgsched/internal/experiments"
+	"bgsched/internal/job"
 	"bgsched/internal/partition"
 	"bgsched/internal/torus"
 )
@@ -117,6 +118,87 @@ func BenchmarkPartitionFinders(b *testing.B) {
 			partition.MaxFree(gr)
 		}
 	})
+}
+
+// BenchmarkSchedulerDecision measures one Schedule() call — the
+// telemetry subsystem's sched.decision.seconds timer wraps exactly
+// this — on a representative mid-load state: a one-third-full machine,
+// running jobs holding EASY reservations, and a queue whose head is
+// blocked so the scheduler walks the whole backfill window. State is
+// rebuilt outside the timer each iteration because Schedule mutates
+// the grid and queue.
+func BenchmarkSchedulerDecision(b *testing.B) {
+	g := torus.BlueGeneL()
+	s, err := core.NewScheduler(core.Config{Policy: core.Baseline{}, Backfill: core.BackfillEASY})
+	if err != nil {
+		b.Fatal(err)
+	}
+	mk := func(id int64, size, alloc int, est float64) *job.Job {
+		return &job.Job{ID: job.ID(id), Size: size, AllocSize: alloc, Estimate: est, Actual: est}
+	}
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		gr := torus.NewGrid(g)
+		rng := rand.New(rand.NewSource(7))
+		var running []core.Running
+		for id := 0; id < g.N(); id++ {
+			if rng.Float64() < 0.3 {
+				p := torus.Partition{Base: g.CoordOf(id), Shape: torus.Shape{X: 1, Y: 1, Z: 1}}
+				owner := int64(1000 + id)
+				if err := gr.Allocate(p, owner); err != nil {
+					b.Fatal(err)
+				}
+				running = append(running, core.Running{
+					Job:  mk(owner, 1, 1, 3600),
+					Part: p, ExpFinish: 600 + float64(id),
+				})
+			}
+		}
+		q := job.NewQueue()
+		q.Push(mk(1, 128, 128, 3600)) // blocked head forces a reservation
+		for j := int64(2); j <= 9; j++ {
+			q.Push(mk(j, 8, 8, 1800)) // backfill candidates
+		}
+		b.StartTimer()
+		if _, err := s.Schedule(gr, q, running, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFinderAlgorithms measures FreeOfSize for each partition
+// finder across machine scales — the per-call cost behind the
+// finder.<algo>.seconds telemetry timers. The naive finder is skipped
+// beyond the scheduling view (8x8x8 at O(M^9) is minutes per call).
+func BenchmarkFinderAlgorithms(b *testing.B) {
+	for _, spec := range []string{"4x4x8", "8x8x8"} {
+		g, err := torus.Parse(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gr := torus.NewGrid(g)
+		rng := rand.New(rand.NewSource(7))
+		owner := int64(1)
+		for id := 0; id < g.N(); id++ {
+			if rng.Float64() < 0.3 {
+				p := torus.Partition{Base: g.CoordOf(id), Shape: torus.Shape{X: 1, Y: 1, Z: 1}}
+				if err := gr.Allocate(p, owner); err != nil {
+					b.Fatal(err)
+				}
+				owner++
+			}
+		}
+		for _, f := range []partition.Finder{partition.NaiveFinder{}, partition.POPFinder{}, partition.ShapeFinder{}} {
+			if spec != "4x4x8" && f.Name() == "naive" {
+				continue
+			}
+			b.Run(fmt.Sprintf("%s/%s", spec, f.Name()), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					f.FreeOfSize(gr, 8)
+				}
+			})
+		}
+	}
 }
 
 // BenchmarkAblationBackfill quantifies the backfilling design choice:

@@ -21,6 +21,7 @@ import (
 
 	"bgsched/internal/failure"
 	"bgsched/internal/predict"
+	"bgsched/internal/telemetry"
 )
 
 func main() {
@@ -41,9 +42,26 @@ func run(args []string, out io.Writer) error {
 		samples  = fs.Int("samples", 20000, "evaluation query count")
 		seed     = fs.Int64("seed", 1, "random seed")
 	)
+	obs := telemetry.RegisterCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := obs.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil {
+			fmt.Fprintln(os.Stderr, "bgpredict:", perr)
+		}
+	}()
+	reg := obs.Registry()
+	manifest := telemetry.NewManifest("bgpredict", args, map[string]any{
+		"failures": *failPath, "nodes": *nodes, "count": *count,
+		"span_days": *spanDays, "horizon_s": horizon.Seconds(),
+		"samples": *samples, "seed": *seed,
+	})
+	manifest.Seed = *seed
 
 	var trace failure.Trace
 	if *failPath != "" {
@@ -74,14 +92,22 @@ func run(args []string, out io.Writer) error {
 
 	ix := failure.NewIndex(*nodes, trace)
 	span := trace[len(trace)-1].Time + 1
+	evals := reg.Counter("predict.evaluations")
+	queries := reg.Counter("predict.queries")
+	evalTime := reg.Timer("predict.eval.seconds")
 	eval := func(p predict.NodePredictor, skip float64) (predict.Confusion, error) {
-		return predict.Evaluate(ix, p, predict.EvalConfig{
+		sw := evalTime.Start()
+		c, err := predict.Evaluate(ix, p, predict.EvalConfig{
 			Span:       span,
 			Horizon:    horizon.Seconds(),
 			Samples:    *samples,
 			Seed:       *seed + 7,
 			SkipBefore: skip,
 		})
+		sw.Stop()
+		evals.Inc()
+		queries.Add(int64(c.Total()))
+		return c, err
 	}
 
 	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', tabwriter.AlignRight)
@@ -118,5 +144,5 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintln(out, "predictor sees only past events; its trade-off curve is what a real")
 	fmt.Fprintln(out, "deployment would face (the paper argues fpr well below the miss")
 	fmt.Fprintln(out, "rate is attainable, which the learned rows reproduce).")
-	return nil
+	return obs.WriteMetrics(manifest, reg)
 }

@@ -19,6 +19,7 @@ import (
 	"bgsched/internal/experiments"
 	"bgsched/internal/metrics"
 	"bgsched/internal/sim"
+	"bgsched/internal/telemetry"
 	"bgsched/internal/torus"
 )
 
@@ -57,9 +58,19 @@ func run(args []string, out io.Writer) error {
 		byClass  = fs.Bool("by-class", false, "print metrics broken down by job size class")
 		eventLog = fs.String("eventlog", "", "write a JSONL simulation event log to this file")
 	)
+	obs := telemetry.RegisterCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := obs.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil {
+			fmt.Fprintln(os.Stderr, "bgsim:", perr)
+		}
+	}()
 
 	cfg := experiments.RunConfig{
 		Machine:        *machine,
@@ -113,8 +124,15 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown backfill mode %q", *backfill)
 	}
 
+	cfg.Telemetry = obs.Registry()
+	manifest := telemetry.NewManifest("bgsim", args, cfg)
+	manifest.Seed = *seed
+
 	res, err := experiments.Run(cfg)
 	if err != nil {
+		return err
+	}
+	if err := obs.WriteMetrics(manifest, cfg.Telemetry); err != nil {
 		return err
 	}
 	s := res.Summary

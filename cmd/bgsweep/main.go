@@ -19,6 +19,7 @@ import (
 
 	"bgsched/internal/experiments"
 	"bgsched/internal/partition"
+	"bgsched/internal/telemetry"
 	"bgsched/internal/torus"
 )
 
@@ -42,16 +43,35 @@ func run(args []string, out io.Writer) error {
 		agg    = fs.String("agg", "median", "replicate aggregation: median or mean")
 		fscale = fs.Float64("failure-scale", 0, "override nominal->injected failure mapping")
 	)
+	obs := telemetry.RegisterCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	stopProfiles, err := obs.Start()
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if perr := stopProfiles(); perr != nil {
+			fmt.Fprintln(os.Stderr, "bgsweep:", perr)
+		}
+	}()
 	opt := experiments.Options{
 		JobCount: *jobs, Seed: *seed, FailureScale: *fscale,
 		Metric: *metric, Replications: *reps, Aggregate: *agg,
+		// With -metrics, every sweep point gets its own registry and the
+		// resulting tables carry per-point snapshots into the manifest.
+		CollectTelemetry: obs.Metrics != "",
 	}
+	manifest := telemetry.NewManifest("bgsweep", args, opt)
+	manifest.Seed = *seed
+	var collected []*experiments.Table
 
 	if *fig == "finders" {
-		return finderComparison(out)
+		if err := finderComparison(out); err != nil {
+			return err
+		}
+		return obs.WriteMetrics(manifest, nil)
 	}
 	if *fig == "krevat" {
 		t, err := experiments.KrevatTable(opt, "SDSC", 1.0)
@@ -62,14 +82,17 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintln(out, "variants: 0=fcfs 1=fcfs+backfill 2=fcfs+migration 3=fcfs+backfill+migration")
-		return nil
+		return writeSweepMetrics(obs, manifest, []*experiments.Table{t})
 	}
 	if *fig == "learned" {
 		t, err := experiments.LearnedSweep(opt, "SDSC")
 		if err != nil {
 			return err
 		}
-		return t.Render(out)
+		if err := t.Render(out); err != nil {
+			return err
+		}
+		return writeSweepMetrics(obs, manifest, []*experiments.Table{t})
 	}
 
 	var specs []experiments.Spec
@@ -88,6 +111,7 @@ func run(args []string, out io.Writer) error {
 		if err != nil {
 			return fmt.Errorf("%s: %w", spec.ID, err)
 		}
+		collected = append(collected, tables...)
 		for _, t := range tables {
 			var rerr error
 			if *csv {
@@ -108,7 +132,17 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "# %s completed in %v\n\n", spec.ID, time.Since(start).Round(time.Millisecond))
 	}
-	return nil
+	return writeSweepMetrics(obs, manifest, collected)
+}
+
+// writeSweepMetrics attaches the sweep tables — each point annotated
+// with its telemetry snapshot — to the run manifest and writes it to
+// the -metrics path (a no-op without -metrics).
+func writeSweepMetrics(obs *telemetry.CLIFlags, m *telemetry.Manifest, tables []*experiments.Table) error {
+	if len(tables) > 0 {
+		m.Artifacts = tables
+	}
+	return obs.WriteMetrics(m, nil)
 }
 
 // finderComparison times the three partition-finder algorithms on

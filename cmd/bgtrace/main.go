@@ -17,6 +17,7 @@ import (
 	"sort"
 
 	"bgsched/internal/failure"
+	"bgsched/internal/telemetry"
 	"bgsched/internal/torus"
 	"bgsched/internal/workload"
 )
@@ -45,6 +46,25 @@ func run(args []string, out io.Writer) error {
 	return fmt.Errorf("unknown subcommand %q (want workload, failures, mapfailures or inspect)", args[0])
 }
 
+// withObs brackets a subcommand body with the shared observability
+// plumbing: the profiling collectors run around fn, and a run manifest
+// carrying the registry snapshot is written to -metrics at exit.
+func withObs(obs *telemetry.CLIFlags, tool string, args []string, reg *telemetry.Registry, fn func() error) error {
+	stopProfiles, err := obs.Start()
+	if err != nil {
+		return err
+	}
+	manifest := telemetry.NewManifest(tool, args, nil)
+	if err := fn(); err != nil {
+		stopProfiles() //nolint:errcheck // the body error wins
+		return err
+	}
+	if err := stopProfiles(); err != nil {
+		return err
+	}
+	return obs.WriteMetrics(manifest, reg)
+}
+
 // mapFailures folds a compute-node-level failure trace onto the
 // supernode torus the scheduler allocates (BG/L: 32x32x64 compute
 // nodes in 8x8x8 blocks -> 4x4x8 supernodes).
@@ -53,38 +73,45 @@ func mapFailures(args []string, out io.Writer) error {
 	in := fs.String("in", "", "compute-node-level failure CSV (required)")
 	machine := fs.String("machine", "32x32x64", "compute-node geometry")
 	block := fs.String("block", "8x8x8", "supernode block shape")
+	obs := telemetry.RegisterCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	if *in == "" {
-		return fmt.Errorf("mapfailures: -in is required")
-	}
-	compute, err := torus.Parse(*machine)
-	if err != nil {
-		return err
-	}
-	blockG, err := torus.Parse(*block)
-	if err != nil {
-		return err
-	}
-	m, err := torus.NewSupernodeMap(compute, blockG.Dims)
-	if err != nil {
-		return err
-	}
-	f, err := os.Open(*in)
-	if err != nil {
-		return err
-	}
-	defer f.Close()
-	tr, err := failure.ReadCSV(f)
-	if err != nil {
-		return err
-	}
-	mapped := failure.MapNodes(tr, m.SupernodeOf)
-	if len(mapped) < len(tr) {
-		fmt.Fprintf(os.Stderr, "bgtrace: dropped %d events outside the %s machine\n", len(tr)-len(mapped), *machine)
-	}
-	return failure.WriteCSV(out, mapped)
+	reg := obs.Registry()
+	return withObs(obs, "bgtrace mapfailures", args, reg, func() error {
+		if *in == "" {
+			return fmt.Errorf("mapfailures: -in is required")
+		}
+		compute, err := torus.Parse(*machine)
+		if err != nil {
+			return err
+		}
+		blockG, err := torus.Parse(*block)
+		if err != nil {
+			return err
+		}
+		m, err := torus.NewSupernodeMap(compute, blockG.Dims)
+		if err != nil {
+			return err
+		}
+		f, err := os.Open(*in)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		tr, err := failure.ReadCSV(f)
+		if err != nil {
+			return err
+		}
+		mapped := failure.MapNodes(tr, m.SupernodeOf)
+		if len(mapped) < len(tr) {
+			fmt.Fprintf(os.Stderr, "bgtrace: dropped %d events outside the %s machine\n", len(tr)-len(mapped), *machine)
+		}
+		reg.Counter("trace.events.read").Add(int64(len(tr)))
+		reg.Counter("trace.events.mapped").Add(int64(len(mapped)))
+		reg.Counter("trace.events.dropped").Add(int64(len(tr) - len(mapped)))
+		return failure.WriteCSV(out, mapped)
+	})
 }
 
 func genWorkload(args []string, out io.Writer) error {
@@ -92,18 +119,24 @@ func genWorkload(args []string, out io.Writer) error {
 	preset := fs.String("preset", "SDSC", "workload preset: NASA, SDSC or LLNL")
 	jobs := fs.Int("jobs", 2000, "number of jobs")
 	seed := fs.Int64("seed", 1, "random seed")
+	obs := telemetry.RegisterCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg, err := workload.PresetByName(*preset, *jobs)
-	if err != nil {
-		return err
-	}
-	log, err := workload.Synthesize(cfg, *seed)
-	if err != nil {
-		return err
-	}
-	return workload.WriteSWF(out, log)
+	reg := obs.Registry()
+	return withObs(obs, "bgtrace workload", args, reg, func() error {
+		cfg, err := workload.PresetByName(*preset, *jobs)
+		if err != nil {
+			return err
+		}
+		log, err := workload.Synthesize(cfg, *seed)
+		if err != nil {
+			return err
+		}
+		reg.Counter("trace.jobs.written").Add(int64(len(log.Jobs)))
+		reg.Gauge("trace.span_days").Set(log.Span() / 86400)
+		return workload.WriteSWF(out, log)
+	})
 }
 
 func genFailures(args []string, out io.Writer) error {
@@ -114,51 +147,62 @@ func genFailures(args []string, out io.Writer) error {
 	burst := fs.Float64("burst", 0.35, "probability a failure seeds a burst")
 	skew := fs.Float64("skew", 1.2, "per-node hazard skew exponent (0 = uniform)")
 	seed := fs.Int64("seed", 1, "random seed")
+	obs := telemetry.RegisterCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	cfg := failure.DefaultGeneratorConfig(*nodes, *count, *spanDays*86400)
-	cfg.BurstProb = *burst
-	cfg.NodeSkew = *skew
-	tr, err := failure.Generate(cfg, *seed)
-	if err != nil {
-		return err
-	}
-	return failure.WriteCSV(out, tr)
+	reg := obs.Registry()
+	return withObs(obs, "bgtrace failures", args, reg, func() error {
+		cfg := failure.DefaultGeneratorConfig(*nodes, *count, *spanDays*86400)
+		cfg.BurstProb = *burst
+		cfg.NodeSkew = *skew
+		tr, err := failure.Generate(cfg, *seed)
+		if err != nil {
+			return err
+		}
+		reg.Counter("trace.failures.written").Add(int64(len(tr)))
+		return failure.WriteCSV(out, tr)
+	})
 }
 
 func inspect(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bgtrace inspect", flag.ContinueOnError)
 	swf := fs.String("swf", "", "SWF job log to inspect")
 	failuresCSV := fs.String("failures", "", "failure CSV to inspect")
+	obs := telemetry.RegisterCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
-	switch {
-	case *swf != "":
-		f, err := os.Open(*swf)
-		if err != nil {
-			return err
+	reg := obs.Registry()
+	return withObs(obs, "bgtrace inspect", args, reg, func() error {
+		switch {
+		case *swf != "":
+			f, err := os.Open(*swf)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			log, err := workload.ReadSWF(f, *swf)
+			if err != nil {
+				return err
+			}
+			reg.Counter("trace.jobs.read").Add(int64(len(log.Jobs)))
+			return inspectLog(out, log)
+		case *failuresCSV != "":
+			f, err := os.Open(*failuresCSV)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			tr, err := failure.ReadCSV(f)
+			if err != nil {
+				return err
+			}
+			reg.Counter("trace.failures.read").Add(int64(len(tr)))
+			return inspectFailures(out, tr)
 		}
-		defer f.Close()
-		log, err := workload.ReadSWF(f, *swf)
-		if err != nil {
-			return err
-		}
-		return inspectLog(out, log)
-	case *failuresCSV != "":
-		f, err := os.Open(*failuresCSV)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		tr, err := failure.ReadCSV(f)
-		if err != nil {
-			return err
-		}
-		return inspectFailures(out, tr)
-	}
-	return fmt.Errorf("inspect: pass -swf or -failures")
+		return fmt.Errorf("inspect: pass -swf or -failures")
+	})
 }
 
 func inspectLog(out io.Writer, log *workload.Log) error {

@@ -7,6 +7,7 @@ import (
 
 	"bgsched/internal/job"
 	"bgsched/internal/partition"
+	"bgsched/internal/telemetry"
 	"bgsched/internal/torus"
 )
 
@@ -49,6 +50,35 @@ type Config struct {
 	// after releases, running jobs may be moved to defragment the
 	// torus. The paper's model migrates without cost.
 	Migration bool
+	// Telemetry, when non-nil, receives per-decision instrumentation
+	// ("sched.*" instruments; see NewScheduler). A nil registry
+	// disables collection with no other behaviour change.
+	Telemetry *telemetry.Registry
+}
+
+// schedMetrics holds the scheduler's instruments, resolved once at
+// construction. With a nil registry every field is a nil handle and
+// all recording is a no-op.
+type schedMetrics struct {
+	decision          *telemetry.Timer     // sched.decision.seconds: one Schedule call
+	startsFCFS        *telemetry.Counter   // sched.starts.fcfs
+	startsBackfill    *telemetry.Counter   // sched.starts.backfill
+	backfillAttempts  *telemetry.Counter   // sched.backfill.attempts
+	backfillSuccesses *telemetry.Counter   // sched.backfill.successes
+	reservations      *telemetry.Counter   // sched.reservations.computed
+	reservationDrain  *telemetry.Histogram // sched.reservations.drain_depth: releases simulated until the head fits
+}
+
+func newSchedMetrics(reg *telemetry.Registry) schedMetrics {
+	return schedMetrics{
+		decision:          reg.Timer("sched.decision.seconds"),
+		startsFCFS:        reg.Counter("sched.starts.fcfs"),
+		startsBackfill:    reg.Counter("sched.starts.backfill"),
+		backfillAttempts:  reg.Counter("sched.backfill.attempts"),
+		backfillSuccesses: reg.Counter("sched.backfill.successes"),
+		reservations:      reg.Counter("sched.reservations.computed"),
+		reservationDrain:  reg.Histogram("sched.reservations.drain_depth"),
+	}
 }
 
 // Running describes a job currently executing, as the scheduler sees
@@ -74,6 +104,7 @@ type Decision struct {
 // configured policy, and then backfills per the configured mode.
 type Scheduler struct {
 	cfg Config
+	met schedMetrics
 }
 
 // NewScheduler validates the configuration and returns a scheduler.
@@ -82,14 +113,14 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 		return nil, fmt.Errorf("core: Config.Policy is required")
 	}
 	if cfg.Finder == nil {
-		cfg.Finder = partition.ShapeFinder{}
+		cfg.Finder = partition.Instrumented(partition.ShapeFinder{}, cfg.Telemetry)
 	}
 	switch cfg.Backfill {
 	case BackfillNone, BackfillAggressive, BackfillEASY:
 	default:
 		return nil, fmt.Errorf("core: unknown backfill mode %d", int(cfg.Backfill))
 	}
-	return &Scheduler{cfg: cfg}, nil
+	return &Scheduler{cfg: cfg, met: newSchedMetrics(cfg.Telemetry)}, nil
 }
 
 // Config returns the scheduler's configuration.
@@ -100,6 +131,8 @@ func (s *Scheduler) Config() Config { return s.cfg }
 // jobs from q, and returns the start decisions in order. running lists
 // the currently executing jobs (used by EASY reservations).
 func (s *Scheduler) Schedule(gr *torus.Grid, q *job.Queue, running []Running, now float64) ([]Decision, error) {
+	sw := s.met.decision.Start()
+	defer sw.Stop()
 	var started []Decision
 
 	// Phase 1: strict FCFS from the head.
@@ -114,6 +147,7 @@ func (s *Scheduler) Schedule(gr *torus.Grid, q *job.Queue, running []Running, no
 		}
 		q.RemoveAt(0)
 		started = append(started, d)
+		s.met.startsFCFS.Inc()
 	}
 	if q.Len() == 0 || s.cfg.Backfill == BackfillNone {
 		return started, nil
@@ -126,6 +160,7 @@ func (s *Scheduler) Schedule(gr *torus.Grid, q *job.Queue, running []Running, no
 		// starts now.
 		for i := 1; i < q.Len(); {
 			j := q.At(i)
+			s.met.backfillAttempts.Inc()
 			d, ok, err := s.tryStart(gr, j, now)
 			if err != nil {
 				return started, err
@@ -136,6 +171,8 @@ func (s *Scheduler) Schedule(gr *torus.Grid, q *job.Queue, running []Running, no
 			}
 			q.RemoveAt(i)
 			started = append(started, d)
+			s.met.backfillSuccesses.Inc()
+			s.met.startsBackfill.Inc()
 		}
 	case BackfillEASY:
 		res, err := s.reservation(gr, q.Peek(), append(running, runningFrom(started, now)...), now)
@@ -144,6 +181,7 @@ func (s *Scheduler) Schedule(gr *torus.Grid, q *job.Queue, running []Running, no
 		}
 		for i := 1; i < q.Len(); {
 			j := q.At(i)
+			s.met.backfillAttempts.Inc()
 			d, ok, err := s.tryBackfill(gr, j, now, res)
 			if err != nil {
 				return started, err
@@ -154,6 +192,8 @@ func (s *Scheduler) Schedule(gr *torus.Grid, q *job.Queue, running []Running, no
 			}
 			q.RemoveAt(i)
 			started = append(started, d)
+			s.met.backfillSuccesses.Inc()
+			s.met.startsBackfill.Inc()
 		}
 	}
 	return started, nil
@@ -208,6 +248,7 @@ type reservationState struct {
 // scratch grid to find the earliest time the head job fits, and the
 // partition it would then occupy.
 func (s *Scheduler) reservation(gr *torus.Grid, head *job.Job, running []Running, now float64) (reservationState, error) {
+	s.met.reservations.Inc()
 	scratch := gr.Clone()
 	byFinish := make([]Running, len(running))
 	copy(byFinish, running)
@@ -227,11 +268,12 @@ func (s *Scheduler) reservation(gr *torus.Grid, head *job.Job, running []Running
 		return reservationState{Time: t, Part: cands[idx], ok: true}, true
 	}
 
-	for _, r := range byFinish {
+	for i, r := range byFinish {
 		if err := scratch.Release(r.Part, int64(r.Job.ID)); err != nil {
 			return reservationState{}, fmt.Errorf("core: reservation: %w", err)
 		}
 		if res, ok := check(math.Max(r.ExpFinish, now)); ok {
+			s.met.reservationDrain.Observe(float64(i + 1))
 			return res, nil
 		}
 	}

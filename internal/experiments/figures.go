@@ -32,6 +32,11 @@ type Options struct {
 	// Aggregate folds replicates into one point: "median" (default,
 	// robust to queueing-collapse outliers) or "mean".
 	Aggregate string
+	// CollectTelemetry attaches a fresh telemetry registry to every
+	// sweep point and embeds its snapshot in the resulting tables
+	// (Series.Telemetry / Table.Telemetry), so curves carry per-point
+	// search-cost and distribution data, not just final aggregates.
+	CollectTelemetry bool
 }
 
 func (o Options) normalize() Options {
@@ -142,11 +147,12 @@ func Figure3(opt Options) ([]*Table, error) {
 	for _, a := range []float64{0.0, 0.1, 0.9} {
 		s := Series{Name: fmt.Sprintf("a=%.1f", a)}
 		for _, n := range failureAxis {
-			v, err := runMetricPoint(opt, baseCfg(opt, "SDSC", 1.0, n, SchedBalancing, a))
+			v, snap, err := runMetricPoint(opt, baseCfg(opt, "SDSC", 1.0, n, SchedBalancing, a))
 			if err != nil {
 				return nil, err
 			}
 			s.Y = append(s.Y, v)
+			s.appendTelemetry(snap)
 		}
 		t.Series = append(t.Series, s)
 	}
@@ -170,11 +176,12 @@ func Figure4(opt Options) ([]*Table, error) {
 	for _, c := range []float64{1.0, 1.2} {
 		s := Series{Name: fmt.Sprintf("c=%.1f", c)}
 		for _, n := range failureAxis {
-			v, err := runMetricPoint(opt, baseCfg(opt, "SDSC", c, n, SchedBalancing, 0.1))
+			v, snap, err := runMetricPoint(opt, baseCfg(opt, "SDSC", c, n, SchedBalancing, 0.1))
 			if err != nil {
 				return nil, err
 			}
 			s.Y = append(s.Y, v)
+			s.appendTelemetry(snap)
 		}
 		t.Series = append(t.Series, s)
 	}
@@ -198,13 +205,14 @@ func Figure5(opt Options) ([]*Table, error) {
 		lost := Series{Name: "lost"}
 		for _, n := range failureAxis {
 			t.X = append(t.X, float64(n))
-			u, un, lo, err := runCapacityPoint(opt, baseCfg(opt, "SDSC", c, n, SchedBalancing, 0.1))
+			u, un, lo, snap, err := runCapacityPoint(opt, baseCfg(opt, "SDSC", c, n, SchedBalancing, 0.1))
 			if err != nil {
 				return nil, err
 			}
 			util.Y = append(util.Y, u)
 			unused.Y = append(unused.Y, un)
 			lost.Y = append(lost.Y, lo)
+			t.appendTelemetry(snap)
 		}
 		t.Series = []Series{util, unused, lost}
 		tables = append(tables, t)
@@ -231,11 +239,12 @@ func paramFigure(opt Options, id, param string, kind SchedulerKind) ([]*Table, e
 		for _, c := range []float64{1.0, 1.2} {
 			s := Series{Name: fmt.Sprintf("c=%.1f", c)}
 			for _, a := range paramAxis {
-				v, err := runMetricPoint(opt, baseCfg(opt, wl, c, 1000, kind, a))
+				v, snap, err := runMetricPoint(opt, baseCfg(opt, wl, c, 1000, kind, a))
 				if err != nil {
 					return nil, err
 				}
 				s.Y = append(s.Y, v)
+				s.appendTelemetry(snap)
 			}
 			t.Series = append(t.Series, s)
 		}
@@ -267,13 +276,14 @@ func utilizationParamFigure(opt Options, id, wl, param string, kind SchedulerKin
 		lost := Series{Name: "lost"}
 		for _, a := range paramAxis {
 			t.X = append(t.X, a)
-			u, un, lo, err := runCapacityPoint(opt, baseCfg(opt, wl, c, 1000, kind, a))
+			u, un, lo, snap, err := runCapacityPoint(opt, baseCfg(opt, wl, c, 1000, kind, a))
 			if err != nil {
 				return nil, err
 			}
 			util.Y = append(util.Y, u)
 			unused.Y = append(unused.Y, un)
 			lost.Y = append(lost.Y, lo)
+			t.appendTelemetry(snap)
 		}
 		t.Series = []Series{util, unused, lost}
 		tables = append(tables, t)

@@ -45,10 +45,14 @@ func KrevatTable(opt Options, workload string, loadScale float64) (*Table, error
 			Scheduler: SchedBaseline, Seed: opt.Seed,
 			Backfill: v.Backfill, BackfillStrict: v.Strict, Migration: v.Migration,
 		}
+		// All four series come from the same runs, so per-variant
+		// snapshots go on the table, like the capacity figures.
+		reg := pointRegistry(opt, &cfg)
 		rs, err := RunSeeds(cfg, opt.Replications)
 		if err != nil {
 			return nil, err
 		}
+		t.appendTelemetry(reg.Snapshot())
 		point := func(metric string) (float64, error) {
 			vals, err := rs.Metric(metric)
 			if err != nil {

@@ -23,24 +23,27 @@ func LearnedSweep(opt Options, wl string) (*Table, error) {
 	balancing := Series{Name: "balancing-learned"}
 	tiebreak := Series{Name: "tiebreak-learned"}
 	for _, th := range thresholds {
-		v, err := runMetricPoint(opt, baseCfg(opt, wl, 1.0, 1000, SchedBalancingLearned, th))
+		v, snap, err := runMetricPoint(opt, baseCfg(opt, wl, 1.0, 1000, SchedBalancingLearned, th))
 		if err != nil {
 			return nil, err
 		}
 		balancing.Y = append(balancing.Y, v)
-		v, err = runMetricPoint(opt, baseCfg(opt, wl, 1.0, 1000, SchedTieBreakLearned, th))
+		balancing.appendTelemetry(snap)
+		v, snap, err = runMetricPoint(opt, baseCfg(opt, wl, 1.0, 1000, SchedTieBreakLearned, th))
 		if err != nil {
 			return nil, err
 		}
 		tiebreak.Y = append(tiebreak.Y, v)
+		tiebreak.appendTelemetry(snap)
 	}
 
-	// Reference lines: flat across the axis.
-	base, err := runMetricPoint(opt, baseCfg(opt, wl, 1.0, 1000, SchedBaseline, 0))
+	// Reference lines: flat across the axis (their single run's snapshot
+	// would misalign with the threshold axis, so it is discarded).
+	base, _, err := runMetricPoint(opt, baseCfg(opt, wl, 1.0, 1000, SchedBaseline, 0))
 	if err != nil {
 		return nil, err
 	}
-	oracle, err := runMetricPoint(opt, baseCfg(opt, wl, 1.0, 1000, SchedBalancing, 0.5))
+	oracle, _, err := runMetricPoint(opt, baseCfg(opt, wl, 1.0, 1000, SchedBalancing, 0.5))
 	if err != nil {
 		return nil, err
 	}

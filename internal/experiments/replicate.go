@@ -5,6 +5,7 @@ import (
 
 	"bgsched/internal/sim"
 	"bgsched/internal/stats"
+	"bgsched/internal/telemetry"
 )
 
 // seedStride separates replicate seeds. Run derives internal seeds as
@@ -78,26 +79,46 @@ func aggregate(vals []float64, how string) (float64, error) {
 	return 0, fmt.Errorf("experiments: unknown aggregate %q (want %s or %s)", how, AggMean, AggMedian)
 }
 
+// pointRegistry prepares per-point telemetry collection: when enabled
+// it attaches a fresh registry to cfg (shared by the point's
+// replicates) and returns it for snapshotting.
+func pointRegistry(opt Options, cfg *RunConfig) *telemetry.Registry {
+	if !opt.CollectTelemetry {
+		return nil
+	}
+	reg := telemetry.New()
+	cfg.Telemetry = reg
+	return reg
+}
+
 // runMetricPoint runs one sweep point with replication and returns the
-// aggregated metric value.
-func runMetricPoint(opt Options, cfg RunConfig) (float64, error) {
+// aggregated metric value, plus the point's telemetry snapshot when
+// Options.CollectTelemetry is set (nil otherwise).
+func runMetricPoint(opt Options, cfg RunConfig) (float64, *telemetry.Snapshot, error) {
+	reg := pointRegistry(opt, &cfg)
 	rs, err := RunSeeds(cfg, opt.Replications)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
 	vals, err := rs.Metric(opt.Metric)
 	if err != nil {
-		return 0, err
+		return 0, nil, err
 	}
-	return aggregate(vals, opt.Aggregate)
+	v, err := aggregate(vals, opt.Aggregate)
+	if err != nil {
+		return 0, nil, err
+	}
+	return v, reg.Snapshot(), nil
 }
 
 // runCapacityPoint runs one sweep point with replication and returns
-// the aggregated capacity split.
-func runCapacityPoint(opt Options, cfg RunConfig) (util, unused, lost float64, err error) {
+// the aggregated capacity split, plus the point's telemetry snapshot
+// when Options.CollectTelemetry is set (nil otherwise).
+func runCapacityPoint(opt Options, cfg RunConfig) (util, unused, lost float64, snap *telemetry.Snapshot, err error) {
+	reg := pointRegistry(opt, &cfg)
 	rs, err := RunSeeds(cfg, opt.Replications)
 	if err != nil {
-		return 0, 0, 0, err
+		return 0, 0, 0, nil, err
 	}
 	us, ns, ls := rs.Capacity()
 	if util, err = aggregate(us, opt.Aggregate); err != nil {
@@ -106,6 +127,9 @@ func runCapacityPoint(opt Options, cfg RunConfig) (util, unused, lost float64, e
 	if unused, err = aggregate(ns, opt.Aggregate); err != nil {
 		return
 	}
-	lost, err = aggregate(ls, opt.Aggregate)
+	if lost, err = aggregate(ls, opt.Aggregate); err != nil {
+		return
+	}
+	snap = reg.Snapshot()
 	return
 }

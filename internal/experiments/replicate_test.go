@@ -83,9 +83,27 @@ func TestAggregate(t *testing.T) {
 func TestRunMetricPointAggregates(t *testing.T) {
 	opt := Options{JobCount: 60, Seed: 3, Replications: 3, Metric: MetricSlowdown, Aggregate: AggMedian}
 	cfg := baseCfg(opt, "NASA", 1.0, 1000, SchedBalancing, 0.5)
-	v, err := runMetricPoint(opt, cfg)
+	v, snap, err := runMetricPoint(opt, cfg)
 	if err != nil {
 		t.Fatal(err)
+	}
+	if snap != nil {
+		t.Fatal("snapshot returned without CollectTelemetry")
+	}
+	opt.CollectTelemetry = true
+	_, snap, err = runMetricPoint(opt, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap == nil {
+		t.Fatal("CollectTelemetry set but no snapshot returned")
+	}
+	// The point registry aggregates all three replicates.
+	if got, want := snap.Counters["sim.finishes"], int64(3*60); got != want {
+		t.Fatalf("point snapshot finishes = %d, want %d", got, want)
+	}
+	if snap.Counters["finder.shape.calls"] == 0 {
+		t.Fatal("point snapshot missing partition-finder counters")
 	}
 	// The aggregated value must be one of (median) or bounded by the
 	// replicate values.

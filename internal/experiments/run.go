@@ -26,6 +26,7 @@ import (
 	"bgsched/internal/partition"
 	"bgsched/internal/predict"
 	"bgsched/internal/sim"
+	"bgsched/internal/telemetry"
 	"bgsched/internal/torus"
 	"bgsched/internal/workload"
 )
@@ -107,6 +108,10 @@ type RunConfig struct {
 	RecordTimeline bool
 	// EventLog, when non-nil, receives the JSONL simulation event log.
 	EventLog io.Writer
+	// Telemetry, when non-nil, is threaded through the scheduler, the
+	// partition finder and the simulator, so one registry collects the
+	// whole run's "sched.*", "finder.*" and "sim.*" instruments.
+	Telemetry *telemetry.Registry
 
 	Seed int64
 }
@@ -179,9 +184,10 @@ func Run(cfg RunConfig) (sim.Result, error) {
 	}
 	sched, err := core.NewScheduler(core.Config{
 		Policy:    policy,
-		Finder:    partition.ShapeFinder{},
+		Finder:    partition.Instrumented(partition.ShapeFinder{}, cfg.Telemetry),
 		Backfill:  cfg.Backfill,
 		Migration: cfg.Migration,
+		Telemetry: cfg.Telemetry,
 	})
 	if err != nil {
 		return sim.Result{}, err
@@ -196,6 +202,7 @@ func Run(cfg RunConfig) (sim.Result, error) {
 		Checkpoint:     buildCheckpoint(cfg, g, trace),
 		RecordTimeline: cfg.RecordTimeline,
 		EventLog:       cfg.EventLog,
+		Telemetry:      cfg.Telemetry,
 	})
 	if err != nil {
 		return sim.Result{}, err

@@ -5,22 +5,53 @@ import (
 	"io"
 	"strings"
 	"text/tabwriter"
+
+	"bgsched/internal/telemetry"
 )
 
 // Series is one curve of a figure.
 type Series struct {
-	Name string
-	Y    []float64
+	Name string    `json:"name"`
+	Y    []float64 `json:"y"`
+	// Telemetry carries one snapshot per sweep point (aligned with Y)
+	// when Options.CollectTelemetry is set and each series runs its own
+	// simulations; nil otherwise. The snapshot aggregates the point's
+	// replicates, so sweep curves carry the per-point search cost
+	// (finder.*), decision latency (sched.*) and distribution data
+	// (sim.job.*) alongside the headline metric.
+	Telemetry []*telemetry.Snapshot `json:"telemetry,omitempty"`
+}
+
+// appendTelemetry records a sweep point's snapshot; nil snapshots
+// (telemetry disabled) are skipped so Telemetry stays nil and the
+// field is omitted from JSON output.
+func (s *Series) appendTelemetry(snap *telemetry.Snapshot) {
+	if snap != nil {
+		s.Telemetry = append(s.Telemetry, snap)
+	}
 }
 
 // Table is the data behind one figure (or one panel of a multi-panel
 // figure): an x axis and one or more named series over it.
 type Table struct {
-	ID     string // e.g. "fig3"
-	Title  string
-	XLabel string
-	X      []float64
-	Series []Series
+	ID     string    `json:"id"` // e.g. "fig3"
+	Title  string    `json:"title"`
+	XLabel string    `json:"x_label"`
+	X      []float64 `json:"x"`
+	Series []Series  `json:"series"`
+	// Telemetry carries one snapshot per x point for tables whose
+	// series all derive from the same runs (the capacity splits);
+	// per-series telemetry lives on Series instead.
+	Telemetry []*telemetry.Snapshot `json:"telemetry,omitempty"`
+}
+
+// appendTelemetry records a per-x-point snapshot on the table itself
+// (used when all series share the same runs); nil snapshots are
+// skipped.
+func (t *Table) appendTelemetry(snap *telemetry.Snapshot) {
+	if snap != nil {
+		t.Telemetry = append(t.Telemetry, snap)
+	}
 }
 
 // Validate checks the series lengths agree with the axis.
@@ -30,6 +61,14 @@ func (t *Table) Validate() error {
 			return fmt.Errorf("experiments: table %s: series %q has %d points, axis has %d",
 				t.ID, s.Name, len(s.Y), len(t.X))
 		}
+		if s.Telemetry != nil && len(s.Telemetry) != len(t.X) {
+			return fmt.Errorf("experiments: table %s: series %q has %d snapshots, axis has %d",
+				t.ID, s.Name, len(s.Telemetry), len(t.X))
+		}
+	}
+	if t.Telemetry != nil && len(t.Telemetry) != len(t.X) {
+		return fmt.Errorf("experiments: table %s has %d snapshots, axis has %d",
+			t.ID, len(t.Telemetry), len(t.X))
 	}
 	return nil
 }

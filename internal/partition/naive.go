@@ -7,15 +7,20 @@ import "bgsched/internal/torus"
 // requested size and checks each candidate node by node. On an empty
 // M x M x M torus this costs O(M^9); it exists as the correctness oracle
 // and the benchmark baseline.
-type NaiveFinder struct{}
+type NaiveFinder struct {
+	// Metrics, when non-nil, receives per-call search-cost telemetry.
+	Metrics *Metrics
+}
 
 // Name implements Finder.
 func (NaiveFinder) Name() string { return "naive" }
 
 // FreeOfSize implements Finder by brute force.
-func (NaiveFinder) FreeOfSize(gr *torus.Grid, size int) []torus.Partition {
+func (f NaiveFinder) FreeOfSize(gr *torus.Grid, size int) []torus.Partition {
+	sw := f.Metrics.startTimer()
 	g := gr.Geometry()
 	dims := g.Dims
+	bases, rejects := 0, 0
 	var out []torus.Partition
 	// Enumerate all shapes (not just divisor triples) and filter by
 	// size, mirroring the "find all free partitions of any size, then
@@ -34,8 +39,14 @@ func (NaiveFinder) FreeOfSize(gr *torus.Grid, size int) []torus.Partition {
 								Base:  torus.Coord{X: bx, Y: by, Z: bz},
 								Shape: shape,
 							}
+							bases++
 							if gr.PartitionFree(p) {
 								out = append(out, p)
+							} else {
+								// PartitionFree stops at the first busy
+								// node: the naive algorithm's only form
+								// of early termination.
+								rejects++
 							}
 						}
 					}
@@ -44,6 +55,7 @@ func (NaiveFinder) FreeOfSize(gr *torus.Grid, size int) []torus.Partition {
 		}
 	}
 	sortPartitions(out)
+	f.Metrics.observe(sw, len(out), bases, rejects)
 	return out
 }
 

@@ -8,19 +8,25 @@ import "bgsched/internal/torus"
 // the whole window onto a 2D plane, and then reducing each 2D search to
 // 1D run-length scans. The cost is O(M^5)-ish, independent of the
 // divisor structure of the requested size.
-type POPFinder struct{}
+type POPFinder struct {
+	// Metrics, when non-nil, receives per-call search-cost telemetry.
+	Metrics *Metrics
+}
 
 // Name implements Finder.
 func (POPFinder) Name() string { return "pop" }
 
 // FreeOfSize implements Finder.
-func (POPFinder) FreeOfSize(gr *torus.Grid, size int) []torus.Partition {
+func (f POPFinder) FreeOfSize(gr *torus.Grid, size int) []torus.Partition {
+	sw := f.Metrics.startTimer()
 	g := gr.Geometry()
 	dims := g.Dims
 	shapes := g.ShapesOf(size)
 	if len(shapes) == 0 {
+		f.Metrics.noShapes(sw)
 		return nil
 	}
+	bases, rejects := 0, 0
 	zRuns := make([]int, g.N())
 	for x := 0; x < dims.X; x++ {
 		for y := 0; y < dims.Y; y++ {
@@ -74,7 +80,12 @@ func (POPFinder) FreeOfSize(gr *torus.Grid, size int) []torus.Partition {
 					computeRunsInto(func(x int) bool { return rowOK[x] },
 						dims.X, g.Wrap, xRun)
 					for bx := 0; bx < rx; bx++ {
+						bases++
 						if xRun[bx] < shape.X {
+							// The projected run table answers the whole
+							// footprint in O(1): this is POP's early
+							// rejection.
+							rejects++
 							continue
 						}
 						out = append(out, torus.Partition{
@@ -87,5 +98,6 @@ func (POPFinder) FreeOfSize(gr *torus.Grid, size int) []torus.Partition {
 		}
 	}
 	sortPartitions(out)
+	f.Metrics.observe(sw, len(out), bases, rejects)
 	return out
 }

@@ -12,7 +12,10 @@ import (
 // early using run-length information built lazily, on an as-needed
 // basis. On an empty torus the cost is O(M^3 * f(s)^3) where f(s) is
 // the divisor count of s, versus O(M^9) naive and O(M^5) for POP.
-type ShapeFinder struct{}
+type ShapeFinder struct {
+	// Metrics, when non-nil, receives per-call search-cost telemetry.
+	Metrics *Metrics
+}
 
 // Name implements Finder.
 func (ShapeFinder) Name() string { return "shape" }
@@ -27,13 +30,16 @@ type shapeScratch struct {
 var shapePool = sync.Pool{New: func() any { return new(shapeScratch) }}
 
 // FreeOfSize implements Finder.
-func (ShapeFinder) FreeOfSize(gr *torus.Grid, size int) []torus.Partition {
+func (f ShapeFinder) FreeOfSize(gr *torus.Grid, size int) []torus.Partition {
+	sw := f.Metrics.startTimer()
 	g := gr.Geometry()
 	dims := g.Dims
 	shapes := g.ShapesOf(size)
 	if len(shapes) == 0 {
+		f.Metrics.noShapes(sw)
 		return nil
 	}
+	bases, rejects := 0, 0
 
 	sc := shapePool.Get().(*shapeScratch)
 	defer shapePool.Put(sc)
@@ -72,6 +78,7 @@ func (ShapeFinder) FreeOfSize(gr *torus.Grid, size int) []torus.Partition {
 			for by := 0; by < ry; by++ {
 			nextBase:
 				for bz := 0; bz < rz; bz++ {
+					bases++
 					// Check the footprint column by column; the z run
 					// length at bz answers "is the whole z-window free"
 					// in O(1) per column.
@@ -86,6 +93,10 @@ func (ShapeFinder) FreeOfSize(gr *torus.Grid, size int) []torus.Partition {
 								y -= dims.Y
 							}
 							if colRuns(x, y)[bz] < shape.Z {
+								// Early termination: the base dies on
+								// the first short column, before the
+								// rest of the footprint is touched.
+								rejects++
 								continue nextBase
 							}
 						}
@@ -99,5 +110,6 @@ func (ShapeFinder) FreeOfSize(gr *torus.Grid, size int) []torus.Partition {
 		}
 	}
 	sortPartitions(out)
+	f.Metrics.observe(sw, len(out), bases, rejects)
 	return out
 }

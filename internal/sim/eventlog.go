@@ -14,14 +14,22 @@ import (
 // standard tooling (jq, dataframes). Fields are omitted when not
 // applicable to the event kind.
 type LoggedEvent struct {
+	// Seq is a monotonically increasing sequence number, starting at 1
+	// for the first logged event of a run. Simultaneous events share a
+	// timestamp but never a sequence number, so downstream pipelines
+	// can order, join and detect gaps without relying on line numbers.
+	Seq  uint64  `json:"seq"`
 	Time float64 `json:"t"`
 	Kind string  `json:"kind"` // arrival|start|finish|failure|kill|checkpoint|migrate|nodeup
 	Job  int64   `json:"job,omitempty"`
 	Node int     `json:"node,omitempty"`
 	Part string  `json:"part,omitempty"`
 	// Free is the number of free nodes after the event was applied.
+	// Deliberately not omitempty: a fully packed machine must log
+	// "free":0 explicitly, since jq-style pipelines assume presence.
 	Free int `json:"free"`
-	// Queue is the number of waiting jobs after the event.
+	// Queue is the number of waiting jobs after the event; emitted
+	// even when zero, for the same reason as Free.
 	Queue int `json:"queue"`
 }
 
@@ -29,6 +37,7 @@ type LoggedEvent struct {
 // discards everything, so call sites need no guards.
 type eventLogger struct {
 	enc *json.Encoder
+	seq uint64
 	err error
 }
 
@@ -39,11 +48,14 @@ func newEventLogger(w io.Writer) *eventLogger {
 	return &eventLogger{enc: json.NewEncoder(w)}
 }
 
-// log writes one event, remembering the first encoding error.
+// log stamps the next sequence number on the event and writes it,
+// remembering the first encoding error.
 func (l *eventLogger) log(e LoggedEvent) {
 	if l == nil || l.err != nil {
 		return
 	}
+	l.seq++
+	e.Seq = l.seq
 	l.err = l.enc.Encode(e)
 }
 

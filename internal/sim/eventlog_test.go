@@ -58,6 +58,70 @@ func TestEventLogRecordsLifecycle(t *testing.T) {
 	}
 }
 
+// TestEventLogSequenceNumbers: every logged event carries a strictly
+// increasing sequence number starting at 1, including simultaneous
+// events that share a timestamp.
+func TestEventLogSequenceNumbers(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{
+		Geometry:  torus.BlueGeneL(),
+		Scheduler: baselineScheduler(t, core.BackfillEASY),
+		// Two simultaneous arrivals force equal timestamps with
+		// distinct sequence numbers.
+		Jobs:     []*job.Job{mkJob(1, 0, 8, 100), mkJob(2, 0, 8, 100)},
+		EventLog: &buf,
+	}
+	runSim(t, cfg)
+
+	events, err := ReadEventLog(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no events logged")
+	}
+	for i, e := range events {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d, want %d", i, e.Seq, i+1)
+		}
+	}
+}
+
+// TestEventLogEmitsZeroFields: "free" and "queue" must appear in the
+// raw JSON even when zero, so downstream jq pipelines that assume
+// presence never see an absent field. A full-machine job drives free
+// to 0 while a second job waits, covering both fields' zero and
+// non-zero states.
+func TestEventLogEmitsZeroFields(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := Config{
+		Geometry:  torus.BlueGeneL(),
+		Scheduler: baselineScheduler(t, core.BackfillEASY),
+		Jobs:      []*job.Job{mkJob(1, 0, 128, 100), mkJob(2, 10, 1, 10)},
+		EventLog:  &buf,
+	}
+	runSim(t, cfg)
+
+	sawFreeZero := false
+	for _, line := range strings.Split(strings.TrimSpace(buf.String()), "\n") {
+		if !strings.Contains(line, `"free":`) {
+			t.Fatalf("line missing free field: %s", line)
+		}
+		if !strings.Contains(line, `"queue":`) {
+			t.Fatalf("line missing queue field: %s", line)
+		}
+		if !strings.Contains(line, `"seq":`) {
+			t.Fatalf("line missing seq field: %s", line)
+		}
+		if strings.Contains(line, `"free":0,`) || strings.Contains(line, `"free":0}`) {
+			sawFreeZero = true
+		}
+	}
+	if !sawFreeZero {
+		t.Error("full-machine run never logged free=0 explicitly")
+	}
+}
+
 func TestEventLogDisabled(t *testing.T) {
 	// No EventLog configured: nothing breaks, nothing recorded.
 	res := runSim(t, Config{

@@ -29,6 +29,7 @@ import (
 	"bgsched/internal/failure"
 	"bgsched/internal/job"
 	"bgsched/internal/metrics"
+	"bgsched/internal/telemetry"
 	"bgsched/internal/torus"
 )
 
@@ -63,6 +64,55 @@ type Config struct {
 	// EventLog, when non-nil, receives one JSON object per simulation
 	// state change (see LoggedEvent / ReadEventLog).
 	EventLog io.Writer
+
+	// Telemetry, when non-nil, receives the run's counters, gauges and
+	// per-job distributions ("sim.*" instruments; see simMetrics). A
+	// nil registry disables collection with no other behaviour change.
+	Telemetry *telemetry.Registry
+}
+
+// simMetrics holds the simulator's instruments, resolved once in New.
+// With a nil registry every handle is nil and recording is a no-op.
+type simMetrics struct {
+	events      *telemetry.Counter // sim.events: simulation events processed
+	arrivals    *telemetry.Counter // sim.arrivals
+	starts      *telemetry.Counter // sim.starts: job (re)starts dispatched
+	finishes    *telemetry.Counter // sim.finishes
+	failures    *telemetry.Counter // sim.failures: failure events delivered
+	kills       *telemetry.Counter // sim.kills: failures that killed a running job
+	restarts    *telemetry.Counter // sim.restarts: killed jobs requeued for re-execution
+	checkpoints *telemetry.Counter // sim.checkpoints
+	migrations  *telemetry.Counter // sim.migrations
+	backfills   *telemetry.Counter // sim.backfills: starts ahead of the queue head
+
+	freeNodes   *telemetry.Gauge // sim.free_nodes, sampled at every event
+	queueDepth  *telemetry.Gauge // sim.queue_depth, sampled at every event
+	runningJobs *telemetry.Gauge // sim.running_jobs, sampled at every event
+
+	wait     *telemetry.Histogram // sim.job.wait_seconds (paper t_w, per finished job)
+	response *telemetry.Histogram // sim.job.response_seconds (t_r)
+	slowdown *telemetry.Histogram // sim.job.bounded_slowdown
+}
+
+func newSimMetrics(reg *telemetry.Registry) simMetrics {
+	return simMetrics{
+		events:      reg.Counter("sim.events"),
+		arrivals:    reg.Counter("sim.arrivals"),
+		starts:      reg.Counter("sim.starts"),
+		finishes:    reg.Counter("sim.finishes"),
+		failures:    reg.Counter("sim.failures"),
+		kills:       reg.Counter("sim.kills"),
+		restarts:    reg.Counter("sim.restarts"),
+		checkpoints: reg.Counter("sim.checkpoints"),
+		migrations:  reg.Counter("sim.migrations"),
+		backfills:   reg.Counter("sim.backfills"),
+		freeNodes:   reg.Gauge("sim.free_nodes"),
+		queueDepth:  reg.Gauge("sim.queue_depth"),
+		runningJobs: reg.Gauge("sim.running_jobs"),
+		wait:        reg.Histogram("sim.job.wait_seconds"),
+		response:    reg.Histogram("sim.job.response_seconds"),
+		slowdown:    reg.Histogram("sim.job.bounded_slowdown"),
+	}
 }
 
 // Result is the outcome of a run.
@@ -124,6 +174,7 @@ type Simulator struct {
 	progress map[job.ID]*jobProgress
 	jobsByID map[job.ID]*job.Job
 	elog     *eventLogger
+	met      simMetrics
 	tracker  metrics.CapacityTracker
 	outcomes []metrics.Outcome
 	result   Result
@@ -174,6 +225,7 @@ func New(cfg Config) (*Simulator, error) {
 	s := &Simulator{
 		cfg:      cfg,
 		elog:     newEventLogger(cfg.EventLog),
+		met:      newSimMetrics(cfg.Telemetry),
 		grid:     torus.NewGrid(cfg.Geometry),
 		queue:    job.NewQueue(),
 		running:  make(map[job.ID]*runState),
@@ -219,6 +271,7 @@ func (s *Simulator) Run() (Result, error) {
 			return Result{}, fmt.Errorf("sim: event time went backwards: %g after %g", e.time, s.now)
 		}
 		s.now = e.time
+		s.met.events.Inc()
 		var err error
 		switch e.kind {
 		case evArrival:
@@ -256,9 +309,13 @@ func (s *Simulator) Run() (Result, error) {
 	return s.result, nil
 }
 
-// observe feeds the capacity tracker with the current (f, q) state.
+// observe feeds the capacity tracker with the current (f, q) state and
+// refreshes the machine-state gauges.
 func (s *Simulator) observe() error {
 	s.recordTimeline()
+	s.met.freeNodes.Set(float64(s.grid.FreeCount()))
+	s.met.queueDepth.Set(float64(s.queue.Len()))
+	s.met.runningJobs.Set(float64(len(s.running)))
 	return s.tracker.Observe(s.now, s.grid.FreeCount(), s.queue.DemandNodes())
 }
 
@@ -268,6 +325,7 @@ func (s *Simulator) handleArrival(e event) error {
 		return fmt.Errorf("sim: arrival for unknown job %d", e.jobID)
 	}
 	s.queue.Push(j)
+	s.met.arrivals.Inc()
 	s.logEvent("arrival", j.ID, 0, nil)
 	if err := s.schedule(); err != nil {
 		return err
@@ -284,8 +342,14 @@ func (s *Simulator) handleFinish(e event) error {
 		return fmt.Errorf("sim: finish: %w", err)
 	}
 	delete(s.running, e.jobID)
+	s.met.finishes.Inc()
 	s.logEvent("finish", e.jobID, 0, &r.part)
 	p := s.progress[e.jobID]
+	wait := r.start - r.job.Arrival
+	response := s.now - r.job.Arrival
+	s.met.wait.Observe(wait)
+	s.met.response.Observe(response)
+	s.met.slowdown.Observe(metrics.BoundedSlowdown(response, r.job.Estimate))
 	s.outcomes = append(s.outcomes, metrics.Outcome{
 		ID:         e.jobID,
 		Arrival:    r.job.Arrival,
@@ -317,6 +381,7 @@ func (s *Simulator) handleFailure(e event) error {
 		return nil
 	}
 	s.result.FailureEvents++
+	s.met.failures.Inc()
 	owner := s.grid.OwnerAt(e.node)
 	s.logEvent("failure", job.ID(max64(owner, 0)), e.node, nil)
 	if owner == downOwner {
@@ -349,6 +414,8 @@ func (s *Simulator) kill(id job.ID) error {
 		return fmt.Errorf("sim: failure killed job %d which is not running", id)
 	}
 	s.result.JobKills++
+	s.met.kills.Inc()
+	s.met.restarts.Inc()
 	if err := s.grid.Release(r.part, int64(id)); err != nil {
 		return fmt.Errorf("sim: kill: %w", err)
 	}
@@ -399,6 +466,7 @@ func (s *Simulator) handleCheckpoint(e event) error {
 		p.savedWork = r.job.Actual
 	}
 	s.result.Checkpoints++
+	s.met.checkpoints.Inc()
 	s.logEvent("checkpoint", e.jobID, 0, &r.part)
 
 	// The checkpoint itself costs Overhead: completion slips, and the
@@ -458,6 +526,7 @@ func (s *Simulator) schedule() error {
 			if d.Job.Arrival > oldest.Arrival ||
 				(d.Job.Arrival == oldest.Arrival && d.Job.ID > oldest.ID) {
 				s.result.Backfills++
+				s.met.backfills.Inc()
 			}
 		}
 	}
@@ -498,6 +567,7 @@ func (s *Simulator) start(d core.Decision) {
 		p.firstStart = s.now
 	}
 	p.lastStart = s.now
+	s.met.starts.Inc()
 	s.logEvent("start", d.Job.ID, 0, &d.Part)
 	s.events.push(event{time: r.finishTime, kind: evFinish, jobID: d.Job.ID, epoch: r.epoch})
 	s.scheduleNextCheckpoint(r)
@@ -533,6 +603,7 @@ func (s *Simulator) migrate() error {
 		r := s.running[list[m.JobIndex].Job.ID]
 		r.part = m.To
 		s.result.Migrations++
+		s.met.migrations.Inc()
 		if cost := s.cfg.MigrationCost; cost > 0 {
 			// The move checkpoints and restarts the job: completion
 			// slips and the pause produces no work. The pending finish

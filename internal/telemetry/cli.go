@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+)
+
+// CLIFlags is the observability flag group shared by every bgsched
+// command: a metrics/manifest output path plus the pprof and
+// runtime/trace hooks. Register it once per FlagSet, call Registry()
+// to obtain the (possibly nil) registry to thread through the run,
+// bracket the run with Start/stop, and WriteMetrics at exit.
+type CLIFlags struct {
+	Metrics string
+	Profile ProfileConfig
+}
+
+// RegisterCLIFlags registers -metrics, -cpuprofile, -memprofile and
+// -trace on fs and returns the bound flag group.
+func RegisterCLIFlags(fs *flag.FlagSet) *CLIFlags {
+	f := &CLIFlags{}
+	fs.StringVar(&f.Metrics, "metrics", "",
+		"write a JSON run manifest with the telemetry snapshot to this file (a .prom path emits Prometheus text exposition instead)")
+	fs.StringVar(&f.Profile.CPUProfile, "cpuprofile", "", "write a pprof CPU profile to this file")
+	fs.StringVar(&f.Profile.MemProfile, "memprofile", "", "write a pprof heap profile to this file at exit")
+	fs.StringVar(&f.Profile.Trace, "trace", "", "write a runtime/trace execution trace to this file")
+	return f
+}
+
+// Registry returns a fresh registry when -metrics was given and nil
+// otherwise, so un-instrumented runs keep the nil fast path.
+func (f *CLIFlags) Registry() *Registry {
+	if f.Metrics == "" {
+		return nil
+	}
+	return New()
+}
+
+// Start begins the profiling collectors requested on the command line
+// and returns their stop function (never nil; a no-op when no profile
+// flags were set). Typical use:
+//
+//	stop, err := obs.Start()
+//	if err != nil { return err }
+//	defer stop()
+func (f *CLIFlags) Start() (stop func() error, err error) {
+	return StartProfiles(f.Profile)
+}
+
+// WriteMetrics finishes the manifest against reg and writes it to the
+// -metrics path: an indented JSON manifest by default, or the bare
+// snapshot in Prometheus text exposition when the path ends in
+// ".prom". A no-op when -metrics was not given.
+func (f *CLIFlags) WriteMetrics(m *Manifest, reg *Registry) error {
+	if f.Metrics == "" {
+		return nil
+	}
+	m.Finish(reg)
+	out, err := os.Create(f.Metrics)
+	if err != nil {
+		return fmt.Errorf("telemetry: metrics output: %w", err)
+	}
+	var werr error
+	if strings.HasSuffix(f.Metrics, ".prom") {
+		if m.Snapshot != nil {
+			werr = m.Snapshot.WritePrometheus(out)
+		}
+	} else {
+		werr = m.WriteJSON(out)
+	}
+	cerr := out.Close()
+	if werr != nil {
+		return fmt.Errorf("telemetry: metrics output: %w", werr)
+	}
+	return cerr
+}

@@ -1,0 +1,242 @@
+package telemetry
+
+import (
+	"math"
+	"sync/atomic"
+	"time"
+)
+
+// Log-scale bucket layout. Bucket i covers (lowerBound(i), lowerBound(i+1)]
+// with bounds growing by a factor of 2^(1/histSubBuckets): eight
+// sub-buckets per octave bounds the relative quantile error at about
+// 2^(1/8)-1 ≈ 9%. The covered range is 2^-30 (~1 ns expressed in
+// seconds) to 2^30 (~34 simulated years); values outside clamp into
+// the edge buckets, values <= 0 count in a dedicated zero bucket.
+const (
+	histSubBuckets = 8
+	histMinExp     = -30 // 2^histMinExp is the lowest bucket bound
+	histMaxExp     = 30
+	histBuckets    = (histMaxExp - histMinExp) * histSubBuckets
+)
+
+// Histogram is a fixed-size log-scale histogram safe for concurrent
+// observation. It tracks count, sum, min and max exactly and estimates
+// quantiles from the bucket counts.
+type Histogram struct {
+	buckets [histBuckets]atomic.Int64
+	zeros   atomic.Int64 // observations <= 0
+	count   atomic.Int64
+	sum     atomicFloat
+	min     atomicFloat
+	max     atomicFloat
+}
+
+func newHistogram() *Histogram {
+	h := new(Histogram)
+	h.min.store(math.Inf(1))
+	h.max.store(math.Inf(-1))
+	return h
+}
+
+// bucketIndex maps a positive value to its bucket.
+func bucketIndex(v float64) int {
+	i := int(math.Floor(math.Log2(v)*histSubBuckets)) - histMinExp*histSubBuckets
+	if i < 0 {
+		return 0
+	}
+	if i >= histBuckets {
+		return histBuckets - 1
+	}
+	return i
+}
+
+// lowerBound returns the lower bound of bucket i.
+func lowerBound(i int) float64 {
+	return math.Exp2(float64(i+histMinExp*histSubBuckets) / histSubBuckets)
+}
+
+// Observe records one sample. No-op on a nil histogram.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	if v > 0 {
+		h.buckets[bucketIndex(v)].Add(1)
+	} else {
+		h.zeros.Add(1)
+	}
+	h.count.Add(1)
+	h.sum.add(v)
+	h.min.storeMin(v)
+	h.max.storeMax(v)
+}
+
+// Count returns the number of observations; 0 on a nil histogram.
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observations; 0 on a nil histogram.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return h.sum.load()
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the observed
+// samples, within the bucket resolution. It returns 0 when empty or
+// nil. The exact observed min and max clamp the estimate, so extreme
+// quantiles never stray outside the data.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil {
+		return 0
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	if q <= 0 {
+		return h.min.load()
+	}
+	if q >= 1 {
+		return h.max.load()
+	}
+	rank := int64(math.Ceil(q * float64(total)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := h.zeros.Load()
+	est := 0.0
+	if cum < rank {
+		for i := 0; i < histBuckets; i++ {
+			cum += h.buckets[i].Load()
+			if cum >= rank {
+				// Geometric midpoint of the bucket: unbiased for
+				// log-uniform data within the bucket.
+				est = math.Sqrt(lowerBound(i) * lowerBound(i+1))
+				break
+			}
+		}
+	}
+	if mn := h.min.load(); est < mn {
+		est = mn
+	}
+	if mx := h.max.load(); est > mx {
+		est = mx
+	}
+	return est
+}
+
+// Stats summarises the histogram. Zero value on nil or empty.
+func (h *Histogram) Stats() HistogramStats {
+	if h == nil || h.count.Load() == 0 {
+		return HistogramStats{}
+	}
+	n := h.count.Load()
+	s := HistogramStats{
+		Count: n,
+		Sum:   h.sum.load(),
+		Min:   h.min.load(),
+		Max:   h.max.load(),
+	}
+	s.Mean = s.Sum / float64(n)
+	s.Quantiles = map[string]float64{
+		"p50": h.Quantile(0.50),
+		"p90": h.Quantile(0.90),
+		"p99": h.Quantile(0.99),
+	}
+	return s
+}
+
+// HistogramStats is the snapshot form of a histogram.
+type HistogramStats struct {
+	Count     int64              `json:"count"`
+	Sum       float64            `json:"sum"`
+	Min       float64            `json:"min"`
+	Max       float64            `json:"max"`
+	Mean      float64            `json:"mean"`
+	Quantiles map[string]float64 `json:"quantiles,omitempty"`
+}
+
+// Timer records wall-clock durations, in seconds, into a histogram.
+type Timer struct {
+	h *Histogram
+}
+
+// Stopwatch is one in-flight timing started by Timer.Start.
+type Stopwatch struct {
+	t     *Timer
+	start time.Time
+}
+
+// Start begins a timing; call Stop on the returned stopwatch. Safe on
+// a nil timer (Stop is then a no-op).
+func (t *Timer) Start() Stopwatch {
+	if t == nil {
+		return Stopwatch{}
+	}
+	return Stopwatch{t: t, start: time.Now()}
+}
+
+// Observe records an already-measured duration.
+func (t *Timer) Observe(d time.Duration) {
+	if t == nil {
+		return
+	}
+	t.h.Observe(d.Seconds())
+}
+
+// Stop records the elapsed time since Start.
+func (s Stopwatch) Stop() {
+	if s.t == nil {
+		return
+	}
+	s.t.h.Observe(time.Since(s.start).Seconds())
+}
+
+// atomicFloat is a float64 with atomic add and min/max folding.
+type atomicFloat struct {
+	bits atomic.Uint64
+}
+
+func (a *atomicFloat) store(v float64) { a.bits.Store(math.Float64bits(v)) }
+
+func (a *atomicFloat) load() float64 { return math.Float64frombits(a.bits.Load()) }
+
+func (a *atomicFloat) add(v float64) {
+	for {
+		old := a.bits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if a.bits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+func (a *atomicFloat) storeMin(v float64) {
+	for {
+		old := a.bits.Load()
+		if math.Float64frombits(old) <= v {
+			return
+		}
+		if a.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}
+
+func (a *atomicFloat) storeMax(v float64) {
+	for {
+		old := a.bits.Load()
+		if math.Float64frombits(old) >= v {
+			return
+		}
+		if a.bits.CompareAndSwap(old, math.Float64bits(v)) {
+			return
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package telemetry
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestQuantileKnownDistribution checks quantile estimates against a
+// distribution whose quantiles are known in closed form. The log-scale
+// buckets grow by 2^(1/8) per step, so estimates must land within
+// ~±9% relative error (one bucket width) of the true value.
+func TestQuantileKnownDistribution(t *testing.T) {
+	r := New()
+
+	// Uniform[0, 1000): true q-quantile is 1000q.
+	h := r.Histogram("uniform")
+	rng := rand.New(rand.NewSource(42))
+	const n = 200000
+	for i := 0; i < n; i++ {
+		h.Observe(rng.Float64() * 1000)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, 500}, {0.90, 900}, {0.99, 990},
+	} {
+		got := h.Quantile(tc.q)
+		if rel := math.Abs(got-tc.want) / tc.want; rel > 0.10 {
+			t.Errorf("uniform q%.2f = %.1f, want %.1f ±10%%", tc.q, got, tc.want)
+		}
+	}
+
+	// Exponential(mean 100): true q-quantile is -100 ln(1-q). This
+	// spans several orders of magnitude, the case log buckets exist for.
+	e := r.Histogram("exp")
+	for i := 0; i < n; i++ {
+		e.Observe(rng.ExpFloat64() * 100)
+	}
+	for _, q := range []float64{0.5, 0.9, 0.99} {
+		want := -100 * math.Log(1-q)
+		got := e.Quantile(q)
+		if rel := math.Abs(got-want) / want; rel > 0.10 {
+			t.Errorf("exp q%.2f = %.1f, want %.1f ±10%%", q, got, want)
+		}
+	}
+}
+
+func TestQuantileEdgeCases(t *testing.T) {
+	r := New()
+	h := r.Histogram("h")
+	if h.Quantile(0.5) != 0 {
+		t.Error("empty histogram quantile != 0")
+	}
+	h.Observe(5)
+	for _, q := range []float64{0, 0.5, 1} {
+		if got := h.Quantile(q); got != 5 {
+			t.Errorf("single-sample q%g = %g, want 5 (clamped to min/max)", q, got)
+		}
+	}
+
+	// Zero and negative samples land in the zero bucket and pull low
+	// quantiles to the observed minimum.
+	z := r.Histogram("z")
+	z.Observe(0)
+	z.Observe(0)
+	z.Observe(100)
+	if got := z.Quantile(0.5); got != 0 {
+		t.Errorf("zero-heavy q50 = %g, want 0", got)
+	}
+	if got := z.Quantile(1); got != 100 {
+		t.Errorf("zero-heavy q100 = %g, want 100", got)
+	}
+	if z.Count() != 3 {
+		t.Errorf("count = %d, want 3", z.Count())
+	}
+}
+
+// TestBucketLayout pins the index/bound round-trip: every bucket's
+// geometric midpoint must map back to that bucket, and out-of-range
+// values must clamp rather than panic.
+func TestBucketLayout(t *testing.T) {
+	for i := 0; i < histBuckets; i++ {
+		mid := math.Sqrt(lowerBound(i) * lowerBound(i+1))
+		if got := bucketIndex(mid); got != i {
+			t.Fatalf("bucket %d midpoint %g maps to %d", i, mid, got)
+		}
+	}
+	if got := bucketIndex(1e-300); got != 0 {
+		t.Errorf("tiny value bucket = %d, want 0", got)
+	}
+	if got := bucketIndex(1e300); got != histBuckets-1 {
+		t.Errorf("huge value bucket = %d, want %d", got, histBuckets-1)
+	}
+}
+
+func TestTimerRecordsSeconds(t *testing.T) {
+	r := New()
+	tm := r.Timer("op")
+	sw := tm.Start()
+	time.Sleep(2 * time.Millisecond)
+	sw.Stop()
+	tm.Observe(50 * time.Millisecond)
+
+	h := r.Histogram("op") // same underlying instrument
+	if h.Count() != 2 {
+		t.Fatalf("timer recorded %d samples, want 2", h.Count())
+	}
+	if min := h.Stats().Min; min < 0.002 || min > 1 {
+		t.Errorf("timed sleep recorded %.6fs, want >= 2ms", min)
+	}
+	if max := h.Stats().Max; math.Abs(max-0.05) > 1e-9 {
+		t.Errorf("observed duration = %g, want 0.05", max)
+	}
+}

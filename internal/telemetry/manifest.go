@@ -1,0 +1,113 @@
+package telemetry
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+	"time"
+)
+
+// Manifest is the reproducibility record every CLI run emits: enough
+// to re-run the exact configuration (config hash, seed, version) and
+// to compare runs across PRs (duration plus the metrics snapshot).
+type Manifest struct {
+	Tool       string    `json:"tool"`
+	Version    string    `json:"version"`
+	GoVersion  string    `json:"go_version"`
+	Args       []string  `json:"args,omitempty"`
+	Config     any       `json:"config,omitempty"`
+	ConfigHash string    `json:"config_hash,omitempty"`
+	Seed       int64     `json:"seed,omitempty"`
+	Start      time.Time `json:"start"`
+	DurationS  float64   `json:"duration_seconds"`
+	Snapshot   *Snapshot `json:"snapshot,omitempty"`
+	// Artifacts carries tool-specific structured output, e.g. bgsweep's
+	// figure tables with their embedded per-point snapshots.
+	Artifacts any `json:"artifacts,omitempty"`
+
+	started time.Time
+}
+
+// NewManifest starts a manifest for one tool invocation. config may be
+// any JSON-serialisable value describing the run (it is stored and
+// hashed); nil skips both fields.
+func NewManifest(tool string, args []string, config any) *Manifest {
+	now := time.Now()
+	m := &Manifest{
+		Tool:      tool,
+		Version:   Version(),
+		GoVersion: runtime.Version(),
+		Args:      args,
+		Start:     now.UTC(),
+		started:   now,
+	}
+	if config != nil {
+		m.Config = config
+		m.ConfigHash = ConfigHash(config)
+	}
+	return m
+}
+
+// Finish stamps the run duration and attaches the registry snapshot
+// (reg may be nil).
+func (m *Manifest) Finish(reg *Registry) {
+	m.DurationS = time.Since(m.started).Seconds()
+	m.Snapshot = reg.Snapshot()
+}
+
+// WriteJSON renders the manifest as indented JSON.
+func (m *Manifest) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(m)
+}
+
+// ConfigHash returns a short hex digest of the canonical (JSON)
+// encoding of cfg, for grouping runs by configuration. Encoding
+// failures yield "unhashable".
+func ConfigHash(cfg any) string {
+	b, err := json.Marshal(cfg)
+	if err != nil {
+		return "unhashable"
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:8])
+}
+
+// Version returns a git-describe-style identifier for the running
+// binary, derived from the build info the Go toolchain embeds:
+// module version when tagged, otherwise "devel-<rev12>[-dirty]", or
+// "unknown" outside module builds (e.g. plain `go test`).
+func Version() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		return v
+	}
+	var rev string
+	dirty := false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev == "" {
+		return "devel"
+	}
+	if len(rev) > 12 {
+		rev = rev[:12]
+	}
+	if dirty {
+		return fmt.Sprintf("devel-%s-dirty", rev)
+	}
+	return "devel-" + rev
+}

@@ -1,0 +1,110 @@
+package telemetry
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestManifestRoundTrip(t *testing.T) {
+	type cfg struct {
+		Workload string
+		Jobs     int
+	}
+	r := New()
+	r.Counter("sim.starts").Add(3)
+
+	m := NewManifest("bgsim", []string{"-jobs", "10"}, cfg{Workload: "SDSC", Jobs: 10})
+	m.Seed = 7
+	m.Finish(r)
+
+	if m.Tool != "bgsim" || m.Version == "" || m.GoVersion == "" {
+		t.Errorf("manifest identity incomplete: %+v", m)
+	}
+	if m.ConfigHash == "" || m.ConfigHash == "unhashable" {
+		t.Errorf("config hash = %q", m.ConfigHash)
+	}
+	if m.DurationS < 0 {
+		t.Errorf("duration = %g", m.DurationS)
+	}
+	if m.Snapshot == nil || m.Snapshot.Counters["sim.starts"] != 3 {
+		t.Errorf("snapshot not attached: %+v", m.Snapshot)
+	}
+
+	var sb strings.Builder
+	if err := m.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"tool": "bgsim"`, `"config_hash"`, `"sim.starts": 3`, `"seed": 7`} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("manifest JSON missing %q:\n%s", want, sb.String())
+		}
+	}
+}
+
+// TestConfigHashStability: the hash must be a function of the config
+// value alone, so identical configs group across runs and differing
+// configs separate.
+func TestConfigHashStability(t *testing.T) {
+	type cfg struct{ A, B int }
+	h1 := ConfigHash(cfg{1, 2})
+	h2 := ConfigHash(cfg{1, 2})
+	h3 := ConfigHash(cfg{1, 3})
+	if h1 != h2 {
+		t.Errorf("equal configs hash differently: %s vs %s", h1, h2)
+	}
+	if h1 == h3 {
+		t.Errorf("different configs collide: %s", h1)
+	}
+	if ConfigHash(make(chan int)) != "unhashable" {
+		t.Error("unserialisable config did not report unhashable")
+	}
+}
+
+// TestStartProfiles exercises the pprof/trace wiring end to end: all
+// three collectors enabled, files must exist and be non-empty after
+// stop.
+func TestStartProfiles(t *testing.T) {
+	dir := t.TempDir()
+	cfg := ProfileConfig{
+		CPUProfile: filepath.Join(dir, "cpu.pprof"),
+		MemProfile: filepath.Join(dir, "mem.pprof"),
+		Trace:      filepath.Join(dir, "trace.out"),
+	}
+	stop, err := StartProfiles(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Burn a little CPU so the profile has samples to encode.
+	x := 0
+	for i := 0; i < 1_000_000; i++ {
+		x += i
+	}
+	_ = x
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []string{cfg.CPUProfile, cfg.MemProfile, cfg.Trace} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Errorf("%s: %v", p, err)
+			continue
+		}
+		if st.Size() == 0 {
+			t.Errorf("%s is empty", p)
+		}
+	}
+}
+
+// TestStartProfilesDisabled: the zero config starts nothing and the
+// stop function is still safe to call.
+func TestStartProfilesDisabled(t *testing.T) {
+	stop, err := StartProfiles(ProfileConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := stop(); err != nil {
+		t.Fatal(err)
+	}
+}

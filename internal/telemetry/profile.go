@@ -1,0 +1,86 @@
+package telemetry
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"runtime/trace"
+)
+
+// ProfileConfig names the optional profiling outputs of one CLI run;
+// empty paths disable the corresponding collector.
+type ProfileConfig struct {
+	CPUProfile string // pprof CPU profile path
+	MemProfile string // pprof heap profile path (written at stop)
+	Trace      string // runtime/trace execution trace path
+}
+
+// StartProfiles starts the collectors enabled by cfg and returns a
+// stop function that must be called exactly once (typically deferred)
+// to flush and close them. On error everything already started is
+// stopped.
+func StartProfiles(cfg ProfileConfig) (stop func() error, err error) {
+	var stops []func() error
+	fail := func(e error) (func() error, error) {
+		for i := len(stops) - 1; i >= 0; i-- {
+			stops[i]() //nolint:errcheck // best-effort unwind
+		}
+		return nil, e
+	}
+
+	if cfg.CPUProfile != "" {
+		f, err := os.Create(cfg.CPUProfile)
+		if err != nil {
+			return fail(fmt.Errorf("telemetry: cpu profile: %w", err))
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("telemetry: cpu profile: %w", err))
+		}
+		stops = append(stops, func() error {
+			pprof.StopCPUProfile()
+			return f.Close()
+		})
+	}
+	if cfg.Trace != "" {
+		f, err := os.Create(cfg.Trace)
+		if err != nil {
+			return fail(fmt.Errorf("telemetry: trace: %w", err))
+		}
+		if err := trace.Start(f); err != nil {
+			f.Close()
+			return fail(fmt.Errorf("telemetry: trace: %w", err))
+		}
+		stops = append(stops, func() error {
+			trace.Stop()
+			return f.Close()
+		})
+	}
+	if cfg.MemProfile != "" {
+		path := cfg.MemProfile
+		stops = append(stops, func() error {
+			f, err := os.Create(path)
+			if err != nil {
+				return fmt.Errorf("telemetry: mem profile: %w", err)
+			}
+			runtime.GC() // up-to-date allocation data
+			werr := pprof.WriteHeapProfile(f)
+			cerr := f.Close()
+			if werr != nil {
+				return fmt.Errorf("telemetry: mem profile: %w", werr)
+			}
+			return cerr
+		})
+	}
+
+	return func() error {
+		var first error
+		for i := len(stops) - 1; i >= 0; i-- {
+			if e := stops[i](); e != nil && first == nil {
+				first = e
+			}
+		}
+		return first
+	}, nil
+}

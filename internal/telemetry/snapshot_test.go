@@ -1,0 +1,68 @@
+package telemetry
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPrometheusGolden pins the exact text exposition for a small
+// registry with deterministic contents. Histogram quantiles are fed a
+// single repeated value so the log-bucket estimate collapses to the
+// exact (clamped) observation.
+func TestPrometheusGolden(t *testing.T) {
+	r := New()
+	r.Counter("sim.starts").Add(42)
+	r.Counter("finder.shape.calls").Add(7)
+	r.Gauge("sim.free_nodes").Set(128)
+	h := r.Histogram("sim.job.wait_seconds")
+	for i := 0; i < 4; i++ {
+		h.Observe(8)
+	}
+
+	var sb strings.Builder
+	if err := r.Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	const want = `# TYPE finder_shape_calls counter
+finder_shape_calls 7
+# TYPE sim_starts counter
+sim_starts 42
+# TYPE sim_free_nodes gauge
+sim_free_nodes 128
+# TYPE sim_job_wait_seconds summary
+sim_job_wait_seconds{quantile="0.50"} 8
+sim_job_wait_seconds{quantile="0.90"} 8
+sim_job_wait_seconds{quantile="0.99"} 8
+sim_job_wait_seconds_sum 32
+sim_job_wait_seconds_count 4
+`
+	if got := sb.String(); got != want {
+		t.Errorf("Prometheus exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestPromName(t *testing.T) {
+	cases := map[string]string{
+		"sim.job.wait_seconds": "sim_job_wait_seconds",
+		"finder/shape-calls":   "finder_shape_calls",
+		"9lives":               "_lives", // leading digit is invalid
+		"ok_name":              "ok_name",
+	}
+	for in, want := range cases {
+		if got := promName(in); got != want {
+			t.Errorf("promName(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestPrometheusEmpty ensures an empty snapshot renders to nothing
+// rather than erroring.
+func TestPrometheusEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := New().Snapshot().WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Errorf("empty snapshot rendered %q", sb.String())
+	}
+}

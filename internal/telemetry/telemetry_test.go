@@ -1,0 +1,124 @@
+package telemetry
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestNilSafety exercises every instrument through a nil registry: the
+// whole point of the nil-receiver design is that instrumented code can
+// run guard-free with collection disabled.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Errorf("nil counter value = %d", c.Value())
+	}
+	g := r.Gauge("g")
+	g.Set(3)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Errorf("nil gauge value = %g", g.Value())
+	}
+	h := r.Histogram("h")
+	h.Observe(1)
+	if h.Count() != 0 || h.Sum() != 0 || h.Quantile(0.5) != 0 {
+		t.Errorf("nil histogram recorded something")
+	}
+	tm := r.Timer("t")
+	sw := tm.Start()
+	sw.Stop()
+	tm.Observe(0)
+	if s := r.Snapshot(); s != nil {
+		t.Errorf("nil registry snapshot = %+v", s)
+	}
+}
+
+// TestConcurrentCounters hammers one counter, one gauge and one
+// histogram from many goroutines; run under -race this is the
+// registry's thread-safety proof, and the totals must still be exact.
+func TestConcurrentCounters(t *testing.T) {
+	r := New()
+	const goroutines = 16
+	const perG = 2000
+	var wg sync.WaitGroup
+	for i := 0; i < goroutines; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			// Resolve by name concurrently too: first-use registration
+			// must be safe, and every goroutine must get the same
+			// instrument.
+			c := r.Counter("shared.counter")
+			h := r.Histogram("shared.hist")
+			g := r.Gauge("shared.gauge")
+			for k := 0; k < perG; k++ {
+				c.Inc()
+				h.Observe(float64(k + 1))
+				g.Add(1)
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	want := int64(goroutines * perG)
+	if got := r.Counter("shared.counter").Value(); got != want {
+		t.Errorf("counter = %d, want %d", got, want)
+	}
+	if got := r.Histogram("shared.hist").Count(); got != want {
+		t.Errorf("histogram count = %d, want %d", got, want)
+	}
+	if got := r.Gauge("shared.gauge").Value(); got != float64(want) {
+		t.Errorf("gauge = %g, want %d", got, want)
+	}
+	// Sum of 1..perG per goroutine, accumulated atomically.
+	wantSum := float64(goroutines) * float64(perG) * float64(perG+1) / 2
+	if got := r.Histogram("shared.hist").Sum(); got != wantSum {
+		t.Errorf("histogram sum = %g, want %g", got, wantSum)
+	}
+}
+
+func TestRegistryReturnsSameInstrument(t *testing.T) {
+	r := New()
+	if r.Counter("x") != r.Counter("x") {
+		t.Error("Counter not idempotent")
+	}
+	if r.Gauge("x") != r.Gauge("x") {
+		t.Error("Gauge not idempotent")
+	}
+	if r.Histogram("x") != r.Histogram("x") {
+		t.Error("Histogram not idempotent")
+	}
+}
+
+func TestSnapshotContents(t *testing.T) {
+	r := New()
+	r.Counter("jobs.started").Add(7)
+	r.Gauge("queue.depth").Set(3.5)
+	r.Histogram("wait").Observe(10)
+	r.Histogram("wait").Observe(20)
+
+	s := r.Snapshot()
+	if s.Counters["jobs.started"] != 7 {
+		t.Errorf("counter = %d", s.Counters["jobs.started"])
+	}
+	if s.Gauges["queue.depth"] != 3.5 {
+		t.Errorf("gauge = %g", s.Gauges["queue.depth"])
+	}
+	h := s.Histograms["wait"]
+	if h.Count != 2 || h.Sum != 30 || h.Min != 10 || h.Max != 20 || h.Mean != 15 {
+		t.Errorf("histogram stats = %+v", h)
+	}
+	var sb strings.Builder
+	if err := s.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"jobs.started": 7`, `"queue.depth": 3.5`, `"count": 2`} {
+		if !strings.Contains(sb.String(), want) {
+			t.Errorf("JSON missing %q:\n%s", want, sb.String())
+		}
+	}
+}
