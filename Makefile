@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet bench bench-micro check clean
+.PHONY: all build test race vet fuzz bench bench-micro check clean
 
 all: build
 
@@ -10,13 +10,19 @@ build:
 test:
 	$(GO) test ./...
 
-# Concurrency-sensitive packages under the race detector: the atomic
-# instruments in telemetry and their use from the simulator.
+# Everything under the race detector: the parallel sweep engine spans
+# experiments, resilience, telemetry and the CLIs.
 race:
-	$(GO) test -race ./internal/telemetry ./internal/sim
+	$(GO) test -race ./...
 
 vet:
 	$(GO) vet ./...
+
+# Short fuzzing smoke over the trace parsers; CI-friendly budget.
+FUZZTIME ?= 10s
+fuzz:
+	$(GO) test -run NONE -fuzz FuzzReadSWF -fuzztime $(FUZZTIME) ./internal/workload
+	$(GO) test -run NONE -fuzz FuzzReadCSV -fuzztime $(FUZZTIME) ./internal/failure
 
 # Full benchmark sweep (figure regeneration + ablations); minutes.
 bench:
@@ -26,7 +32,7 @@ bench:
 bench-micro:
 	$(GO) test -run NONE -bench 'BenchmarkSchedulerDecision|BenchmarkFinderAlgorithms' .
 
-check: build vet test race
+check: build vet test race fuzz
 
 clean:
 	$(GO) clean ./...

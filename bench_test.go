@@ -37,7 +37,7 @@ func benchFigure(b *testing.B, id string) {
 	}
 	opt := experiments.Options{JobCount: benchJobs, Seed: 1, Replications: 1}
 	for i := 0; i < b.N; i++ {
-		tables, err := spec.Run(opt)
+		tables, err := spec.Run(nil, opt)
 		if err != nil {
 			b.Fatal(err)
 		}

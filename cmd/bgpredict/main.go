@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -21,17 +22,20 @@ import (
 
 	"bgsched/internal/failure"
 	"bgsched/internal/predict"
+	"bgsched/internal/resilience"
 	"bgsched/internal/telemetry"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := resilience.SignalContext(context.Background())
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "bgpredict:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bgpredict", flag.ContinueOnError)
 	var (
 		failPath = fs.String("failures", "", "failure CSV to evaluate against (empty: generate synthetic)")
@@ -41,6 +45,7 @@ func run(args []string, out io.Writer) error {
 		horizon  = fs.Duration("horizon", 6*time.Hour, "prediction window length")
 		samples  = fs.Int("samples", 20000, "evaluation query count")
 		seed     = fs.Int64("seed", 1, "random seed")
+		lenient  = fs.Bool("lenient", false, "skip malformed trace lines instead of failing fast")
 	)
 	obs := telemetry.RegisterCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -70,9 +75,13 @@ func run(args []string, out io.Writer) error {
 			return err
 		}
 		defer f.Close()
-		trace, err = failure.ReadCSV(f)
+		var rep *resilience.IngestReport
+		trace, rep, err = failure.ReadCSVWith(f, failure.ReadOptions{Lenient: *lenient, Metrics: reg})
 		if err != nil {
 			return err
+		}
+		if rep.Skipped > 0 {
+			fmt.Fprintf(os.Stderr, "bgpredict: skipped %d malformed trace line(s)\n", rep.Skipped)
 		}
 	} else {
 		var err error
@@ -96,6 +105,11 @@ func run(args []string, out io.Writer) error {
 	queries := reg.Counter("predict.queries")
 	evalTime := reg.Timer("predict.eval.seconds")
 	eval := func(p predict.NodePredictor, skip float64) (predict.Confusion, error) {
+		// Each evaluation is seconds of work; checking between them is
+		// the granularity at which an interrupt can take effect.
+		if err := ctx.Err(); err != nil {
+			return predict.Confusion{}, err
+		}
 		sw := evalTime.Start()
 		c, err := predict.Evaluate(ix, p, predict.EvalConfig{
 			Span:       span,

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -12,7 +13,7 @@ import (
 
 func TestBgpredictSynthetic(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-count", "400", "-samples", "4000"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-count", "400", "-samples", "4000"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -38,7 +39,7 @@ func TestBgpredictFromFile(t *testing.T) {
 	}
 	f.Close()
 	var buf bytes.Buffer
-	if err := run([]string{"-failures", path, "-nodes", "64", "-samples", "2000"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-failures", path, "-nodes", "64", "-samples", "2000"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "events=200") {
@@ -48,13 +49,13 @@ func TestBgpredictFromFile(t *testing.T) {
 
 func TestBgpredictErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-failures", "/nonexistent.csv"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-failures", "/nonexistent.csv"}, &buf); err == nil {
 		t.Error("missing file accepted")
 	}
-	if err := run([]string{"-count", "0"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-count", "0"}, &buf); err == nil {
 		t.Error("empty synthetic trace accepted")
 	}
-	if err := run([]string{"-bogus-flag"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-bogus-flag"}, &buf); err == nil {
 		t.Error("bad flag accepted")
 	}
 }

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -18,19 +19,22 @@ import (
 	"bgsched/internal/core"
 	"bgsched/internal/experiments"
 	"bgsched/internal/metrics"
+	"bgsched/internal/resilience"
 	"bgsched/internal/sim"
 	"bgsched/internal/telemetry"
 	"bgsched/internal/torus"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := resilience.SignalContext(context.Background())
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "bgsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bgsim", flag.ContinueOnError)
 	var (
 		machine   = fs.String("machine", "4x4x8", "machine geometry, e.g. 4x4x8 or 8x8x8/mesh (load is relative to the traced machine, not this one)")
@@ -54,6 +58,7 @@ func run(args []string, out io.Writer) error {
 		ckptOverhead = fs.Float64("ckpt-overhead", 0, "seconds of overhead per checkpoint")
 		ckptRestart  = fs.Float64("ckpt-restart", 0, "seconds to restore from a checkpoint")
 
+		check    = fs.Bool("check", false, "validate simulator conservation invariants at every event")
 		timeline = fs.Int("timeline", 0, "print a machine-state timeline with this many buckets")
 		byClass  = fs.Bool("by-class", false, "print metrics broken down by job size class")
 		eventLog = fs.String("eventlog", "", "write a JSONL simulation event log to this file")
@@ -92,7 +97,8 @@ func run(args []string, out io.Writer) error {
 		CheckpointOverhead:   *ckptOverhead,
 		CheckpointRestart:    *ckptRestart,
 
-		RecordTimeline: *timeline > 0,
+		RecordTimeline:  *timeline > 0,
+		CheckInvariants: *check,
 	}
 	if *eventLog != "" {
 		f, err := os.Create(*eventLog)
@@ -128,8 +134,11 @@ func run(args []string, out io.Writer) error {
 	manifest := telemetry.NewManifest("bgsim", args, cfg)
 	manifest.Seed = *seed
 
-	res, err := experiments.Run(cfg)
+	res, err := experiments.RunContext(ctx, cfg)
 	if err != nil {
+		if resilience.Canceled(err) {
+			return fmt.Errorf("interrupted before completion (no metrics written): %w", err)
+		}
 		return err
 	}
 	if err := obs.WriteMetrics(manifest, cfg.Telemetry); err != nil {

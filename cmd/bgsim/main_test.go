@@ -2,13 +2,14 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestBgsimBasicRun(t *testing.T) {
 	var buf bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-workload", "NASA", "-jobs", "80", "-sched", "balancing",
 		"-a", "0.1", "-failures", "500",
 	}, &buf)
@@ -25,7 +26,7 @@ func TestBgsimBasicRun(t *testing.T) {
 
 func TestBgsimCheckpointFlags(t *testing.T) {
 	var buf bytes.Buffer
-	err := run([]string{
+	err := run(context.Background(), []string{
 		"-workload", "SDSC", "-jobs", "60", "-sched", "baseline",
 		"-failures", "2000", "-ckpt-interval", "600", "-ckpt-overhead", "10",
 	}, &buf)
@@ -47,7 +48,7 @@ func TestBgsimBadFlags(t *testing.T) {
 	}
 	for _, args := range cases {
 		var buf bytes.Buffer
-		if err := run(args, &buf); err == nil {
+		if err := run(context.Background(), args, &buf); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
 	}
@@ -56,8 +57,33 @@ func TestBgsimBadFlags(t *testing.T) {
 func TestBgsimBackfillModes(t *testing.T) {
 	for _, mode := range []string{"none", "aggressive", "easy"} {
 		var buf bytes.Buffer
-		if err := run([]string{"-jobs", "40", "-backfill", mode}, &buf); err != nil {
+		if err := run(context.Background(), []string{"-jobs", "40", "-backfill", mode}, &buf); err != nil {
 			t.Errorf("backfill %s: %v", mode, err)
 		}
+	}
+}
+
+// -check runs the simulation under the invariant guard; a healthy run
+// must complete with identical output to an unguarded one.
+func TestBgsimCheckFlag(t *testing.T) {
+	args := []string{"-workload", "NASA", "-jobs", "60", "-sched", "balancing", "-a", "0.1", "-failures", "300"}
+	var plain, checked bytes.Buffer
+	if err := run(context.Background(), args, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), append(args, "-check"), &checked); err != nil {
+		t.Fatal(err)
+	}
+	if plain.String() != checked.String() {
+		t.Fatalf("-check changed the results:\n%s\nvs\n%s", plain.String(), checked.String())
+	}
+}
+
+func TestBgsimCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, []string{"-jobs", "60"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("err = %v, want interrupted", err)
 	}
 }

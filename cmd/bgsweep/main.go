@@ -7,9 +7,20 @@
 //	bgsweep -fig all -jobs 800       # every figure at reduced scale
 //	bgsweep -fig fig6 -csv           # CSV output for plotting
 //	bgsweep -fig finders             # partition-finder timing comparison
+//	bgsweep -fig fig3 -journal s.jsonl   # journal completed points
+//	bgsweep -fig fig3 -resume s.jsonl    # skip journalled points
+//
+// Sweeps run points on a bounded worker pool (-workers) with per-point
+// panic containment: a point that keeps failing after -retries extra
+// attempts is reported and its table slots become NaN, without taking
+// down sibling points. SIGINT/SIGTERM drains gracefully: completed
+// figures and the telemetry manifest are flushed, and with -journal
+// the finished points of the interrupted figure are resumable.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -19,29 +30,37 @@ import (
 
 	"bgsched/internal/experiments"
 	"bgsched/internal/partition"
+	"bgsched/internal/resilience"
 	"bgsched/internal/telemetry"
 	"bgsched/internal/torus"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := resilience.SignalContext(context.Background())
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "bgsweep:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bgsweep", flag.ContinueOnError)
 	var (
-		fig    = fs.String("fig", "all", `figure to regenerate: fig3..fig10, "finders", "krevat", "learned", or "all"`)
-		jobs   = fs.Int("jobs", 2000, "jobs per simulation run")
-		seed   = fs.Int64("seed", 1, "random seed")
-		csv    = fs.Bool("csv", false, "emit CSV instead of aligned text")
-		plot   = fs.Bool("plot", false, "render an ASCII chart after each table")
-		metric = fs.String("metric", "slowdown", "timing-figure metric: slowdown, response or wait")
-		reps   = fs.Int("reps", 3, "replications (seeds) per sweep point")
-		agg    = fs.String("agg", "median", "replicate aggregation: median or mean")
-		fscale = fs.Float64("failure-scale", 0, "override nominal->injected failure mapping")
+		fig     = fs.String("fig", "all", `figure to regenerate: fig3..fig10, "finders", "krevat", "learned", or "all"`)
+		jobs    = fs.Int("jobs", 2000, "jobs per simulation run")
+		seed    = fs.Int64("seed", 1, "random seed")
+		csv     = fs.Bool("csv", false, "emit CSV instead of aligned text")
+		plot    = fs.Bool("plot", false, "render an ASCII chart after each table")
+		metric  = fs.String("metric", "slowdown", "timing-figure metric: slowdown, response or wait")
+		reps    = fs.Int("reps", 3, "replications (seeds) per sweep point")
+		agg     = fs.String("agg", "median", "replicate aggregation: median or mean")
+		fscale  = fs.Float64("failure-scale", 0, "override nominal->injected failure mapping")
+		workers = fs.Int("workers", 0, "concurrent sweep points (0 = one per CPU, 1 = sequential)")
+		retries = fs.Int("retries", 1, "extra attempts before a failing point is recorded as failed")
+		journal = fs.String("journal", "", "write completed points to this JSONL journal (truncates)")
+		resume  = fs.String("resume", "", "resume from this journal: skip its completed points, append new ones")
+		check   = fs.Bool("check", false, "validate simulator conservation invariants at every event")
 	)
 	obs := telemetry.RegisterCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -65,6 +84,22 @@ func run(args []string, out io.Writer) error {
 	}
 	manifest := telemetry.NewManifest("bgsweep", args, opt)
 	manifest.Seed = *seed
+
+	eng := &experiments.Engine{
+		Ctx: ctx, Workers: *workers, Retries: *retries,
+		Isolate: true, CheckInvariants: *check,
+	}
+	jnl, err := openJournal(*journal, *resume, telemetry.ConfigHash(opt), eng)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if cerr := jnl.Close(); cerr != nil {
+			fmt.Fprintln(os.Stderr, "bgsweep: journal:", cerr)
+		}
+	}()
+	eng.Journal = jnl
+
 	var collected []*experiments.Table
 
 	if *fig == "finders" {
@@ -73,66 +108,123 @@ func run(args []string, out io.Writer) error {
 		}
 		return obs.WriteMetrics(manifest, nil)
 	}
-	if *fig == "krevat" {
-		t, err := experiments.KrevatTable(opt, "SDSC", 1.0)
-		if err != nil {
-			return err
+
+	var sweepErr error
+	render := func(t *experiments.Table) error {
+		if *csv {
+			return t.RenderCSV(out)
 		}
 		if err := t.Render(out); err != nil {
+			return err
+		}
+		if *plot {
+			fmt.Fprintln(out)
+			return t.RenderPlot(out, 12)
+		}
+		return nil
+	}
+	switch *fig {
+	case "krevat":
+		t, err := experiments.KrevatTable(eng, opt, "SDSC", 1.0)
+		if err != nil {
+			sweepErr = err
+			break
+		}
+		if err := render(t); err != nil {
 			return err
 		}
 		fmt.Fprintln(out, "variants: 0=fcfs 1=fcfs+backfill 2=fcfs+migration 3=fcfs+backfill+migration")
-		return writeSweepMetrics(obs, manifest, []*experiments.Table{t})
-	}
-	if *fig == "learned" {
-		t, err := experiments.LearnedSweep(opt, "SDSC")
+		collected = append(collected, t)
+	case "learned":
+		t, err := experiments.LearnedSweep(eng, opt, "SDSC")
 		if err != nil {
+			sweepErr = err
+			break
+		}
+		if err := render(t); err != nil {
 			return err
 		}
-		if err := t.Render(out); err != nil {
-			return err
-		}
-		return writeSweepMetrics(obs, manifest, []*experiments.Table{t})
-	}
-
-	var specs []experiments.Spec
-	if *fig == "all" {
-		specs = experiments.Specs
-	} else {
-		spec, err := experiments.SpecByID(*fig)
-		if err != nil {
-			return err
-		}
-		specs = []experiments.Spec{spec}
-	}
-	for _, spec := range specs {
-		start := time.Now()
-		tables, err := spec.Run(opt)
-		if err != nil {
-			return fmt.Errorf("%s: %w", spec.ID, err)
-		}
-		collected = append(collected, tables...)
-		for _, t := range tables {
-			var rerr error
-			if *csv {
-				rerr = t.RenderCSV(out)
-			} else {
-				rerr = t.Render(out)
+		collected = append(collected, t)
+	default:
+		var specs []experiments.Spec
+		if *fig == "all" {
+			specs = experiments.Specs
+		} else {
+			spec, err := experiments.SpecByID(*fig)
+			if err != nil {
+				return err
 			}
-			if rerr != nil {
-				return rerr
+			specs = []experiments.Spec{spec}
+		}
+		for _, spec := range specs {
+			start := time.Now()
+			tables, err := spec.Run(eng, opt)
+			if err != nil {
+				sweepErr = fmt.Errorf("%s: %w", spec.ID, err)
+				break
 			}
-			if *plot {
-				fmt.Fprintln(out)
-				if err := t.RenderPlot(out, 12); err != nil {
+			collected = append(collected, tables...)
+			for _, t := range tables {
+				if err := render(t); err != nil {
 					return err
 				}
+				fmt.Fprintln(out)
 			}
-			fmt.Fprintln(out)
+			fmt.Fprintf(out, "# %s completed in %v\n\n", spec.ID, time.Since(start).Round(time.Millisecond))
 		}
-		fmt.Fprintf(out, "# %s completed in %v\n\n", spec.ID, time.Since(start).Round(time.Millisecond))
 	}
-	return writeSweepMetrics(obs, manifest, collected)
+
+	// Graceful drain: whatever happened above, flush the completed
+	// tables into the manifest and report the sweep's health before
+	// returning. A cancelled sweep keeps its journal valid for -resume.
+	if n := eng.ResumedPoints(); n > 0 {
+		fmt.Fprintf(out, "# resumed %d completed points from %s\n", n, *resume)
+	}
+	failures := eng.Failures()
+	for _, pe := range failures {
+		fmt.Fprintln(os.Stderr, "bgsweep: failed point:", pe)
+	}
+	if merr := writeSweepMetrics(obs, manifest, collected); merr != nil && sweepErr == nil {
+		sweepErr = merr
+	}
+	if sweepErr != nil {
+		if resilience.Canceled(sweepErr) {
+			return fmt.Errorf("interrupted (%d tables flushed, journal %q resumable): %w",
+				len(collected), jnl.Path(), sweepErr)
+		}
+		return sweepErr
+	}
+	if len(failures) > 0 {
+		return fmt.Errorf("%d sweep point(s) failed permanently", len(failures))
+	}
+	return nil
+}
+
+// openJournal wires the resume-journal flags: -resume validates the
+// existing journal's config hash, loads its completed points into the
+// engine, and reopens it for appending; -journal starts a fresh one.
+func openJournal(journalPath, resumePath, hash string, eng *experiments.Engine) (*resilience.Journal, error) {
+	switch {
+	case resumePath != "" && journalPath != "":
+		return nil, errors.New("-journal and -resume are mutually exclusive; -resume already appends")
+	case resumePath != "":
+		jc, err := resilience.ReadJournal(resumePath)
+		if err != nil {
+			return nil, fmt.Errorf("resume: %w", err)
+		}
+		if jc.Meta.ConfigHash != hash {
+			return nil, fmt.Errorf("resume: journal %s was written for config %s, current config is %s (same flags required)",
+				resumePath, jc.Meta.ConfigHash, hash)
+		}
+		if jc.Malformed > 0 {
+			fmt.Fprintf(os.Stderr, "bgsweep: resume: ignoring %d corrupt journal line(s)\n", jc.Malformed)
+		}
+		eng.Resumed = jc.Points
+		return resilience.OpenJournalAppend(resumePath)
+	case journalPath != "":
+		return resilience.CreateJournal(journalPath, resilience.JournalMeta{Tool: "bgsweep", ConfigHash: hash})
+	}
+	return nil, nil
 }
 
 // writeSweepMetrics attaches the sweep tables — each point annotated

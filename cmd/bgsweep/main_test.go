@@ -2,13 +2,18 @@ package main
 
 import (
 	"bytes"
+	"context"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+
+	"bgsched/internal/resilience"
 )
 
 func TestBgsweepSingleFigure(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-fig", "fig3", "-jobs", "50", "-seed", "2", "-reps", "1"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-fig", "fig3", "-jobs", "50", "-seed", "2", "-reps", "1"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -21,7 +26,7 @@ func TestBgsweepSingleFigure(t *testing.T) {
 
 func TestBgsweepCSV(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-fig", "fig4", "-jobs", "50", "-csv", "-reps", "1"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-fig", "fig4", "-jobs", "50", "-csv", "-reps", "1"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "failures,c=1.0,c=1.2") {
@@ -31,7 +36,7 @@ func TestBgsweepCSV(t *testing.T) {
 
 func TestBgsweepFinders(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-fig", "finders"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-fig", "finders"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -44,7 +49,7 @@ func TestBgsweepFinders(t *testing.T) {
 
 func TestBgsweepKrevat(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-fig", "krevat", "-jobs", "60", "-reps", "1"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-fig", "krevat", "-jobs", "60", "-reps", "1"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	out := buf.String()
@@ -57,7 +62,7 @@ func TestBgsweepKrevat(t *testing.T) {
 
 func TestBgsweepPlotFlag(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-fig", "fig4", "-jobs", "40", "-reps", "1", "-plot"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"-fig", "fig4", "-jobs", "40", "-reps", "1", "-plot"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "legend:") {
@@ -67,7 +72,115 @@ func TestBgsweepPlotFlag(t *testing.T) {
 
 func TestBgsweepUnknownFigure(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"-fig", "fig99"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"-fig", "fig99"}, &buf); err == nil {
 		t.Fatal("unknown figure accepted")
+	}
+}
+
+// Journal a full figure run, truncate the journal to simulate an
+// interruption, then -resume it: the resumed output must match an
+// uninterrupted run, and bgsweep must report the skipped points.
+func TestBgsweepJournalResumeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "sweep.jsonl")
+	flags := []string{"-fig", "fig4", "-jobs", "50", "-seed", "2", "-reps", "1", "-workers", "2"}
+
+	var full bytes.Buffer
+	if err := run(context.Background(), append(flags, "-journal", journal), &full); err != nil {
+		t.Fatal(err)
+	}
+	jc, err := resilience.ReadJournal(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jc.Points) == 0 {
+		t.Fatal("journal holds no points")
+	}
+
+	// "Interrupt": drop the last few journal lines, keeping the header.
+	raw, err := os.ReadFile(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimRight(raw, "\n"), []byte("\n"))
+	cut := len(lines) - 3
+	if cut < 2 {
+		t.Fatalf("journal too short to truncate: %d lines", len(lines))
+	}
+	if err := os.WriteFile(journal, append(bytes.Join(lines[:cut], []byte("\n")), '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	var resumed bytes.Buffer
+	if err := run(context.Background(), append(flags, "-resume", journal), &resumed); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(resumed.String(), "# resumed") {
+		t.Fatalf("resume run did not report skipped points:\n%s", resumed.String())
+	}
+	// Identical tables: strip the "# resumed" and timing lines first.
+	scrub := func(s string) string {
+		var keep []string
+		for _, l := range strings.Split(s, "\n") {
+			if strings.HasPrefix(l, "#") {
+				continue
+			}
+			keep = append(keep, l)
+		}
+		return strings.Join(keep, "\n")
+	}
+	if scrub(full.String()) != scrub(resumed.String()) {
+		t.Fatalf("resumed output diverged:\nfull:\n%s\nresumed:\n%s", full.String(), resumed.String())
+	}
+
+	// The reopened journal must now hold every point again.
+	jc2, err := resilience.ReadJournal(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jc2.Points) != len(jc.Points) {
+		t.Fatalf("resumed journal holds %d points, want %d", len(jc2.Points), len(jc.Points))
+	}
+}
+
+func TestBgsweepJournalResumeExclusive(t *testing.T) {
+	err := run(context.Background(), []string{"-fig", "fig4", "-journal", "a", "-resume", "b"}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "mutually exclusive") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestBgsweepResumeRejectsConfigMismatch(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "sweep.jsonl")
+	if err := run(context.Background(), []string{"-fig", "fig4", "-jobs", "50", "-reps", "1", "-journal", journal}, &bytes.Buffer{}); err != nil {
+		t.Fatal(err)
+	}
+	err := run(context.Background(), []string{"-fig", "fig4", "-jobs", "60", "-reps", "1", "-resume", journal}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "config") {
+		t.Fatalf("config mismatch accepted: %v", err)
+	}
+}
+
+// A cancelled sweep must still exit through the graceful-drain path,
+// leaving a valid journal behind and reporting it resumable.
+func TestBgsweepCancelledLeavesValidJournal(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "sweep.jsonl")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, []string{"-fig", "fig4", "-jobs", "50", "-reps", "1", "-journal", journal}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "interrupted") {
+		t.Fatalf("err = %v, want interrupted", err)
+	}
+	if _, err := resilience.ReadJournal(journal); err != nil {
+		t.Fatalf("journal unreadable after interrupt: %v", err)
+	}
+}
+
+func TestBgsweepCheckFlag(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-fig", "fig4", "-jobs", "50", "-reps", "1", "-check"}, &buf); err != nil {
+		t.Fatal(err)
 	}
 }

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -17,21 +18,29 @@ import (
 	"sort"
 
 	"bgsched/internal/failure"
+	"bgsched/internal/resilience"
 	"bgsched/internal/telemetry"
 	"bgsched/internal/torus"
 	"bgsched/internal/workload"
 )
 
 func main() {
-	if err := run(os.Args[1:], os.Stdout); err != nil {
+	ctx, stop := resilience.SignalContext(context.Background())
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "bgtrace:", err)
 		os.Exit(1)
 	}
 }
 
-func run(args []string, out io.Writer) error {
+func run(ctx context.Context, args []string, out io.Writer) error {
 	if len(args) == 0 {
 		return fmt.Errorf("usage: bgtrace <workload|failures|inspect> [flags]")
+	}
+	// Subcommands are single-shot; honouring cancellation at the
+	// boundary keeps a queued Ctrl-C from starting new work.
+	if err := ctx.Err(); err != nil {
+		return err
 	}
 	switch args[0] {
 	case "workload":
@@ -44,6 +53,21 @@ func run(args []string, out io.Writer) error {
 		return mapFailures(args[1:], out)
 	}
 	return fmt.Errorf("unknown subcommand %q (want workload, failures, mapfailures or inspect)", args[0])
+}
+
+// reportIngest surfaces a lenient parse's skipped lines on stderr; the
+// paired ingest.* counters travel in the run manifest via the registry.
+func reportIngest(what string, rep *resilience.IngestReport) {
+	if rep == nil || rep.Skipped == 0 && rep.OutOfOrder == 0 {
+		return
+	}
+	fmt.Fprintf(os.Stderr, "bgtrace: %s: skipped %d malformed line(s), %d out of order\n", what, rep.Skipped, rep.OutOfOrder)
+	for _, le := range rep.Errors {
+		fmt.Fprintf(os.Stderr, "bgtrace: %s: %s\n", what, le.Error())
+	}
+	if rep.ErrorsTruncated {
+		fmt.Fprintf(os.Stderr, "bgtrace: %s: further line errors omitted\n", what)
+	}
 }
 
 // withObs brackets a subcommand body with the shared observability
@@ -73,6 +97,7 @@ func mapFailures(args []string, out io.Writer) error {
 	in := fs.String("in", "", "compute-node-level failure CSV (required)")
 	machine := fs.String("machine", "32x32x64", "compute-node geometry")
 	block := fs.String("block", "8x8x8", "supernode block shape")
+	lenient := fs.Bool("lenient", false, "skip malformed trace lines instead of failing fast")
 	obs := telemetry.RegisterCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -99,10 +124,11 @@ func mapFailures(args []string, out io.Writer) error {
 			return err
 		}
 		defer f.Close()
-		tr, err := failure.ReadCSV(f)
+		tr, rep, err := failure.ReadCSVWith(f, failure.ReadOptions{Lenient: *lenient, Metrics: reg})
 		if err != nil {
 			return err
 		}
+		reportIngest("mapfailures", rep)
 		mapped := failure.MapNodes(tr, m.SupernodeOf)
 		if len(mapped) < len(tr) {
 			fmt.Fprintf(os.Stderr, "bgtrace: dropped %d events outside the %s machine\n", len(tr)-len(mapped), *machine)
@@ -169,6 +195,7 @@ func inspect(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bgtrace inspect", flag.ContinueOnError)
 	swf := fs.String("swf", "", "SWF job log to inspect")
 	failuresCSV := fs.String("failures", "", "failure CSV to inspect")
+	lenient := fs.Bool("lenient", false, "skip malformed trace lines instead of failing fast")
 	obs := telemetry.RegisterCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -182,10 +209,11 @@ func inspect(args []string, out io.Writer) error {
 				return err
 			}
 			defer f.Close()
-			log, err := workload.ReadSWF(f, *swf)
+			log, rep, err := workload.ReadSWFWith(f, *swf, workload.ReadOptions{Lenient: *lenient, Metrics: reg})
 			if err != nil {
 				return err
 			}
+			reportIngest("inspect", rep)
 			reg.Counter("trace.jobs.read").Add(int64(len(log.Jobs)))
 			return inspectLog(out, log)
 		case *failuresCSV != "":
@@ -194,10 +222,11 @@ func inspect(args []string, out io.Writer) error {
 				return err
 			}
 			defer f.Close()
-			tr, err := failure.ReadCSV(f)
+			tr, rep, err := failure.ReadCSVWith(f, failure.ReadOptions{Lenient: *lenient, Metrics: reg})
 			if err != nil {
 				return err
 			}
+			reportIngest("inspect", rep)
 			reg.Counter("trace.failures.read").Add(int64(len(tr)))
 			return inspectFailures(out, tr)
 		}

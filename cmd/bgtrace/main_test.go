@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"os"
 	"path/filepath"
 	"strings"
@@ -12,7 +13,7 @@ import (
 
 func TestBgtraceWorkloadAndInspect(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"workload", "-preset", "LLNL", "-jobs", "100", "-seed", "4"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"workload", "-preset", "LLNL", "-jobs", "100", "-seed", "4"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "MaxProcs: 256") {
@@ -23,7 +24,7 @@ func TestBgtraceWorkloadAndInspect(t *testing.T) {
 		t.Fatal(err)
 	}
 	var info bytes.Buffer
-	if err := run([]string{"inspect", "-swf", path}, &info); err != nil {
+	if err := run(context.Background(), []string{"inspect", "-swf", path}, &info); err != nil {
 		t.Fatal(err)
 	}
 	out := info.String()
@@ -36,7 +37,7 @@ func TestBgtraceWorkloadAndInspect(t *testing.T) {
 
 func TestBgtraceFailuresAndInspect(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"failures", "-count", "300", "-span-days", "10", "-seed", "2"}, &buf); err != nil {
+	if err := run(context.Background(), []string{"failures", "-count", "300", "-span-days", "10", "-seed", "2"}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "fail.csv")
@@ -44,7 +45,7 @@ func TestBgtraceFailuresAndInspect(t *testing.T) {
 		t.Fatal(err)
 	}
 	var info bytes.Buffer
-	if err := run([]string{"inspect", "-failures", path}, &info); err != nil {
+	if err := run(context.Background(), []string{"inspect", "-failures", path}, &info); err != nil {
 		t.Fatal(err)
 	}
 	out := info.String()
@@ -73,7 +74,7 @@ func TestBgtraceMapFailures(t *testing.T) {
 	f.Close()
 
 	var buf bytes.Buffer
-	if err := run([]string{"mapfailures", "-in", in}, &buf); err != nil {
+	if err := run(context.Background(), []string{"mapfailures", "-in", in}, &buf); err != nil {
 		t.Fatal(err)
 	}
 	mapped, err := failure.ReadCSV(&buf)
@@ -87,10 +88,10 @@ func TestBgtraceMapFailures(t *testing.T) {
 
 func TestBgtraceMapFailuresErrors(t *testing.T) {
 	var buf bytes.Buffer
-	if err := run([]string{"mapfailures"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"mapfailures"}, &buf); err == nil {
 		t.Error("missing -in accepted")
 	}
-	if err := run([]string{"mapfailures", "-in", "x.csv", "-block", "3x3x3"}, &buf); err == nil {
+	if err := run(context.Background(), []string{"mapfailures", "-in", "x.csv", "-block", "3x3x3"}, &buf); err == nil {
 		t.Error("non-tiling block accepted")
 	}
 }
@@ -106,7 +107,7 @@ func TestBgtraceErrors(t *testing.T) {
 	}
 	for _, args := range cases {
 		var buf bytes.Buffer
-		if err := run(args, &buf); err == nil {
+		if err := run(context.Background(), args, &buf); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
 	}
@@ -115,5 +116,49 @@ func TestBgtraceErrors(t *testing.T) {
 func TestDistLineEmpty(t *testing.T) {
 	if got := distLine(nil); got != "n/a" {
 		t.Errorf("distLine(nil) = %q", got)
+	}
+}
+
+// A damaged trace fails fast by default and parses with -lenient,
+// which reports the skipped lines on stderr.
+func TestBgtraceInspectLenient(t *testing.T) {
+	dir := t.TempDir()
+	csvPath := filepath.Join(dir, "bad.csv")
+	if err := os.WriteFile(csvPath, []byte("time_seconds,node\n10,1\nnot-a-time,2\n20,3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{"inspect", "-failures", csvPath}, &bytes.Buffer{}); err == nil {
+		t.Fatal("strict inspect accepted a damaged trace")
+	}
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"inspect", "-failures", csvPath, "-lenient"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "events              2") {
+		t.Fatalf("lenient inspect kept wrong events:\n%s", buf.String())
+	}
+
+	swfPath := filepath.Join(dir, "bad.swf")
+	good := "1 0 -1 100 8 -1 -1 8 200 -1 1 -1 -1 -1 -1 -1 -1 -1\n"
+	if err := os.WriteFile(swfPath, []byte("; MaxProcs: 64\n"+good+"short line\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), []string{"inspect", "-swf", swfPath}, &bytes.Buffer{}); err == nil {
+		t.Fatal("strict inspect accepted a damaged SWF")
+	}
+	buf.Reset()
+	if err := run(context.Background(), []string{"inspect", "-swf", swfPath, "-lenient"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "jobs                1") {
+		t.Fatalf("lenient inspect kept wrong jobs:\n%s", buf.String())
+	}
+}
+
+func TestBgtraceCancelledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := run(ctx, []string{"workload"}, &bytes.Buffer{}); err == nil {
+		t.Fatal("cancelled context accepted")
 	}
 }

@@ -50,12 +50,19 @@ func (s *Scheduler) Migrate(gr *torus.Grid, running []Running) ([]Migration, err
 		}
 		cands := s.cfg.Finder.FreeOfSize(gr, r.Job.AllocSize)
 		bestIdx := -1
-		bestMFP := mfpAfter(gr, orig)
+		bestMFP, err := mfpAfter(gr, orig)
+		if err != nil {
+			return moves, fmt.Errorf("core: migrate probe: %w", err)
+		}
 		for i, p := range cands {
 			if p == orig {
 				continue
 			}
-			if after := mfpAfter(gr, p); after > bestMFP {
+			after, err := mfpAfter(gr, p)
+			if err != nil {
+				return moves, fmt.Errorf("core: migrate probe: %w", err)
+			}
+			if after > bestMFP {
 				bestMFP = after
 				bestIdx = i
 			}

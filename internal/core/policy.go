@@ -30,25 +30,28 @@ type PlacementContext struct {
 // Policy ranks candidate partitions for a job and picks one.
 // Choose returns the index of the selected candidate, or -1 to decline
 // placement (no built-in policy declines; the escape hatch exists for
-// experimental policies).
+// experimental policies). A non-nil error means the policy could not
+// evaluate the candidates — typically an internal grid inconsistency —
+// and aborts the scheduling decision; it must leave the grid unchanged.
 type Policy interface {
 	Name() string
-	Choose(ctx *PlacementContext, cands []torus.Partition) int
+	Choose(ctx *PlacementContext, cands []torus.Partition) (int, error)
 }
 
 // mfpAfter returns the MFP size of the grid with p hypothetically
-// allocated. The probe allocation is always rolled back.
-func mfpAfter(gr *torus.Grid, p torus.Partition) int {
+// allocated. The probe allocation is always rolled back. A failed
+// probe means internal inconsistency (candidates come from a finder
+// over this same grid), reported as an error rather than a panic so
+// one bad sweep point cannot take down its siblings.
+func mfpAfter(gr *torus.Grid, p torus.Partition) (int, error) {
 	if err := gr.Allocate(p, probeOwner); err != nil {
-		// Candidates come from a finder over this same grid; a failed
-		// probe means internal inconsistency, not user error.
-		panic(fmt.Sprintf("core: probe allocation of %v failed: %v", p, err))
+		return 0, fmt.Errorf("core: probe allocation of %v failed: %w", p, err)
 	}
 	_, size := partition.MaxFree(gr)
 	if err := gr.Release(p, probeOwner); err != nil {
-		panic(fmt.Sprintf("core: probe release of %v failed: %v", p, err))
+		return 0, fmt.Errorf("core: probe release of %v failed: %w", p, err)
 	}
-	return size
+	return size, nil
 }
 
 // Baseline is Krevat's placement heuristic: keep the maximal free
@@ -61,16 +64,20 @@ type Baseline struct{}
 func (Baseline) Name() string { return "baseline" }
 
 // Choose implements Policy.
-func (Baseline) Choose(ctx *PlacementContext, cands []torus.Partition) int {
+func (Baseline) Choose(ctx *PlacementContext, cands []torus.Partition) (int, error) {
 	best := -1
 	bestMFP := -1
 	for i, p := range cands {
-		if after := mfpAfter(ctx.Grid, p); after > bestMFP {
+		after, err := mfpAfter(ctx.Grid, p)
+		if err != nil {
+			return -1, err
+		}
+		if after > bestMFP {
 			bestMFP = after
 			best = i
 		}
 	}
-	return best
+	return best, nil
 }
 
 // Combiner folds per-node failure probabilities into a partition
@@ -105,7 +112,7 @@ type Balancing struct {
 func (b *Balancing) Name() string { return "balancing" }
 
 // Choose implements Policy.
-func (b *Balancing) Choose(ctx *PlacementContext, cands []torus.Partition) int {
+func (b *Balancing) Choose(ctx *PlacementContext, cands []torus.Partition) (int, error) {
 	combine := b.Combine
 	if combine == nil {
 		combine = predict.CombineIndependent
@@ -115,7 +122,11 @@ func (b *Balancing) Choose(ctx *PlacementContext, cands []torus.Partition) int {
 	best := -1
 	bestLoss := 0.0
 	for i, p := range cands {
-		lMFP := float64(ctx.MFPBefore - mfpAfter(ctx.Grid, p))
+		after, err := mfpAfter(ctx.Grid, p)
+		if err != nil {
+			return -1, err
+		}
+		lMFP := float64(ctx.MFPBefore - after)
 		pf := PartitionFailProb(g, b.Prober, p, ctx.Now, until, combine)
 		loss := lMFP + pf*float64(ctx.Job.Size)
 		if best == -1 || loss < bestLoss {
@@ -123,7 +134,7 @@ func (b *Balancing) Choose(ctx *PlacementContext, cands []torus.Partition) int {
 			bestLoss = loss
 		}
 	}
-	return best
+	return best, nil
 }
 
 // TieBreak is the paper's tie-breaking algorithm: rank candidates by
@@ -139,9 +150,9 @@ type TieBreak struct {
 func (tb *TieBreak) Name() string { return "tiebreak" }
 
 // Choose implements Policy.
-func (tb *TieBreak) Choose(ctx *PlacementContext, cands []torus.Partition) int {
+func (tb *TieBreak) Choose(ctx *PlacementContext, cands []torus.Partition) (int, error) {
 	if len(cands) == 0 {
-		return -1
+		return -1, nil
 	}
 	g := ctx.Grid.Geometry()
 	until := ctx.Now + ctx.Job.Estimate
@@ -149,7 +160,11 @@ func (tb *TieBreak) Choose(ctx *PlacementContext, cands []torus.Partition) int {
 	bestMFP := -1
 	afters := make([]int, len(cands))
 	for i, p := range cands {
-		afters[i] = mfpAfter(ctx.Grid, p)
+		after, err := mfpAfter(ctx.Grid, p)
+		if err != nil {
+			return -1, err
+		}
+		afters[i] = after
 		if afters[i] > bestMFP {
 			bestMFP = afters[i]
 		}
@@ -163,10 +178,10 @@ func (tb *TieBreak) Choose(ctx *PlacementContext, cands []torus.Partition) int {
 			first = i
 		}
 		if !tb.Oracle.PartitionWillFail(g.Nodes(p), ctx.Now, until) {
-			return i // tied on MFP and predicted healthy
+			return i, nil // tied on MFP and predicted healthy
 		}
 	}
-	return first // all tied candidates predicted to fail: arbitrary
+	return first, nil // all tied candidates predicted to fail: arbitrary
 }
 
 var (

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"errors"
+	"strings"
 	"testing"
 
 	"bgsched/internal/failure"
@@ -24,12 +26,33 @@ func ctxFor(gr *torus.Grid, j *job.Job, now float64) *PlacementContext {
 	return &PlacementContext{Grid: gr, Job: j, Now: now, MFPBefore: mfp}
 }
 
+func mustMFPAfter(t *testing.T, gr *torus.Grid, p torus.Partition) int {
+	t.Helper()
+	after, err := mfpAfter(gr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return after
+}
+
+func mustChoose(t *testing.T, pol Policy, ctx *PlacementContext, cands []torus.Partition) int {
+	t.Helper()
+	idx, err := pol.Choose(ctx, cands)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return idx
+}
+
 func TestMfpAfterRollsBack(t *testing.T) {
 	g := torus.BlueGeneL()
 	gr := torus.NewGrid(g)
 	p := torus.Partition{Base: torus.Coord{}, Shape: torus.Shape{X: 2, Y: 2, Z: 2}}
 	before := gr.FreeCount()
-	after := mfpAfter(gr, p)
+	after, err := mfpAfter(gr, p)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if gr.FreeCount() != before {
 		t.Fatal("mfpAfter leaked a probe allocation")
 	}
@@ -54,7 +77,7 @@ func TestBaselineKeepsMFPLarge(t *testing.T) {
 	if len(cands) == 0 {
 		t.Fatal("no candidates")
 	}
-	idx := Baseline{}.Choose(ctxFor(gr, j, 0), cands)
+	idx := mustChoose(t, Baseline{}, ctxFor(gr, j, 0), cands)
 	if idx < 0 || idx >= len(cands) {
 		t.Fatalf("Choose = %d", idx)
 	}
@@ -62,11 +85,11 @@ func TestBaselineKeepsMFPLarge(t *testing.T) {
 	// The chosen placement must achieve the best possible MFP-after.
 	best := -1
 	for _, p := range cands {
-		if a := mfpAfter(gr, p); a > best {
+		if a := mustMFPAfter(t, gr, p); a > best {
 			best = a
 		}
 	}
-	if got := mfpAfter(gr, chosen); got != best {
+	if got := mustMFPAfter(t, gr, chosen); got != best {
 		t.Fatalf("baseline chose MFP-after %d, best achievable %d", got, best)
 	}
 }
@@ -123,7 +146,7 @@ func TestBalancingAvoidsPredictedFailure(t *testing.T) {
 		if len(cands) != 2 {
 			t.Fatalf("expected exactly 2 candidates, got %d", len(cands))
 		}
-		idx := pol.Choose(ctxFor(gr, jSmall, 0), cands)
+		idx := mustChoose(t, pol, ctxFor(gr, jSmall, 0), cands)
 		chosen := cands[idx]
 		if g.ContainsNode(chosen, nodeInA) {
 			t.Fatalf("confidence %g: balancing chose the failing partition", conf)
@@ -175,8 +198,8 @@ func TestBalancingConfidenceTradeoff(t *testing.T) {
 	low := &Balancing{Prober: &predict.Balancing{Index: ix, Confidence: 0.05}}
 	high := &Balancing{Prober: &predict.Balancing{Index: ix, Confidence: 0.95}}
 
-	idxLow := low.Choose(ctxFor(base, j, 0), cands)
-	idxHigh := high.Choose(ctxFor(base, j, 0), cands)
+	idxLow := mustChoose(t, low, ctxFor(base, j, 0), cands)
+	idxHigh := mustChoose(t, high, ctxFor(base, j, 0), cands)
 	pocketNode := g.Index(torus.Coord{X: 0, Y: 0, Z: 0})
 	if !g.ContainsNode(cands[idxLow], pocketNode) {
 		t.Fatal("low confidence should accept the risky pocket to preserve the MFP")
@@ -208,7 +231,7 @@ func TestTieBreakPrefersHealthyAmongTied(t *testing.T) {
 	if len(cands) != 2 {
 		t.Fatalf("want 2 candidates, got %d", len(cands))
 	}
-	idx := pol.Choose(ctxFor(gr, j, 0), cands)
+	idx := mustChoose(t, pol, ctxFor(gr, j, 0), cands)
 	if g.ContainsNode(cands[idx], badNode) {
 		t.Fatal("tie-break chose the partition predicted to fail")
 	}
@@ -226,18 +249,18 @@ func TestTieBreakAllPredictedFailPicksFirstTied(t *testing.T) {
 	pol := &TieBreak{Oracle: predict.NewTieBreak(ix, 1.0, 1)}
 	j := testJob(5, 8, 1000)
 	cands := partition.ShapeFinder{}.FreeOfSize(gr, 8)
-	idx := pol.Choose(ctxFor(gr, j, 0), cands)
+	idx := mustChoose(t, pol, ctxFor(gr, j, 0), cands)
 	if idx < 0 || idx >= len(cands) {
 		t.Fatalf("Choose = %d with all candidates failing; must still pick one", idx)
 	}
 	// Must be tied at the optimal MFP.
 	best := -1
 	for _, p := range cands {
-		if a := mfpAfter(gr, p); a > best {
+		if a := mustMFPAfter(t, gr, p); a > best {
 			best = a
 		}
 	}
-	if got := mfpAfter(gr, cands[idx]); got != best {
+	if got := mustMFPAfter(t, gr, cands[idx]); got != best {
 		t.Fatalf("fallback pick is not MFP-optimal: %d vs %d", got, best)
 	}
 }
@@ -245,7 +268,7 @@ func TestTieBreakAllPredictedFailPicksFirstTied(t *testing.T) {
 func TestTieBreakEmptyCandidates(t *testing.T) {
 	pol := &TieBreak{Oracle: predict.Null{}}
 	gr := torus.NewGrid(torus.BlueGeneL())
-	if idx := pol.Choose(ctxFor(gr, testJob(1, 1, 10), 0), nil); idx != -1 {
+	if idx := mustChoose(t, pol, ctxFor(gr, testJob(1, 1, 10), 0), nil); idx != -1 {
 		t.Fatalf("Choose(nil candidates) = %d, want -1", idx)
 	}
 }
@@ -261,14 +284,52 @@ func TestFaultAwareDegenerateToBaseline(t *testing.T) {
 	}
 	j := testJob(6, 8, 500)
 	cands := partition.ShapeFinder{}.FreeOfSize(gr, 8)
-	baseIdx := Baseline{}.Choose(ctxFor(gr, j, 0), cands)
-	balIdx := (&Balancing{Prober: predict.Null{}}).Choose(ctxFor(gr, j, 0), cands)
-	tbIdx := (&TieBreak{Oracle: predict.Null{}}).Choose(ctxFor(gr, j, 0), cands)
-	if mfpAfter(gr, cands[balIdx]) != mfpAfter(gr, cands[baseIdx]) {
+	baseIdx := mustChoose(t, Baseline{}, ctxFor(gr, j, 0), cands)
+	balIdx := mustChoose(t, &Balancing{Prober: predict.Null{}}, ctxFor(gr, j, 0), cands)
+	tbIdx := mustChoose(t, &TieBreak{Oracle: predict.Null{}}, ctxFor(gr, j, 0), cands)
+	if mustMFPAfter(t, gr, cands[balIdx]) != mustMFPAfter(t, gr, cands[baseIdx]) {
 		t.Fatal("balancing with null predictor diverged from baseline MFP")
 	}
-	if mfpAfter(gr, cands[tbIdx]) != mfpAfter(gr, cands[baseIdx]) {
+	if mustMFPAfter(t, gr, cands[tbIdx]) != mustMFPAfter(t, gr, cands[baseIdx]) {
 		t.Fatal("tie-break with null predictor diverged from baseline MFP")
+	}
+}
+
+// A probe over an inconsistent grid (the candidate is already
+// allocated) must surface as an error, not a panic.
+func TestMfpAfterInconsistentGridErrors(t *testing.T) {
+	g := torus.BlueGeneL()
+	gr := torus.NewGrid(g)
+	p := torus.Partition{Base: torus.Coord{}, Shape: torus.Shape{X: 2, Y: 2, Z: 2}}
+	if err := gr.Allocate(p, 7); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := mfpAfter(gr, p); err == nil {
+		t.Fatal("probe of an already-allocated partition succeeded")
+	}
+}
+
+// errPolicy always fails; scheduling must propagate the error.
+type errPolicy struct{}
+
+func (errPolicy) Name() string { return "errpolicy" }
+func (errPolicy) Choose(*PlacementContext, []torus.Partition) (int, error) {
+	return -1, errors.New("synthetic policy failure")
+}
+
+func TestSchedulePropagatesPolicyError(t *testing.T) {
+	s, err := NewScheduler(Config{Policy: errPolicy{}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	q := job.NewQueue()
+	q.Push(testJob(1, 8, 100))
+	_, err = s.Schedule(torus.NewGrid(torus.BlueGeneL()), q, nil, 0)
+	if err == nil || !strings.Contains(err.Error(), "synthetic policy failure") {
+		t.Fatalf("Schedule error = %v, want wrapped policy failure", err)
+	}
+	if q.Len() != 1 {
+		t.Fatal("failed scheduling decision consumed the queued job")
 	}
 }
 

@@ -218,7 +218,10 @@ func (s *Scheduler) tryStart(gr *torus.Grid, j *job.Job, now float64) (Decision,
 	}
 	_, mfp := partition.MaxFree(gr)
 	ctx := &PlacementContext{Grid: gr, Job: j, Now: now, MFPBefore: mfp}
-	idx := s.cfg.Policy.Choose(ctx, cands)
+	idx, err := s.cfg.Policy.Choose(ctx, cands)
+	if err != nil {
+		return Decision{}, false, fmt.Errorf("core: policy %s: %w", s.cfg.Policy.Name(), err)
+	}
 	if idx < 0 {
 		return Decision{}, false, nil
 	}
@@ -254,25 +257,32 @@ func (s *Scheduler) reservation(gr *torus.Grid, head *job.Job, running []Running
 	copy(byFinish, running)
 	sort.Slice(byFinish, func(i, j int) bool { return byFinish[i].ExpFinish < byFinish[j].ExpFinish })
 
-	check := func(t float64) (reservationState, bool) {
+	check := func(t float64) (reservationState, bool, error) {
 		cands := s.cfg.Finder.FreeOfSize(scratch, head.AllocSize)
 		if len(cands) == 0 {
-			return reservationState{}, false
+			return reservationState{}, false, nil
 		}
 		_, mfp := partition.MaxFree(scratch)
 		ctx := &PlacementContext{Grid: scratch, Job: head, Now: t, MFPBefore: mfp}
-		idx := s.cfg.Policy.Choose(ctx, cands)
+		idx, err := s.cfg.Policy.Choose(ctx, cands)
+		if err != nil {
+			return reservationState{}, false, fmt.Errorf("core: reservation policy %s: %w", s.cfg.Policy.Name(), err)
+		}
 		if idx < 0 || idx >= len(cands) {
 			idx = 0
 		}
-		return reservationState{Time: t, Part: cands[idx], ok: true}, true
+		return reservationState{Time: t, Part: cands[idx], ok: true}, true, nil
 	}
 
 	for i, r := range byFinish {
 		if err := scratch.Release(r.Part, int64(r.Job.ID)); err != nil {
 			return reservationState{}, fmt.Errorf("core: reservation: %w", err)
 		}
-		if res, ok := check(math.Max(r.ExpFinish, now)); ok {
+		res, ok, err := check(math.Max(r.ExpFinish, now))
+		if err != nil {
+			return reservationState{}, err
+		}
+		if ok {
 			s.met.reservationDrain.Observe(float64(i + 1))
 			return res, nil
 		}
@@ -307,7 +317,10 @@ func (s *Scheduler) tryBackfill(gr *torus.Grid, j *job.Job, now float64, res res
 	}
 	_, mfp := partition.MaxFree(gr)
 	ctx := &PlacementContext{Grid: gr, Job: j, Now: now, MFPBefore: mfp}
-	idx := s.cfg.Policy.Choose(ctx, cands)
+	idx, err := s.cfg.Policy.Choose(ctx, cands)
+	if err != nil {
+		return Decision{}, false, fmt.Errorf("core: backfill policy %s: %w", s.cfg.Policy.Name(), err)
+	}
 	if idx < 0 {
 		return Decision{}, false, nil
 	}

@@ -274,7 +274,7 @@ func TestBalancingWindowEndsAtEstimate(t *testing.T) {
 	pol := &Balancing{Prober: &predict.Balancing{Index: ix, Confidence: 0.9}}
 	j := testJob(1, 4, 1000) // finishes at t=1000, long before the failure
 	cands := partition.ShapeFinder{}.FreeOfSize(gr, 4)
-	idx := pol.Choose(ctxFor(gr, j, 0), cands)
+	idx := mustChoose(t, pol, ctxFor(gr, j, 0), cands)
 	// Both candidates have P_f = 0; the first (deterministic order)
 	// must win, even though it contains the late-failing node.
 	if idx != 0 {

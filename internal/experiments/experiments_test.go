@@ -234,7 +234,7 @@ func TestFigureSmoke(t *testing.T) {
 	}
 	opt := Options{JobCount: 60, Seed: 2, Replications: 1}
 	for _, spec := range Specs {
-		tables, err := spec.Run(opt)
+		tables, err := spec.Run(nil, opt)
 		if err != nil {
 			t.Fatalf("%s: %v", spec.ID, err)
 		}
@@ -260,7 +260,7 @@ func TestFigureSmoke(t *testing.T) {
 }
 
 func TestKrevatTable(t *testing.T) {
-	tab, err := KrevatTable(Options{JobCount: 150, Seed: 3, Replications: 1}, "SDSC", 1.0)
+	tab, err := KrevatTable(nil, Options{JobCount: 150, Seed: 3, Replications: 1}, "SDSC", 1.0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -350,7 +350,7 @@ func TestRunLearnedSchedulers(t *testing.T) {
 }
 
 func TestLearnedSweepTable(t *testing.T) {
-	tab, err := LearnedSweep(Options{JobCount: 60, Seed: 2, Replications: 1}, "SDSC")
+	tab, err := LearnedSweep(nil, Options{JobCount: 60, Seed: 2, Replications: 1}, "SDSC")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -371,7 +371,7 @@ func TestLearnedSweepTable(t *testing.T) {
 
 // Capacity-split figures must have fractions summing to one.
 func TestUtilizationFigureSumsToOne(t *testing.T) {
-	tables, err := Figure5(Options{JobCount: 80, Seed: 5, Replications: 1})
+	tables, err := Figure5(nil, Options{JobCount: 80, Seed: 5, Replications: 1})
 	if err != nil {
 		t.Fatal(err)
 	}

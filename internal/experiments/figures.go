@@ -79,11 +79,13 @@ func metricValue(metric string, s metricsSummary) (float64, error) {
 		metric, MetricSlowdown, MetricResponse, MetricWait)
 }
 
-// Spec identifies one reproducible figure of the paper.
+// Spec identifies one reproducible figure of the paper. Run executes
+// the figure through the given engine; a nil engine runs sequentially
+// with legacy fail-fast semantics (see Engine).
 type Spec struct {
 	ID    string
 	Title string
-	Run   func(Options) ([]*Table, error)
+	Run   func(*Engine, Options) ([]*Table, error)
 }
 
 // Specs lists every figure of the paper's evaluation section, in paper
@@ -134,7 +136,7 @@ func baseCfg(opt Options, wl string, c float64, nominal int, kind SchedulerKind,
 // Figure3 reproduces Figure 3: average bounded slowdown versus failure
 // rate for the SDSC log under the balancing algorithm, with no
 // prediction (a=0.0) and with prediction at a=0.1 and a=0.9.
-func Figure3(opt Options) ([]*Table, error) {
+func Figure3(eng *Engine, opt Options) ([]*Table, error) {
 	opt = opt.normalize()
 	t := &Table{
 		ID:     "fig3",
@@ -144,17 +146,18 @@ func Figure3(opt Options) ([]*Table, error) {
 	for _, n := range failureAxis {
 		t.X = append(t.X, float64(n))
 	}
-	for _, a := range []float64{0.0, 0.1, 0.9} {
-		s := Series{Name: fmt.Sprintf("a=%.1f", a)}
-		for _, n := range failureAxis {
-			v, snap, err := runMetricPoint(opt, baseCfg(opt, "SDSC", 1.0, n, SchedBalancing, a))
-			if err != nil {
-				return nil, err
-			}
-			s.Y = append(s.Y, v)
-			s.appendTelemetry(snap)
+	avals := []float64{0.0, 0.1, 0.9}
+	t.Series = make([]Series, len(avals))
+	var pts []point
+	for si, a := range avals {
+		t.Series[si] = newSeries(fmt.Sprintf("a=%.1f", a), len(failureAxis), opt)
+		for xi, n := range failureAxis {
+			pts = append(pts, metricPoint(opt, fmt.Sprintf("a=%.1f|x=%d", a, n),
+				baseCfg(opt, "SDSC", 1.0, n, SchedBalancing, a), &t.Series[si], xi))
 		}
-		t.Series = append(t.Series, s)
+	}
+	if err := eng.runPoints("fig3", pts); err != nil {
+		return nil, err
 	}
 	return []*Table{t}, nil
 }
@@ -163,7 +166,7 @@ func Figure3(opt Options) ([]*Table, error) {
 // rate for the SDSC log under the balancing algorithm at two load
 // levels (c = 1.0 and 1.2). Prediction is held at a = 0.1, the paper's
 // "modest confidence" operating point.
-func Figure4(opt Options) ([]*Table, error) {
+func Figure4(eng *Engine, opt Options) ([]*Table, error) {
 	opt = opt.normalize()
 	t := &Table{
 		ID:     "fig4",
@@ -173,17 +176,18 @@ func Figure4(opt Options) ([]*Table, error) {
 	for _, n := range failureAxis {
 		t.X = append(t.X, float64(n))
 	}
-	for _, c := range []float64{1.0, 1.2} {
-		s := Series{Name: fmt.Sprintf("c=%.1f", c)}
-		for _, n := range failureAxis {
-			v, snap, err := runMetricPoint(opt, baseCfg(opt, "SDSC", c, n, SchedBalancing, 0.1))
-			if err != nil {
-				return nil, err
-			}
-			s.Y = append(s.Y, v)
-			s.appendTelemetry(snap)
+	cvals := []float64{1.0, 1.2}
+	t.Series = make([]Series, len(cvals))
+	var pts []point
+	for si, c := range cvals {
+		t.Series[si] = newSeries(fmt.Sprintf("c=%.1f", c), len(failureAxis), opt)
+		for xi, n := range failureAxis {
+			pts = append(pts, metricPoint(opt, fmt.Sprintf("c=%.1f|x=%d", c, n),
+				baseCfg(opt, "SDSC", c, n, SchedBalancing, 0.1), &t.Series[si], xi))
 		}
-		t.Series = append(t.Series, s)
+	}
+	if err := eng.runPoints("fig4", pts); err != nil {
+		return nil, err
 	}
 	return []*Table{t}, nil
 }
@@ -191,31 +195,30 @@ func Figure4(opt Options) ([]*Table, error) {
 // Figure5 reproduces Figure 5: the capacity split (utilised / unused /
 // lost) versus failure rate for the SDSC log under the balancing
 // algorithm at a = 0.1, one panel per load level.
-func Figure5(opt Options) ([]*Table, error) {
+func Figure5(eng *Engine, opt Options) ([]*Table, error) {
 	opt = opt.normalize()
 	var tables []*Table
+	var pts []point
 	for _, c := range []float64{1.0, 1.2} {
 		t := &Table{
 			ID:     "fig5",
 			Title:  fmt.Sprintf("Utilization vs failure rate (SDSC, balancing, a=0.1, c=%.1f)", c),
 			XLabel: "failures",
 		}
-		util := Series{Name: "utilized"}
-		unused := Series{Name: "unused"}
-		lost := Series{Name: "lost"}
 		for _, n := range failureAxis {
 			t.X = append(t.X, float64(n))
-			u, un, lo, snap, err := runCapacityPoint(opt, baseCfg(opt, "SDSC", c, n, SchedBalancing, 0.1))
-			if err != nil {
-				return nil, err
-			}
-			util.Y = append(util.Y, u)
-			unused.Y = append(unused.Y, un)
-			lost.Y = append(lost.Y, lo)
-			t.appendTelemetry(snap)
 		}
-		t.Series = []Series{util, unused, lost}
+		t.allocTelemetry(len(failureAxis), opt)
+		t.Series = capacitySeries(len(failureAxis))
+		for xi, n := range failureAxis {
+			pts = append(pts, capacityPoint(opt, fmt.Sprintf("c=%.1f|x=%d", c, n),
+				baseCfg(opt, "SDSC", c, n, SchedBalancing, 0.1),
+				t, &t.Series[0], &t.Series[1], &t.Series[2], xi))
+		}
 		tables = append(tables, t)
+	}
+	if err := eng.runPoints("fig5", pts); err != nil {
+		return nil, err
 	}
 	return tables, nil
 }
@@ -224,9 +227,11 @@ func Figure5(opt Options) ([]*Table, error) {
 // shared by Figures 6 (balancing) and 9 (tie-breaking). The failure
 // count is the paper's reference 1000 (one failure per four days in
 // the paper's density).
-func paramFigure(opt Options, id, param string, kind SchedulerKind) ([]*Table, error) {
+func paramFigure(eng *Engine, opt Options, id, param string, kind SchedulerKind) ([]*Table, error) {
 	opt = opt.normalize()
 	var tables []*Table
+	var pts []point
+	cvals := []float64{1.0, 1.2}
 	for _, wl := range []string{"SDSC", "NASA", "LLNL"} {
 		t := &Table{
 			ID:     id,
@@ -236,19 +241,18 @@ func paramFigure(opt Options, id, param string, kind SchedulerKind) ([]*Table, e
 		for _, a := range paramAxis {
 			t.X = append(t.X, a)
 		}
-		for _, c := range []float64{1.0, 1.2} {
-			s := Series{Name: fmt.Sprintf("c=%.1f", c)}
-			for _, a := range paramAxis {
-				v, snap, err := runMetricPoint(opt, baseCfg(opt, wl, c, 1000, kind, a))
-				if err != nil {
-					return nil, err
-				}
-				s.Y = append(s.Y, v)
-				s.appendTelemetry(snap)
+		t.Series = make([]Series, len(cvals))
+		for si, c := range cvals {
+			t.Series[si] = newSeries(fmt.Sprintf("c=%.1f", c), len(paramAxis), opt)
+			for xi, a := range paramAxis {
+				pts = append(pts, metricPoint(opt, fmt.Sprintf("%s|c=%.1f|x=%.1f", wl, c, a),
+					baseCfg(opt, wl, c, 1000, kind, a), &t.Series[si], xi))
 			}
-			t.Series = append(t.Series, s)
 		}
 		tables = append(tables, t)
+	}
+	if err := eng.runPoints(id, pts); err != nil {
+		return nil, err
 	}
 	return tables, nil
 }
@@ -256,62 +260,61 @@ func paramFigure(opt Options, id, param string, kind SchedulerKind) ([]*Table, e
 // Figure6 reproduces Figure 6: average bounded slowdown versus
 // prediction confidence under the balancing algorithm for the SDSC,
 // NASA and LLNL logs at c = 1.0 and 1.2.
-func Figure6(opt Options) ([]*Table, error) {
-	return paramFigure(opt, "fig6", "confidence", SchedBalancing)
+func Figure6(eng *Engine, opt Options) ([]*Table, error) {
+	return paramFigure(eng, opt, "fig6", "confidence", SchedBalancing)
 }
 
 // utilizationParamFigure builds the capacity-split-vs-parameter figure
 // shared by Figures 7, 8 and 10.
-func utilizationParamFigure(opt Options, id, wl, param string, kind SchedulerKind) ([]*Table, error) {
+func utilizationParamFigure(eng *Engine, opt Options, id, wl, param string, kind SchedulerKind) ([]*Table, error) {
 	opt = opt.normalize()
 	var tables []*Table
+	var pts []point
 	for _, c := range []float64{1.0, 1.2} {
 		t := &Table{
 			ID:     id,
 			Title:  fmt.Sprintf("Utilization vs %s (%s, %s, c=%.1f)", param, wl, kind, c),
 			XLabel: param,
 		}
-		util := Series{Name: "utilized"}
-		unused := Series{Name: "unused"}
-		lost := Series{Name: "lost"}
 		for _, a := range paramAxis {
 			t.X = append(t.X, a)
-			u, un, lo, snap, err := runCapacityPoint(opt, baseCfg(opt, wl, c, 1000, kind, a))
-			if err != nil {
-				return nil, err
-			}
-			util.Y = append(util.Y, u)
-			unused.Y = append(unused.Y, un)
-			lost.Y = append(lost.Y, lo)
-			t.appendTelemetry(snap)
 		}
-		t.Series = []Series{util, unused, lost}
+		t.allocTelemetry(len(paramAxis), opt)
+		t.Series = capacitySeries(len(paramAxis))
+		for xi, a := range paramAxis {
+			pts = append(pts, capacityPoint(opt, fmt.Sprintf("%s|c=%.1f|x=%.1f", wl, c, a),
+				baseCfg(opt, wl, c, 1000, kind, a),
+				t, &t.Series[0], &t.Series[1], &t.Series[2], xi))
+		}
 		tables = append(tables, t)
+	}
+	if err := eng.runPoints(id, pts); err != nil {
+		return nil, err
 	}
 	return tables, nil
 }
 
 // Figure7 reproduces Figure 7: capacity split versus confidence for the
 // SDSC log under the balancing algorithm.
-func Figure7(opt Options) ([]*Table, error) {
-	return utilizationParamFigure(opt, "fig7", "SDSC", "confidence", SchedBalancing)
+func Figure7(eng *Engine, opt Options) ([]*Table, error) {
+	return utilizationParamFigure(eng, opt, "fig7", "SDSC", "confidence", SchedBalancing)
 }
 
 // Figure8 reproduces Figure 8: capacity split versus confidence for the
 // NASA log under the balancing algorithm.
-func Figure8(opt Options) ([]*Table, error) {
-	return utilizationParamFigure(opt, "fig8", "NASA", "confidence", SchedBalancing)
+func Figure8(eng *Engine, opt Options) ([]*Table, error) {
+	return utilizationParamFigure(eng, opt, "fig8", "NASA", "confidence", SchedBalancing)
 }
 
 // Figure9 reproduces Figure 9: average bounded slowdown versus
 // prediction accuracy under the tie-breaking algorithm for the SDSC,
 // NASA and LLNL logs at c = 1.0 and 1.2.
-func Figure9(opt Options) ([]*Table, error) {
-	return paramFigure(opt, "fig9", "accuracy", SchedTieBreak)
+func Figure9(eng *Engine, opt Options) ([]*Table, error) {
+	return paramFigure(eng, opt, "fig9", "accuracy", SchedTieBreak)
 }
 
 // Figure10 reproduces Figure 10: capacity split versus accuracy for the
 // LLNL log under the tie-breaking algorithm.
-func Figure10(opt Options) ([]*Table, error) {
-	return utilizationParamFigure(opt, "fig10", "LLNL", "accuracy", SchedTieBreak)
+func Figure10(eng *Engine, opt Options) ([]*Table, error) {
+	return utilizationParamFigure(eng, opt, "fig10", "LLNL", "accuracy", SchedTieBreak)
 }

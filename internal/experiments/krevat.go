@@ -1,9 +1,12 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
+	"math"
 
 	"bgsched/internal/core"
+	"bgsched/internal/telemetry"
 )
 
 // KrevatVariants are the four scheduler configurations of Krevat,
@@ -27,61 +30,81 @@ var KrevatVariants = []struct {
 // aggregated bounded slowdown, response time, wait time, and
 // utilization over the configured workload, fault-free (the baseline
 // study predates the fault model).
-func KrevatTable(opt Options, workload string, loadScale float64) (*Table, error) {
+func KrevatTable(eng *Engine, opt Options, workload string, loadScale float64) (*Table, error) {
 	opt = opt.normalize()
 	t := &Table{
 		ID:     "krevat",
 		Title:  fmt.Sprintf("Krevat scheduler variants (%s, c=%.1f, fault-free)", workload, loadScale),
 		XLabel: "variant",
 	}
-	slowdown := Series{Name: "slowdown"}
-	response := Series{Name: "response-s"}
-	wait := Series{Name: "wait-s"}
-	util := Series{Name: "utilized"}
-	for i, v := range KrevatVariants {
+	n := len(KrevatVariants)
+	for i := range KrevatVariants {
 		t.X = append(t.X, float64(i))
+	}
+	t.allocTelemetry(n, opt)
+	t.Series = []Series{
+		{Name: "slowdown", Y: make([]float64, n)},
+		{Name: "response-s", Y: make([]float64, n)},
+		{Name: "wait-s", Y: make([]float64, n)},
+		{Name: "utilized", Y: make([]float64, n)},
+	}
+	var pts []point
+	for i, v := range KrevatVariants {
+		i := i
 		cfg := RunConfig{
 			Workload: workload, JobCount: opt.JobCount, LoadScale: loadScale,
 			Scheduler: SchedBaseline, Seed: opt.Seed,
 			Backfill: v.Backfill, BackfillStrict: v.Strict, Migration: v.Migration,
 		}
-		// All four series come from the same runs, so per-variant
-		// snapshots go on the table, like the capacity figures.
-		reg := pointRegistry(opt, &cfg)
-		rs, err := RunSeeds(cfg, opt.Replications)
-		if err != nil {
-			return nil, err
-		}
-		t.appendTelemetry(reg.Snapshot())
-		point := func(metric string) (float64, error) {
-			vals, err := rs.Metric(metric)
-			if err != nil {
-				return 0, err
-			}
-			return aggregate(vals, opt.Aggregate)
-		}
-		sd, err := point(MetricSlowdown)
-		if err != nil {
-			return nil, err
-		}
-		rp, err := point(MetricResponse)
-		if err != nil {
-			return nil, err
-		}
-		wt, err := point(MetricWait)
-		if err != nil {
-			return nil, err
-		}
-		us, _, _ := rs.Capacity()
-		u, err := aggregate(us, opt.Aggregate)
-		if err != nil {
-			return nil, err
-		}
-		slowdown.Y = append(slowdown.Y, sd)
-		response.Y = append(response.Y, rp)
-		wait.Y = append(wait.Y, wt)
-		util.Y = append(util.Y, u)
+		pts = append(pts, point{
+			key: v.Name,
+			cfg: cfg,
+			run: func(ctx context.Context, cfg RunConfig) ([]float64, *telemetry.Snapshot, error) {
+				// All four series come from the same runs, so the
+				// per-variant snapshot goes on the table, like the
+				// capacity figures.
+				reg := pointRegistry(opt, &cfg)
+				rs, err := RunSeedsContext(ctx, cfg, opt.Replications)
+				if err != nil {
+					return nil, nil, err
+				}
+				vals := make([]float64, 0, 4)
+				for _, metric := range []string{MetricSlowdown, MetricResponse, MetricWait} {
+					raw, err := rs.Metric(metric)
+					if err != nil {
+						return nil, nil, err
+					}
+					v, err := aggregate(raw, opt.Aggregate)
+					if err != nil {
+						return nil, nil, err
+					}
+					vals = append(vals, v)
+				}
+				us, _, _ := rs.Capacity()
+				u, err := aggregate(us, opt.Aggregate)
+				if err != nil {
+					return nil, nil, err
+				}
+				return append(vals, u), reg.Snapshot(), nil
+			},
+			fill: func(vals []float64, snap *telemetry.Snapshot) {
+				if len(vals) < 4 {
+					for s := range t.Series {
+						t.Series[s].Y[i] = math.NaN()
+					}
+					return
+				}
+				for s := range t.Series {
+					t.Series[s].Y[i] = vals[s]
+				}
+				if t.Telemetry != nil {
+					t.Telemetry[i] = snap
+				}
+			},
+		})
 	}
-	t.Series = []Series{slowdown, response, wait, util}
+	if err := eng.runPoints("krevat", pts); err != nil {
+		return nil, err
+	}
 	return t, nil
 }

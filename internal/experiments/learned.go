@@ -1,6 +1,12 @@
 package experiments
 
-import "fmt"
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"bgsched/internal/telemetry"
+)
 
 // LearnedSweep is an extension experiment beyond the paper: average
 // bounded slowdown versus the learned predictor's decision threshold,
@@ -8,7 +14,7 @@ import "fmt"
 // as reference lines. It answers the question the paper's
 // oracle-with-knob model abstracts away — how does scheduling
 // performance vary across a *real* predictor's operating points?
-func LearnedSweep(opt Options, wl string) (*Table, error) {
+func LearnedSweep(eng *Engine, opt Options, wl string) (*Table, error) {
 	opt = opt.normalize()
 	thresholds := []float64{0.05, 0.1, 0.25, 0.5, 0.75}
 	t := &Table{
@@ -19,40 +25,56 @@ func LearnedSweep(opt Options, wl string) (*Table, error) {
 	for _, th := range thresholds {
 		t.X = append(t.X, th)
 	}
-
-	balancing := Series{Name: "balancing-learned"}
-	tiebreak := Series{Name: "tiebreak-learned"}
-	for _, th := range thresholds {
-		v, snap, err := runMetricPoint(opt, baseCfg(opt, wl, 1.0, 1000, SchedBalancingLearned, th))
-		if err != nil {
-			return nil, err
-		}
-		balancing.Y = append(balancing.Y, v)
-		balancing.appendTelemetry(snap)
-		v, snap, err = runMetricPoint(opt, baseCfg(opt, wl, 1.0, 1000, SchedTieBreakLearned, th))
-		if err != nil {
-			return nil, err
-		}
-		tiebreak.Y = append(tiebreak.Y, v)
-		tiebreak.appendTelemetry(snap)
+	n := len(thresholds)
+	t.Series = []Series{
+		{Name: "baseline", Y: make([]float64, n)},
+		newSeries("balancing-learned", n, opt),
+		newSeries("tiebreak-learned", n, opt),
+		{Name: "balancing-knob-0.5", Y: make([]float64, n)},
 	}
 
-	// Reference lines: flat across the axis (their single run's snapshot
-	// would misalign with the threshold axis, so it is discarded).
-	base, _, err := runMetricPoint(opt, baseCfg(opt, wl, 1.0, 1000, SchedBaseline, 0))
-	if err != nil {
+	var pts []point
+	for xi, th := range thresholds {
+		pts = append(pts,
+			metricPoint(opt, fmt.Sprintf("balancing|x=%.2f", th),
+				baseCfg(opt, wl, 1.0, 1000, SchedBalancingLearned, th), &t.Series[1], xi),
+			metricPoint(opt, fmt.Sprintf("tiebreak|x=%.2f", th),
+				baseCfg(opt, wl, 1.0, 1000, SchedTieBreakLearned, th), &t.Series[2], xi))
+	}
+	// Reference lines: one run each, flat across the axis (their single
+	// run's snapshot would misalign with the threshold axis, so it is
+	// discarded).
+	pts = append(pts,
+		flatLinePoint(opt, "ref|baseline", baseCfg(opt, wl, 1.0, 1000, SchedBaseline, 0), &t.Series[0]),
+		flatLinePoint(opt, "ref|knob-0.5", baseCfg(opt, wl, 1.0, 1000, SchedBalancing, 0.5), &t.Series[3]))
+
+	if err := eng.runPoints("learned", pts); err != nil {
 		return nil, err
 	}
-	oracle, _, err := runMetricPoint(opt, baseCfg(opt, wl, 1.0, 1000, SchedBalancing, 0.5))
-	if err != nil {
-		return nil, err
-	}
-	baseline := Series{Name: "baseline"}
-	knob := Series{Name: "balancing-knob-0.5"}
-	for range thresholds {
-		baseline.Y = append(baseline.Y, base)
-		knob.Y = append(knob.Y, oracle)
-	}
-	t.Series = []Series{baseline, balancing, tiebreak, knob}
 	return t, nil
+}
+
+// flatLinePoint builds the point computing one reference value and
+// replicating it across every slot of series s.
+func flatLinePoint(opt Options, key string, cfg RunConfig, s *Series) point {
+	return point{
+		key: key,
+		cfg: cfg,
+		run: func(ctx context.Context, cfg RunConfig) ([]float64, *telemetry.Snapshot, error) {
+			v, _, err := runMetricPointContext(ctx, opt, cfg)
+			if err != nil {
+				return nil, nil, err
+			}
+			return []float64{v}, nil, nil
+		},
+		fill: func(vals []float64, _ *telemetry.Snapshot) {
+			v := math.NaN()
+			if len(vals) >= 1 {
+				v = vals[0]
+			}
+			for i := range s.Y {
+				s.Y[i] = v
+			}
+		},
+	}
 }

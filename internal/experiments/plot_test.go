@@ -84,14 +84,14 @@ func TestMetricValue(t *testing.T) {
 }
 
 func TestFigureWithResponseMetric(t *testing.T) {
-	tables, err := Figure4(Options{JobCount: 50, Metric: MetricResponse, Replications: 1})
+	tables, err := Figure4(nil, Options{JobCount: 50, Metric: MetricResponse, Replications: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(tables[0].Title, "response") {
 		t.Fatalf("title = %q", tables[0].Title)
 	}
-	tables2, err := Figure4(Options{JobCount: 50, Metric: "bogus", Replications: 1})
+	tables2, err := Figure4(nil, Options{JobCount: 50, Metric: "bogus", Replications: 1})
 	if err == nil {
 		t.Fatalf("bogus metric accepted: %v", tables2)
 	}

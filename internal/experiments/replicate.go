@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"bgsched/internal/sim"
@@ -23,6 +24,12 @@ type ReplicateSet struct {
 // RunSeeds executes cfg under reps different seeds (cfg.Seed,
 // cfg.Seed+seedStride, ...).
 func RunSeeds(cfg RunConfig, reps int) (ReplicateSet, error) {
+	return RunSeedsContext(context.Background(), cfg, reps)
+}
+
+// RunSeedsContext is RunSeeds under a cancellation context; the context
+// also cancels each replicate's event loop mid-run.
+func RunSeedsContext(ctx context.Context, cfg RunConfig, reps int) (ReplicateSet, error) {
 	if reps < 1 {
 		return ReplicateSet{}, fmt.Errorf("experiments: %d replications", reps)
 	}
@@ -30,7 +37,7 @@ func RunSeeds(cfg RunConfig, reps int) (ReplicateSet, error) {
 	for i := 0; i < reps; i++ {
 		c := cfg
 		c.Seed = cfg.Seed + int64(i)*seedStride
-		res, err := Run(c)
+		res, err := RunContext(ctx, c)
 		if err != nil {
 			return ReplicateSet{}, err
 		}
@@ -95,8 +102,13 @@ func pointRegistry(opt Options, cfg *RunConfig) *telemetry.Registry {
 // aggregated metric value, plus the point's telemetry snapshot when
 // Options.CollectTelemetry is set (nil otherwise).
 func runMetricPoint(opt Options, cfg RunConfig) (float64, *telemetry.Snapshot, error) {
+	return runMetricPointContext(context.Background(), opt, cfg)
+}
+
+// runMetricPointContext is runMetricPoint under a cancellation context.
+func runMetricPointContext(ctx context.Context, opt Options, cfg RunConfig) (float64, *telemetry.Snapshot, error) {
 	reg := pointRegistry(opt, &cfg)
-	rs, err := RunSeeds(cfg, opt.Replications)
+	rs, err := RunSeedsContext(ctx, cfg, opt.Replications)
 	if err != nil {
 		return 0, nil, err
 	}
@@ -114,9 +126,9 @@ func runMetricPoint(opt Options, cfg RunConfig) (float64, *telemetry.Snapshot, e
 // runCapacityPoint runs one sweep point with replication and returns
 // the aggregated capacity split, plus the point's telemetry snapshot
 // when Options.CollectTelemetry is set (nil otherwise).
-func runCapacityPoint(opt Options, cfg RunConfig) (util, unused, lost float64, snap *telemetry.Snapshot, err error) {
+func runCapacityPoint(ctx context.Context, opt Options, cfg RunConfig) (util, unused, lost float64, snap *telemetry.Snapshot, err error) {
 	reg := pointRegistry(opt, &cfg)
-	rs, err := RunSeeds(cfg, opt.Replications)
+	rs, err := RunSeedsContext(ctx, cfg, opt.Replications)
 	if err != nil {
 		return 0, 0, 0, nil, err
 	}

@@ -16,6 +16,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -106,6 +107,9 @@ type RunConfig struct {
 
 	// RecordTimeline samples machine state into Result.Timeline.
 	RecordTimeline bool
+	// CheckInvariants makes the simulator validate machine-state
+	// conservation after every event (sim.Config.CheckInvariants).
+	CheckInvariants bool
 	// EventLog, when non-nil, receives the JSONL simulation event log.
 	EventLog io.Writer
 	// Telemetry, when non-nil, is threaded through the scheduler, the
@@ -139,6 +143,13 @@ func (c *RunConfig) normalize() {
 
 // Run builds and executes the configured simulation.
 func Run(cfg RunConfig) (sim.Result, error) {
+	return RunContext(context.Background(), cfg)
+}
+
+// RunContext builds and executes the configured simulation under a
+// cancellation context: a cancelled ctx aborts the event loop promptly
+// and returns ctx.Err().
+func RunContext(ctx context.Context, cfg RunConfig) (sim.Result, error) {
 	cfg.normalize()
 	g := torus.BlueGeneL()
 	if cfg.Machine != "" {
@@ -193,21 +204,22 @@ func Run(cfg RunConfig) (sim.Result, error) {
 		return sim.Result{}, err
 	}
 	s, err := sim.New(sim.Config{
-		Geometry:       g,
-		Scheduler:      sched,
-		Jobs:           jobs,
-		Failures:       trace,
-		Downtime:       cfg.Downtime,
-		MigrationCost:  cfg.MigrationCost,
-		Checkpoint:     buildCheckpoint(cfg, g, trace),
-		RecordTimeline: cfg.RecordTimeline,
-		EventLog:       cfg.EventLog,
-		Telemetry:      cfg.Telemetry,
+		Geometry:        g,
+		Scheduler:       sched,
+		Jobs:            jobs,
+		Failures:        trace,
+		Downtime:        cfg.Downtime,
+		MigrationCost:   cfg.MigrationCost,
+		Checkpoint:      buildCheckpoint(cfg, g, trace),
+		RecordTimeline:  cfg.RecordTimeline,
+		CheckInvariants: cfg.CheckInvariants,
+		EventLog:        cfg.EventLog,
+		Telemetry:       cfg.Telemetry,
 	})
 	if err != nil {
 		return sim.Result{}, err
 	}
-	return s.Run()
+	return s.RunContext(ctx)
 }
 
 // buildCheckpoint assembles the optional checkpointing extension.

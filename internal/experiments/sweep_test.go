@@ -1,0 +1,308 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"path/filepath"
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"bgsched/internal/resilience"
+	"bgsched/internal/telemetry"
+)
+
+// smallOpt keeps engine tests fast: tiny logs, single replication.
+var smallOpt = Options{JobCount: 40, Seed: 2, Replications: 1}
+
+// syntheticPoints builds n points that write their index into out and
+// invoke probe first (nil probe = succeed).
+func syntheticPoints(n int, out []float64, probe func(i int) error) []point {
+	pts := make([]point, n)
+	for i := range pts {
+		i := i
+		pts[i] = point{
+			key: fmt.Sprintf("p=%d", i),
+			cfg: RunConfig{Seed: int64(i)},
+			run: func(ctx context.Context, cfg RunConfig) ([]float64, *telemetry.Snapshot, error) {
+				if probe != nil {
+					if err := probe(i); err != nil {
+						return nil, nil, err
+					}
+				}
+				return []float64{float64(i)}, nil, nil
+			},
+			fill: func(vals []float64, _ *telemetry.Snapshot) {
+				if len(vals) < 1 {
+					out[i] = math.NaN()
+					return
+				}
+				out[i] = vals[0]
+			},
+		}
+	}
+	return pts
+}
+
+// A parallel engine must produce exactly the tables of the legacy
+// sequential path: points fill disjoint pre-allocated slots, so
+// scheduling order cannot leak into the output.
+func TestEngineParallelMatchesSequential(t *testing.T) {
+	seq, err := Figure4(nil, smallOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Figure4(&Engine{Workers: 4}, smallOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(seq, par) {
+		t.Fatalf("parallel tables diverged from sequential:\nseq: %+v\npar: %+v", seq[0], par[0])
+	}
+}
+
+// A point that panics on every attempt must be retried the configured
+// number of times, recorded as a failure with accurate attempt
+// accounting, and must not disturb sibling points.
+func TestEnginePanicIsolationAndRetryAccounting(t *testing.T) {
+	const n, bad = 8, 3
+	out := make([]float64, n)
+	var attempts int32
+	eng := &Engine{Workers: 2, Retries: 2}
+	err := eng.runPoints("figX", syntheticPoints(n, out, func(i int) error {
+		if i == bad {
+			atomic.AddInt32(&attempts, 1)
+			panic("synthetic point explosion")
+		}
+		return nil
+	}))
+	if err != nil {
+		t.Fatalf("isolated failure escaped runPoints: %v", err)
+	}
+	if got := atomic.LoadInt32(&attempts); got != 3 {
+		t.Fatalf("bad point ran %d times, want 1 + 2 retries", got)
+	}
+	fails := eng.Failures()
+	if len(fails) != 1 {
+		t.Fatalf("failures = %d, want 1", len(fails))
+	}
+	pe := fails[0]
+	if pe.Figure != "figX" || pe.Key != "p=3" || pe.Attempts != 3 || pe.Seed != int64(bad) {
+		t.Fatalf("failure record = %+v", pe)
+	}
+	if p, ok := resilience.IsPanic(pe); !ok || p.Value != "synthetic point explosion" {
+		t.Fatalf("panic payload lost: %+v", pe)
+	}
+	for i, v := range out {
+		if i == bad {
+			if !math.IsNaN(v) {
+				t.Fatalf("failed point slot = %g, want NaN", v)
+			}
+		} else if v != float64(i) {
+			t.Fatalf("sibling point %d = %g, disturbed by the failure", i, v)
+		}
+	}
+}
+
+// A transient failure must succeed on retry without being recorded.
+func TestEngineRetryRecovers(t *testing.T) {
+	const n = 4
+	out := make([]float64, n)
+	var first int32
+	eng := &Engine{Workers: 1, Retries: 1}
+	err := eng.runPoints("figX", syntheticPoints(n, out, func(i int) error {
+		if i == 2 && atomic.CompareAndSwapInt32(&first, 0, 1) {
+			return errors.New("transient")
+		}
+		return nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eng.Failures()) != 0 {
+		t.Fatalf("recovered point recorded as failed: %v", eng.Failures())
+	}
+	if out[2] != 2 {
+		t.Fatalf("retried point value = %g", out[2])
+	}
+}
+
+// Without isolation (nil engine), the legacy contract holds: the first
+// point error aborts the sweep as a typed *PointError.
+func TestNilEngineFailsFast(t *testing.T) {
+	out := make([]float64, 2)
+	var eng *Engine
+	err := eng.runPoints("figX", syntheticPoints(2, out, func(i int) error {
+		if i == 0 {
+			return errors.New("boom")
+		}
+		return nil
+	}))
+	var pe *resilience.PointError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v, want *PointError", err)
+	}
+	if pe.Key != "p=0" || pe.Attempts != 1 {
+		t.Fatalf("record = %+v", pe)
+	}
+}
+
+func TestEngineCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := &Engine{Ctx: ctx, Workers: 2}
+	out := make([]float64, 4)
+	err := eng.runPoints("figX", syntheticPoints(4, out, nil))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if _, err := Figure4(&Engine{Ctx: ctx}, smallOpt); !errors.Is(err, context.Canceled) {
+		t.Fatalf("figure under cancelled ctx = %v", err)
+	}
+}
+
+// Interrupted-run round trip: journal a full figure, simulate an
+// interruption by truncating the journal to a prefix of its points,
+// then resume. The resumed run must re-execute only the missing points
+// and produce a table identical to the uninterrupted run.
+func TestEngineResumeRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.jsonl")
+
+	j, err := resilience.CreateJournal(full, resilience.JournalMeta{Tool: "test", ConfigHash: "h"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &Engine{Workers: 2, Journal: j}
+	want, err := Figure4(eng, smallOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	jc, err := resilience.ReadJournal(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nPoints := len(jc.Points)
+	if nPoints != 2*len(failureAxis) {
+		t.Fatalf("journalled %d points, want %d", nPoints, 2*len(failureAxis))
+	}
+
+	// "Interrupt": keep roughly half the completed points.
+	kept := make(map[string]resilience.PointRecord, nPoints/2)
+	for k, rec := range jc.Points {
+		if len(kept) >= nPoints/2 {
+			break
+		}
+		kept[k] = rec
+	}
+
+	resumed := &Engine{Workers: 2, Resumed: kept}
+	got, err := Figure4(resumed, smallOpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumed.ResumedPoints() != len(kept) {
+		t.Fatalf("resumed %d points, want %d", resumed.ResumedPoints(), len(kept))
+	}
+	if len(want) != len(got) {
+		t.Fatalf("table counts differ")
+	}
+	for i := range want {
+		if !reflect.DeepEqual(want[i].X, got[i].X) || !reflect.DeepEqual(want[i].Series, got[i].Series) {
+			t.Fatalf("resumed table %d diverged from uninterrupted run:\nwant %+v\ngot  %+v",
+				i, want[i].Series, got[i].Series)
+		}
+	}
+}
+
+// Journalled records must carry the figure, the point key, and the
+// point's base seed, so a resumed run can match them exactly.
+func TestEngineJournalRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := resilience.CreateJournal(path, resilience.JournalMeta{Tool: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &Engine{Workers: 1, Journal: j}
+	out := make([]float64, 3)
+	if err := eng.runPoints("figJ", syntheticPoints(3, out, nil)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	jc, err := resilience.ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		rec, ok := jc.Points[resilience.PointKey("figJ", fmt.Sprintf("p=%d", i))]
+		if !ok {
+			t.Fatalf("point %d missing from journal", i)
+		}
+		if rec.Seed != int64(i) || len(rec.Values) != 1 || rec.Values[0] != float64(i) {
+			t.Fatalf("record %d = %+v", i, rec)
+		}
+	}
+}
+
+// A failed point must not be journalled: resuming must re-attempt it.
+func TestEngineFailedPointNotJournalled(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := resilience.CreateJournal(path, resilience.JournalMeta{Tool: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &Engine{Workers: 1, Journal: j}
+	out := make([]float64, 2)
+	err = eng.runPoints("figJ", syntheticPoints(2, out, func(i int) error {
+		if i == 0 {
+			return errors.New("permanent")
+		}
+		return nil
+	}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	jc, err := resilience.ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := jc.Points[resilience.PointKey("figJ", "p=0")]; ok {
+		t.Fatal("failed point was journalled as completed")
+	}
+	if _, ok := jc.Points[resilience.PointKey("figJ", "p=1")]; !ok {
+		t.Fatal("successful sibling missing from journal")
+	}
+}
+
+// CheckInvariants on the engine must reach every point's RunConfig.
+func TestEngineThreadsInvariantChecking(t *testing.T) {
+	eng := &Engine{Workers: 1, CheckInvariants: true}
+	var seen int32
+	pts := []point{{
+		key: "p",
+		cfg: RunConfig{},
+		run: func(ctx context.Context, cfg RunConfig) ([]float64, *telemetry.Snapshot, error) {
+			if cfg.CheckInvariants {
+				atomic.StoreInt32(&seen, 1)
+			}
+			return []float64{1}, nil, nil
+		},
+		fill: func([]float64, *telemetry.Snapshot) {},
+	}}
+	if err := eng.runPoints("figC", pts); err != nil {
+		t.Fatal(err)
+	}
+	if seen != 1 {
+		t.Fatal("CheckInvariants not threaded into the point config")
+	}
+}

@@ -3,10 +3,15 @@ package failure
 import (
 	"bufio"
 	"encoding/csv"
+	"errors"
 	"fmt"
 	"io"
+	"math"
 	"strconv"
 	"strings"
+
+	"bgsched/internal/resilience"
+	"bgsched/internal/telemetry"
 )
 
 // WriteCSV writes the trace as "time_seconds,node" rows with a header.
@@ -32,40 +37,113 @@ func WriteCSV(w io.Writer, tr Trace) error {
 	return bw.Flush()
 }
 
+// ReadOptions controls how ReadCSVWith treats malformed input.
+type ReadOptions struct {
+	// Lenient skips malformed lines instead of failing fast, recording
+	// line-scoped reasons in the ingest report.
+	Lenient bool
+	// MaxErrors caps the line errors retained in the report
+	// (<= 0 means resilience.DefaultMaxLineErrors).
+	MaxErrors int
+	// Metrics, when non-nil, receives ingest.csv.* counters mirroring
+	// the report, so skipped lines surface in run manifests.
+	Metrics *telemetry.Registry
+}
+
 // ReadCSV parses a trace written by WriteCSV (or an external failure
-// log in the same two-column format). Lines starting with '#' and the
-// header row are skipped. The result is sorted.
+// log in the same two-column format), failing fast on the first
+// malformed line. Lines starting with '#' and the header row are
+// skipped. The result is sorted.
 func ReadCSV(r io.Reader) (Trace, error) {
+	tr, _, err := ReadCSVWith(r, ReadOptions{})
+	return tr, err
+}
+
+// ReadCSVWith parses a failure trace under the given options,
+// returning an ingest report alongside the trace. Out-of-order events
+// are counted in the report but are not an error in either mode — the
+// trace has always been sorted on return. The report is non-nil even
+// on error.
+func ReadCSVWith(r io.Reader, opt ReadOptions) (Trace, *resilience.IngestReport, error) {
+	rep := resilience.NewIngestReport(opt.MaxErrors)
+	defer func() {
+		if opt.Metrics != nil {
+			opt.Metrics.Counter("ingest.csv.lines").Add(int64(rep.Lines))
+			opt.Metrics.Counter("ingest.csv.records").Add(int64(rep.Records))
+			opt.Metrics.Counter("ingest.csv.skipped").Add(int64(rep.Skipped))
+			opt.Metrics.Counter("ingest.csv.out_of_order").Add(int64(rep.OutOfOrder))
+		}
+	}()
 	cr := csv.NewReader(r)
 	cr.FieldsPerRecord = -1
 	cr.Comment = '#'
 	var tr Trace
 	line := 0
+	lastTime := math.Inf(-1)
 	for {
 		rec, err := cr.Read()
 		if err == io.EOF {
 			break
 		}
 		if err != nil {
-			return nil, fmt.Errorf("failure: csv: %w", err)
+			var pe *csv.ParseError
+			if opt.Lenient && errors.As(err, &pe) {
+				// Quoting damage within one record; the reader resyncs
+				// on the next line.
+				rep.Lines++
+				rep.AddError(pe.Line, pe.Err.Error())
+				continue
+			}
+			return nil, rep, fmt.Errorf("failure: csv: %w", err)
 		}
 		line++
-		if len(rec) < 2 {
-			return nil, fmt.Errorf("failure: line %d: want 2 fields, got %d", line, len(rec))
-		}
 		if line == 1 && strings.EqualFold(strings.TrimSpace(rec[0]), "time_seconds") {
 			continue
 		}
-		t, err := strconv.ParseFloat(strings.TrimSpace(rec[0]), 64)
-		if err != nil {
-			return nil, fmt.Errorf("failure: line %d: bad time %q: %w", line, rec[0], err)
+		rep.Lines++
+		ev, reason := parseCSVEvent(rec)
+		if reason != "" {
+			if !opt.Lenient {
+				return nil, rep, fmt.Errorf("failure: line %d: %s", line, reason)
+			}
+			rep.AddError(line, reason)
+			continue
 		}
-		n, err := strconv.Atoi(strings.TrimSpace(rec[1]))
-		if err != nil {
-			return nil, fmt.Errorf("failure: line %d: bad node %q: %w", line, rec[1], err)
+		if ev.Time < lastTime {
+			rep.OutOfOrder++
 		}
-		tr = append(tr, Event{Time: t, Node: n})
+		lastTime = ev.Time
+		tr = append(tr, ev)
 	}
+	rep.Records = len(tr)
 	tr.Sort()
-	return tr, nil
+	return tr, rep, nil
+}
+
+// parseCSVEvent converts one CSV record into an Event, returning a
+// non-empty reason if the record is malformed: too few fields, an
+// unparseable, non-finite, or negative time, or an unparseable or
+// negative node index.
+func parseCSVEvent(rec []string) (Event, string) {
+	if len(rec) < 2 {
+		return Event{}, fmt.Sprintf("want 2 fields, got %d", len(rec))
+	}
+	t, err := strconv.ParseFloat(strings.TrimSpace(rec[0]), 64)
+	if err != nil {
+		return Event{}, fmt.Sprintf("bad time %q: %v", rec[0], err)
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) {
+		return Event{}, fmt.Sprintf("non-finite time %q", rec[0])
+	}
+	if t < 0 {
+		return Event{}, fmt.Sprintf("negative time %g", t)
+	}
+	n, err := strconv.Atoi(strings.TrimSpace(rec[1]))
+	if err != nil {
+		return Event{}, fmt.Sprintf("bad node %q: %v", rec[1], err)
+	}
+	if n < 0 {
+		return Event{}, fmt.Sprintf("negative node %d", n)
+	}
+	return Event{Time: t, Node: n}, ""
 }

@@ -1,0 +1,126 @@
+package failure
+
+import (
+	"strings"
+	"testing"
+
+	"bgsched/internal/resilience"
+	"bgsched/internal/telemetry"
+)
+
+func TestReadCSVStrictRejectsHardenedFields(t *testing.T) {
+	cases := map[string]string{
+		"truncated line": "justonefield\n",
+		"NaN time":       "nan,3\n",
+		"Inf time":       "+Inf,3\n",
+		"negative time":  "-5,3\n",
+		"negative node":  "5,-3\n",
+		"bad node":       "5,zz\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadCSV(strings.NewReader(in)); err == nil {
+			t.Errorf("%s accepted in strict mode", name)
+		}
+	}
+}
+
+func TestReadCSVLenientSkipsMalformed(t *testing.T) {
+	in := strings.Join([]string{
+		"time_seconds,node",
+		"10,1",
+		"justonefield", // truncated
+		"nan,2",        // NaN time
+		"-4,2",         // negative time
+		"7,-1",         // negative node
+		"5,2",          // good, out of order
+		`6,"2"x`,       // CSV quoting damage; the reader resyncs after it
+		"20,0",
+	}, "\n") + "\n"
+	tr, rep, err := ReadCSVWith(strings.NewReader(in), ReadOptions{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr) != 3 {
+		t.Fatalf("kept %d events: %+v", len(tr), tr)
+	}
+	// The result is sorted despite out-of-order input.
+	if tr[0].Time != 5 || tr[1].Time != 10 || tr[2].Time != 20 {
+		t.Fatalf("trace = %+v", tr)
+	}
+	if rep.Records != 3 || rep.Skipped != 5 || rep.OutOfOrder != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(rep.Errors) != 5 {
+		t.Fatalf("line errors = %+v", rep.Errors)
+	}
+	if rep.Errors[0].Line != 3 || !strings.Contains(rep.Errors[0].Reason, "fields") {
+		t.Fatalf("first error = %+v", rep.Errors[0])
+	}
+}
+
+func TestReadCSVErrorCap(t *testing.T) {
+	var sb strings.Builder
+	sb.WriteString("time_seconds,node\n")
+	for i := 0; i < resilience.DefaultMaxLineErrors+7; i++ {
+		sb.WriteString("bad,row,oops\n")
+	}
+	_, rep, err := ReadCSVWith(strings.NewReader(sb.String()), ReadOptions{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Skipped != resilience.DefaultMaxLineErrors+7 {
+		t.Fatalf("Skipped = %d", rep.Skipped)
+	}
+	if len(rep.Errors) != resilience.DefaultMaxLineErrors || !rep.ErrorsTruncated {
+		t.Fatalf("errors = %d truncated = %v", len(rep.Errors), rep.ErrorsTruncated)
+	}
+}
+
+func TestReadCSVMetricsCounters(t *testing.T) {
+	reg := telemetry.New()
+	_, _, err := ReadCSVWith(strings.NewReader("1,2\nbad\n3,4\n"), ReadOptions{Lenient: true, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]int64{
+		"ingest.csv.lines":   3,
+		"ingest.csv.records": 2,
+		"ingest.csv.skipped": 1,
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func FuzzReadCSV(f *testing.F) {
+	f.Add("time_seconds,node\n1.5,3\n2,0\n")
+	f.Add("# comment\n5,3\n1,2\n")
+	f.Add("justonefield\n")
+	f.Add("nan,1\n-1,2\n1e309,3\n")
+	f.Add("\"unterminated,1\n2,2\n")
+	f.Add("")
+	f.Add("\x00,\xff\n")
+	f.Fuzz(func(t *testing.T, in string) {
+		// Strict mode must never panic.
+		ReadCSV(strings.NewReader(in))
+
+		// Lenient mode must never panic nor error on in-memory input,
+		// and every surviving event must be valid and sorted.
+		tr, rep, err := ReadCSVWith(strings.NewReader(in), ReadOptions{Lenient: true})
+		if err != nil {
+			t.Fatalf("lenient parse failed: %v", err)
+		}
+		if rep.Records != len(tr) {
+			t.Fatalf("report records %d != %d events", rep.Records, len(tr))
+		}
+		for i, ev := range tr {
+			if ev.Time < 0 || ev.Node < 0 {
+				t.Fatalf("invalid event %d survived lenient parse: %+v", i, ev)
+			}
+			if i > 0 && ev.Time < tr[i-1].Time {
+				t.Fatalf("trace unsorted at %d: %+v", i, tr)
+			}
+		}
+	})
+}

@@ -1,0 +1,54 @@
+package resilience
+
+import "fmt"
+
+// LineError is one line-scoped ingestion failure: where it happened
+// and why. Lenient parsers accumulate these instead of aborting.
+type LineError struct {
+	Line   int    `json:"line"`
+	Reason string `json:"reason"`
+}
+
+// Error implements error.
+func (e LineError) Error() string { return fmt.Sprintf("line %d: %s", e.Line, e.Reason) }
+
+// DefaultMaxLineErrors caps the LineErrors recorded per ingestion, so
+// a pathological file (every line bad) cannot balloon the report.
+const DefaultMaxLineErrors = 20
+
+// IngestReport summarises one trace-file ingestion for telemetry and
+// run manifests: how much was read, how much was dropped, and the
+// first few reasons why.
+type IngestReport struct {
+	Lines   int `json:"lines"`   // non-blank, non-comment lines seen
+	Records int `json:"records"` // records kept
+	Skipped int `json:"skipped"` // malformed lines dropped (lenient mode)
+	// OutOfOrder counts records whose timestamp ran backwards; lenient
+	// mode keeps them and re-sorts the result.
+	OutOfOrder int `json:"out_of_order,omitempty"`
+	// Errors holds the first MaxErrors line errors; ErrorsTruncated is
+	// set when more were dropped than recorded.
+	Errors          []LineError `json:"errors,omitempty"`
+	ErrorsTruncated bool        `json:"errors_truncated,omitempty"`
+
+	maxErrors int
+}
+
+// NewIngestReport returns a report capping recorded errors at
+// maxErrors (<= 0 means DefaultMaxLineErrors).
+func NewIngestReport(maxErrors int) *IngestReport {
+	if maxErrors <= 0 {
+		maxErrors = DefaultMaxLineErrors
+	}
+	return &IngestReport{maxErrors: maxErrors}
+}
+
+// AddError records one skipped line, respecting the cap.
+func (r *IngestReport) AddError(line int, reason string) {
+	r.Skipped++
+	if len(r.Errors) < r.maxErrors {
+		r.Errors = append(r.Errors, LineError{Line: line, Reason: reason})
+	} else {
+		r.ErrorsTruncated = true
+	}
+}

@@ -1,0 +1,213 @@
+package resilience
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// Journal record discriminators (the "type" field of each JSONL line).
+const (
+	recMeta  = "meta"
+	recPoint = "point"
+)
+
+// JournalMeta is the first line of a resume journal: it identifies the
+// run configuration the journal belongs to, so a resumed run refuses a
+// journal written under different options (which would silently mix
+// incompatible results).
+type JournalMeta struct {
+	Type string `json:"type"` // always "meta"
+	Tool string `json:"tool"` // e.g. "bgsweep"
+	// ConfigHash digests the sweep options (scale, seed, replications,
+	// aggregation); resuming requires an exact match.
+	ConfigHash string `json:"config_hash"`
+}
+
+// PointRecord is one completed sweep point: the figure and point key
+// identify the cell, Seed guards determinism, and Values carries the
+// aggregated metric(s) of the cell (one value for timing points, three
+// for capacity splits, four for the scheduler-variant rows).
+type PointRecord struct {
+	Type   string    `json:"type"` // always "point"
+	Figure string    `json:"figure"`
+	Key    string    `json:"key"`
+	Seed   int64     `json:"seed"`
+	Values []float64 `json:"values"`
+}
+
+// PointKey is the lookup key of a journalled point.
+func PointKey(figure, key string) string { return figure + "\x00" + key }
+
+// Journal is an append-only JSONL record of completed sweep points.
+// Every Append is written and synced before returning, so a crash or
+// SIGKILL loses at most the point being written — and the tolerant
+// reader discards a torn final line.
+//
+// Journal is safe for concurrent Append from pool workers.
+type Journal struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// CreateJournal starts a fresh journal at path (truncating any previous
+// file) and writes the meta header.
+func CreateJournal(path string, meta JournalMeta) (*Journal, error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("resilience: create journal: %w", err)
+	}
+	j := &Journal{f: f, path: path}
+	meta.Type = recMeta
+	if err := j.appendJSON(meta); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return j, nil
+}
+
+// OpenJournalAppend reopens an existing journal for appending; the
+// caller has typically already consumed it with ReadJournal.
+func OpenJournalAppend(path string) (*Journal, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("resilience: open journal: %w", err)
+	}
+	return &Journal{f: f, path: path}, nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string {
+	if j == nil {
+		return ""
+	}
+	return j.path
+}
+
+// Append records one completed point. Safe on a nil journal (no-op),
+// so call sites need no journalling-enabled branch.
+func (j *Journal) Append(rec PointRecord) error {
+	if j == nil {
+		return nil
+	}
+	rec.Type = recPoint
+	return j.appendJSON(rec)
+}
+
+func (j *Journal) appendJSON(v any) error {
+	b, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("resilience: journal encode: %w", err)
+	}
+	b = append(b, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(b); err != nil {
+		return fmt.Errorf("resilience: journal write: %w", err)
+	}
+	// One fsync per completed point: points cost seconds of simulation
+	// each, so durability is cheap here.
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("resilience: journal sync: %w", err)
+	}
+	return nil
+}
+
+// Close closes the underlying file. Safe on nil.
+func (j *Journal) Close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// JournalContents is the parsed state of a resume journal.
+type JournalContents struct {
+	Meta JournalMeta
+	// Points maps PointKey(figure, key) to the completed record; a
+	// point journalled twice (e.g. a run resumed twice) keeps the last
+	// record.
+	Points map[string]PointRecord
+	// Malformed counts undecodable lines that were skipped. A torn
+	// final line (the expected SIGKILL artefact) is tolerated silently;
+	// malformed interior lines are counted here.
+	Malformed int
+}
+
+// ReadJournal parses a journal file. The reader is deliberately
+// tolerant: an interrupted run may leave a torn final line, which is
+// skipped rather than failing the resume.
+func ReadJournal(path string) (*JournalContents, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, fmt.Errorf("resilience: read journal: %w", err)
+	}
+	defer f.Close()
+	return readJournal(f)
+}
+
+func readJournal(r io.Reader) (*JournalContents, error) {
+	jc := &JournalContents{Points: make(map[string]PointRecord)}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	sawMeta := false
+	lastMalformed := false
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		lastMalformed = false
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			jc.Malformed++
+			lastMalformed = true
+			continue
+		}
+		switch probe.Type {
+		case recMeta:
+			var m JournalMeta
+			if err := json.Unmarshal(line, &m); err != nil {
+				jc.Malformed++
+				lastMalformed = true
+				continue
+			}
+			if !sawMeta {
+				jc.Meta = m
+				sawMeta = true
+			}
+		case recPoint:
+			var p PointRecord
+			if err := json.Unmarshal(line, &p); err != nil {
+				jc.Malformed++
+				lastMalformed = true
+				continue
+			}
+			jc.Points[PointKey(p.Figure, p.Key)] = p
+		default:
+			jc.Malformed++
+			lastMalformed = true
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("resilience: read journal: %w", err)
+	}
+	if !sawMeta {
+		return nil, fmt.Errorf("resilience: journal has no meta header (line 1 of a journal identifies its run)")
+	}
+	// A torn final line is the normal artefact of a killed run; don't
+	// count it against the journal, but keep interior corruption visible.
+	if lastMalformed {
+		jc.Malformed--
+	}
+	return jc, nil
+}

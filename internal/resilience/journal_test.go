@@ -1,0 +1,195 @@
+package resilience
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func writeJournal(t *testing.T, path string, recs []PointRecord) {
+	t.Helper()
+	j, err := CreateJournal(path, JournalMeta{Tool: "test", ConfigHash: "abc123"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := j.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	recs := []PointRecord{
+		{Figure: "fig3", Key: "a=0.1|x=500", Seed: 1, Values: []float64{3.25}},
+		{Figure: "fig5", Key: "c=1.0|x=0", Seed: 1, Values: []float64{0.7, 0.2, 0.1}},
+	}
+	writeJournal(t, path, recs)
+
+	jc, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jc.Meta.Tool != "test" || jc.Meta.ConfigHash != "abc123" {
+		t.Fatalf("meta = %+v", jc.Meta)
+	}
+	if jc.Malformed != 0 {
+		t.Fatalf("malformed = %d", jc.Malformed)
+	}
+	if len(jc.Points) != 2 {
+		t.Fatalf("points = %d", len(jc.Points))
+	}
+	got, ok := jc.Points[PointKey("fig5", "c=1.0|x=0")]
+	if !ok || len(got.Values) != 3 || got.Values[0] != 0.7 {
+		t.Fatalf("fig5 record = %+v (found %v)", got, ok)
+	}
+}
+
+func TestJournalTornFinalLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	writeJournal(t, path, []PointRecord{
+		{Figure: "f", Key: "k1", Values: []float64{1}},
+		{Figure: "f", Key: "k2", Values: []float64{2}},
+	})
+	// Simulate a crash mid-append: a torn trailing line.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"type":"point","figure":"f","key":"k3","val`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	jc, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jc.Points) != 2 {
+		t.Fatalf("points = %d, want the 2 intact records", len(jc.Points))
+	}
+	if jc.Malformed != 0 {
+		t.Fatalf("torn final line counted as corruption: %d", jc.Malformed)
+	}
+}
+
+func TestJournalInteriorCorruption(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	lines := []string{
+		`{"type":"meta","tool":"test","config_hash":"h"}`,
+		`not json at all`,
+		`{"type":"point","figure":"f","key":"k","seed":1,"values":[2]}`,
+	}
+	if err := os.WriteFile(path, []byte(strings.Join(lines, "\n")+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	jc, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if jc.Malformed != 1 {
+		t.Fatalf("malformed = %d, want 1", jc.Malformed)
+	}
+	if len(jc.Points) != 1 {
+		t.Fatalf("points = %d", len(jc.Points))
+	}
+}
+
+func TestJournalMissingMeta(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	if err := os.WriteFile(path, []byte(`{"type":"point","figure":"f","key":"k"}`+"\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadJournal(path); err == nil {
+		t.Fatal("journal without meta accepted")
+	}
+}
+
+func TestJournalResumeAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	writeJournal(t, path, []PointRecord{{Figure: "f", Key: "k1", Values: []float64{1}}})
+
+	j, err := OpenJournalAppend(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Append(PointRecord{Figure: "f", Key: "k2", Values: []float64{2}}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	jc, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jc.Points) != 2 {
+		t.Fatalf("points after resume-append = %d", len(jc.Points))
+	}
+	if jc.Meta.ConfigHash != "abc123" {
+		t.Fatal("meta lost across resume")
+	}
+}
+
+func TestJournalDuplicateKeepsLast(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	writeJournal(t, path, []PointRecord{
+		{Figure: "f", Key: "k", Values: []float64{1}},
+		{Figure: "f", Key: "k", Values: []float64{9}},
+	})
+	jc, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := jc.Points[PointKey("f", "k")].Values[0]; v != 9 {
+		t.Fatalf("duplicate resolution kept %g, want the last (9)", v)
+	}
+}
+
+func TestJournalConcurrentAppend(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := CreateJournal(path, JournalMeta{Tool: "test"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for k := 0; k < 10; k++ {
+				_ = j.Append(PointRecord{Figure: "f", Key: PointKey("w", string(rune('a'+i))) + string(rune('0'+k))})
+			}
+		}(i)
+	}
+	wg.Wait()
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	jc, err := ReadJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(jc.Points) != 80 || jc.Malformed != 0 {
+		t.Fatalf("points = %d malformed = %d, want 80/0", len(jc.Points), jc.Malformed)
+	}
+}
+
+func TestNilJournalSafe(t *testing.T) {
+	var j *Journal
+	if err := j.Append(PointRecord{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if j.Path() != "" {
+		t.Fatal("nil journal has a path")
+	}
+}

@@ -1,0 +1,106 @@
+package resilience
+
+import (
+	"context"
+	"runtime"
+	"sync"
+)
+
+// DefaultWorkers is the worker count used when a caller passes
+// workers <= 0: one per available CPU.
+func DefaultWorkers() int { return runtime.GOMAXPROCS(0) }
+
+// ForEach runs fn(i) for i in [0, n) on a bounded pool of workers.
+//
+// Dispatch stops at the first fn error or when ctx is cancelled; the
+// in-flight calls are always drained before ForEach returns, so no
+// goroutine outlives the call. The first error (by dispatch order of
+// observation) is returned; ctx.Err() wins when the context was
+// cancelled. Callers that want per-item fault isolation — the sweep
+// executor — handle failures inside fn and return an error only for
+// cancellation.
+//
+// fn must not panic: contain panics with Safe inside fn. A panic that
+// escapes fn crashes the process, exactly as the Go runtime does for
+// any unrecovered panic on a goroutine.
+func ForEach(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return ctx.Err()
+	}
+	if workers <= 0 {
+		workers = DefaultWorkers()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		// Sequential fast path: deterministic order, no goroutines.
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	var (
+		wg       sync.WaitGroup
+		mu       sync.Mutex
+		firstErr error
+		next     int
+	)
+	stop := func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return firstErr != nil
+	}
+	record := func(err error) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	take := func() (int, bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		if firstErr != nil || next >= n {
+			return 0, false
+		}
+		i := next
+		next++
+		return i, true
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				if err := ctx.Err(); err != nil {
+					record(err)
+					return
+				}
+				if stop() {
+					return
+				}
+				i, ok := take()
+				if !ok {
+					return
+				}
+				if err := fn(i); err != nil {
+					record(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return firstErr
+}

@@ -1,0 +1,112 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachRunsAll(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 100} {
+		n := 37
+		var done [37]int32
+		err := ForEach(context.Background(), n, workers, func(i int) error {
+			atomic.AddInt32(&done[i], 1)
+			return nil
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, c := range done {
+			if c != 1 {
+				t.Fatalf("workers=%d: item %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var cur, peak int32
+	err := ForEach(context.Background(), 50, workers, func(i int) error {
+		c := atomic.AddInt32(&cur, 1)
+		for {
+			p := atomic.LoadInt32(&peak)
+			if c <= p || atomic.CompareAndSwapInt32(&peak, p, c) {
+				break
+			}
+		}
+		atomic.AddInt32(&cur, -1)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > workers {
+		t.Fatalf("observed %d concurrent calls, worker bound is %d", peak, workers)
+	}
+}
+
+func TestForEachStopsOnError(t *testing.T) {
+	boom := errors.New("boom")
+	var calls int32
+	err := ForEach(context.Background(), 1000, 4, func(i int) error {
+		if atomic.AddInt32(&calls, 1) == 5 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if c := atomic.LoadInt32(&calls); c >= 1000 {
+		t.Fatalf("dispatch did not stop after the error (%d calls)", c)
+	}
+}
+
+func TestForEachCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls int32
+	started := make(chan struct{}, 1)
+	var once sync.Once
+	err := ForEach(ctx, 1000, 2, func(i int) error {
+		atomic.AddInt32(&calls, 1)
+		once.Do(func() {
+			started <- struct{}{}
+			cancel()
+		})
+		<-ctx.Done()
+		return nil
+	})
+	<-started
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if c := atomic.LoadInt32(&calls); c >= 1000 {
+		t.Fatalf("dispatch did not stop on cancellation (%d calls)", c)
+	}
+}
+
+func TestForEachPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	err := ForEach(ctx, 10, 1, func(i int) error { ran = true; return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if ran {
+		t.Fatal("item ran under a cancelled context")
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	if err := ForEach(context.Background(), 0, 4, func(int) error {
+		t.Fatal("called")
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,81 @@
+// Package resilience is the crash-resilience substrate of the
+// experiment stack: panic containment with captured stacks, typed
+// per-sweep-point errors, a bounded parallel executor, an append-only
+// resume journal, signal-driven context cancellation, and line-scoped
+// ingestion reports for the trace parsers.
+//
+// The design goal is that a long sweep (`bgsweep -fig all` is reps ×
+// thousands of simulated jobs per point, across dozens of points)
+// survives the three failure modes that previously discarded all
+// completed work: a panic inside one simulation, a malformed input
+// line, and an operator interrupt.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime/debug"
+)
+
+// PanicError wraps a recovered panic value together with the stack at
+// the recovery point, so a contained panic stays diagnosable.
+type PanicError struct {
+	Value any    // the value passed to panic()
+	Stack []byte // debug.Stack() captured inside the deferred recover
+}
+
+// Error implements error.
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic: %v", e.Value)
+}
+
+// Safe runs fn, converting a panic into a *PanicError instead of
+// unwinding past the caller. Errors returned by fn pass through
+// unchanged.
+func Safe(fn func() error) (err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			err = &PanicError{Value: v, Stack: debug.Stack()}
+		}
+	}()
+	return fn()
+}
+
+// IsPanic reports whether err contains a recovered panic, returning it.
+func IsPanic(err error) (*PanicError, bool) {
+	var pe *PanicError
+	if errors.As(err, &pe) {
+		return pe, true
+	}
+	return nil, false
+}
+
+// PointError is the failure of one sweep point: it identifies the
+// point (figure, key, seed), records how many attempts were made, and
+// wraps the last attempt's error (a *PanicError when the point
+// panicked). A PointError never aborts sibling points; the executor
+// collects them for the end-of-run summary.
+type PointError struct {
+	Figure   string
+	Key      string
+	Seed     int64
+	Attempts int
+	Err      error
+}
+
+// Error implements error.
+func (e *PointError) Error() string {
+	return fmt.Sprintf("point %s/%s (seed %d) failed after %d attempt(s): %v",
+		e.Figure, e.Key, e.Seed, e.Attempts, e.Err)
+}
+
+// Unwrap exposes the underlying attempt error to errors.Is/As.
+func (e *PointError) Unwrap() error { return e.Err }
+
+// Canceled reports whether err is (or wraps) a context cancellation or
+// deadline — the one kind of failure the executor must not retry or
+// record as a point failure.
+func Canceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

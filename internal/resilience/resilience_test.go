@@ -1,0 +1,94 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+)
+
+func TestSafeConvertsPanic(t *testing.T) {
+	err := Safe(func() error { panic("boom") })
+	if err == nil {
+		t.Fatal("panic was not converted to an error")
+	}
+	pe, ok := IsPanic(err)
+	if !ok {
+		t.Fatalf("err = %T, want *PanicError", err)
+	}
+	if pe.Value != "boom" {
+		t.Fatalf("panic value = %v", pe.Value)
+	}
+	if len(pe.Stack) == 0 || !strings.Contains(string(pe.Stack), "resilience") {
+		t.Fatal("panic stack not captured")
+	}
+	if !strings.Contains(err.Error(), "boom") {
+		t.Fatalf("Error() = %q", err)
+	}
+}
+
+func TestSafePassesErrorsAndNil(t *testing.T) {
+	want := errors.New("plain")
+	if err := Safe(func() error { return want }); err != want {
+		t.Fatalf("err = %v, want %v", err, want)
+	}
+	if err := Safe(func() error { return nil }); err != nil {
+		t.Fatalf("err = %v, want nil", err)
+	}
+	if _, ok := IsPanic(errors.New("x")); ok {
+		t.Fatal("plain error mistaken for a panic")
+	}
+}
+
+func TestPointError(t *testing.T) {
+	inner := Safe(func() error { panic(42) })
+	pe := &PointError{Figure: "fig3", Key: "a=0.1|x=500", Seed: 7, Attempts: 3, Err: inner}
+	msg := pe.Error()
+	for _, want := range []string{"fig3", "a=0.1|x=500", "seed 7", "3 attempt"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("Error() missing %q: %s", want, msg)
+		}
+	}
+	if _, ok := IsPanic(pe); !ok {
+		t.Fatal("PointError did not unwrap to the panic")
+	}
+}
+
+func TestCanceled(t *testing.T) {
+	if Canceled(errors.New("no")) {
+		t.Fatal("plain error reported as cancellation")
+	}
+	if !Canceled(context.Canceled) || !Canceled(context.DeadlineExceeded) {
+		t.Fatal("context errors not recognised")
+	}
+	wrapped := fmt.Errorf("sim: canceled at t=3: %w", context.Canceled)
+	if !Canceled(wrapped) {
+		t.Fatal("wrapped cancellation not recognised")
+	}
+	if !Canceled(&PointError{Err: wrapped}) {
+		t.Fatal("cancellation inside PointError not recognised")
+	}
+}
+
+func TestIngestReportCap(t *testing.T) {
+	r := NewIngestReport(3)
+	for i := 1; i <= 5; i++ {
+		r.AddError(i, "bad")
+	}
+	if r.Skipped != 5 {
+		t.Fatalf("Skipped = %d, want 5", r.Skipped)
+	}
+	if len(r.Errors) != 3 {
+		t.Fatalf("recorded %d errors, want 3", len(r.Errors))
+	}
+	if !r.ErrorsTruncated {
+		t.Fatal("truncation not flagged")
+	}
+	if got := r.Errors[0].Error(); !strings.Contains(got, "line 1") {
+		t.Fatalf("LineError.Error() = %q", got)
+	}
+	if def := NewIngestReport(0); def.maxErrors != DefaultMaxLineErrors {
+		t.Fatalf("default cap = %d", def.maxErrors)
+	}
+}

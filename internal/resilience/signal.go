@@ -1,0 +1,18 @@
+package resilience
+
+import (
+	"context"
+	"os"
+	"os/signal"
+	"syscall"
+)
+
+// SignalContext returns a context cancelled by SIGINT or SIGTERM, for
+// CLI entry points: long-running commands observe the cancellation and
+// drain gracefully — flushing partial tables, journals and manifests —
+// instead of dying mid-write. A second signal falls through to the
+// default handler and kills the process, so a wedged drain can always
+// be interrupted again.
+func SignalContext(parent context.Context) (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(parent, os.Interrupt, syscall.SIGTERM)
+}

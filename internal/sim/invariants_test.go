@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+
+	"bgsched/internal/core"
+	"bgsched/internal/failure"
+	"bgsched/internal/job"
+	"bgsched/internal/torus"
+)
+
+// A churny run (failures, restarts, backfilling) must satisfy every
+// conservation invariant at every event.
+func TestCheckInvariantsCleanRun(t *testing.T) {
+	jobs := []*job.Job{
+		mkJob(1, 0, 64, 500),
+		mkJob(2, 10, 32, 300),
+		mkJob(3, 20, 128, 200),
+		mkJob(4, 30, 8, 50),
+	}
+	tr := failure.Trace{{Time: 100, Node: 3}, {Time: 250, Node: 77}, {Time: 400, Node: 3}}
+	tr.Sort()
+	res, err := New(Config{
+		Geometry:        torus.BlueGeneL(),
+		Scheduler:       baselineScheduler(t, core.BackfillEASY),
+		Jobs:            jobs,
+		Failures:        tr,
+		Downtime:        25,
+		CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, err := res.Run()
+	if err != nil {
+		t.Fatalf("invariant guard rejected a healthy run: %v", err)
+	}
+	if len(out.Outcomes) != len(jobs) {
+		t.Fatalf("outcomes = %d", len(out.Outcomes))
+	}
+}
+
+// Corrupting the grid behind the simulator's back must be caught by the
+// ownership check on the next event.
+func TestCheckInvariantsDetectsRogueAllocation(t *testing.T) {
+	s, err := New(Config{
+		Geometry:        torus.BlueGeneL(),
+		Scheduler:       baselineScheduler(t, core.BackfillNone),
+		Jobs:            []*job.Job{mkJob(1, 0, 8, 100)},
+		CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := torus.BlueGeneL()
+	rogue := torus.Partition{
+		Base:  g.CoordOf(g.N() - 1),
+		Shape: torus.Shape{X: 1, Y: 1, Z: 1},
+	}
+	if err := s.grid.Allocate(rogue, 999); err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Run()
+	var ie *InvariantError
+	if !errors.As(err, &ie) {
+		t.Fatalf("err = %v, want *InvariantError", err)
+	}
+	if ie.Check != "ownership" {
+		t.Fatalf("check = %q, want ownership", ie.Check)
+	}
+	if !strings.Contains(ie.Error(), "999") {
+		t.Fatalf("error detail lost the rogue owner: %v", ie)
+	}
+}
+
+// A leaked start counter must trip start-conservation.
+func TestCheckInvariantsDetectsCounterDrift(t *testing.T) {
+	s, err := New(Config{
+		Geometry:        torus.BlueGeneL(),
+		Scheduler:       baselineScheduler(t, core.BackfillNone),
+		Jobs:            []*job.Job{mkJob(1, 0, 8, 100)},
+		CheckInvariants: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.nStarts = 5 // pretend five starts were dispatched before any event
+	_, err = s.Run()
+	var ie *InvariantError
+	if !errors.As(err, &ie) || ie.Check != "start-conservation" {
+		t.Fatalf("err = %v, want start-conservation InvariantError", err)
+	}
+}
+
+// The guard must be pure observation: the same workload with and
+// without it produces identical results.
+func TestCheckInvariantsDoesNotPerturbResults(t *testing.T) {
+	mk := func(check bool) Result {
+		tr := failure.Trace{{Time: 150, Node: 0}}
+		res := runSim(t, Config{
+			Geometry:        torus.BlueGeneL(),
+			Scheduler:       baselineScheduler(t, core.BackfillEASY),
+			Jobs:            []*job.Job{mkJob(1, 0, 64, 400), mkJob(2, 5, 16, 100)},
+			Failures:        tr,
+			CheckInvariants: check,
+		})
+		return res
+	}
+	a, b := mk(false), mk(true)
+	if a.Summary != b.Summary {
+		t.Fatalf("summaries diverged: %+v vs %+v", a.Summary, b.Summary)
+	}
+	if a.JobKills != b.JobKills || len(a.Outcomes) != len(b.Outcomes) {
+		t.Fatal("outcome counts diverged under the invariant guard")
+	}
+}
+
+func TestRunContextPreCancelled(t *testing.T) {
+	s, err := New(Config{
+		Geometry:  torus.BlueGeneL(),
+		Scheduler: baselineScheduler(t, core.BackfillNone),
+		Jobs:      []*job.Job{mkJob(1, 0, 8, 100)},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.RunContext(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -20,6 +20,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -60,6 +61,15 @@ type Config struct {
 	// RecordTimeline samples machine state at every event into
 	// Result.Timeline, for RenderTimeline and debugging.
 	RecordTimeline bool
+
+	// CheckInvariants validates machine-state conservation after every
+	// event (see verifyInvariants in invariants.go): free-node count
+	// consistent with the occupancy map, running partitions exclusively
+	// owned and non-overlapping, whole-machine node conservation, and
+	// starts = finishes + kills + running. A violation aborts the run
+	// with an *InvariantError. Costs one occupancy scan per event;
+	// intended for debugging and hardened sweeps, off by default.
+	CheckInvariants bool
 
 	// EventLog, when non-nil, receives one JSON object per simulation
 	// state change (see LoggedEvent / ReadEventLog).
@@ -180,6 +190,12 @@ type Simulator struct {
 	result   Result
 	now      float64
 	pending  int // jobs not yet finished
+
+	// Conservation counters for the invariant guard: every start must
+	// eventually be matched by a finish or a kill.
+	nStarts   int
+	nFinishes int
+	nKills    int
 }
 
 // New validates the configuration and prepares a simulator.
@@ -258,10 +274,30 @@ func New(cfg Config) (*Simulator, error) {
 
 // Run executes the simulation to completion and returns the result.
 func (s *Simulator) Run() (Result, error) {
+	return s.RunContext(context.Background())
+}
+
+// cancelCheckStride is how many events RunContext processes between
+// context polls. Event handling is microseconds; checking every event
+// would put a mutexed ctx.Err() on the hot path for no responsiveness
+// gain.
+const cancelCheckStride = 256
+
+// RunContext executes the simulation to completion, aborting with
+// ctx.Err() if the context is cancelled mid-run. Cancellation is
+// checked between events (every cancelCheckStride of them), so a
+// cancelled run returns promptly and never leaves a handler half
+// applied.
+func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 	if err := s.observe(); err != nil {
 		return Result{}, err
 	}
-	for s.pending > 0 {
+	for processed := 0; s.pending > 0; processed++ {
+		if processed%cancelCheckStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, err
+			}
+		}
 		if s.events.Len() == 0 {
 			return Result{}, fmt.Errorf("sim: deadlock at t=%g: %d jobs unfinished, no events pending",
 				s.now, s.pending)
@@ -288,6 +324,9 @@ func (s *Simulator) Run() (Result, error) {
 			err = s.handleNodeUp(e)
 		default:
 			err = fmt.Errorf("sim: unknown event kind %d", int(e.kind))
+		}
+		if err == nil && s.cfg.CheckInvariants {
+			err = s.verifyInvariants()
 		}
 		if err != nil {
 			return Result{}, err
@@ -342,6 +381,7 @@ func (s *Simulator) handleFinish(e event) error {
 		return fmt.Errorf("sim: finish: %w", err)
 	}
 	delete(s.running, e.jobID)
+	s.nFinishes++
 	s.met.finishes.Inc()
 	s.logEvent("finish", e.jobID, 0, &r.part)
 	p := s.progress[e.jobID]
@@ -414,6 +454,7 @@ func (s *Simulator) kill(id job.ID) error {
 		return fmt.Errorf("sim: failure killed job %d which is not running", id)
 	}
 	s.result.JobKills++
+	s.nKills++
 	s.met.kills.Inc()
 	s.met.restarts.Inc()
 	if err := s.grid.Release(r.part, int64(id)); err != nil {
@@ -567,6 +608,7 @@ func (s *Simulator) start(d core.Decision) {
 		p.firstStart = s.now
 	}
 	p.lastStart = s.now
+	s.nStarts++
 	s.met.starts.Inc()
 	s.logEvent("start", d.Job.ID, 0, &d.Part)
 	s.events.push(event{time: r.finishTime, kind: evFinish, jobID: d.Job.ID, epoch: r.epoch})

@@ -1,0 +1,184 @@
+package workload
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+	"testing"
+
+	"bgsched/internal/resilience"
+	"bgsched/internal/telemetry"
+)
+
+// swfRecord builds one 18-field record with the given submit, run,
+// alloc/req procs and request time; remaining fields are -1 markers.
+func swfRecord(submit, run string, procs, reqTime string) string {
+	return fmt.Sprintf("1 %s -1 %s %s -1 -1 %s %s -1 1 -1 -1 -1 -1 -1 -1 -1", submit, run, procs, procs, reqTime)
+}
+
+func TestReadSWFStrictRejectsHardenedFields(t *testing.T) {
+	cases := map[string]string{
+		"truncated line":  "1 2 3 4\n",
+		"NaN submit":      swfRecord("nan", "100", "8", "200") + "\n",
+		"Inf run":         swfRecord("0", "+Inf", "8", "200") + "\n",
+		"negative submit": swfRecord("-5", "100", "8", "200") + "\n",
+		"huge procs":      swfRecord("0", "100", "1e300", "200") + "\n",
+	}
+	for name, in := range cases {
+		if _, err := ReadSWF(strings.NewReader(in), "x"); err == nil {
+			t.Errorf("%s accepted in strict mode", name)
+		}
+	}
+}
+
+func TestReadSWFLenientSkipsMalformed(t *testing.T) {
+	in := strings.Join([]string{
+		"; MaxProcs: 64",
+		swfRecord("0", "100", "8", "200"),
+		"1 2 3",                                // truncated
+		swfRecord("nan", "100", "8", "200"),    // NaN submit
+		swfRecord("60", "50", "4", "-1"),       // good
+		swfRecord("-9", "100", "8", "200"),     // negative submit
+		swfRecord("70", "zz", "8", "200"),      // non-numeric run
+		swfRecord("80", "100", "1e300", "200"), // absurd procs
+	}, "\n") + "\n"
+	log, rep, err := ReadSWFWith(strings.NewReader(in), "x", ReadOptions{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(log.Jobs) != 2 || log.Jobs[0].Submit != 0 || log.Jobs[1].Submit != 60 {
+		t.Fatalf("kept jobs = %+v", log.Jobs)
+	}
+	if rep.Lines != 7 || rep.Records != 2 || rep.Skipped != 5 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if len(rep.Errors) != 5 {
+		t.Fatalf("line errors = %+v", rep.Errors)
+	}
+	// Line numbers are file-relative (header is line 1).
+	if rep.Errors[0].Line != 3 || !strings.Contains(rep.Errors[0].Reason, "fields") {
+		t.Fatalf("first error = %+v", rep.Errors[0])
+	}
+	if rep.Errors[1].Line != 4 || !strings.Contains(rep.Errors[1].Reason, "non-finite") {
+		t.Fatalf("second error = %+v", rep.Errors[1])
+	}
+}
+
+func TestReadSWFOutOfOrderTimestamps(t *testing.T) {
+	in := strings.Join([]string{
+		swfRecord("100", "10", "1", "-1"),
+		swfRecord("50", "10", "1", "-1"),
+		swfRecord("75", "10", "1", "-1"),
+	}, "\n") + "\n"
+
+	// Strict: accepted, counted, file order preserved.
+	log, rep, err := ReadSWFWith(strings.NewReader(in), "x", ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OutOfOrder != 1 {
+		t.Fatalf("strict OutOfOrder = %d, want 1", rep.OutOfOrder)
+	}
+	if log.Jobs[0].Submit != 100 {
+		t.Fatalf("strict mode re-ordered the log: %+v", log.Jobs)
+	}
+
+	// Lenient: counted and re-sorted by submit time.
+	log, rep, err = ReadSWFWith(strings.NewReader(in), "x", ReadOptions{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OutOfOrder != 1 {
+		t.Fatalf("lenient OutOfOrder = %d, want 1", rep.OutOfOrder)
+	}
+	for i := 1; i < len(log.Jobs); i++ {
+		if log.Jobs[i].Submit < log.Jobs[i-1].Submit {
+			t.Fatalf("lenient mode left the log unsorted: %+v", log.Jobs)
+		}
+	}
+}
+
+func TestReadSWFErrorCap(t *testing.T) {
+	var sb strings.Builder
+	for i := 0; i < resilience.DefaultMaxLineErrors+5; i++ {
+		sb.WriteString("bad line\n")
+	}
+	_, rep, err := ReadSWFWith(strings.NewReader(sb.String()), "x", ReadOptions{Lenient: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Skipped != resilience.DefaultMaxLineErrors+5 {
+		t.Fatalf("Skipped = %d", rep.Skipped)
+	}
+	if len(rep.Errors) != resilience.DefaultMaxLineErrors || !rep.ErrorsTruncated {
+		t.Fatalf("errors = %d truncated = %v", len(rep.Errors), rep.ErrorsTruncated)
+	}
+	_, rep, err = ReadSWFWith(strings.NewReader(sb.String()), "x", ReadOptions{Lenient: true, MaxErrors: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Errors) != 3 {
+		t.Fatalf("MaxErrors=3 retained %d errors", len(rep.Errors))
+	}
+}
+
+func TestReadSWFMetricsCounters(t *testing.T) {
+	in := swfRecord("0", "100", "8", "200") + "\nbad\n"
+	reg := telemetry.New()
+	_, _, err := ReadSWFWith(strings.NewReader(in), "x", ReadOptions{Lenient: true, Metrics: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, want := range map[string]int64{
+		"ingest.swf.lines":   2,
+		"ingest.swf.records": 1,
+		"ingest.swf.skipped": 1,
+	} {
+		if got := reg.Counter(name).Value(); got != want {
+			t.Errorf("%s = %d, want %d", name, got, want)
+		}
+	}
+}
+
+func FuzzReadSWF(f *testing.F) {
+	f.Add(sampleSWF)
+	f.Add("; MaxProcs: 64\n" + swfRecord("0", "100", "8", "200") + "\n")
+	f.Add("1 2 3\n")
+	f.Add(swfRecord("nan", "inf", "-inf", "1e309") + "\n")
+	f.Add(swfRecord("1e300", "100", "1e300", "-1") + "\n")
+	f.Add("; MaxProcs: 999999999999999999999\n")
+	f.Add("")
+	f.Add(";")
+	f.Add("\x00\xff \t -1 -0")
+	f.Fuzz(func(t *testing.T, in string) {
+		// Strict mode must never panic.
+		ReadSWF(strings.NewReader(in), "fuzz")
+
+		// Lenient mode must never panic, and may only error when the
+		// scanner itself loses framing (a line beyond its buffer); the
+		// report must stay consistent with the returned log.
+		log, rep, err := ReadSWFWith(strings.NewReader(in), "fuzz", ReadOptions{Lenient: true})
+		if err != nil {
+			if errors.Is(err, bufio.ErrTooLong) {
+				return
+			}
+			t.Fatalf("lenient parse failed: %v", err)
+		}
+		if rep.Records != len(log.Jobs) {
+			t.Fatalf("report records %d != %d jobs", rep.Records, len(log.Jobs))
+		}
+		if rep.Lines != rep.Records+rep.Skipped {
+			t.Fatalf("report inconsistent: %+v", rep)
+		}
+		for i, tj := range log.Jobs {
+			if math.IsNaN(tj.Submit) || tj.Submit < 0 || math.IsNaN(tj.Run) || tj.ReqTime < 0 {
+				t.Fatalf("invalid job %d survived lenient parse: %+v", i, tj)
+			}
+			if i > 0 && tj.Submit < log.Jobs[i-1].Submit {
+				t.Fatalf("lenient log unsorted at %d: %+v", i, log.Jobs)
+			}
+		}
+	})
+}

@@ -4,8 +4,13 @@ import (
 	"bufio"
 	"fmt"
 	"io"
+	"math"
+	"sort"
 	"strconv"
 	"strings"
+
+	"bgsched/internal/resilience"
+	"bgsched/internal/telemetry"
 )
 
 // SWF field indices (0-based) of the standard workload format v2.2 of
@@ -33,17 +38,52 @@ const (
 	swfFieldCount
 )
 
-// ReadSWF parses a standard workload format log. Header directives
-// (lines starting with ';') are scanned for "MaxProcs:" to learn the
-// machine size; if absent, machineNodes must be supplied by the caller
-// via the returned log's MachineNodes field before use. Records with
+// ReadOptions controls how ReadSWFWith treats malformed input.
+type ReadOptions struct {
+	// Lenient skips malformed records instead of failing fast,
+	// recording line-scoped reasons in the ingest report. Out-of-order
+	// submit times are re-sorted; strict mode keeps file order.
+	Lenient bool
+	// MaxErrors caps the line errors retained in the report
+	// (<= 0 means resilience.DefaultMaxLineErrors).
+	MaxErrors int
+	// Metrics, when non-nil, receives ingest.swf.* counters mirroring
+	// the report, so skipped lines surface in run manifests.
+	Metrics *telemetry.Registry
+}
+
+// ReadSWF parses a standard workload format log, failing fast on the
+// first malformed record (strict mode). Header directives (lines
+// starting with ';') are scanned for "MaxProcs:" to learn the machine
+// size; if absent, machineNodes must be supplied by the caller via the
+// returned log's MachineNodes field before use. Records with
 // non-positive run time or processor count (cancelled jobs) are kept in
 // the log and filtered by ToJobs.
 func ReadSWF(r io.Reader, name string) (*Log, error) {
+	log, _, err := ReadSWFWith(r, name, ReadOptions{})
+	return log, err
+}
+
+// ReadSWFWith parses a standard workload format log under the given
+// options, returning an ingest report alongside the log. In lenient
+// mode malformed records are skipped and described in the report; in
+// strict mode the first one aborts the parse. The report is non-nil
+// even on error.
+func ReadSWFWith(r io.Reader, name string, opt ReadOptions) (*Log, *resilience.IngestReport, error) {
+	rep := resilience.NewIngestReport(opt.MaxErrors)
+	defer func() {
+		if opt.Metrics != nil {
+			opt.Metrics.Counter("ingest.swf.lines").Add(int64(rep.Lines))
+			opt.Metrics.Counter("ingest.swf.records").Add(int64(rep.Records))
+			opt.Metrics.Counter("ingest.swf.skipped").Add(int64(rep.Skipped))
+			opt.Metrics.Counter("ingest.swf.out_of_order").Add(int64(rep.OutOfOrder))
+		}
+	}()
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
 	log := &Log{Name: name}
 	lineNo := 0
+	lastSubmit := math.Inf(-1)
 	for sc.Scan() {
 		lineNo++
 		line := strings.TrimSpace(sc.Text())
@@ -56,55 +96,96 @@ func ReadSWF(r io.Reader, name string) (*Log, error) {
 			}
 			continue
 		}
-		fields := strings.Fields(line)
-		if len(fields) < swfFieldCount {
-			return nil, fmt.Errorf("workload: swf line %d: %d fields, want %d", lineNo, len(fields), swfFieldCount)
-		}
-		get := func(i int) (float64, error) {
-			v, err := strconv.ParseFloat(fields[i], 64)
-			if err != nil {
-				return 0, fmt.Errorf("workload: swf line %d field %d: %w", lineNo, i+1, err)
+		rep.Lines++
+		tj, reason := parseSWFRecord(strings.Fields(line))
+		if reason != "" {
+			if !opt.Lenient {
+				return nil, rep, fmt.Errorf("workload: swf line %d: %s", lineNo, reason)
 			}
-			return v, nil
+			rep.AddError(lineNo, reason)
+			continue
 		}
-		submit, err := get(swfSubmitTime)
-		if err != nil {
-			return nil, err
+		if tj.Submit < lastSubmit {
+			rep.OutOfOrder++
 		}
-		run, err := get(swfRunTime)
-		if err != nil {
-			return nil, err
-		}
-		reqProcs, err := get(swfReqProcs)
-		if err != nil {
-			return nil, err
-		}
-		allocProcs, err := get(swfAllocProcs)
-		if err != nil {
-			return nil, err
-		}
-		reqTime, err := get(swfReqTime)
-		if err != nil {
-			return nil, err
-		}
-		procs := int(reqProcs)
-		if procs <= 0 {
-			procs = int(allocProcs)
-		}
-		if reqTime < 0 {
-			reqTime = 0
-		}
-		log.Jobs = append(log.Jobs, TraceJob{
-			Submit:  submit,
-			Run:     run,
-			ReqTime: reqTime,
-			Procs:   procs,
-		})
+		lastSubmit = tj.Submit
+		log.Jobs = append(log.Jobs, tj)
 	}
 	if err := sc.Err(); err != nil {
-		return nil, fmt.Errorf("workload: swf: %w", err)
+		// Scanner-level damage (e.g. an over-long line) loses framing;
+		// even lenient mode cannot resync past it.
+		return nil, rep, fmt.Errorf("workload: swf: %w", err)
 	}
-	return log, nil
+	rep.Records = len(log.Jobs)
+	if opt.Lenient && rep.OutOfOrder > 0 {
+		sort.SliceStable(log.Jobs, func(i, j int) bool { return log.Jobs[i].Submit < log.Jobs[j].Submit })
+	}
+	return log, rep, nil
+}
+
+// maxSWFProcs bounds the processor count of a single record. Values
+// beyond it (no real machine, and far outside int32) indicate a
+// corrupt field, and unguarded float-to-int conversion of such values
+// is platform-defined.
+const maxSWFProcs = 1 << 30
+
+// parseSWFRecord converts one whitespace-split SWF record into a
+// TraceJob, returning a non-empty reason if the record is malformed:
+// too few fields, unparseable or non-finite numbers, a negative submit
+// time, or an absurd processor count. The SWF "unknown" marker -1 in
+// run time, request time, or processor fields stays valid.
+func parseSWFRecord(fields []string) (TraceJob, string) {
+	if len(fields) < swfFieldCount {
+		return TraceJob{}, fmt.Sprintf("%d fields, want %d", len(fields), swfFieldCount)
+	}
+	get := func(i int) (float64, string) {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return 0, fmt.Sprintf("field %d: %v", i+1, err)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return 0, fmt.Sprintf("field %d: non-finite value %q", i+1, fields[i])
+		}
+		return v, ""
+	}
+	var tj TraceJob
+	submit, reason := get(swfSubmitTime)
+	if reason != "" {
+		return tj, reason
+	}
+	if submit < 0 {
+		return tj, fmt.Sprintf("negative submit time %g", submit)
+	}
+	run, reason := get(swfRunTime)
+	if reason != "" {
+		return tj, reason
+	}
+	reqProcs, reason := get(swfReqProcs)
+	if reason != "" {
+		return tj, reason
+	}
+	allocProcs, reason := get(swfAllocProcs)
+	if reason != "" {
+		return tj, reason
+	}
+	reqTime, reason := get(swfReqTime)
+	if reason != "" {
+		return tj, reason
+	}
+	if reqProcs > maxSWFProcs || allocProcs > maxSWFProcs {
+		return tj, fmt.Sprintf("processor count out of range (req %g, alloc %g)", reqProcs, allocProcs)
+	}
+	procs := int(reqProcs)
+	if procs <= 0 {
+		procs = int(allocProcs)
+	}
+	if procs < 0 {
+		procs = 0 // -1 "unknown" marker; ToJobs drops procs <= 0
+	}
+	if reqTime < 0 {
+		reqTime = 0
+	}
+	return TraceJob{Submit: submit, Run: run, ReqTime: reqTime, Procs: procs}, ""
 }
 
 func headerInt(line, key string) (int, bool) {
