@@ -18,11 +18,13 @@ race:
 vet:
 	$(GO) vet ./...
 
-# Short fuzzing smoke over the trace parsers; CI-friendly budget.
+# Short fuzzing smoke over the trace parsers and the partition-finder
+# differential oracle; CI-friendly budget.
 FUZZTIME ?= 10s
 fuzz:
 	$(GO) test -run NONE -fuzz FuzzReadSWF -fuzztime $(FUZZTIME) ./internal/workload
 	$(GO) test -run NONE -fuzz FuzzReadCSV -fuzztime $(FUZZTIME) ./internal/failure
+	$(GO) test -run NONE -fuzz FuzzFinderEquivalence -fuzztime $(FUZZTIME) ./internal/partition/oracle
 
 # Full benchmark sweep (figure regeneration + ablations); minutes.
 bench:

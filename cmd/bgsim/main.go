@@ -53,6 +53,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		downtime  = fs.Float64("downtime", 0, "seconds a failed node stays out of service")
 		seed      = fs.Int64("seed", 1, "random seed for workload and failure generation")
 
+		finder        = fs.String("finder", "shape", "partition search algorithm: naive, pop, shape or fast (cached fast path; identical decisions, lower cost)")
+		finderWorkers = fs.Int("finder-workers", 0, "fast finder's parallel enumeration workers (<=1 sequential; ignored by other finders)")
+
 		ckptInterval = fs.Float64("ckpt-interval", 0, "periodic checkpoint interval seconds (0 = off)")
 		ckptPredict  = fs.Bool("ckpt-predictive", false, "use prediction-triggered checkpointing")
 		ckptOverhead = fs.Float64("ckpt-overhead", 0, "seconds of overhead per checkpoint")
@@ -91,6 +94,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		MigrationCost:  *migCost,
 		Downtime:       *downtime,
 		Seed:           *seed,
+		Finder:         *finder,
+		FinderWorkers:  *finderWorkers,
 
 		CheckpointInterval:   *ckptInterval,
 		CheckpointPredictive: *ckptPredict,

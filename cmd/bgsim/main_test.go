@@ -38,12 +38,36 @@ func TestBgsimCheckpointFlags(t *testing.T) {
 	}
 }
 
+// Every finder algorithm returns identical candidate sets, so swapping
+// -finder must never change a simulation's metrics, only its cost.
+func TestBgsimFinderFlagInvariant(t *testing.T) {
+	base := []string{"-workload", "NASA", "-jobs", "60", "-sched", "balancing", "-a", "0.1", "-failures", "300"}
+	var want bytes.Buffer
+	if err := run(context.Background(), append([]string{"-finder", "shape"}, base...), &want); err != nil {
+		t.Fatal(err)
+	}
+	for _, args := range [][]string{
+		{"-finder", "fast"},
+		{"-finder", "fast", "-finder-workers", "4"},
+		{"-finder", "pop"},
+	} {
+		var got bytes.Buffer
+		if err := run(context.Background(), append(args, base...), &got); err != nil {
+			t.Fatalf("%v: %v", args, err)
+		}
+		if got.String() != want.String() {
+			t.Fatalf("%v changed the simulation results:\n%s\nvs\n%s", args, got.String(), want.String())
+		}
+	}
+}
+
 func TestBgsimBadFlags(t *testing.T) {
 	cases := [][]string{
 		{"-sched", "quantum", "-jobs", "10"},
 		{"-backfill", "psychic", "-jobs", "10"},
 		{"-combine", "quantum", "-jobs", "10"},
 		{"-workload", "EARTH", "-jobs", "10"},
+		{"-finder", "psychic", "-jobs", "10"},
 		{"-nonexistent-flag"},
 	}
 	for _, args := range cases {

@@ -61,6 +61,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		journal = fs.String("journal", "", "write completed points to this JSONL journal (truncates)")
 		resume  = fs.String("resume", "", "resume from this journal: skip its completed points, append new ones")
 		check   = fs.Bool("check", false, "validate simulator conservation invariants at every event")
+
+		finder        = fs.String("finder", "", "partition search algorithm for every sweep point: naive, pop, shape or fast (empty = shape default)")
+		finderWorkers = fs.Int("finder-workers", 0, "fast finder's parallel enumeration workers (<=1 sequential)")
 	)
 	obs := telemetry.RegisterCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -85,9 +88,15 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	manifest := telemetry.NewManifest("bgsweep", args, opt)
 	manifest.Seed = *seed
 
+	if *finder != "" {
+		if _, err := partition.ByName(*finder, *finderWorkers); err != nil {
+			return err
+		}
+	}
 	eng := &experiments.Engine{
 		Ctx: ctx, Workers: *workers, Retries: *retries,
 		Isolate: true, CheckInvariants: *check,
+		Finder: *finder, FinderWorkers: *finderWorkers,
 	}
 	jnl, err := openJournal(*journal, *resume, telemetry.ConfigHash(opt), eng)
 	if err != nil {
@@ -237,11 +246,16 @@ func writeSweepMetrics(obs *telemetry.CLIFlags, m *telemetry.Manifest, tables []
 	return obs.WriteMetrics(m, nil)
 }
 
-// finderComparison times the three partition-finder algorithms on
-// random occupancies — the asymptotic comparison of Section 5 and
-// Appendix 9 (naive O(M^9), POP O(M^5), shape O(M^3 f(s)^3)). The gap
-// is invisible on the paper's 4x4x8 scheduling view, so the table also
-// measures larger machines, where the naive finder collapses.
+// finderComparison times the partition-finder algorithms on random
+// occupancies — the asymptotic comparison of Section 5 and Appendix 9
+// (naive O(M^9), POP O(M^5), shape O(M^3 f(s)^3)) plus the cached fast
+// path. The gap is invisible on the paper's 4x4x8 scheduling view, so
+// the table also measures larger machines, where the naive finder
+// collapses. The fast finder is reported twice: fast-cold constructs a
+// fresh finder per call (pure enumeration cost) and fast-warm reuses
+// one finder on an unchanging grid, so after the first call every
+// query is a cache hit — the steady state the scheduler hot path sees
+// between machine-state changes.
 func finderComparison(out io.Writer) error {
 	finders := []partition.Finder{partition.NaiveFinder{}, partition.POPFinder{}, partition.ShapeFinder{}}
 	machines := []string{"4x4x8", "8x8x8", "16x16x16"}
@@ -249,7 +263,8 @@ func finderComparison(out io.Writer) error {
 	sizes := []int{8, 64}
 
 	fmt.Fprintln(out, "Partition-finder comparison (ns/op)")
-	fmt.Fprintf(out, "%-10s %-6s %-6s %12s %12s %12s\n", "machine", "fill", "size", "naive", "pop", "shape")
+	fmt.Fprintf(out, "%-10s %-6s %-6s %12s %12s %12s %12s %12s\n",
+		"machine", "fill", "size", "naive", "pop", "shape", "fast-cold", "fast-warm")
 	for _, spec := range machines {
 		g, err := torus.Parse(spec)
 		if err != nil {
@@ -273,23 +288,33 @@ func finderComparison(out io.Writer) error {
 				for _, f := range finders {
 					fmt.Fprintf(out, " %12d", timeFinder(f, gr, size))
 				}
-				fmt.Fprintln(out)
+				cold := timeOp(func() { partition.NewFastFinder(0).FreeOfSize(gr, size) })
+				warm := partition.NewFastFinder(0)
+				warm.FreeOfSize(gr, size) // populate the cache
+				fmt.Fprintf(out, " %12d %12d\n", cold,
+					timeOp(func() { warm.FreeOfSize(gr, size) }))
 			}
 		}
 	}
 	return nil
 }
 
-// timeFinder measures ns/op with an adaptive iteration count (~100 ms
-// per cell), since costs span four orders of magnitude across machine
-// sizes.
-func timeFinder(f partition.Finder, gr *torus.Grid, size int) int64 {
+// timeOp measures one operation's ns/op with the same adaptive budget
+// as timeFinder.
+func timeOp(op func()) int64 {
 	const budget = 100 * time.Millisecond
 	iters := 0
 	start := time.Now()
 	for time.Since(start) < budget {
-		f.FreeOfSize(gr, size)
+		op()
 		iters++
 	}
 	return time.Since(start).Nanoseconds() / int64(iters)
+}
+
+// timeFinder measures ns/op with an adaptive iteration count (~100 ms
+// per cell), since costs span four orders of magnitude across machine
+// sizes.
+func timeFinder(f partition.Finder, gr *torus.Grid, size int) int64 {
+	return timeOp(func() { f.FreeOfSize(gr, size) })
 }

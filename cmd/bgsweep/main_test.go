@@ -40,10 +40,42 @@ func TestBgsweepFinders(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := buf.String()
-	for _, want := range []string{"naive", "pop", "shape"} {
+	for _, want := range []string{"naive", "pop", "shape", "fast-cold", "fast-warm"} {
 		if !strings.Contains(out, want) {
 			t.Errorf("finder table missing %q", want)
 		}
+	}
+}
+
+// A figure swept under -finder=fast must produce the same table as the
+// shape default: the algorithms return identical candidate sets.
+func TestBgsweepFinderFlagInvariant(t *testing.T) {
+	base := []string{"-fig", "fig4", "-jobs", "50", "-reps", "1", "-workers", "1"}
+	var want, got bytes.Buffer
+	if err := run(context.Background(), base, &want); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(context.Background(), append([]string{"-finder", "fast", "-finder-workers", "2"}, base...), &got); err != nil {
+		t.Fatal(err)
+	}
+	stripTiming := func(s string) string {
+		var kept []string
+		for _, line := range strings.Split(s, "\n") {
+			if !strings.Contains(line, "completed in") {
+				kept = append(kept, line)
+			}
+		}
+		return strings.Join(kept, "\n")
+	}
+	if stripTiming(got.String()) != stripTiming(want.String()) {
+		t.Fatalf("-finder=fast changed sweep results:\n%s\nvs\n%s", got.String(), want.String())
+	}
+}
+
+func TestBgsweepBadFinder(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-fig", "fig4", "-finder", "psychic"}, &buf); err == nil {
+		t.Fatal("unknown finder accepted")
 	}
 }
 

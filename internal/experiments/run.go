@@ -105,6 +105,15 @@ type RunConfig struct {
 	CheckpointOverhead   float64
 	CheckpointRestart    float64
 
+	// Finder selects the free-partition search algorithm by name
+	// (partition.ByName): "naive", "pop", "shape" (default) or "fast",
+	// the cached fast path. FinderWorkers bounds the fast finder's
+	// parallel enumeration pool; <= 1 keeps enumeration sequential.
+	// Every algorithm returns identical candidate sets, so this knob
+	// changes scheduling cost only, never scheduling decisions.
+	Finder        string
+	FinderWorkers int
+
 	// RecordTimeline samples machine state into Result.Timeline.
 	RecordTimeline bool
 	// CheckInvariants makes the simulator validate machine-state
@@ -193,9 +202,13 @@ func RunContext(ctx context.Context, cfg RunConfig) (sim.Result, error) {
 	if err != nil {
 		return sim.Result{}, err
 	}
+	finder, err := partition.ByName(cfg.Finder, cfg.FinderWorkers)
+	if err != nil {
+		return sim.Result{}, err
+	}
 	sched, err := core.NewScheduler(core.Config{
 		Policy:    policy,
-		Finder:    partition.Instrumented(partition.ShapeFinder{}, cfg.Telemetry),
+		Finder:    partition.Instrumented(finder, cfg.Telemetry),
 		Backfill:  cfg.Backfill,
 		Migration: cfg.Migration,
 		Telemetry: cfg.Telemetry,

@@ -46,6 +46,12 @@ type Engine struct {
 	// CheckInvariants turns on the simulator's conservation guard for
 	// every point of the sweep.
 	CheckInvariants bool
+	// Finder selects the free-partition search algorithm for every
+	// point of the sweep (see RunConfig.Finder); empty keeps each
+	// point's own setting (normally the shape default). FinderWorkers
+	// bounds the fast finder's enumeration pool per point.
+	Finder        string
+	FinderWorkers int
 
 	mu       sync.Mutex
 	failures []*resilience.PointError
@@ -144,6 +150,10 @@ func (e *Engine) runPoints(figure string, pts []point) error {
 			}
 			if e.CheckInvariants {
 				p.cfg.CheckInvariants = true
+			}
+			if e.Finder != "" {
+				p.cfg.Finder = e.Finder
+				p.cfg.FinderWorkers = e.FinderWorkers
 			}
 		}
 

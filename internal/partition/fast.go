@@ -1,0 +1,354 @@
+package partition
+
+import (
+	"context"
+	"sync"
+
+	"bgsched/internal/resilience"
+	"bgsched/internal/torus"
+)
+
+// FastFinder is the fast-path free-partition search: the same result
+// set as ShapeFinder (the paper's Appendix 9 algorithm), produced from
+// incrementally maintained occupancy state instead of per-query scans,
+// with a memoized result cache and optional parallel enumeration.
+//
+// Three layers make it fast:
+//
+//  1. Incremental occupancy. The grid maintains per-column and
+//     per-plane projection counts and an occupancy hash in O(1) per
+//     node on allocate/release. The finder derives per-column busy
+//     prefix sums from them and resynchronises only the columns whose
+//     column hash changed since the last query — O(changed volume),
+//     not O(machine), per state change.
+//  2. Memoized candidates. Results are cached per (occupancy hash,
+//     size). Repeated queries between state changes are O(1) plus one
+//     defensive copy, and because the hash depends only on the
+//     free/busy pattern, a state *recurrence* (allocate + release of a
+//     hypothetical placement, as placement policies do) re-hits the
+//     cache. Entries are never served stale: any occupancy change
+//     changes the hash and so the key.
+//  3. Parallel enumeration. With Workers > 1 the (shape, base-x) task
+//     list is split across a bounded resilience.ForEach pool. Workers
+//     fill disjoint per-task slots that are concatenated in task order
+//     and sorted, so parallel output is byte-identical to sequential
+//     (the deterministic sort leaves no room for scheduling order to
+//     leak; ties cannot arise because candidates are distinct).
+//
+// The zero value is ready to use (sequential). FastFinder is stateful
+// and safe for concurrent use; a single mutex serialises queries,
+// which matches the single-threaded scheduler hot path it serves.
+type FastFinder struct {
+	// Workers bounds the enumeration pool; <= 1 enumerates on the
+	// calling goroutine.
+	Workers int
+	// Metrics, when non-nil, receives per-call search-cost telemetry
+	// plus the fast path's cache hit/miss/invalidation counters.
+	Metrics *Metrics
+
+	mu      sync.Mutex
+	grids   map[uint64]*fastGridState // derived occupancy, by Grid.ID()
+	gridAge []uint64                  // grid eviction order (FIFO)
+	results map[fastKey][]torus.Partition
+	resAge  []fastKey // result eviction order (FIFO)
+}
+
+// NewFastFinder returns a fast finder with the given enumeration
+// worker bound (<= 1 means sequential).
+func NewFastFinder(workers int) *FastFinder { return &FastFinder{Workers: workers} }
+
+// Name implements Finder.
+func (f *FastFinder) Name() string { return "fast" }
+
+const (
+	// maxCachedGrids bounds the per-grid derived state kept alive; the
+	// scheduler touches the live grid plus a handful of reservation
+	// scratch clones per decision.
+	maxCachedGrids = 8
+	// maxCachedResults bounds the memoized candidate lists. A BG/L-
+	// sized machine sees a few dozen distinct (state, size) pairs
+	// between invalidations; 256 gives recurrence hits headroom
+	// without letting a long sweep accumulate unbounded state.
+	maxCachedResults = 256
+)
+
+// fastKey identifies a memoized result: the machine geometry, the
+// occupancy pattern (by hash) and the requested size. The geometry is
+// part of the key because the occupancy hash alone cannot distinguish
+// machines — every all-free grid hashes to zero — and one finder may
+// serve grids of different geometries or topologies.
+type fastKey struct {
+	geom torus.Geometry
+	hash uint64
+	size int
+}
+
+// fastGridState is the finder's derived view of one grid: per-column
+// busy prefix sums over z, plus the column hashes they were built at.
+type fastGridState struct {
+	pre      []int    // (dimZ+1) prefix sums of busy cells per column
+	colStamp []uint64 // ColumnHash value each column was synced at
+	synced   bool     // false until the first full build
+}
+
+// windowBusy reports whether the (possibly wrapping) z-window
+// [bz, bz+sz) of column col contains any busy cell, in O(1) from the
+// prefix sums.
+func (st *fastGridState) windowBusy(col, bz, sz, dimZ int) bool {
+	base := col * (dimZ + 1)
+	if end := bz + sz; end <= dimZ {
+		return st.pre[base+end]-st.pre[base+bz] > 0
+	}
+	return st.pre[base+dimZ]-st.pre[base+bz]+st.pre[base+bz+sz-dimZ] > 0
+}
+
+// state returns (creating if needed) the derived state for gr,
+// evicting the oldest grid beyond the cache bound.
+func (f *FastFinder) state(gr *torus.Grid) *fastGridState {
+	if f.grids == nil {
+		f.grids = make(map[uint64]*fastGridState)
+	}
+	id := gr.ID()
+	if st, ok := f.grids[id]; ok {
+		return st
+	}
+	if len(f.gridAge) >= maxCachedGrids {
+		delete(f.grids, f.gridAge[0])
+		f.gridAge = f.gridAge[1:]
+	}
+	g := gr.Geometry()
+	st := &fastGridState{
+		pre:      make([]int, g.Dims.X*g.Dims.Y*(g.Dims.Z+1)),
+		colStamp: make([]uint64, g.Dims.X*g.Dims.Y),
+	}
+	f.grids[id] = st
+	f.gridAge = append(f.gridAge, id)
+	return st
+}
+
+// sync brings the prefix sums up to date with gr, rebuilding only the
+// columns whose occupancy hash moved. Returns how many columns were
+// rebuilt (0 on a clean cache).
+func (st *fastGridState) sync(gr *torus.Grid) int {
+	g := gr.Geometry()
+	dims := g.Dims
+	cols := dims.X * dims.Y
+	rebuilt := 0
+	for col := 0; col < cols; col++ {
+		h := gr.ColumnHash(col)
+		if st.synced && st.colStamp[col] == h {
+			continue
+		}
+		rebuilt++
+		st.colStamp[col] = h
+		base := col * (dims.Z + 1)
+		node := col * dims.Z
+		sum := 0
+		st.pre[base] = 0
+		for z := 0; z < dims.Z; z++ {
+			if !gr.NodeFree(node + z) {
+				sum++
+			}
+			st.pre[base+z+1] = sum
+		}
+	}
+	st.synced = true
+	return rebuilt
+}
+
+// fastTask is one parallel unit of enumeration: every base with this
+// shape and base-x coordinate. bzs lists the z-bases that survived the
+// plane-projection prune.
+type fastTask struct {
+	shape torus.Shape
+	bx    int
+	bzs   []int
+}
+
+// FreeOfSize implements Finder. The result is a fresh slice the caller
+// may keep or mutate.
+func (f *FastFinder) FreeOfSize(gr *torus.Grid, size int) []torus.Partition {
+	sw := f.Metrics.startTimer()
+	g := gr.Geometry()
+	shapes := g.ShapesOf(size)
+	if len(shapes) == 0 {
+		f.Metrics.noShapes(sw)
+		return nil
+	}
+
+	f.mu.Lock()
+	defer f.mu.Unlock()
+
+	key := fastKey{geom: g, hash: gr.OccupancyHash(), size: size}
+	if parts, ok := f.results[key]; ok {
+		f.Metrics.cacheHit()
+		f.Metrics.observe(sw, len(parts), 0, 0)
+		return clonePartitions(parts)
+	}
+
+	st := f.state(gr)
+	f.Metrics.cacheMiss(st.sync(gr))
+
+	var parts []torus.Partition
+	bases, rejects := 0, 0
+	if gr.FreeCount() >= size { // fewer free nodes than requested: no candidate exists
+		parts, bases, rejects = f.enumerate(gr, st, shapes)
+	}
+	f.storeResult(key, parts)
+	f.Metrics.observe(sw, len(parts), bases, rejects)
+	return clonePartitions(parts)
+}
+
+// storeResult memoizes one computed candidate list, evicting the
+// oldest entry beyond the cache bound.
+func (f *FastFinder) storeResult(key fastKey, parts []torus.Partition) {
+	if f.results == nil {
+		f.results = make(map[fastKey][]torus.Partition)
+	}
+	if len(f.resAge) >= maxCachedResults {
+		delete(f.results, f.resAge[0])
+		f.resAge = f.resAge[1:]
+	}
+	f.results[key] = parts
+	f.resAge = append(f.resAge, key)
+}
+
+// enumerate runs the pruned shape enumeration, sequentially or on the
+// worker pool, and returns the sorted candidates plus the bases-
+// scanned / early-reject tallies.
+func (f *FastFinder) enumerate(gr *torus.Grid, st *fastGridState, shapes []torus.Shape) ([]torus.Partition, int, int) {
+	g := gr.Geometry()
+	dims := g.Dims
+	planeXY := dims.X * dims.Y
+
+	// Per-axis projection prune: a z-window is only worth scanning if
+	// every z-plane it spans has at least shape.X*shape.Y free nodes.
+	freeZ := make([]int, dims.Z)
+	for z := 0; z < dims.Z; z++ {
+		freeZ[z] = planeXY - gr.PlaneBusy(2, z)
+	}
+
+	var tasks []fastTask
+	bases, rejects := 0, 0
+	for _, shape := range shapes {
+		rx := baseRange(dims.X, shape.X, g.Wrap)
+		ry := baseRange(dims.Y, shape.Y, g.Wrap)
+		rz := baseRange(dims.Z, shape.Z, g.Wrap)
+		needXY := shape.X * shape.Y
+		var bzs []int
+		for bz := 0; bz < rz; bz++ {
+			ok := true
+			for dz := 0; dz < shape.Z; dz++ {
+				z := bz + dz
+				if z >= dims.Z {
+					z -= dims.Z
+				}
+				if freeZ[z] < needXY {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				bzs = append(bzs, bz)
+			} else {
+				// The whole (bx, by) plane of bases at this bz dies at
+				// once; account for them as pruned rejects.
+				bases += rx * ry
+				rejects += rx * ry
+			}
+		}
+		if len(bzs) == 0 {
+			continue
+		}
+		for bx := 0; bx < rx; bx++ {
+			tasks = append(tasks, fastTask{shape: shape, bx: bx, bzs: bzs})
+		}
+	}
+	if len(tasks) == 0 {
+		return nil, bases, rejects
+	}
+
+	outs := make([][]torus.Partition, len(tasks))
+	basesPer := make([]int, len(tasks))
+	rejectsPer := make([]int, len(tasks))
+	run := func(i int) error {
+		t := tasks[i]
+		shape := t.shape
+		ry := baseRange(dims.Y, shape.Y, g.Wrap)
+		var out []torus.Partition
+		for by := 0; by < ry; by++ {
+		nextBase:
+			for _, bz := range t.bzs {
+				basesPer[i]++
+				for dx := 0; dx < shape.X; dx++ {
+					x := t.bx + dx
+					if x >= dims.X {
+						x -= dims.X
+					}
+					row := x * dims.Y
+					for dy := 0; dy < shape.Y; dy++ {
+						y := by + dy
+						if y >= dims.Y {
+							y -= dims.Y
+						}
+						if st.windowBusy(row+y, bz, shape.Z, dims.Z) {
+							rejectsPer[i]++
+							continue nextBase
+						}
+					}
+				}
+				out = append(out, torus.Partition{
+					Base:  torus.Coord{X: t.bx, Y: by, Z: bz},
+					Shape: shape,
+				})
+			}
+		}
+		outs[i] = out
+		return nil
+	}
+	if f.Workers > 1 && len(tasks) > 1 {
+		// Tasks are microseconds each, so they are handed to the pool in
+		// contiguous chunks — a few per worker for balance — to amortise
+		// the pool's per-item dispatch cost. run never fails and the
+		// context is never cancelled, so ForEach's only possible return
+		// is nil.
+		chunks := f.Workers * 4
+		if chunks > len(tasks) {
+			chunks = len(tasks)
+		}
+		per := (len(tasks) + chunks - 1) / chunks
+		_ = resilience.ForEach(context.Background(), chunks, f.Workers, func(c int) error {
+			lo := c * per
+			hi := lo + per
+			if hi > len(tasks) {
+				hi = len(tasks)
+			}
+			for i := lo; i < hi; i++ {
+				_ = run(i)
+			}
+			return nil
+		})
+	} else {
+		for i := range tasks {
+			_ = run(i)
+		}
+	}
+
+	var out []torus.Partition
+	for i := range outs {
+		out = append(out, outs[i]...)
+		bases += basesPer[i]
+		rejects += rejectsPer[i]
+	}
+	sortPartitions(out)
+	return out, bases, rejects
+}
+
+// clonePartitions returns a defensive copy so cached slices can never
+// be mutated by callers (nil in, nil out).
+func clonePartitions(ps []torus.Partition) []torus.Partition {
+	if ps == nil {
+		return nil
+	}
+	return append([]torus.Partition(nil), ps...)
+}

@@ -15,6 +15,7 @@
 package partition
 
 import (
+	"fmt"
 	"sort"
 	"sync"
 
@@ -28,6 +29,27 @@ type Finder interface {
 	FreeOfSize(gr *torus.Grid, size int) []torus.Partition
 	// Name identifies the algorithm in benchmarks and reports.
 	Name() string
+}
+
+// Names lists the selectable finder algorithms in ByName order.
+var Names = []string{"naive", "pop", "shape", "fast"}
+
+// ByName constructs the named finder algorithm: "naive", "pop",
+// "shape" (also the default for an empty name) or "fast". workers
+// bounds the fast finder's parallel enumeration pool (<= 1 keeps it
+// sequential) and is ignored by the other algorithms.
+func ByName(name string, workers int) (Finder, error) {
+	switch name {
+	case "", "shape":
+		return ShapeFinder{}, nil
+	case "naive":
+		return NaiveFinder{}, nil
+	case "pop":
+		return POPFinder{}, nil
+	case "fast":
+		return NewFastFinder(workers), nil
+	}
+	return nil, fmt.Errorf("partition: unknown finder %q (want naive, pop, shape or fast)", name)
 }
 
 // baseRange returns the number of candidate base positions along a

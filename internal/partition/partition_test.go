@@ -8,7 +8,11 @@ import (
 	"bgsched/internal/torus"
 )
 
-var finders = []Finder{NaiveFinder{}, POPFinder{}, ShapeFinder{}}
+// finders lists every algorithm; the agreement tests below replay each
+// grid against all of them. Both fast variants (sequential and
+// parallel) ride along so the cache and pool paths face the same
+// scrutiny as the scan-based finders.
+var finders = []Finder{NaiveFinder{}, POPFinder{}, ShapeFinder{}, NewFastFinder(0), NewFastFinder(4)}
 
 func randomGrid(t *testing.T, g torus.Geometry, fillProb float64, seed int64) *torus.Grid {
 	t.Helper()
@@ -236,10 +240,28 @@ func TestFinderNames(t *testing.T) {
 		if f.Name() == "" {
 			t.Fatal("empty finder name")
 		}
+		if _, isFast := f.(*FastFinder); isFast {
+			continue // both fast variants intentionally share a name
+		}
 		if names[f.Name()] {
 			t.Fatalf("duplicate finder name %q", f.Name())
 		}
 		names[f.Name()] = true
+	}
+	for _, name := range Names {
+		f, err := ByName(name, 2)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+		if f.Name() != name {
+			t.Fatalf("ByName(%q).Name() = %q", name, f.Name())
+		}
+	}
+	if f, err := ByName("", 0); err != nil || f.Name() != "shape" {
+		t.Fatalf("ByName(\"\") = %v, %v; want the shape default", f, err)
+	}
+	if _, err := ByName("bogus", 0); err == nil {
+		t.Fatal("ByName must reject unknown algorithms")
 	}
 }
 

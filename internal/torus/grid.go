@@ -1,12 +1,30 @@
 package torus
 
-import "fmt"
+import (
+	"fmt"
+	"sync/atomic"
+)
 
 // FreeOwner is the owner value of an unallocated node.
 const FreeOwner int64 = 0
 
+// gridIDs hands out process-unique grid identities; see Grid.ID.
+var gridIDs atomic.Uint64
+
 // Grid is the occupancy map of the machine: which job (by opaque int64
 // owner id) holds each node. Owner ids must be non-zero.
+//
+// Alongside the raw owner array the grid maintains incremental
+// occupancy summaries, updated in O(1) per node on every allocate and
+// release (so O(partition volume) per operation):
+//
+//   - a Zobrist-style occupancy hash of the free/busy pattern, whole
+//     grid and per z-column, used by caching partition finders to
+//     detect state changes (and state *recurrences*: an allocate
+//     followed by the matching release restores the hash);
+//   - per-z-column busy counts (the projection of the occupancy onto
+//     the x-y plane);
+//   - per-axis plane busy counts (the projection onto each axis).
 //
 // Grid is not safe for concurrent use; the simulator is single-threaded
 // by design (a discrete-event loop), and experiment-level parallelism
@@ -15,6 +33,12 @@ type Grid struct {
 	geom      Geometry
 	owner     []int64
 	freeCount int
+
+	id        uint64   // process-unique identity, fresh per NewGrid/Clone
+	hash      uint64   // occupancy hash of the free/busy pattern
+	colHash   []uint64 // occupancy hash per z-column (len X*Y)
+	colBusy   []int    // busy nodes per z-column (len X*Y)
+	planeBusy [3][]int // busy nodes per plane orthogonal to x, y, z
 }
 
 // NewGrid returns an empty occupancy grid for the machine.
@@ -23,6 +47,14 @@ func NewGrid(g Geometry) *Grid {
 		geom:      g,
 		owner:     make([]int64, g.N()),
 		freeCount: g.N(),
+		id:        gridIDs.Add(1),
+		colHash:   make([]uint64, g.Dims.X*g.Dims.Y),
+		colBusy:   make([]int, g.Dims.X*g.Dims.Y),
+		planeBusy: [3][]int{
+			make([]int, g.Dims.X),
+			make([]int, g.Dims.Y),
+			make([]int, g.Dims.Z),
+		},
 	}
 }
 
@@ -39,6 +71,56 @@ func (gr *Grid) NodeFree(id int) bool { return gr.owner[id] == FreeOwner }
 // FreeOwner if the node is unallocated.
 func (gr *Grid) OwnerAt(id int) int64 { return gr.owner[id] }
 
+// ID returns the grid's process-unique identity. Every NewGrid and
+// Clone gets a fresh id, so caches keyed by it can never confuse two
+// grids (unlike pointer keys, which the allocator may reuse).
+func (gr *Grid) ID() uint64 { return gr.id }
+
+// OccupancyHash returns a 64-bit hash of the grid's free/busy pattern
+// (owner identities do not contribute). It is maintained incrementally:
+// flipping a node XORs a fixed per-node key, so any sequence of
+// operations that restores the occupancy pattern restores the hash.
+// Caching finders use it as their invalidation key.
+func (gr *Grid) OccupancyHash() uint64 { return gr.hash }
+
+// ColumnHash returns the occupancy hash restricted to z-column col
+// (col = x*DimsY + y). Finders use it to resynchronise per-column
+// derived state only for the columns that actually changed.
+func (gr *Grid) ColumnHash(col int) uint64 { return gr.colHash[col] }
+
+// ColumnBusy returns the number of allocated nodes in z-column col:
+// the occupancy projected onto the x-y plane.
+func (gr *Grid) ColumnBusy(col int) int { return gr.colBusy[col] }
+
+// PlaneBusy returns the number of allocated nodes in the k-th plane
+// orthogonal to the given axis (0 = x, 1 = y, 2 = z): the occupancy
+// projected onto that axis.
+func (gr *Grid) PlaneBusy(axis, k int) int { return gr.planeBusy[axis][k] }
+
+// nodeKey is the fixed Zobrist key of a node: a splitmix64 step over
+// the dense id. Deterministic across grids so equal occupancy patterns
+// hash equally on any grid of the same geometry.
+func nodeKey(id int) uint64 {
+	z := uint64(id) + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// flip maintains the incremental summaries for one node changing
+// between free and busy; delta is +1 when the node becomes busy and
+// -1 when it becomes free.
+func (gr *Grid) flip(id, delta int) {
+	k := nodeKey(id)
+	col := id / gr.geom.Dims.Z
+	gr.hash ^= k
+	gr.colHash[col] ^= k
+	gr.colBusy[col] += delta
+	gr.planeBusy[0][col/gr.geom.Dims.Y] += delta
+	gr.planeBusy[1][col%gr.geom.Dims.Y] += delta
+	gr.planeBusy[2][id%gr.geom.Dims.Z] += delta
+}
+
 // PartitionFree reports whether every node of p is unallocated.
 func (gr *Grid) PartitionFree(p Partition) bool {
 	return gr.geom.ForEachNode(p, func(id int) bool {
@@ -47,7 +129,8 @@ func (gr *Grid) PartitionFree(p Partition) bool {
 }
 
 // Allocate assigns every node of p to owner. It fails if the partition
-// is invalid, the owner id is FreeOwner, or any node is already taken.
+// is invalid, the owner id is FreeOwner, or any node is already taken
+// (double-allocating a cell is an error, never a silent overwrite).
 func (gr *Grid) Allocate(p Partition, owner int64) error {
 	if owner == FreeOwner {
 		return fmt.Errorf("torus: cannot allocate to the free owner id")
@@ -60,6 +143,7 @@ func (gr *Grid) Allocate(p Partition, owner int64) error {
 	}
 	gr.geom.ForEachNode(p, func(id int) bool {
 		gr.owner[id] = owner
+		gr.flip(id, +1)
 		return true
 	})
 	gr.freeCount -= p.Size()
@@ -67,7 +151,14 @@ func (gr *Grid) Allocate(p Partition, owner int64) error {
 }
 
 // Release frees every node of p, verifying each is held by owner.
+// Releasing with the free owner id is an error: it would "free" cells
+// that are already free, silently corrupting the free count and the
+// occupancy summaries (the double-free analogue of Allocate's
+// not-free check).
 func (gr *Grid) Release(p Partition, owner int64) error {
+	if owner == FreeOwner {
+		return fmt.Errorf("torus: release %v: cannot release the free owner id (double free)", p)
+	}
 	if !gr.geom.ValidPartition(p) {
 		return fmt.Errorf("torus: release %v: %w", p, ErrBadPartition)
 	}
@@ -79,18 +170,30 @@ func (gr *Grid) Release(p Partition, owner int64) error {
 	}
 	gr.geom.ForEachNode(p, func(id int) bool {
 		gr.owner[id] = FreeOwner
+		gr.flip(id, -1)
 		return true
 	})
 	gr.freeCount += p.Size()
 	return nil
 }
 
-// Clone returns a deep copy of the grid. Schedulers use clones to
-// evaluate hypothetical placements without disturbing machine state.
+// Clone returns a deep copy of the grid under a fresh identity.
+// Schedulers use clones to evaluate hypothetical placements without
+// disturbing machine state.
 func (gr *Grid) Clone() *Grid {
-	owner := make([]int64, len(gr.owner))
-	copy(owner, gr.owner)
-	return &Grid{geom: gr.geom, owner: owner, freeCount: gr.freeCount}
+	cp := &Grid{
+		geom:      gr.geom,
+		owner:     append([]int64(nil), gr.owner...),
+		freeCount: gr.freeCount,
+		id:        gridIDs.Add(1),
+		hash:      gr.hash,
+		colHash:   append([]uint64(nil), gr.colHash...),
+		colBusy:   append([]int(nil), gr.colBusy...),
+	}
+	for a := range gr.planeBusy {
+		cp.planeBusy[a] = append([]int(nil), gr.planeBusy[a]...)
+	}
+	return cp
 }
 
 // FreeMask returns a snapshot bitmap where true means the node is free.

@@ -146,6 +146,161 @@ func TestGridFreeMask(t *testing.T) {
 	}
 }
 
+// TestGridDoubleFreeDoubleAllocate covers the cell-level misuse cases:
+// allocating over a busy cell and freeing an already-free cell must
+// both error and leave every occupancy summary untouched.
+func TestGridDoubleFreeDoubleAllocate(t *testing.T) {
+	g := BlueGeneL()
+	cell := Partition{Base: Coord{1, 2, 3}, Shape: Shape{1, 1, 1}}
+	block := Partition{Base: Coord{1, 2, 2}, Shape: Shape{1, 1, 4}}
+	cases := []struct {
+		name string
+		prep func(gr *Grid) error // establishes the pre-state
+		op   func(gr *Grid) error // the misuse that must fail
+	}{
+		{
+			"double allocate same cell",
+			func(gr *Grid) error { return gr.Allocate(cell, 1) },
+			func(gr *Grid) error { return gr.Allocate(cell, 2) },
+		},
+		{
+			"double allocate overlapping block",
+			func(gr *Grid) error { return gr.Allocate(cell, 1) },
+			func(gr *Grid) error { return gr.Allocate(block, 2) },
+		},
+		{
+			"double free via repeated release",
+			func(gr *Grid) error {
+				if err := gr.Allocate(cell, 1); err != nil {
+					return err
+				}
+				return gr.Release(cell, 1)
+			},
+			func(gr *Grid) error { return gr.Release(cell, 1) },
+		},
+		{
+			"free-owner release of free cells",
+			func(gr *Grid) error { return nil },
+			func(gr *Grid) error { return gr.Release(cell, FreeOwner) },
+		},
+		{
+			"free-owner release of busy cells",
+			func(gr *Grid) error { return gr.Allocate(cell, 1) },
+			func(gr *Grid) error { return gr.Release(cell, FreeOwner) },
+		},
+		{
+			"free-owner allocate",
+			func(gr *Grid) error { return nil },
+			func(gr *Grid) error { return gr.Allocate(cell, FreeOwner) },
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			gr := NewGrid(g)
+			if err := tc.prep(gr); err != nil {
+				t.Fatalf("prep: %v", err)
+			}
+			free, hash := gr.FreeCount(), gr.OccupancyHash()
+			if err := tc.op(gr); err == nil {
+				t.Fatal("misuse succeeded, want error")
+			}
+			if gr.FreeCount() != free {
+				t.Errorf("failed op changed FreeCount %d -> %d", free, gr.FreeCount())
+			}
+			if gr.OccupancyHash() != hash {
+				t.Errorf("failed op changed OccupancyHash")
+			}
+			assertSummaries(t, gr)
+		})
+	}
+}
+
+// assertSummaries recomputes every incremental occupancy summary from
+// the owner array and compares it against the maintained values.
+func assertSummaries(t *testing.T, gr *Grid) {
+	t.Helper()
+	g := gr.Geometry()
+	dims := g.Dims
+	var hash uint64
+	colHash := make([]uint64, dims.X*dims.Y)
+	colBusy := make([]int, dims.X*dims.Y)
+	plane := [3][]int{make([]int, dims.X), make([]int, dims.Y), make([]int, dims.Z)}
+	free := 0
+	for id := 0; id < g.N(); id++ {
+		if gr.NodeFree(id) {
+			free++
+			continue
+		}
+		k := nodeKey(id)
+		col := id / dims.Z
+		hash ^= k
+		colHash[col] ^= k
+		colBusy[col]++
+		c := g.CoordOf(id)
+		plane[0][c.X]++
+		plane[1][c.Y]++
+		plane[2][c.Z]++
+	}
+	if gr.FreeCount() != free {
+		t.Errorf("FreeCount = %d, recomputed %d", gr.FreeCount(), free)
+	}
+	if gr.OccupancyHash() != hash {
+		t.Errorf("OccupancyHash = %#x, recomputed %#x", gr.OccupancyHash(), hash)
+	}
+	for col := range colBusy {
+		if gr.ColumnBusy(col) != colBusy[col] {
+			t.Errorf("ColumnBusy(%d) = %d, recomputed %d", col, gr.ColumnBusy(col), colBusy[col])
+		}
+		if gr.ColumnHash(col) != colHash[col] {
+			t.Errorf("ColumnHash(%d) = %#x, recomputed %#x", col, gr.ColumnHash(col), colHash[col])
+		}
+	}
+	for axis := 0; axis < 3; axis++ {
+		for k := range plane[axis] {
+			if gr.PlaneBusy(axis, k) != plane[axis][k] {
+				t.Errorf("PlaneBusy(%d,%d) = %d, recomputed %d", axis, k, gr.PlaneBusy(axis, k), plane[axis][k])
+			}
+		}
+	}
+}
+
+// TestGridOccupancyHashRecurrence: the hash must depend only on the
+// free/busy pattern, so allocate+release round-trips restore it, equal
+// patterns hash equally across distinct grids, and owner identities do
+// not contribute.
+func TestGridOccupancyHashRecurrence(t *testing.T) {
+	g := BlueGeneL()
+	gr := NewGrid(g)
+	empty := gr.OccupancyHash()
+	p := Partition{Base: Coord{3, 3, 6}, Shape: Shape{2, 2, 3}} // wraps all axes
+	if err := gr.Allocate(p, 1); err != nil {
+		t.Fatal(err)
+	}
+	busy := gr.OccupancyHash()
+	if busy == empty {
+		t.Fatal("allocation did not change the occupancy hash")
+	}
+	if err := gr.Release(p, 1); err != nil {
+		t.Fatal(err)
+	}
+	if gr.OccupancyHash() != empty {
+		t.Fatal("allocate+release did not restore the occupancy hash")
+	}
+	other := NewGrid(g)
+	if err := other.Allocate(p, 999); err != nil { // different owner, same pattern
+		t.Fatal(err)
+	}
+	if other.OccupancyHash() != busy {
+		t.Fatal("equal occupancy patterns hash differently across grids/owners")
+	}
+	if other.ID() == gr.ID() {
+		t.Fatal("distinct grids share an ID")
+	}
+	if cl := other.Clone(); cl.OccupancyHash() != busy || cl.ID() == other.ID() {
+		t.Fatal("clone must keep the hash and get a fresh ID")
+	}
+}
+
 // TestGridRandomWorkload exercises a long random allocate/release
 // sequence and checks the free-count invariant throughout.
 func TestGridRandomWorkload(t *testing.T) {
@@ -187,5 +342,9 @@ func TestGridRandomWorkload(t *testing.T) {
 		if gr.FreeCount() != want {
 			t.Fatalf("step %d: FreeCount = %d, want %d", step, gr.FreeCount(), want)
 		}
+		if step%500 == 0 {
+			assertSummaries(t, gr)
+		}
 	}
+	assertSummaries(t, gr)
 }
