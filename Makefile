@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fuzz bench bench-micro check clean
+.PHONY: all build test race vet fuzz bench bench-micro check clean serve smoke-serve
 
 all: build
 
@@ -25,6 +25,18 @@ fuzz:
 	$(GO) test -run NONE -fuzz FuzzReadSWF -fuzztime $(FUZZTIME) ./internal/workload
 	$(GO) test -run NONE -fuzz FuzzReadCSV -fuzztime $(FUZZTIME) ./internal/failure
 	$(GO) test -run NONE -fuzz FuzzFinderEquivalence -fuzztime $(FUZZTIME) ./internal/partition/oracle
+
+# The scheduling-simulation service on :8080 (override: make serve
+# SERVE_FLAGS="-addr :9090 -state runs.jsonl").
+SERVE_FLAGS ?=
+serve:
+	$(GO) run ./cmd/bgserve $(SERVE_FLAGS)
+
+# Boot a real bgserve process, run the lifecycle smoke against it
+# (healthz, run, cache hit, metrics, SIGTERM drain), and require a
+# clean exit. Same script CI runs.
+smoke-serve:
+	./scripts/smoke-serve.sh
 
 # Full benchmark sweep (figure regeneration + ablations); minutes.
 bench:

@@ -1,0 +1,148 @@
+// Command bgserve runs the scheduling-simulation service: a JSON HTTP
+// API that accepts simulation and paper-figure sweep requests, executes
+// them on a bounded async queue, caches completed results by canonical
+// config hash, and streams live event logs.
+//
+// Examples:
+//
+//	bgserve                          # listen on :8080
+//	bgserve -addr 127.0.0.1:9090 -workers 4 -queue 64
+//	bgserve -state runs.jsonl        # results survive restarts
+//	bgserve -pprof                   # mount /debug/pprof
+//
+//	curl -s -X POST localhost:8080/v1/runs?wait=1 \
+//	     -d '{"Workload":"SDSC","JobCount":200,"FailureNominal":1000,"Scheduler":"balancing","Param":0.1}'
+//	curl -s localhost:8080/v1/runs/r-000001/events   # NDJSON event stream
+//	curl -s localhost:8080/metrics                   # Prometheus text
+//
+// SIGINT/SIGTERM drains gracefully: the listener stops accepting,
+// /readyz flips to 503, queued and in-flight runs finish (bounded by
+// -drain-timeout, then they are cancelled), and the process exits 0.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"bgsched/internal/resilience"
+	"bgsched/internal/service"
+)
+
+func main() {
+	ctx, stop := resilience.SignalContext(context.Background())
+	defer stop()
+	if err := run(ctx, os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bgserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(ctx context.Context, args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bgserve", flag.ContinueOnError)
+	var (
+		addr         = fs.String("addr", ":8080", "listen address (host:port; port 0 picks a free port)")
+		workers      = fs.Int("workers", 2, "concurrent run executors")
+		queueDepth   = fs.Int("queue", 16, "async run queue depth (full queue answers 429)")
+		cacheSize    = fs.Int("cache", 128, "completed-run LRU cache entries")
+		runTimeout   = fs.Duration("run-timeout", 10*time.Minute, "per-run execution deadline")
+		retries      = fs.Int("retries", 1, "extra attempts for a failed or panicking run (-1 disables)")
+		maxJobs      = fs.Int("max-jobs", 20000, "maximum JobCount accepted per request")
+		maxInflight  = fs.Int("max-inflight", 64, "concurrent API requests before shedding with 429")
+		maxRuns      = fs.Int("max-runs", 512, "run records retained in memory")
+		statePath    = fs.String("state", "", "state journal path; completed runs reload on restart (empty = memory only)")
+		pprofOn      = fs.Bool("pprof", false, "mount /debug/pprof")
+		accessLog    = fs.String("access-log", "stderr", "access log destination: stderr, a file path, or off")
+		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight runs before cancelling them")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	logDst, closeLog, err := openAccessLog(*accessLog)
+	if err != nil {
+		return err
+	}
+	defer closeLog()
+
+	if *retries <= 0 {
+		*retries = -1 // service.Config: negative disables retries, zero means default
+	}
+	svc, err := service.New(service.Config{
+		Workers:     *workers,
+		QueueDepth:  *queueDepth,
+		CacheSize:   *cacheSize,
+		RunTimeout:  *runTimeout,
+		Retries:     *retries,
+		MaxJobs:     *maxJobs,
+		MaxInFlight: *maxInflight,
+		MaxRuns:     *maxRuns,
+		StatePath:   *statePath,
+		EnablePprof: *pprofOn,
+		AccessLog:   logDst,
+	})
+	if err != nil {
+		return err
+	}
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	srv := &http.Server{
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	// The chosen port is part of the contract with scripts and tests
+	// (-addr :0), so announce it before serving.
+	fmt.Fprintf(out, "bgserve: listening on %s\n", ln.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+
+	select {
+	case err := <-serveErr:
+		return err // listener failed before any shutdown was requested
+	case <-ctx.Done():
+	}
+
+	// Graceful drain: stop accepting, let in-flight HTTP requests and
+	// queued runs finish, then cancel stragglers at the deadline.
+	fmt.Fprintln(out, "bgserve: draining")
+	svc.BeginDrain()
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		svc.Close(drainCtx)
+		return err
+	}
+	if err := svc.Close(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		return err
+	}
+	if err := <-serveErr; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(out, "bgserve: drained, bye")
+	return nil
+}
+
+// openAccessLog resolves the -access-log flag.
+func openAccessLog(dst string) (io.Writer, func(), error) {
+	switch dst {
+	case "off", "":
+		return nil, func() {}, nil
+	case "stderr":
+		return os.Stderr, func() {}, nil
+	}
+	f, err := os.OpenFile(dst, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("access log: %w", err)
+	}
+	return f, func() { f.Close() }, nil
+}

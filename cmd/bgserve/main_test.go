@@ -1,0 +1,180 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer lets the test read run()'s output while run() is still
+// writing it from another goroutine.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// startServer runs the CLI on a free port and returns its base URL,
+// the cancel that simulates SIGTERM, and the channel with run()'s
+// error.
+func startServer(t *testing.T, out *syncBuffer, extra ...string) (string, context.CancelFunc, chan error) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	t.Cleanup(cancel)
+	args := append([]string{"-addr", "127.0.0.1:0", "-access-log", "off"}, extra...)
+	errc := make(chan error, 1)
+	go func() { errc <- run(ctx, args, out) }()
+
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		if s := out.String(); strings.Contains(s, "listening on ") {
+			line := s[strings.Index(s, "listening on ")+len("listening on "):]
+			addr := strings.TrimSpace(strings.SplitN(line, "\n", 2)[0])
+			return "http://" + addr, cancel, errc
+		}
+		select {
+		case err := <-errc:
+			t.Fatalf("run exited before listening: %v", err)
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("server never announced its port; output: %q", out.String())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestServeRunDrain is the CLI's end-to-end path: start, serve a real
+// run, SIGTERM (via context cancel), assert a clean drain and exit.
+func TestServeRunDrain(t *testing.T) {
+	var out syncBuffer
+	base, cancel, errc := startServer(t, &out)
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("healthz = %d", resp.StatusCode)
+	}
+
+	body := `{"Workload":"NASA","JobCount":60,"FailureNominal":500,"Scheduler":"balancing","Param":0.1}`
+	resp, err = http.Post(base+"/v1/runs?wait=1", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("run = %d %s", resp.StatusCode, b)
+	}
+	var view struct{ State string }
+	if err := json.Unmarshal(b, &view); err != nil || view.State != "done" {
+		t.Fatalf("run state %q (err %v): %s", view.State, err, b)
+	}
+
+	resp, err = http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if !strings.Contains(string(m), "service_runs_completed 1") {
+		t.Fatalf("metrics missing completed run:\n%s", m)
+	}
+
+	cancel() // SIGTERM
+	select {
+	case err := <-errc:
+		if err != nil {
+			t.Fatalf("run returned %v after drain", err)
+		}
+	case <-time.After(60 * time.Second):
+		t.Fatal("server did not exit after shutdown signal")
+	}
+	for _, want := range []string{"bgserve: draining", "bgserve: drained, bye"} {
+		if !strings.Contains(out.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+// TestServeStateFlagPersists exercises -state across two server
+// lifetimes: the second serves the first's result from its warm cache.
+func TestServeStateFlagPersists(t *testing.T) {
+	state := filepath.Join(t.TempDir(), "state.jsonl")
+	body := `{"Workload":"NASA","JobCount":60}`
+
+	var out1 syncBuffer
+	base1, cancel1, errc1 := startServer(t, &out1, "-state", state)
+	resp, err := http.Post(base1+"/v1/runs?wait=1", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("first run = %d %s", resp.StatusCode, first)
+	}
+	cancel1()
+	if err := <-errc1; err != nil {
+		t.Fatalf("first server exit: %v", err)
+	}
+
+	var out2 syncBuffer
+	base2, cancel2, errc2 := startServer(t, &out2, "-state", state)
+	resp, err = http.Post(base2+"/v1/runs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	second, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.Header.Get("X-Cache") != "hit" {
+		t.Fatalf("restarted server: X-Cache = %q, want hit", resp.Header.Get("X-Cache"))
+	}
+	if !bytes.Equal(second, first) {
+		t.Fatalf("restarted cache body differs:\n%s\n---\n%s", second, first)
+	}
+	cancel2()
+	if err := <-errc2; err != nil {
+		t.Fatalf("second server exit: %v", err)
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out syncBuffer
+	if err := run(context.Background(), []string{"-no-such-flag"}, &out); err == nil {
+		t.Fatal("bad flag accepted")
+	}
+}
+
+func TestBadListenAddr(t *testing.T) {
+	var out syncBuffer
+	err := run(context.Background(), []string{"-addr", "256.256.256.256:99999", "-access-log", "off"}, &out)
+	if err == nil {
+		t.Fatal("bad listen address accepted")
+	}
+	if !strings.Contains(fmt.Sprint(err), "listen") {
+		t.Logf("listen error (accepted): %v", err)
+	}
+}

@@ -150,6 +150,19 @@ func (c *RunConfig) normalize() {
 	}
 }
 
+// Canonical returns the config with defaults filled and the
+// process-local fields (EventLog, Telemetry) cleared: the form that
+// hashes identically for semantically identical requests. The service
+// layer canonicalises every submitted config before hashing it, so
+// {"Workload":"SDSC"} and {"Workload":"SDSC","JobCount":2000} land on
+// the same cache entry.
+func (c RunConfig) Canonical() RunConfig {
+	c.EventLog = nil
+	c.Telemetry = nil
+	c.normalize()
+	return c
+}
+
 // Run builds and executes the configured simulation.
 func Run(cfg RunConfig) (sim.Result, error) {
 	return RunContext(context.Background(), cfg)

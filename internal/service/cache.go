@@ -1,0 +1,61 @@
+package service
+
+import "container/list"
+
+// lruCache maps canonical config hashes to completed runs with
+// least-recently-used eviction. Not self-locking: the Server guards it
+// with its own mutex, which also covers the run-state reads done while
+// serving a hit.
+type lruCache struct {
+	cap   int
+	ll    *list.List // front = most recently used
+	items map[string]*list.Element
+}
+
+type cacheEntry struct {
+	hash string
+	r    *run
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{cap: capacity, ll: list.New(), items: make(map[string]*list.Element)}
+}
+
+// get returns the cached run for hash and marks it recently used.
+func (c *lruCache) get(hash string) *run {
+	el, ok := c.items[hash]
+	if !ok {
+		return nil
+	}
+	c.ll.MoveToFront(el)
+	return el.Value.(*cacheEntry).r
+}
+
+// add inserts (or refreshes) a completed run, returning how many
+// entries were evicted to stay within capacity.
+func (c *lruCache) add(hash string, r *run) (evicted int) {
+	if el, ok := c.items[hash]; ok {
+		el.Value.(*cacheEntry).r = r
+		c.ll.MoveToFront(el)
+		return 0
+	}
+	c.items[hash] = c.ll.PushFront(&cacheEntry{hash: hash, r: r})
+	for c.ll.Len() > c.cap {
+		oldest := c.ll.Back()
+		c.ll.Remove(oldest)
+		delete(c.items, oldest.Value.(*cacheEntry).hash)
+		evicted++
+	}
+	return evicted
+}
+
+// remove drops hash from the cache if present (registry retention
+// evicting the backing run).
+func (c *lruCache) remove(hash string) {
+	if el, ok := c.items[hash]; ok {
+		c.ll.Remove(el)
+		delete(c.items, hash)
+	}
+}
+
+func (c *lruCache) len() int { return c.ll.Len() }

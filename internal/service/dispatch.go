@@ -1,0 +1,258 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"time"
+
+	"bgsched/internal/experiments"
+	"bgsched/internal/resilience"
+	"bgsched/internal/sim"
+	"bgsched/internal/telemetry"
+)
+
+// errQueueFull is returned by enqueue when the bounded queue is
+// saturated; the handler maps it to 429 + Retry-After.
+var errQueueFull = errors.New("service: run queue full")
+
+// errDraining is returned by enqueue once the server drains; the
+// handler maps it to 503.
+var errDraining = errors.New("service: draining, not accepting runs")
+
+// enqueue registers a new run and places it on the bounded queue
+// without ever blocking: a full queue is backpressure, reported to the
+// client, not absorbed into unbounded memory.
+func (s *Server) enqueue(kind, hash string, cfg any, wait bool) (*run, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, errDraining
+	}
+	r := &run{
+		kind:      kind,
+		hash:      hash,
+		cfg:       cfg,
+		state:     StateQueued,
+		submitted: time.Now(),
+		events:    newEventBuffer(s.cfg.MaxEventBytes),
+		done:      make(chan struct{}),
+	}
+	r.ctx, r.cancel = context.WithCancel(s.baseCtx)
+	select {
+	case s.queue <- r:
+	default:
+		r.cancel()
+		return nil, errQueueFull
+	}
+	r.id = s.nextRunIDLocked()
+	if wait {
+		r.waiters++
+		r.ephemeral = true
+	}
+	s.runs[r.id] = r
+	s.order = append(s.order, r)
+	s.byHash[hash] = r
+	s.enforceRetentionLocked()
+	s.m.queueDepth.Add(1)
+	s.m.runsSubmitted.Inc()
+	return r, nil
+}
+
+// runOne executes one dequeued run with a deadline, panic containment
+// and retries, then publishes the terminal record.
+func (s *Server) runOne(r *run) {
+	s.m.queueDepth.Add(-1)
+	s.mu.Lock()
+	if r.state != StateQueued { // cancelled while queued
+		s.mu.Unlock()
+		return
+	}
+	r.state = StateRunning
+	r.started = time.Now()
+	s.m.queueWait.Observe(r.started.Sub(r.submitted).Seconds())
+	s.mu.Unlock()
+
+	ctx, cancel := context.WithTimeout(r.ctx, s.cfg.RunTimeout)
+	defer cancel()
+
+	exec := s.executeTask
+	if s.execHook != nil {
+		exec = s.execHook
+	}
+	var payload any
+	var err error
+	attempts := 0
+	for {
+		attempts++
+		if attempts > 1 {
+			r.events.reset() // a retry restarts the event stream
+		}
+		err = resilience.Safe(func() error {
+			var execErr error
+			payload, execErr = exec(ctx, r)
+			return execErr
+		})
+		if err == nil || resilience.Canceled(err) {
+			break
+		}
+		if _, isPanic := resilience.IsPanic(err); isPanic {
+			s.m.runPanics.Inc()
+		}
+		if attempts > s.cfg.Retries {
+			break
+		}
+		s.m.runRetries.Inc()
+	}
+	s.finish(r, attempts, payload, err)
+}
+
+// executeTask runs the simulation or figure sweep for r, streaming the
+// event log into the run's buffer as it is produced.
+func (s *Server) executeTask(ctx context.Context, r *run) (any, error) {
+	switch r.kind {
+	case kindSim:
+		cfg := r.cfg.(experiments.RunConfig)
+		reg := telemetry.New()
+		cfg.Telemetry = reg
+		esw := sim.NewEventStreamWriter(r.events.append)
+		cfg.EventLog = esw
+		res, err := experiments.RunContext(ctx, cfg)
+		esw.Close()
+		if err != nil {
+			return nil, err
+		}
+		return SimResult{
+			Summary:       res.Summary,
+			FailureEvents: res.FailureEvents,
+			JobKills:      res.JobKills,
+			Migrations:    res.Migrations,
+			Checkpoints:   res.Checkpoints,
+			Backfills:     res.Backfills,
+			Telemetry:     reg.Snapshot(),
+		}, nil
+	case kindFigure:
+		fc := r.cfg.(figureConfig)
+		spec, err := experiments.SpecByID(fc.Figure)
+		if err != nil {
+			return nil, err
+		}
+		eng := &experiments.Engine{Ctx: ctx, Workers: fc.workers}
+		tables, err := spec.Run(eng, fc.Options)
+		if err != nil {
+			return nil, err
+		}
+		return FigureResult{Figure: spec.ID, Title: spec.Title, Tables: tables}, nil
+	}
+	return nil, fmt.Errorf("service: unknown run kind %q", r.kind)
+}
+
+// finish publishes r's terminal state: renders the immutable record
+// body, updates the cache and metrics, journals successful runs, and
+// releases everyone blocked on the run.
+func (s *Server) finish(r *run, attempts int, payload any, err error) {
+	s.mu.Lock()
+	r.attempts = attempts
+	r.finished = time.Now()
+	switch {
+	case err == nil:
+		resultJSON, merr := json.Marshal(payload)
+		if merr != nil {
+			r.state = StateFailed
+			r.errMsg = fmt.Sprintf("encode result: %v", merr)
+			s.m.runsFailed.Inc()
+			break
+		}
+		r.state = StateDone
+		r.result = resultJSON
+		s.m.runsCompleted.Inc()
+		s.m.runDuration.Observe(r.finished.Sub(r.started).Seconds())
+	case resilience.Canceled(err):
+		r.state = StateCanceled
+		r.errMsg = r.cancelReason
+		if r.errMsg == "" {
+			r.errMsg = err.Error()
+		}
+		s.m.runsCanceled.Inc()
+	default:
+		r.state = StateFailed
+		r.errMsg = err.Error()
+		s.m.runsFailed.Inc()
+	}
+	s.sealLocked(r)
+	persist := r.state == StateDone
+	body := r.body
+	s.mu.Unlock()
+
+	r.events.close()
+	close(r.done)
+	if persist && s.journal != nil {
+		lines, _ := r.events.counts()
+		events := make([]string, 0, lines)
+		got, _, _, _ := r.events.wait(context.Background(), 0)
+		for _, ln := range got {
+			events = append(events, string(ln))
+		}
+		if jerr := s.journal.append(persistedRun{Body: body, Events: events}); jerr != nil {
+			s.logError("state journal append failed", "run", r.id, "err", jerr)
+		}
+	}
+}
+
+// sealLocked renders the terminal record body and removes the run from
+// the in-flight coalescing index. Caller holds s.mu.
+func (s *Server) sealLocked(r *run) {
+	body, err := json.Marshal(s.viewLocked(r, true))
+	if err != nil {
+		// The view is plain data; this cannot realistically fail, but a
+		// record must exist for the terminal state regardless.
+		body = []byte(fmt.Sprintf(`{"id":%q,"state":%q,"error":"encode record failed"}`, r.id, r.state))
+	}
+	r.body = body
+	if s.byHash[r.hash] == r {
+		delete(s.byHash, r.hash)
+	}
+	if r.state == StateDone {
+		if evicted := s.cache.add(r.hash, r); evicted > 0 {
+			s.m.cacheEvictions.Add(int64(evicted))
+		}
+	}
+}
+
+// cancelRun requests cancellation: a queued run transitions to
+// canceled immediately (the worker will skip it); a running run has
+// its context cancelled and the executor publishes the terminal state.
+// Returns false if the run was already terminal.
+func (s *Server) cancelRun(r *run, reason string) bool {
+	s.mu.Lock()
+	switch r.state {
+	case StateQueued:
+		r.state = StateCanceled
+		r.cancelReason = reason
+		r.errMsg = reason
+		r.finished = time.Now()
+		s.m.runsCanceled.Inc()
+		s.sealLocked(r)
+		s.mu.Unlock()
+		r.cancel()
+		r.events.close()
+		close(r.done)
+		return true
+	case StateRunning:
+		r.cancelReason = reason
+		s.mu.Unlock()
+		r.cancel()
+		return true
+	}
+	s.mu.Unlock()
+	return false
+}
+
+// logError emits an operational (non-access) log line when logging is
+// configured.
+func (s *Server) logError(msg string, args ...any) {
+	if s.accessLg != nil {
+		s.accessLg.Error(msg, args...)
+	}
+}

@@ -1,0 +1,102 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// opsEndpoint reports whether a path is an operational probe that must
+// stay responsive even under load shedding.
+func opsEndpoint(path string) bool {
+	return path == "/healthz" || path == "/readyz" || path == "/metrics" ||
+		strings.HasPrefix(path, "/debug/pprof")
+}
+
+// limited sheds load beyond Config.MaxInFlight concurrently served API
+// requests with an immediate 429; probes bypass the limiter so health
+// checks and scrapes keep working while the API is saturated.
+func (s *Server) limited(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if opsEndpoint(req.URL.Path) {
+			next.ServeHTTP(w, req)
+			return
+		}
+		select {
+		case s.inflight <- struct{}{}:
+			defer func() { <-s.inflight }()
+		default:
+			s.m.limiterRejected.Inc()
+			w.Header().Set("Retry-After", "1")
+			s.writeErr(w, http.StatusTooManyRequests, "too many concurrent requests")
+			return
+		}
+		next.ServeHTTP(w, req)
+	})
+}
+
+// statusWriter records the status and byte count of a response and
+// forwards Flush for streaming handlers.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+	bytes  int64
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(p []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	n, err := sw.ResponseWriter.Write(p)
+	sw.bytes += int64(n)
+	return n, err
+}
+
+// Flush forwards to the underlying writer when it supports streaming.
+func (sw *statusWriter) Flush() {
+	if f, ok := sw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// accessLogged assigns each request an ID (honouring a caller-supplied
+// X-Request-ID), counts it, and emits one structured log line with the
+// outcome.
+func (s *Server) accessLogged(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		s.m.httpRequests.Inc()
+		id := req.Header.Get("X-Request-ID")
+		if id == "" {
+			id = fmt.Sprintf("req-%06d", s.reqSeq.Add(1))
+		}
+		w.Header().Set("X-Request-ID", id)
+		sw := &statusWriter{ResponseWriter: w}
+		start := time.Now()
+		next.ServeHTTP(sw, req)
+		if sw.status == 0 {
+			sw.status = http.StatusOK
+		}
+		if sw.status >= 500 {
+			s.m.httpErrors.Inc()
+		}
+		if s.accessLg != nil {
+			s.accessLg.Info("request",
+				"id", id,
+				"method", req.Method,
+				"path", req.URL.Path,
+				"status", sw.status,
+				"bytes", sw.bytes,
+				"duration_ms", float64(time.Since(start).Microseconds())/1000,
+				"remote", req.RemoteAddr,
+			)
+		}
+	})
+}

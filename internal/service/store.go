@@ -1,0 +1,200 @@
+package service
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// persistedRun is one line of the service state journal: the rendered
+// terminal record (served verbatim after restore, preserving the
+// byte-identical cache-hit guarantee across restarts) plus the event
+// lines the run produced.
+type persistedRun struct {
+	Type   string          `json:"type"` // always "run"
+	Body   json.RawMessage `json:"body"`
+	Events []string        `json:"events,omitempty"`
+}
+
+// stateJournal is the append-only JSONL store of completed runs,
+// mirroring the resilience package's journal discipline: one synced
+// write per record, a tolerant reader that skips a torn final line.
+type stateJournal struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// openStateJournal loads the existing journal at path (if any) and
+// opens it for appending.
+func openStateJournal(path string) (*stateJournal, []persistedRun, error) {
+	var restored []persistedRun
+	if data, err := os.ReadFile(path); err == nil {
+		restored = parseStateJournal(data)
+	} else if !os.IsNotExist(err) {
+		return nil, nil, fmt.Errorf("service: read state journal: %w", err)
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("service: open state journal: %w", err)
+	}
+	return &stateJournal{f: f}, restored, nil
+}
+
+// parseStateJournal decodes journal lines, skipping malformed ones
+// (the final line may be torn by a crash mid-append).
+func parseStateJournal(data []byte) []persistedRun {
+	var out []persistedRun
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var p persistedRun
+		if err := json.Unmarshal(line, &p); err != nil || p.Type != "run" || len(p.Body) == 0 {
+			continue
+		}
+		out = append(out, p)
+	}
+	return out
+}
+
+// append durably records one completed run. Safe on a nil journal.
+func (j *stateJournal) append(p persistedRun) error {
+	if j == nil {
+		return nil
+	}
+	p.Type = "run"
+	b, err := json.Marshal(p)
+	if err != nil {
+		return fmt.Errorf("service: journal encode: %w", err)
+	}
+	b = append(b, '\n')
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if _, err := j.f.Write(b); err != nil {
+		return fmt.Errorf("service: journal write: %w", err)
+	}
+	if err := j.f.Sync(); err != nil {
+		return fmt.Errorf("service: journal sync: %w", err)
+	}
+	return nil
+}
+
+// close closes the journal file. Safe on nil.
+func (j *stateJournal) close() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.f.Close()
+}
+
+// restore rebuilds terminal runs from journal records: they re-enter
+// the registry and (successful ones) the cache, and their event logs
+// are replayable, so a restarted server answers for work done before
+// the restart. Called from New before the workers start.
+func (s *Server) restore(records []persistedRun) {
+	for _, p := range records {
+		var v RunView
+		if err := json.Unmarshal(p.Body, &v); err != nil || v.ID == "" || !v.State.terminal() {
+			continue
+		}
+		r := &run{
+			id:        v.ID,
+			kind:      v.Kind,
+			hash:      v.ConfigHash,
+			state:     v.State,
+			errMsg:    v.Error,
+			attempts:  v.Attempts,
+			submitted: v.Submitted,
+			result:    v.Result,
+			body:      append([]byte(nil), p.Body...),
+			events:    newEventBuffer(s.cfg.MaxEventBytes),
+			done:      make(chan struct{}),
+		}
+		if v.Started != nil {
+			r.started = *v.Started
+		}
+		if v.Finished != nil {
+			r.finished = *v.Finished
+		} else {
+			r.finished = time.Now()
+		}
+		r.ctx, r.cancel = context.WithCancel(s.baseCtx)
+		r.cancel() // terminal: nothing to cancel
+		close(r.done)
+		r.events.replay(p.Events)
+
+		if prev, ok := s.runs[r.id]; ok {
+			// Duplicate id in the journal (shouldn't happen): keep the
+			// later record.
+			s.removeFromOrder(prev)
+		}
+		s.runs[r.id] = r
+		s.order = append(s.order, r)
+		if r.state == StateDone {
+			s.cache.add(r.hash, r)
+		}
+		if n := idNumber(r.id); n > s.idSeq {
+			s.idSeq = n
+		}
+	}
+	s.enforceRetentionLocked()
+}
+
+// idNumber extracts the numeric suffix of "r-NNNNNN" ids (0 when the
+// id has another shape).
+func idNumber(id string) int64 {
+	rest, ok := strings.CutPrefix(id, "r-")
+	if !ok {
+		return 0
+	}
+	n, err := strconv.ParseInt(rest, 10, 64)
+	if err != nil {
+		return 0
+	}
+	return n
+}
+
+// removeFromOrder drops r from the submission-order slice.
+func (s *Server) removeFromOrder(victim *run) {
+	for i, r := range s.order {
+		if r == victim {
+			s.order = append(s.order[:i], s.order[i+1:]...)
+			return
+		}
+	}
+}
+
+// enforceRetentionLocked evicts the oldest terminal runs beyond
+// Config.MaxRuns from the registry (and cache). Queued and running
+// runs are never evicted. Caller holds s.mu.
+func (s *Server) enforceRetentionLocked() {
+	if len(s.order) <= s.cfg.MaxRuns {
+		return
+	}
+	kept := s.order[:0]
+	excess := len(s.order) - s.cfg.MaxRuns
+	for _, r := range s.order {
+		if excess > 0 && r.state.terminal() {
+			delete(s.runs, r.id)
+			if s.cache.get(r.hash) == r {
+				s.cache.remove(r.hash)
+			}
+			excess--
+			continue
+		}
+		kept = append(kept, r)
+	}
+	s.order = kept
+}

@@ -1,0 +1,120 @@
+package service
+
+import (
+	"context"
+	"sync"
+)
+
+// eventBuffer accumulates one run's JSONL event lines in memory and
+// lets any number of stream subscribers replay and follow them. The
+// simulator appends from the executing worker; HTTP streams read
+// concurrently. Retention is byte-bounded: past maxBytes further lines
+// are dropped (and counted) rather than growing without limit.
+type eventBuffer struct {
+	mu       sync.Mutex
+	lines    [][]byte
+	bytes    int
+	maxBytes int
+	dropped  int
+	closed   bool
+	wake     chan struct{}
+}
+
+func newEventBuffer(maxBytes int) *eventBuffer {
+	return &eventBuffer{maxBytes: maxBytes, wake: make(chan struct{})}
+}
+
+// append stores a copy of one event line. No-op after close.
+func (b *eventBuffer) append(line []byte) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	if b.maxBytes > 0 && b.bytes+len(line) > b.maxBytes {
+		b.dropped++
+		return
+	}
+	cp := make([]byte, len(line))
+	copy(cp, line)
+	b.lines = append(b.lines, cp)
+	b.bytes += len(cp)
+	b.broadcastLocked()
+}
+
+// reset discards buffered lines (a retried run restarts its event
+// stream from scratch); subscribers whose cursor is past the new end
+// restart from the beginning.
+func (b *eventBuffer) reset() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.lines, b.bytes, b.dropped = nil, 0, 0
+	b.broadcastLocked()
+}
+
+// close marks the stream complete and wakes all subscribers.
+// Idempotent.
+func (b *eventBuffer) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	b.broadcastLocked()
+}
+
+func (b *eventBuffer) broadcastLocked() {
+	close(b.wake)
+	b.wake = make(chan struct{})
+}
+
+// counts returns (stored, dropped) line counts.
+func (b *eventBuffer) counts() (int, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.lines), b.dropped
+}
+
+// wait blocks until lines beyond cursor `from` exist, the buffer is
+// closed, or ctx is done. It returns the new lines (shared, immutable
+// once appended), the advanced cursor, and whether the buffer has been
+// closed. A cursor past the end (the buffer was reset) restarts at 0.
+func (b *eventBuffer) wait(ctx context.Context, from int) (lines [][]byte, next int, closed bool, err error) {
+	b.mu.Lock()
+	for {
+		if from > len(b.lines) {
+			from = 0
+		}
+		if len(b.lines) > from || b.closed {
+			lines = b.lines[from:]
+			next = from + len(lines)
+			closed = b.closed
+			b.mu.Unlock()
+			return lines, next, closed, nil
+		}
+		ch := b.wake
+		b.mu.Unlock()
+		select {
+		case <-ch:
+		case <-ctx.Done():
+			return nil, from, false, ctx.Err()
+		}
+		b.mu.Lock()
+	}
+}
+
+// replay pre-fills a buffer (journal restore) and closes it.
+func (b *eventBuffer) replay(lines []string) {
+	b.mu.Lock()
+	for _, ln := range lines {
+		b.lines = append(b.lines, []byte(ln))
+		b.bytes += len(ln)
+	}
+	b.closed = true
+	b.broadcastLocked()
+	b.mu.Unlock()
+}

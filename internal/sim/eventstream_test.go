@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+
+	"bgsched/internal/core"
+	"bgsched/internal/failure"
+	"bgsched/internal/job"
+	"bgsched/internal/torus"
+)
+
+func TestEventStreamWriterSplitsLines(t *testing.T) {
+	var got []string
+	w := NewEventStreamWriter(func(line []byte) { got = append(got, string(line)) })
+
+	// One write per line: the normal json.Encoder pattern.
+	w.Write([]byte(`{"seq":1}` + "\n"))
+	// Coalesced writes.
+	w.Write([]byte(`{"seq":2}` + "\n" + `{"seq":3}` + "\n"))
+	// A line torn across writes.
+	w.Write([]byte(`{"se`))
+	w.Write([]byte(`q":4}` + "\n"))
+	// Empty lines are suppressed.
+	w.Write([]byte("\n\n"))
+	// A trailing partial line only reaches the sink at Close.
+	w.Write([]byte(`{"torn":true`))
+	if len(got) != 4 {
+		t.Fatalf("before Close: %d lines, want 4: %q", len(got), got)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{`{"seq":1}`, `{"seq":2}`, `{"seq":3}`, `{"seq":4}`, `{"torn":true`}
+	if len(got) != len(want) {
+		t.Fatalf("lines = %q, want %q", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("line %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+	// Close with nothing buffered is a no-op.
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("idle Close emitted a line: %q", got)
+	}
+}
+
+// TestEventStreamWriterCarriesSimLog wires the adapter as a real run's
+// EventLog and checks it reproduces the JSONL stream line for line.
+func TestEventStreamWriterCarriesSimLog(t *testing.T) {
+	var lines []string
+	esw := NewEventStreamWriter(func(line []byte) { lines = append(lines, string(line)) })
+	cfg := Config{
+		Geometry:  torus.BlueGeneL(),
+		Scheduler: baselineScheduler(t, core.BackfillEASY),
+		Jobs: []*job.Job{
+			mkJob(1, 0, 128, 100),
+			mkJob(2, 10, 64, 50),
+		},
+		Failures: failure.Trace{{Time: 40, Node: 0}},
+		EventLog: esw,
+	}
+	runSim(t, cfg)
+	esw.Close()
+
+	if len(lines) == 0 {
+		t.Fatal("no event lines streamed")
+	}
+	evs, err := ReadEventLog(strings.NewReader(strings.Join(lines, "\n") + "\n"))
+	if err != nil {
+		t.Fatalf("streamed lines do not re-parse: %v", err)
+	}
+	if len(evs) != len(lines) {
+		t.Fatalf("parsed %d events from %d lines", len(evs), len(lines))
+	}
+	for i, e := range evs {
+		if e.Seq != uint64(i+1) {
+			t.Fatalf("event %d has seq %d", i, e.Seq)
+		}
+	}
+}

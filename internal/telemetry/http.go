@@ -1,0 +1,40 @@
+package telemetry
+
+import (
+	"net/http"
+	"strings"
+)
+
+// Handler returns an http.Handler exposing live snapshots of the
+// registry: Prometheus text exposition by default (the /metrics
+// convention), indented JSON with ?format=json or when the request
+// prefers application/json. A nil registry serves empty snapshots, so
+// wiring the handler is safe before telemetry is enabled.
+func Handler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := r.Snapshot()
+		if snap == nil {
+			snap = &Snapshot{}
+		}
+		if wantsJSON(req) {
+			w.Header().Set("Content-Type", "application/json")
+			if err := snap.WriteJSON(w); err != nil {
+				// Headers are gone; nothing useful left to do.
+				return
+			}
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = snap.WritePrometheus(w)
+	})
+}
+
+// wantsJSON decides the exposition format for one scrape request.
+func wantsJSON(req *http.Request) bool {
+	if req.URL.Query().Get("format") == "json" {
+		return true
+	}
+	accept := req.Header.Get("Accept")
+	return strings.Contains(accept, "application/json") &&
+		!strings.Contains(accept, "text/plain")
+}

@@ -1,0 +1,77 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+)
+
+func TestHandlerPrometheusDefault(t *testing.T) {
+	reg := New()
+	reg.Counter("svc.requests").Add(3)
+	reg.Gauge("svc.depth").Set(2)
+
+	rec := httptest.NewRecorder()
+	Handler(reg).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content-type = %q", ct)
+	}
+	body := rec.Body.String()
+	for _, want := range []string{"# TYPE svc_requests counter", "svc_requests 3", "svc_depth 2"} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+}
+
+func TestHandlerJSONFormats(t *testing.T) {
+	reg := New()
+	reg.Counter("svc.requests").Add(7)
+
+	for _, tc := range []struct {
+		name, target, accept string
+	}{
+		{"query param", "/metrics?format=json", ""},
+		{"accept header", "/metrics", "application/json"},
+	} {
+		req := httptest.NewRequest("GET", tc.target, nil)
+		if tc.accept != "" {
+			req.Header.Set("Accept", tc.accept)
+		}
+		rec := httptest.NewRecorder()
+		Handler(reg).ServeHTTP(rec, req)
+		if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+			t.Fatalf("%s: content-type = %q", tc.name, ct)
+		}
+		var snap Snapshot
+		if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+			t.Fatalf("%s: decode: %v", tc.name, err)
+		}
+		if snap.Counters["svc.requests"] != 7 {
+			t.Fatalf("%s: counter = %d", tc.name, snap.Counters["svc.requests"])
+		}
+	}
+
+	// A scrape that accepts both prefers the Prometheus text format.
+	req := httptest.NewRequest("GET", "/metrics", nil)
+	req.Header.Set("Accept", "application/json, text/plain")
+	rec := httptest.NewRecorder()
+	Handler(reg).ServeHTTP(rec, req)
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("mixed accept: content-type = %q", ct)
+	}
+}
+
+func TestHandlerNilRegistry(t *testing.T) {
+	rec := httptest.NewRecorder()
+	Handler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if rec.Code != 200 {
+		t.Fatalf("nil registry status = %d", rec.Code)
+	}
+	rec = httptest.NewRecorder()
+	Handler(nil).ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=json", nil))
+	if rec.Code != 200 || !json.Valid(rec.Body.Bytes()) {
+		t.Fatalf("nil registry JSON: status=%d body=%q", rec.Code, rec.Body.String())
+	}
+}
