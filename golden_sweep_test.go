@@ -1,0 +1,81 @@
+package bgsched
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+
+	"bgsched/internal/experiments"
+)
+
+// sweepGoldenDigest pins the byte-exact outcome of the golden sweep
+// grid below: a sha256 over every run's event log and summary line.
+// It was recorded before the staged run-builder / event-kernel refactor
+// and must never change as a side effect of restructuring — only a
+// deliberate semantic change to the simulator, the workload models or
+// the failure generator may update it (and must say so in its commit).
+const sweepGoldenDigest = "1d7acf1cd175c45269bcd28caa9a3c99df4212c6df9698511e1fd4bfa664d52a"
+
+// sweepGoldenGrid is a miniature sweep spanning the dimensions the
+// paper's evaluation varies: workload, scheduler family, prediction
+// parameter and failure count. Several points share (workload, seed,
+// jobs, load), so a warm artifact cache rebuilds only the policy —
+// exactly the reuse pattern the digest must prove harmless.
+func sweepGoldenGrid() []experiments.RunConfig {
+	return []experiments.RunConfig{
+		{Workload: "SDSC", JobCount: 120, Scheduler: experiments.SchedBaseline, Seed: 7},
+		{Workload: "SDSC", JobCount: 120, FailureNominal: 1000, Scheduler: experiments.SchedBaseline, Seed: 7},
+		{Workload: "SDSC", JobCount: 120, FailureNominal: 1000, Scheduler: experiments.SchedBalancing, Param: 0.1, Seed: 7},
+		{Workload: "SDSC", JobCount: 120, FailureNominal: 1000, Scheduler: experiments.SchedBalancing, Param: 0.9, Seed: 7},
+		{Workload: "SDSC", JobCount: 120, FailureNominal: 2000, Scheduler: experiments.SchedTieBreak, Param: 0.5, Seed: 7},
+		{Workload: "NASA", JobCount: 100, FailureNominal: 1000, Scheduler: experiments.SchedBalancing, Param: 0.5, Seed: 7},
+	}
+}
+
+// sweepDigest executes the grid and folds every run's full JSONL event
+// log plus a summary line into one digest. Float fields print through
+// %v (Go's shortest round-trip form), so any numeric drift, however
+// small, changes the digest.
+func sweepDigest(t *testing.T) string {
+	t.Helper()
+	h := sha256.New()
+	for i, cfg := range sweepGoldenGrid() {
+		var events bytes.Buffer
+		cfg.EventLog = &events
+		res, err := experiments.Run(cfg)
+		if err != nil {
+			t.Fatalf("grid point %d: %v", i, err)
+		}
+		fmt.Fprintf(h, "point %d: jobs=%d kills=%d failures=%d backfills=%d wait=%v resp=%v slow=%v util=%v unused=%v lost=%v\n",
+			i, res.Summary.Jobs, res.JobKills, res.FailureEvents, res.Backfills,
+			res.Summary.AvgWait, res.Summary.AvgResponse, res.Summary.AvgSlowdown,
+			res.Summary.Utilization, res.Summary.UnusedCapacity, res.Summary.LostCapacity)
+		h.Write(events.Bytes())
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// TestGoldenSweepDigest is the sweep-level companion of the finder
+// golden: the whole run-construction pipeline (workload synthesis, job
+// mapping, failure generation, policy assembly) plus the simulator must
+// reproduce the pinned bytes. Runs in ~a second at this scale.
+func TestGoldenSweepDigest(t *testing.T) {
+	if got := sweepDigest(t); got != sweepGoldenDigest {
+		t.Fatalf("golden sweep digest drifted:\n got  %s\n want %s\n"+
+			"(a refactor must be byte-identical; only deliberate semantic changes may re-pin)", got, sweepGoldenDigest)
+	}
+}
+
+// TestGoldenSweepDigestStable guards the golden's own foundation: two
+// in-process executions of the grid must agree, or the pin above could
+// fail for reasons that are not regressions. This also exercises the
+// artifact cache, since the second pass rebuilds every point warm.
+func TestGoldenSweepDigestStable(t *testing.T) {
+	a := sweepDigest(t)
+	b := sweepDigest(t)
+	if a != b {
+		t.Fatalf("same grid executed twice produced different digests:\n%s\n%s", a, b)
+	}
+}

@@ -1,0 +1,47 @@
+package build
+
+import "testing"
+
+// benchCfg is a sweep-point-sized config whose build cost is dominated
+// by workload synthesis and failure-trace generation — exactly the
+// stages the artifact cache elides.
+func benchCfg() RunConfig {
+	return RunConfig{
+		Workload: "SDSC", JobCount: 2000, FailureNominal: 1000,
+		Scheduler: SchedBalancing, Param: 0.5, Seed: 7,
+	}
+}
+
+// BenchmarkRunBuildColdVsWarm measures Build() alone (no simulation):
+// Cold pays full synthesis on a fresh cache every iteration; Warm
+// serves every keyed stage from a prewarmed cache, the steady state of
+// a sweep whose points differ only in policy parameters. The bench
+// guard tracks the warm path; the cold case is the baseline that makes
+// the speedup legible.
+func BenchmarkRunBuildColdVsWarm(b *testing.B) {
+	cfg := benchCfg()
+
+	b.Run("Cold", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bl := &Builder{Cache: NewCache(0)}
+			if _, _, err := bl.Build(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	b.Run("Warm", func(b *testing.B) {
+		bl := &Builder{Cache: NewCache(0)}
+		if _, _, err := bl.Build(cfg); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, _, err := bl.Build(cfg); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -1,0 +1,73 @@
+package build
+
+import (
+	"testing"
+
+	"bgsched/internal/core"
+)
+
+// TestQueueDrainSlack pins the horizon stretch factor: the simulated
+// span is log.Span() * QueueDrainSlack, and both failure-trace
+// generation and nominal failure-count scaling are defined over that
+// stretched span. Changing the value silently reshapes every failure
+// trace, so the exact constant is part of the frozen semantics.
+func TestQueueDrainSlack(t *testing.T) {
+	if QueueDrainSlack != 1.1 {
+		t.Fatalf("QueueDrainSlack = %v, want 1.1 (changing it re-pins every golden digest)", QueueDrainSlack)
+	}
+}
+
+func TestScaledFailureCount(t *testing.T) {
+	day := 86400.0
+	if got := ScaledFailureCount(0, 0, 10*day); got != 0 {
+		t.Fatalf("nominal 0 -> %d", got)
+	}
+	if got := ScaledFailureCount(-5, 0, 10*day); got != 0 {
+		t.Fatalf("negative nominal -> %d", got)
+	}
+	// nominal 100 -> DefaultFailuresPerDay per day.
+	if got := ScaledFailureCount(100, 0, 10*day); got != 10 {
+		t.Fatalf("nominal 100 over 10 days -> %d, want 10", got)
+	}
+	if got := ScaledFailureCount(4000, 0, 10*day); got != 400 {
+		t.Fatalf("nominal 4000 over 10 days -> %d, want 400", got)
+	}
+	// Tiny spans still inject at least one failure.
+	if got := ScaledFailureCount(100, 0, 60); got != 1 {
+		t.Fatalf("tiny span -> %d, want 1", got)
+	}
+	// Override bypasses the density mapping.
+	if got := ScaledFailureCount(100, 2.5, 10*day); got != 250 {
+		t.Fatalf("override -> %d, want 250", got)
+	}
+}
+
+func TestNormalizeDefaults(t *testing.T) {
+	c := RunConfig{}
+	c.Normalize()
+	if c.Workload != "SDSC" || c.JobCount != 2000 || c.LoadScale != 1.0 ||
+		c.Scheduler != SchedBaseline || c.Backfill != core.BackfillEASY {
+		t.Fatalf("defaults = %+v", c)
+	}
+	s := RunConfig{BackfillStrict: true, Backfill: core.BackfillEASY}
+	s.Normalize()
+	if s.Backfill != core.BackfillNone {
+		t.Fatal("BackfillStrict did not pin BackfillNone")
+	}
+	agg := RunConfig{Backfill: core.BackfillAggressive}
+	agg.Normalize()
+	if agg.Backfill != core.BackfillAggressive {
+		t.Fatal("explicit aggressive mode overridden")
+	}
+}
+
+func TestCanonicalClearsProcessLocalFields(t *testing.T) {
+	c := RunConfig{Workload: "SDSC"}
+	canon := c.Canonical()
+	if canon.EventLog != nil || canon.Telemetry != nil {
+		t.Fatal("Canonical kept process-local fields")
+	}
+	if canon.JobCount != 2000 {
+		t.Fatalf("Canonical did not normalize: JobCount = %d", canon.JobCount)
+	}
+}

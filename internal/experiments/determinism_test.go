@@ -1,0 +1,101 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"bgsched/internal/build"
+	"bgsched/internal/telemetry"
+)
+
+// determinismGrid is a small sweep whose points deliberately share
+// (workload, seed, jobs, failures) sub-configs, so a warm artifact
+// cache serves every synthesis stage from memory.
+func determinismGrid() []RunConfig {
+	return []RunConfig{
+		{Workload: "SDSC", JobCount: 100, FailureNominal: 1000, Scheduler: SchedBaseline, Seed: 3},
+		{Workload: "SDSC", JobCount: 100, FailureNominal: 1000, Scheduler: SchedBalancing, Param: 0.2, Seed: 3},
+		{Workload: "SDSC", JobCount: 100, FailureNominal: 1000, Scheduler: SchedBalancing, Param: 0.8, Seed: 3},
+		{Workload: "SDSC", JobCount: 100, FailureNominal: 1000, Scheduler: SchedTieBreak, Param: 0.5, Seed: 3},
+		{Workload: "NASA", JobCount: 80, FailureNominal: 500, Scheduler: SchedBalancing, Param: 0.5, Seed: 3},
+		{Workload: "NASA", JobCount: 80, FailureNominal: 500, Scheduler: SchedTieBreak, Param: 0.9, Seed: 3},
+	}
+}
+
+// sweepFingerprints runs the grid through the Engine's worker pool and
+// returns one byte-exact fingerprint per point (summary metrics in %v
+// shortest-float form plus the full JSONL event log), along with the
+// build-cache hit/miss totals the sweep accumulated.
+func sweepFingerprints(t *testing.T, grid []RunConfig, workers int) ([]string, int64, int64) {
+	t.Helper()
+	fps := make([]string, len(grid))
+	var mu sync.Mutex
+	var hits, misses int64
+
+	pts := make([]point, len(grid))
+	for i, cfg := range grid {
+		i, cfg := i, cfg
+		pts[i] = point{
+			key: fmt.Sprintf("p%d", i),
+			cfg: cfg,
+			run: func(ctx context.Context, cfg RunConfig) ([]float64, *telemetry.Snapshot, error) {
+				var events bytes.Buffer
+				reg := telemetry.New()
+				cfg.EventLog = &events
+				cfg.Telemetry = reg
+				res, err := RunContext(ctx, cfg)
+				if err != nil {
+					return nil, nil, err
+				}
+				fp := fmt.Sprintf("jobs=%d kills=%d failures=%d backfills=%d wait=%v resp=%v slow=%v util=%v\n%s",
+					res.Summary.Jobs, res.JobKills, res.FailureEvents, res.Backfills,
+					res.Summary.AvgWait, res.Summary.AvgResponse, res.Summary.AvgSlowdown,
+					res.Summary.Utilization, events.String())
+				mu.Lock()
+				fps[i] = fp
+				hits += reg.Counter("build.cache.hits").Value()
+				misses += reg.Counter("build.cache.misses").Value()
+				mu.Unlock()
+				return []float64{res.Summary.AvgWait}, nil, nil
+			},
+			fill: func([]float64, *telemetry.Snapshot) {},
+		}
+	}
+	e := &Engine{Workers: workers}
+	if err := e.runPoints("determinism", pts); err != nil {
+		t.Fatal(err)
+	}
+	return fps, hits, misses
+}
+
+// TestSweepColdVsWarmDeterminism is the cache's contract at sweep
+// scale: a sweep served from a prewarmed artifact cache must be
+// byte-identical — metrics and event logs — to the same sweep started
+// cold, and the warm pass must actually have been served from the
+// cache (zero misses).
+func TestSweepColdVsWarmDeterminism(t *testing.T) {
+	grid := determinismGrid()
+
+	build.Shared.Purge()
+	cold, _, coldMisses := sweepFingerprints(t, grid, 4)
+	if coldMisses == 0 {
+		t.Fatal("cold sweep recorded no cache misses; the purge or the counters are broken")
+	}
+
+	warm, warmHits, warmMisses := sweepFingerprints(t, grid, 4)
+	if warmMisses != 0 {
+		t.Fatalf("warm sweep recomputed %d stages; expected full reuse", warmMisses)
+	}
+	if warmHits == 0 {
+		t.Fatal("warm sweep recorded no cache hits")
+	}
+
+	for i := range grid {
+		if cold[i] != warm[i] {
+			t.Errorf("point %d: warm-cache sweep diverged from cold-cache sweep", i)
+		}
+	}
+}

@@ -5,8 +5,6 @@ import (
 	"reflect"
 	"strings"
 	"testing"
-
-	"bgsched/internal/core"
 )
 
 func TestRunAllSchedulers(t *testing.T) {
@@ -102,49 +100,8 @@ func TestRunBackfillStrict(t *testing.T) {
 	}
 }
 
-func TestScaledFailureCount(t *testing.T) {
-	day := 86400.0
-	if got := scaledFailureCount(0, 0, 10*day); got != 0 {
-		t.Fatalf("nominal 0 -> %d", got)
-	}
-	if got := scaledFailureCount(-5, 0, 10*day); got != 0 {
-		t.Fatalf("negative nominal -> %d", got)
-	}
-	// nominal 100 -> DefaultFailuresPerDay per day.
-	if got := scaledFailureCount(100, 0, 10*day); got != 10 {
-		t.Fatalf("nominal 100 over 10 days -> %d, want 10", got)
-	}
-	if got := scaledFailureCount(4000, 0, 10*day); got != 400 {
-		t.Fatalf("nominal 4000 over 10 days -> %d, want 400", got)
-	}
-	// Tiny spans still inject at least one failure.
-	if got := scaledFailureCount(100, 0, 60); got != 1 {
-		t.Fatalf("tiny span -> %d, want 1", got)
-	}
-	// Override bypasses the density mapping.
-	if got := scaledFailureCount(100, 2.5, 10*day); got != 250 {
-		t.Fatalf("override -> %d, want 250", got)
-	}
-}
-
-func TestNormalizeDefaults(t *testing.T) {
-	c := RunConfig{}
-	c.normalize()
-	if c.Workload != "SDSC" || c.JobCount != 2000 || c.LoadScale != 1.0 ||
-		c.Scheduler != SchedBaseline || c.Backfill != core.BackfillEASY {
-		t.Fatalf("defaults = %+v", c)
-	}
-	s := RunConfig{BackfillStrict: true, Backfill: core.BackfillEASY}
-	s.normalize()
-	if s.Backfill != core.BackfillNone {
-		t.Fatal("BackfillStrict did not pin BackfillNone")
-	}
-	agg := RunConfig{Backfill: core.BackfillAggressive}
-	agg.normalize()
-	if agg.Backfill != core.BackfillAggressive {
-		t.Fatal("explicit aggressive mode overridden")
-	}
-}
+// Failure-count scaling and RunConfig default tests moved with their
+// subjects to internal/build (see build/config_test.go).
 
 func TestTableRender(t *testing.T) {
 	tab := &Table{

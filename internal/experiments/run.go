@@ -3,6 +3,15 @@
 // into single simulation runs, and provides one spec per figure of the
 // paper that regenerates the same data series.
 //
+// Run construction is delegated to the staged pipeline in
+// internal/build: every run is built stage by stage (geometry →
+// workload log → jobs → failure trace → failure index → policy →
+// sim.Config), with the synthesis-heavy stages memoised in a
+// process-wide artifact cache shared by single runs, figure sweeps and
+// the HTTP service. Sweep points that differ only in policy, confidence
+// or failure count therefore skip workload and trace synthesis
+// entirely once a sibling point has warmed the cache.
+//
 // Scaling note. The paper replays multi-month to multi-year archive
 // logs (tens of thousands of jobs) and injects up to 4000 failures.
 // The synthetic logs here default to a few thousand jobs spanning days
@@ -17,151 +26,43 @@ package experiments
 
 import (
 	"context"
-	"fmt"
-	"io"
-	"math"
 
-	"bgsched/internal/checkpoint"
-	"bgsched/internal/core"
-	"bgsched/internal/failure"
-	"bgsched/internal/partition"
-	"bgsched/internal/predict"
+	"bgsched/internal/build"
 	"bgsched/internal/sim"
-	"bgsched/internal/telemetry"
-	"bgsched/internal/torus"
-	"bgsched/internal/workload"
 )
 
 // SchedulerKind names the scheduling algorithm under test.
-type SchedulerKind string
+type SchedulerKind = build.SchedulerKind
 
+// The scheduler kinds, re-exported from the build pipeline.
 const (
 	// SchedBaseline is Krevat's fault-unaware FCFS + MFP scheduler.
-	SchedBaseline SchedulerKind = "baseline"
+	SchedBaseline = build.SchedBaseline
 	// SchedBalancing is the paper's balancing algorithm (Section 5.2.1).
-	SchedBalancing SchedulerKind = "balancing"
+	SchedBalancing = build.SchedBalancing
 	// SchedTieBreak is the paper's tie-breaking algorithm (Section 5.2.2).
-	SchedTieBreak SchedulerKind = "tiebreak"
+	SchedTieBreak = build.SchedTieBreak
 	// SchedBalancingLearned drives the balancing algorithm with the
-	// history-trained statistical predictor (predict.Learned) instead
-	// of the paper's log-oracle-with-knob; Param is ignored.
-	SchedBalancingLearned SchedulerKind = "balancing-learned"
+	// history-trained statistical predictor.
+	SchedBalancingLearned = build.SchedBalancingLearned
 	// SchedTieBreakLearned drives the tie-breaking algorithm with the
-	// learned predictor's boolean oracle; Param is ignored.
-	SchedTieBreakLearned SchedulerKind = "tiebreak-learned"
+	// learned predictor's boolean oracle.
+	SchedTieBreakLearned = build.SchedTieBreakLearned
 )
 
 // DefaultFailuresPerDay is the injected failure density, in failures
 // per machine-day, corresponding to a nominal count of 100 on the
 // paper's x-axes. See the package comment.
-const DefaultFailuresPerDay = 1.0
+const DefaultFailuresPerDay = build.DefaultFailuresPerDay
 
-// RunConfig fully describes one simulation run.
-type RunConfig struct {
-	// Machine is the geometry spec (torus.Parse format); empty means
-	// the paper's 4x4x8 supernode torus.
-	Machine string
+// QueueDrainSlack is the simulated-horizon stretch factor applied past
+// the last job submission; see build.QueueDrainSlack.
+const QueueDrainSlack = build.QueueDrainSlack
 
-	Workload  string  // "NASA", "SDSC" or "LLNL"
-	JobCount  int     // synthetic log length
-	LoadScale float64 // the paper's load coefficient c
-
-	// EstimateFactor makes user estimates inexact: requested times are
-	// actual times multiplied by a uniform factor in
-	// [1, EstimateFactor]. Zero or 1 keeps the paper's exact-estimate
-	// model. Inexact estimates loosen EASY reservations and stretch
-	// the predictors' query windows.
-	EstimateFactor float64
-
-	// FailureNominal is the failure count in the paper's axis units;
-	// it is rescaled to the synthetic span (see package comment).
-	// FailureScale overrides the default density mapping when > 0:
-	// injected = round(nominal * FailureScale).
-	FailureNominal int
-	FailureScale   float64
-
-	Scheduler SchedulerKind
-	Param     float64 // prediction confidence (balancing) or accuracy (tie-break)
-	// CombineMax switches the balancing P_f to the Section 4.1
-	// max-combiner instead of the Section 5.2.1 product (ablation).
-	CombineMax bool
-
-	// Backfill defaults to EASY (the paper's scheduler backfills); set
-	// BackfillStrict for strict FCFS, since BackfillNone is the zero
-	// value and cannot be distinguished from "unset".
-	Backfill       core.BackfillMode
-	BackfillStrict bool
-	Migration      bool
-	MigrationCost  float64 // checkpoint-and-restart delay per move (paper: 0)
-	Downtime       float64 // seconds a failed node stays down (paper: 0)
-
-	// Checkpointing (the Section 8 extension). CheckpointInterval > 0
-	// enables periodic checkpoints; CheckpointPredictive instead uses
-	// the prediction-triggered policy driven by a tie-breaking
-	// predictor of accuracy Param. Both zero disables checkpointing,
-	// matching the paper's main runs.
-	CheckpointInterval   float64
-	CheckpointPredictive bool
-	CheckpointOverhead   float64
-	CheckpointRestart    float64
-
-	// Finder selects the free-partition search algorithm by name
-	// (partition.ByName): "naive", "pop", "shape" (default) or "fast",
-	// the cached fast path. FinderWorkers bounds the fast finder's
-	// parallel enumeration pool; <= 1 keeps enumeration sequential.
-	// Every algorithm returns identical candidate sets, so this knob
-	// changes scheduling cost only, never scheduling decisions.
-	Finder        string
-	FinderWorkers int
-
-	// RecordTimeline samples machine state into Result.Timeline.
-	RecordTimeline bool
-	// CheckInvariants makes the simulator validate machine-state
-	// conservation after every event (sim.Config.CheckInvariants).
-	CheckInvariants bool
-	// EventLog, when non-nil, receives the JSONL simulation event log.
-	EventLog io.Writer
-	// Telemetry, when non-nil, is threaded through the scheduler, the
-	// partition finder and the simulator, so one registry collects the
-	// whole run's "sched.*", "finder.*" and "sim.*" instruments.
-	Telemetry *telemetry.Registry
-
-	Seed int64
-}
-
-// normalize fills defaults.
-func (c *RunConfig) normalize() {
-	if c.Workload == "" {
-		c.Workload = "SDSC"
-	}
-	if c.JobCount == 0 {
-		c.JobCount = 2000
-	}
-	if c.LoadScale == 0 {
-		c.LoadScale = 1.0
-	}
-	if c.Scheduler == "" {
-		c.Scheduler = SchedBaseline
-	}
-	if c.BackfillStrict {
-		c.Backfill = core.BackfillNone
-	} else if c.Backfill == core.BackfillNone {
-		c.Backfill = core.BackfillEASY
-	}
-}
-
-// Canonical returns the config with defaults filled and the
-// process-local fields (EventLog, Telemetry) cleared: the form that
-// hashes identically for semantically identical requests. The service
-// layer canonicalises every submitted config before hashing it, so
-// {"Workload":"SDSC"} and {"Workload":"SDSC","JobCount":2000} land on
-// the same cache entry.
-func (c RunConfig) Canonical() RunConfig {
-	c.EventLog = nil
-	c.Telemetry = nil
-	c.normalize()
-	return c
-}
+// RunConfig fully describes one simulation run. It is the build
+// pipeline's staged configuration (build.RunConfig); see that type for
+// field documentation.
+type RunConfig = build.RunConfig
 
 // Run builds and executes the configured simulation.
 func Run(cfg RunConfig) (sim.Result, error) {
@@ -170,165 +71,18 @@ func Run(cfg RunConfig) (sim.Result, error) {
 
 // RunContext builds and executes the configured simulation under a
 // cancellation context: a cancelled ctx aborts the event loop promptly
-// and returns ctx.Err().
+// and returns ctx.Err(). Construction goes through the staged build
+// pipeline and its shared artifact cache (build.Shared), so repeated
+// runs over a shared sub-config reuse the synthesized workload, the
+// failure trace and the failure index.
 func RunContext(ctx context.Context, cfg RunConfig) (sim.Result, error) {
-	cfg.normalize()
-	g := torus.BlueGeneL()
-	if cfg.Machine != "" {
-		var err error
-		g, err = torus.Parse(cfg.Machine)
-		if err != nil {
-			return sim.Result{}, err
-		}
-	}
-
-	preset, err := workload.PresetByName(cfg.Workload, cfg.JobCount)
+	sc, _, err := build.Default(cfg)
 	if err != nil {
 		return sim.Result{}, err
 	}
-	if cfg.EstimateFactor > 1 {
-		preset.EstimateFactor = cfg.EstimateFactor
-	}
-	log, err := workload.Synthesize(preset, cfg.Seed)
-	if err != nil {
-		return sim.Result{}, err
-	}
-	jobs, err := log.ToJobs(g, workload.ToJobsConfig{
-		LoadScale:      cfg.LoadScale,
-		ExactEstimates: cfg.EstimateFactor <= 1,
-	})
-	if err != nil {
-		return sim.Result{}, err
-	}
-
-	span := log.Span() * 1.1 // slack for the queue to drain
-	count := scaledFailureCount(cfg.FailureNominal, cfg.FailureScale, span)
-	var trace failure.Trace
-	if count > 0 {
-		trace, err = failure.Generate(failure.DefaultGeneratorConfig(g.N(), count, span), cfg.Seed+1)
-		if err != nil {
-			return sim.Result{}, err
-		}
-	}
-
-	policy, err := buildPolicy(cfg, g, trace)
-	if err != nil {
-		return sim.Result{}, err
-	}
-	finder, err := partition.ByName(cfg.Finder, cfg.FinderWorkers)
-	if err != nil {
-		return sim.Result{}, err
-	}
-	sched, err := core.NewScheduler(core.Config{
-		Policy:    policy,
-		Finder:    partition.Instrumented(finder, cfg.Telemetry),
-		Backfill:  cfg.Backfill,
-		Migration: cfg.Migration,
-		Telemetry: cfg.Telemetry,
-	})
-	if err != nil {
-		return sim.Result{}, err
-	}
-	s, err := sim.New(sim.Config{
-		Geometry:        g,
-		Scheduler:       sched,
-		Jobs:            jobs,
-		Failures:        trace,
-		Downtime:        cfg.Downtime,
-		MigrationCost:   cfg.MigrationCost,
-		Checkpoint:      buildCheckpoint(cfg, g, trace),
-		RecordTimeline:  cfg.RecordTimeline,
-		CheckInvariants: cfg.CheckInvariants,
-		EventLog:        cfg.EventLog,
-		Telemetry:       cfg.Telemetry,
-	})
+	s, err := sim.New(sc)
 	if err != nil {
 		return sim.Result{}, err
 	}
 	return s.RunContext(ctx)
-}
-
-// buildCheckpoint assembles the optional checkpointing extension.
-func buildCheckpoint(cfg RunConfig, g torus.Geometry, trace failure.Trace) *checkpoint.Config {
-	switch {
-	case cfg.CheckpointPredictive:
-		ix := failure.NewIndex(g.N(), trace)
-		horizon := cfg.CheckpointInterval
-		if horizon <= 0 {
-			horizon = 3600
-		}
-		return &checkpoint.Config{
-			Policy: &checkpoint.PredictionTriggered{
-				Oracle:  predict.NewTieBreak(ix, cfg.Param, cfg.Seed+3),
-				Horizon: horizon,
-				Lead:    60,
-				MinGap:  horizon / 4,
-			},
-			Overhead:       cfg.CheckpointOverhead,
-			RestartPenalty: cfg.CheckpointRestart,
-			PollInterval:   horizon / 4,
-		}
-	case cfg.CheckpointInterval > 0:
-		return &checkpoint.Config{
-			Policy:         &checkpoint.Periodic{Interval: cfg.CheckpointInterval},
-			Overhead:       cfg.CheckpointOverhead,
-			RestartPenalty: cfg.CheckpointRestart,
-		}
-	}
-	return nil
-}
-
-// scaledFailureCount maps a paper-axis nominal failure count onto the
-// synthetic span.
-func scaledFailureCount(nominal int, override float64, spanSeconds float64) int {
-	if nominal <= 0 {
-		return 0
-	}
-	if override > 0 {
-		return int(math.Round(float64(nominal) * override))
-	}
-	days := spanSeconds / 86400
-	count := float64(nominal) / 100 * DefaultFailuresPerDay * days
-	if count < 1 {
-		return 1
-	}
-	return int(math.Round(count))
-}
-
-// buildPolicy assembles the placement policy for the run.
-func buildPolicy(cfg RunConfig, g torus.Geometry, trace failure.Trace) (core.Policy, error) {
-	switch cfg.Scheduler {
-	case SchedBaseline:
-		return core.Baseline{}, nil
-	case SchedBalancing:
-		ix := failure.NewIndex(g.N(), trace)
-		combine := core.Combiner(predict.CombineIndependent)
-		if cfg.CombineMax {
-			combine = predict.CombineMax
-		}
-		return &core.Balancing{
-			Prober:  &predict.Balancing{Index: ix, Confidence: cfg.Param},
-			Combine: combine,
-		}, nil
-	case SchedTieBreak:
-		ix := failure.NewIndex(g.N(), trace)
-		return &core.TieBreak{Oracle: predict.NewTieBreak(ix, cfg.Param, cfg.Seed+2)}, nil
-	case SchedBalancingLearned:
-		ix := failure.NewIndex(g.N(), trace)
-		return &core.Balancing{Prober: learnedWith(ix, cfg.Param)}, nil
-	case SchedTieBreakLearned:
-		ix := failure.NewIndex(g.N(), trace)
-		return &core.TieBreak{Oracle: learnedWith(ix, cfg.Param)}, nil
-	}
-	return nil, fmt.Errorf("experiments: unknown scheduler %q", cfg.Scheduler)
-}
-
-// learnedWith builds the learned predictor, using Param (when set) as
-// its decision threshold.
-func learnedWith(ix *failure.Index, threshold float64) *predict.Learned {
-	l := predict.NewLearned(ix)
-	if threshold > 0 {
-		l.Threshold = threshold
-	}
-	return l
 }

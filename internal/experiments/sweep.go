@@ -21,6 +21,13 @@ import (
 // Figures pre-allocate their series and each point fills disjoint
 // slots, so the final tables are identical whatever order the pool
 // happens to run points in.
+//
+// Points build their simulations through the staged run-builder
+// (internal/build) and therefore share the process-wide artifact cache:
+// sweep points differing only in policy parameters reuse each other's
+// synthesized workloads and failure traces, whichever worker got there
+// first. Artifact reuse never changes results — see
+// TestSweepColdVsWarmDeterminism.
 type Engine struct {
 	// Ctx cancels the sweep; nil means context.Background().
 	Ctx context.Context

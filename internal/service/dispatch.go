@@ -109,7 +109,14 @@ func (s *Server) runOne(r *run) {
 }
 
 // executeTask runs the simulation or figure sweep for r, streaming the
-// event log into the run's buffer as it is produced.
+// event log into the run's buffer as it is produced. Both paths build
+// their simulations through the staged run-builder (internal/build), so
+// every request served by this process shares one artifact cache:
+// repeated or near-identical submissions — the common shape of service
+// traffic — reuse synthesized workloads and failure traces instead of
+// regenerating them. (Distinct from the server's result cache, which
+// dedups whole runs by config hash; the artifact cache accelerates runs
+// that are merely similar.)
 func (s *Server) executeTask(ctx context.Context, r *run) (any, error) {
 	switch r.kind {
 	case kindSim:

@@ -75,7 +75,7 @@ func (s *Simulator) logEvent(kind string, id job.ID, node int, part *torus.Parti
 		return
 	}
 	e := LoggedEvent{
-		Time:  s.now,
+		Time:  s.k.now,
 		Kind:  kind,
 		Job:   int64(id),
 		Node:  node,

@@ -18,6 +18,9 @@ const (
 	evCheckpoint
 	evCkptPoll
 	evNodeUp
+
+	// evKindCount sizes the kernel's dispatch table; keep it last.
+	evKindCount
 )
 
 func (k eventKind) String() string {

@@ -55,16 +55,16 @@ func (s *Simulator) verifyInvariants() error {
 			down++
 		case owner > 0:
 			if _, ok := s.running[job.ID(owner)]; !ok {
-				return &InvariantError{Time: s.now, Check: "ownership",
+				return &InvariantError{Time: s.k.now, Check: "ownership",
 					Detail: fmt.Sprintf("node %d owned by job %d which is not running", id, owner)}
 			}
 		default:
-			return &InvariantError{Time: s.now, Check: "ownership",
+			return &InvariantError{Time: s.k.now, Check: "ownership",
 				Detail: fmt.Sprintf("node %d held by reserved owner %d", id, owner)}
 		}
 	}
 	if fc := gr.FreeCount(); fc < 0 || fc != free {
-		return &InvariantError{Time: s.now, Check: "free-count",
+		return &InvariantError{Time: s.k.now, Check: "free-count",
 			Detail: fmt.Sprintf("cached free count %d, occupancy scan found %d", fc, free)}
 	}
 
@@ -79,19 +79,19 @@ func (s *Simulator) verifyInvariants() error {
 			return true
 		})
 		if bad >= 0 {
-			return &InvariantError{Time: s.now, Check: "partition-ownership",
+			return &InvariantError{Time: s.k.now, Check: "partition-ownership",
 				Detail: fmt.Sprintf("job %d's partition %v includes node %d owned by %d",
 					id, r.part, bad, gr.OwnerAt(bad))}
 		}
 		claimed += r.part.Size()
 	}
 	if free+down+claimed != n {
-		return &InvariantError{Time: s.now, Check: "node-conservation",
+		return &InvariantError{Time: s.k.now, Check: "node-conservation",
 			Detail: fmt.Sprintf("free %d + down %d + running %d != machine %d", free, down, claimed, n)}
 	}
 
 	if s.nStarts != s.nFinishes+s.nKills+len(s.running) {
-		return &InvariantError{Time: s.now, Check: "start-conservation",
+		return &InvariantError{Time: s.k.now, Check: "start-conservation",
 			Detail: fmt.Sprintf("starts %d != finishes %d + kills %d + running %d",
 				s.nStarts, s.nFinishes, s.nKills, len(s.running))}
 	}

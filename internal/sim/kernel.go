@@ -1,0 +1,53 @@
+package sim
+
+import "fmt"
+
+// handlerFunc processes one popped calendar event.
+type handlerFunc func(event) error
+
+// kernel is the deterministic discrete-event core of the simulator: a
+// calendar heap ordered by (time, sequence) — so simultaneous events
+// replay in exactly their insertion order — the simulation clock, and a
+// dispatch table mapping each event kind to the handler its subsystem
+// registered at wiring time. The kernel knows nothing about jobs,
+// machines or policies; subsystems own all semantics.
+type kernel struct {
+	queue    eventQueue
+	now      float64
+	handlers [evKindCount]handlerFunc
+}
+
+// register installs the handler for one event kind. Each kind has
+// exactly one owner; a second registration is a wiring bug.
+func (k *kernel) register(kind eventKind, h handlerFunc) {
+	if kind < 0 || int(kind) >= len(k.handlers) {
+		panic(fmt.Sprintf("sim: register: event kind %d out of range", int(kind)))
+	}
+	if k.handlers[kind] != nil {
+		panic(fmt.Sprintf("sim: handler for %v registered twice", kind))
+	}
+	k.handlers[kind] = h
+}
+
+// push enqueues an event; the queue stamps its sequence number, so two
+// events at the same timestamp pop in push order.
+func (k *kernel) push(e event) { k.queue.push(e) }
+
+// pending returns the number of queued events.
+func (k *kernel) pending() int { return k.queue.Len() }
+
+// step pops the earliest event, advances the clock and dispatches to
+// the registered handler. Time must be monotone: an event behind the
+// clock aborts the run, since it means a subsystem scheduled into the
+// past.
+func (k *kernel) step() error {
+	e := k.queue.pop()
+	if e.time < k.now {
+		return fmt.Errorf("sim: event time went backwards: %g after %g", e.time, k.now)
+	}
+	k.now = e.time
+	if e.kind < 0 || int(e.kind) >= len(k.handlers) || k.handlers[e.kind] == nil {
+		return fmt.Errorf("sim: unknown event kind %d", int(e.kind))
+	}
+	return k.handlers[e.kind](e)
+}

@@ -17,6 +17,14 @@
 // Extensions beyond the paper's main runs, all off by default:
 // per-failure node downtime, and checkpointing with periodic or
 // prediction-triggered policies (Section 8 future work).
+//
+// Internally the simulator is a deterministic event-kernel plus
+// registered subsystems: the kernel (kernel.go) owns the calendar heap,
+// the clock and a per-event-kind dispatch table; each mechanism —
+// failures, checkpointing, migration (subsystems.go) — registers the
+// handlers and lifecycle hooks it owns at construction time. The
+// Simulator itself handles only the core lifecycle (arrival, start,
+// finish) and the scheduler pass.
 package sim
 
 import (
@@ -177,9 +185,9 @@ type jobProgress struct {
 // Run; a Simulator is single-use.
 type Simulator struct {
 	cfg      Config
+	k        kernel
 	grid     *torus.Grid
 	queue    *job.Queue
-	events   eventQueue
 	running  map[job.ID]*runState
 	progress map[job.ID]*jobProgress
 	jobsByID map[job.ID]*job.Job
@@ -188,8 +196,12 @@ type Simulator struct {
 	tracker  metrics.CapacityTracker
 	outcomes []metrics.Outcome
 	result   Result
-	now      float64
 	pending  int // jobs not yet finished
+
+	// Subsystem lifecycle hooks, discovered at wiring time.
+	startHooks     []startHook
+	startCostHooks []startCostHook
+	finishHooks    []finishHook
 
 	// Conservation counters for the invariant guard: every start must
 	// eventually be matched by a finish or a kill.
@@ -198,7 +210,10 @@ type Simulator struct {
 	nKills    int
 }
 
-// New validates the configuration and prepares a simulator.
+// New validates the configuration and prepares a simulator: the core
+// arrival/finish handlers and every subsystem register their event
+// handlers on the kernel, and the initial calendar (arrivals, failure
+// trace) is loaded.
 func New(cfg Config) (*Simulator, error) {
 	if cfg.Scheduler == nil {
 		return nil, fmt.Errorf("sim: Scheduler is required")
@@ -248,6 +263,27 @@ func New(cfg Config) (*Simulator, error) {
 		progress: make(map[job.ID]*jobProgress),
 		pending:  len(cfg.Jobs),
 	}
+	// Wire the dispatch table: the core lifecycle handlers, then each
+	// subsystem's own event kinds and lifecycle hooks.
+	s.k.register(evArrival, s.handleArrival)
+	s.k.register(evFinish, s.handleFinish)
+	for _, sub := range []subsystem{
+		&failureSubsystem{s: s},
+		&checkpointSubsystem{s: s, cfg: cfg.Checkpoint},
+		&migrationSubsystem{s: s},
+	} {
+		sub.attach(&s.k)
+		if h, ok := sub.(startHook); ok {
+			s.startHooks = append(s.startHooks, h)
+		}
+		if h, ok := sub.(startCostHook); ok {
+			s.startCostHooks = append(s.startCostHooks, h)
+		}
+		if h, ok := sub.(finishHook); ok {
+			s.finishHooks = append(s.finishHooks, h)
+		}
+	}
+
 	// Arrivals in time order, then failures: the sequence numbers make
 	// simultaneous events deterministic.
 	jobs := make([]*job.Job, len(cfg.Jobs))
@@ -259,11 +295,11 @@ func New(cfg Config) (*Simulator, error) {
 		return jobs[i].ID < jobs[k].ID
 	})
 	for _, j := range jobs {
-		s.events.push(event{time: j.Arrival, kind: evArrival, jobID: j.ID})
+		s.k.push(event{time: j.Arrival, kind: evArrival, jobID: j.ID})
 		s.progress[j.ID] = &jobProgress{}
 	}
 	for _, f := range cfg.Failures {
-		s.events.push(event{time: f.Time, kind: evFailure, node: f.Node})
+		s.k.push(event{time: f.Time, kind: evFailure, node: f.Node})
 	}
 	s.jobsByID = make(map[job.ID]*job.Job, len(jobs))
 	for _, j := range jobs {
@@ -298,33 +334,12 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 				return Result{}, err
 			}
 		}
-		if s.events.Len() == 0 {
+		if s.k.pending() == 0 {
 			return Result{}, fmt.Errorf("sim: deadlock at t=%g: %d jobs unfinished, no events pending",
-				s.now, s.pending)
+				s.k.now, s.pending)
 		}
-		e := s.events.pop()
-		if e.time < s.now {
-			return Result{}, fmt.Errorf("sim: event time went backwards: %g after %g", e.time, s.now)
-		}
-		s.now = e.time
 		s.met.events.Inc()
-		var err error
-		switch e.kind {
-		case evArrival:
-			err = s.handleArrival(e)
-		case evFinish:
-			err = s.handleFinish(e)
-		case evFailure:
-			err = s.handleFailure(e)
-		case evCheckpoint:
-			err = s.handleCheckpoint(e)
-		case evCkptPoll:
-			err = s.handleCkptPoll(e)
-		case evNodeUp:
-			err = s.handleNodeUp(e)
-		default:
-			err = fmt.Errorf("sim: unknown event kind %d", int(e.kind))
-		}
+		err := s.k.step()
 		if err == nil && s.cfg.CheckInvariants {
 			err = s.verifyInvariants()
 		}
@@ -332,7 +347,7 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 			return Result{}, err
 		}
 	}
-	unused, err := s.tracker.CloseAt(s.now)
+	unused, err := s.tracker.CloseAt(s.k.now)
 	if err != nil {
 		return Result{}, err
 	}
@@ -355,7 +370,7 @@ func (s *Simulator) observe() error {
 	s.met.freeNodes.Set(float64(s.grid.FreeCount()))
 	s.met.queueDepth.Set(float64(s.queue.Len()))
 	s.met.runningJobs.Set(float64(len(s.running)))
-	return s.tracker.Observe(s.now, s.grid.FreeCount(), s.queue.DemandNodes())
+	return s.tracker.Observe(s.k.now, s.grid.FreeCount(), s.queue.DemandNodes())
 }
 
 func (s *Simulator) handleArrival(e event) error {
@@ -386,7 +401,7 @@ func (s *Simulator) handleFinish(e event) error {
 	s.logEvent("finish", e.jobID, 0, &r.part)
 	p := s.progress[e.jobID]
 	wait := r.start - r.job.Arrival
-	response := s.now - r.job.Arrival
+	response := s.k.now - r.job.Arrival
 	s.met.wait.Observe(wait)
 	s.met.response.Observe(response)
 	s.met.slowdown.Observe(metrics.BoundedSlowdown(response, r.job.Estimate))
@@ -395,7 +410,7 @@ func (s *Simulator) handleFinish(e event) error {
 		Arrival:    r.job.Arrival,
 		FirstStart: p.firstStart,
 		LastStart:  r.start,
-		Finish:     s.now,
+		Finish:     s.k.now,
 		Estimate:   r.job.Estimate,
 		Actual:     r.job.Actual,
 		Size:       r.job.Size,
@@ -405,8 +420,8 @@ func (s *Simulator) handleFinish(e event) error {
 	})
 	s.pending--
 
-	if s.cfg.Scheduler.Config().Migration {
-		if err := s.migrate(); err != nil {
+	for _, h := range s.finishHooks {
+		if err := h.afterFinish(); err != nil {
 			return err
 		}
 	}
@@ -414,146 +429,11 @@ func (s *Simulator) handleFinish(e event) error {
 		return err
 	}
 	return s.observe()
-}
-
-func (s *Simulator) handleFailure(e event) error {
-	if s.pending == 0 {
-		return nil
-	}
-	s.result.FailureEvents++
-	s.met.failures.Inc()
-	owner := s.grid.OwnerAt(e.node)
-	s.logEvent("failure", job.ID(max64(owner, 0)), e.node, nil)
-	if owner == downOwner {
-		return nil // node already held down; the failure is absorbed
-	}
-	if owner > 0 {
-		if err := s.kill(job.ID(owner)); err != nil {
-			return err
-		}
-	}
-	if s.cfg.Downtime > 0 && s.grid.NodeFree(e.node) {
-		p := torus.Partition{Base: s.cfg.Geometry.CoordOf(e.node), Shape: torus.Shape{X: 1, Y: 1, Z: 1}}
-		if err := s.grid.Allocate(p, downOwner); err != nil {
-			return fmt.Errorf("sim: downtime hold: %w", err)
-		}
-		s.events.push(event{time: s.now + s.cfg.Downtime, kind: evNodeUp, node: e.node})
-	}
-	if owner > 0 || s.cfg.Downtime > 0 {
-		if err := s.schedule(); err != nil {
-			return err
-		}
-	}
-	return s.observe()
-}
-
-// kill terminates the run of a job hit by a failure and requeues it.
-func (s *Simulator) kill(id job.ID) error {
-	r, ok := s.running[id]
-	if !ok {
-		return fmt.Errorf("sim: failure killed job %d which is not running", id)
-	}
-	s.result.JobKills++
-	s.nKills++
-	s.met.kills.Inc()
-	s.met.restarts.Inc()
-	if err := s.grid.Release(r.part, int64(id)); err != nil {
-		return fmt.Errorf("sim: kill: %w", err)
-	}
-	p := s.progress[id]
-	// Occupancy spent in this run that produced no retained work:
-	// everything except the checkpointed progress gained in this run.
-	gained := p.savedWork - r.savedAtStart
-	wasted := s.now - r.start - gained
-	if wasted < 0 {
-		wasted = 0
-	}
-	p.lostWork += float64(r.part.Size()) * wasted
-	p.restarts++
-	s.logEvent("kill", id, 0, &r.part)
-	// Removing the run state invalidates this run's pending finish and
-	// checkpoint events: their epoch can never match a future run.
-	delete(s.running, id)
-	s.queue.Push(r.job) // original arrival time: regains FCFS priority
-	return nil
-}
-
-func (s *Simulator) handleNodeUp(e event) error {
-	p := torus.Partition{Base: s.cfg.Geometry.CoordOf(e.node), Shape: torus.Shape{X: 1, Y: 1, Z: 1}}
-	if err := s.grid.Release(p, downOwner); err != nil {
-		return fmt.Errorf("sim: node up: %w", err)
-	}
-	s.logEvent("nodeup", 0, e.node, nil)
-	if err := s.schedule(); err != nil {
-		return err
-	}
-	return s.observe()
-}
-
-func (s *Simulator) handleCheckpoint(e event) error {
-	r, ok := s.running[e.jobID]
-	if !ok || r.epoch != e.epoch || s.cfg.Checkpoint == nil {
-		return nil // stale
-	}
-	p := s.progress[e.jobID]
-	// Work completed in this run up to now (checkpoint overheads and
-	// the restart penalty do not produce work).
-	done := (s.now - r.start) - r.overheadSoFar - r.restartPenaltyPaid
-	if done < 0 {
-		done = 0
-	}
-	p.savedWork = r.savedAtStart + done
-	if p.savedWork > r.job.Actual {
-		p.savedWork = r.job.Actual
-	}
-	s.result.Checkpoints++
-	s.met.checkpoints.Inc()
-	s.logEvent("checkpoint", e.jobID, 0, &r.part)
-
-	// The checkpoint itself costs Overhead: completion slips, and the
-	// finish event is reissued under a fresh epoch.
-	over := s.cfg.Checkpoint.Overhead
-	r.overheadSoFar += over
-	r.finishTime += over
-	r.expFinish += over
-	r.epoch = p.nextEpoch
-	p.nextEpoch++
-	s.events.push(event{time: r.finishTime, kind: evFinish, jobID: e.jobID, epoch: r.epoch})
-	s.scheduleNextCheckpoint(r)
-	return nil
-}
-
-// handleCkptPoll re-consults the checkpoint policy for a running job.
-func (s *Simulator) handleCkptPoll(e event) error {
-	r, ok := s.running[e.jobID]
-	if !ok || r.epoch != e.epoch || s.cfg.Checkpoint == nil {
-		return nil // stale
-	}
-	s.scheduleNextCheckpoint(r)
-	return nil
-}
-
-// scheduleNextCheckpoint consults the policy for the job's next
-// checkpoint and enqueues it. If the policy has nothing scheduled and a
-// poll interval is configured, a re-poll is enqueued instead so
-// prediction-triggered policies see the sliding horizon.
-func (s *Simulator) scheduleNextCheckpoint(r *runState) {
-	if s.cfg.Checkpoint == nil {
-		return
-	}
-	nodes := s.cfg.Geometry.Nodes(r.part)
-	if t, ok := s.cfg.Checkpoint.Policy.Next(int64(r.job.ID), s.now, r.expFinish, nodes); ok {
-		s.events.push(event{time: t, kind: evCheckpoint, jobID: r.job.ID, epoch: r.epoch})
-		return
-	}
-	if poll := s.cfg.Checkpoint.PollInterval; poll > 0 && s.now+poll < r.expFinish {
-		s.events.push(event{time: s.now + poll, kind: evCkptPoll, jobID: r.job.ID, epoch: r.epoch})
-	}
 }
 
 // schedule invokes the scheduler and starts the jobs it selects.
 func (s *Simulator) schedule() error {
-	decisions, err := s.cfg.Scheduler.Schedule(s.grid, s.queue, s.runningList(), s.now)
+	decisions, err := s.cfg.Scheduler.Schedule(s.grid, s.queue, s.runningList(), s.k.now)
 	if err != nil {
 		return fmt.Errorf("sim: %w", err)
 	}
@@ -579,8 +459,8 @@ func (s *Simulator) schedule() error {
 func (s *Simulator) start(d core.Decision) {
 	p := s.progress[d.Job.ID]
 	penalty := 0.0
-	if s.cfg.Checkpoint != nil && p.savedWork > 0 {
-		penalty = s.cfg.Checkpoint.RestartPenalty
+	for _, h := range s.startCostHooks {
+		penalty += h.startPenalty(p)
 	}
 	remainingActual := d.Job.Actual - p.savedWork
 	if remainingActual < 0 {
@@ -595,24 +475,26 @@ func (s *Simulator) start(d core.Decision) {
 	r := &runState{
 		job:                d.Job,
 		part:               d.Part,
-		start:              s.now,
+		start:              s.k.now,
 		epoch:              epoch,
-		finishTime:         s.now + penalty + remainingActual,
-		expFinish:          s.now + penalty + remainingEst,
+		finishTime:         s.k.now + penalty + remainingActual,
+		expFinish:          s.k.now + penalty + remainingEst,
 		savedAtStart:       p.savedWork,
 		restartPenaltyPaid: penalty,
 	}
 	s.running[d.Job.ID] = r
 	if !p.started {
 		p.started = true
-		p.firstStart = s.now
+		p.firstStart = s.k.now
 	}
-	p.lastStart = s.now
+	p.lastStart = s.k.now
 	s.nStarts++
 	s.met.starts.Inc()
 	s.logEvent("start", d.Job.ID, 0, &d.Part)
-	s.events.push(event{time: r.finishTime, kind: evFinish, jobID: d.Job.ID, epoch: r.epoch})
-	s.scheduleNextCheckpoint(r)
+	s.k.push(event{time: r.finishTime, kind: evFinish, jobID: d.Job.ID, epoch: r.epoch})
+	for _, h := range s.startHooks {
+		h.onJobStart(r)
+	}
 }
 
 // runningList snapshots the running jobs for the scheduler, in
@@ -629,45 +511,4 @@ func (s *Simulator) runningList() []core.Running {
 		out = append(out, core.Running{Job: r.job, Part: r.part, Start: r.start, ExpFinish: r.expFinish})
 	}
 	return out
-}
-
-// migrate runs the scheduler's compaction pass and applies the moves.
-func (s *Simulator) migrate() error {
-	list := s.runningList()
-	if len(list) == 0 {
-		return nil
-	}
-	moves, err := s.cfg.Scheduler.Migrate(s.grid, list)
-	if err != nil {
-		return fmt.Errorf("sim: %w", err)
-	}
-	for _, m := range moves {
-		r := s.running[list[m.JobIndex].Job.ID]
-		r.part = m.To
-		s.result.Migrations++
-		s.met.migrations.Inc()
-		if cost := s.cfg.MigrationCost; cost > 0 {
-			// The move checkpoints and restarts the job: completion
-			// slips and the pause produces no work. The pending finish
-			// event is reissued under a fresh epoch.
-			p := s.progress[r.job.ID]
-			r.overheadSoFar += cost
-			r.finishTime += cost
-			r.expFinish += cost
-			r.epoch = p.nextEpoch
-			p.nextEpoch++
-			s.events.push(event{time: r.finishTime, kind: evFinish, jobID: r.job.ID, epoch: r.epoch})
-		}
-		s.logEvent("migrate", r.job.ID, 0, &m.To)
-	}
-	return nil
-}
-
-// max64 clamps negative owner ids (probe/down markers) to zero for the
-// event log.
-func max64(a, b int64) int64 {
-	if a > b {
-		return a
-	}
-	return b
 }

@@ -23,13 +23,13 @@ func (s *Simulator) recordTimeline() {
 		return
 	}
 	p := TimelinePoint{
-		Time:        s.now,
+		Time:        s.k.now,
 		FreeNodes:   s.grid.FreeCount(),
 		QueueJobs:   s.queue.Len(),
 		QueueDemand: s.queue.DemandNodes(),
 		Running:     len(s.running),
 	}
-	if n := len(s.result.Timeline); n > 0 && s.result.Timeline[n-1].Time == s.now {
+	if n := len(s.result.Timeline); n > 0 && s.result.Timeline[n-1].Time == s.k.now {
 		s.result.Timeline[n-1] = p
 		return
 	}
