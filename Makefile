@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fuzz bench bench-micro check clean serve smoke-serve
+.PHONY: all build test race vet fuzz bench bench-micro bench-record bench-guard trace-demo check clean serve smoke-serve
 
 all: build
 
@@ -45,6 +45,24 @@ bench:
 # Just the scheduling-cost microbenchmarks recorded in EXPERIMENTS.md.
 bench-micro:
 	$(GO) test -run NONE -bench 'BenchmarkSchedulerDecision|BenchmarkFinderAlgorithms' .
+
+# Bench-history pipeline (bench/BENCH_NNNN.json, highest = baseline).
+# bench-record appends a new committed snapshot; bench-guard compares a
+# fresh run against the baseline and fails on >25% regressions — the
+# same guard CI runs.
+bench-record:
+	./scripts/bench-history.sh record
+
+bench-guard:
+	./scripts/bench-history.sh compare
+
+# Render the six-point golden sweep's causal traces into one
+# Chrome-loadable trace (open chrome://tracing or https://ui.perfetto.dev
+# and load trace-demo.json).
+trace-demo:
+	$(GO) run ./cmd/bgsweep -fig golden -trace-dir trace-demo
+	cat trace-demo/*.trace.ndjson | $(GO) run ./cmd/bgtrace spans -in - -chrome trace-demo.json
+	@echo "wrote trace-demo.json ($$(wc -c < trace-demo.json) bytes); load it in chrome://tracing or ui.perfetto.dev"
 
 check: build vet test race fuzz
 

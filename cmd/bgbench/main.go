@@ -1,0 +1,116 @@
+// Command bgbench maintains the committed benchmark history: it parses
+// `go test -bench` output from stdin and either records a new numbered
+// snapshot or compares the run against the latest one, failing on
+// regressions beyond a threshold.
+//
+// Usage (normally via scripts/bench-history.sh):
+//
+//	go test -run '^$' -bench ... | bgbench record -dir bench -label "seed"
+//	go test -run '^$' -bench ... | bgbench compare -dir bench -threshold 25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"bgsched/internal/benchhist"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "bgbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: bgbench <record|compare> [flags] < bench-output")
+	}
+	switch args[0] {
+	case "record":
+		return record(args[1:], in, out)
+	case "compare":
+		return compare(args[1:], in, out)
+	}
+	return fmt.Errorf("unknown subcommand %q (want record or compare)", args[0])
+}
+
+// parseStdin reads benchmark output and refuses an empty result set —
+// an empty set almost always means the bench command failed upstream,
+// and recording or "passing" on it would be silent data loss.
+func parseStdin(in io.Reader) ([]benchhist.Result, error) {
+	rs, err := benchhist.Parse(in)
+	if err != nil {
+		return nil, err
+	}
+	if len(rs) == 0 {
+		return nil, fmt.Errorf("no benchmark results on stdin (did the bench run fail?)")
+	}
+	return rs, nil
+}
+
+func record(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("bgbench record", flag.ContinueOnError)
+	dir := fs.String("dir", "bench", "benchmark history directory")
+	label := fs.String("label", "", "free-form label stored in the snapshot")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rs, err := parseStdin(in)
+	if err != nil {
+		return err
+	}
+	path, err := benchhist.NextPath(*dir)
+	if err != nil {
+		return err
+	}
+	snap := &benchhist.Snapshot{
+		Schema: 1, Label: *label,
+		Go: runtime.Version(), GOOS: runtime.GOOS, GOARCH: runtime.GOARCH,
+		RecordedUnix: time.Now().Unix(),
+		Benchmarks:   rs,
+	}
+	if err := benchhist.Write(path, snap); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "recorded %d benchmark(s) to %s\n", len(rs), path)
+	return nil
+}
+
+func compare(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("bgbench compare", flag.ContinueOnError)
+	dir := fs.String("dir", "bench", "benchmark history directory")
+	threshold := fs.Float64("threshold", 25, "fail when any benchmark is more than this percent slower than the baseline")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rs, err := parseStdin(in)
+	if err != nil {
+		return err
+	}
+	base, path, err := benchhist.Latest(*dir)
+	if err != nil {
+		return err
+	}
+	if base == nil {
+		return fmt.Errorf("no baseline snapshot in %s (run `bgbench record` first)", *dir)
+	}
+	ds := benchhist.Compare(base, rs)
+	if len(ds) == 0 {
+		return fmt.Errorf("no benchmark overlaps baseline %s — name drift?", path)
+	}
+	fmt.Fprintf(out, "baseline %s (%s)\n", path, base.Label)
+	for _, d := range ds {
+		fmt.Fprintf(out, "  %-48s %12.1f -> %12.1f ns/op  %+6.1f%%\n", d.Name, d.OldNs, d.NewNs, d.Percent)
+	}
+	if regs := benchhist.Regressions(ds, *threshold); len(regs) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%% vs %s", len(regs), *threshold, path)
+	}
+	fmt.Fprintf(out, "ok: %d benchmark(s) within %.0f%% of baseline\n", len(ds), *threshold)
+	return nil
+}

@@ -33,6 +33,7 @@ import (
 
 	"bgsched/internal/resilience"
 	"bgsched/internal/service"
+	"bgsched/internal/trace"
 )
 
 func main() {
@@ -60,6 +61,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		pprofOn      = fs.Bool("pprof", false, "mount /debug/pprof")
 		accessLog    = fs.String("access-log", "stderr", "access log destination: stderr, a file path, or off")
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight runs before cancelling them")
+		traceOut     = fs.String("trace", "", "write HTTP request spans (NDJSON, wall-clock) to this file; per-run causal traces are always served on /v1/runs/{id}/trace")
+		flightEvents = fs.Int("flight-events", 256, "kernel flight recorder ring per in-flight run, served on /debug/flight and dumped on SIGQUIT (-1 disables)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,21 +74,39 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	defer closeLog()
 
+	var tracer *trace.Tracer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "bgserve: closing trace:", cerr)
+			}
+		}()
+		tracer = trace.New(f, trace.Options{WallSpans: true})
+	}
+	trace.InstallFlightSignalDump()
+	trace.InstallFlightPanicDump()
+
 	if *retries <= 0 {
 		*retries = -1 // service.Config: negative disables retries, zero means default
 	}
 	svc, err := service.New(service.Config{
-		Workers:     *workers,
-		QueueDepth:  *queueDepth,
-		CacheSize:   *cacheSize,
-		RunTimeout:  *runTimeout,
-		Retries:     *retries,
-		MaxJobs:     *maxJobs,
-		MaxInFlight: *maxInflight,
-		MaxRuns:     *maxRuns,
-		StatePath:   *statePath,
-		EnablePprof: *pprofOn,
-		AccessLog:   logDst,
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		CacheSize:    *cacheSize,
+		RunTimeout:   *runTimeout,
+		Retries:      *retries,
+		MaxJobs:      *maxJobs,
+		MaxInFlight:  *maxInflight,
+		MaxRuns:      *maxRuns,
+		StatePath:    *statePath,
+		EnablePprof:  *pprofOn,
+		AccessLog:    logDst,
+		Trace:        tracer,
+		FlightEvents: *flightEvents,
 	})
 	if err != nil {
 		return err

@@ -7,9 +7,11 @@
 //	bgsim -workload LLNL -c 1.2 -sched tiebreak -a 0.5 -failures 1000
 //	bgsim -sched baseline -failures 1000 -migration
 //	bgsim -sched balancing -a 0.3 -failures 1000 -ckpt-interval 3600 -ckpt-overhead 60
+//	bgsim -failures 1000 -trace-out run.ndjson -trace-chrome run.json -flight 256
 package main
 
 import (
+	"bytes"
 	"context"
 	"flag"
 	"fmt"
@@ -23,6 +25,7 @@ import (
 	"bgsched/internal/sim"
 	"bgsched/internal/telemetry"
 	"bgsched/internal/torus"
+	"bgsched/internal/trace"
 )
 
 func main() {
@@ -65,6 +68,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		timeline = fs.Int("timeline", 0, "print a machine-state timeline with this many buckets")
 		byClass  = fs.Bool("by-class", false, "print metrics broken down by job size class")
 		eventLog = fs.String("eventlog", "", "write a JSONL simulation event log to this file")
+
+		traceOut    = fs.String("trace-out", "", "write the NDJSON causal trace (per-job lifecycle records) to this file")
+		traceChrome = fs.String("trace-chrome", "", "write a Chrome trace_event JSON (chrome://tracing, Perfetto) to this file")
+		traceWall   = fs.Bool("trace-wall", false, "include wall-clock spans (build stages, sim run) in the trace; off keeps traces byte-reproducible")
+		flight      = fs.Int("flight", 0, "keep a kernel flight recorder of the last N events, dumped to stderr on invariant violation, contained panic or SIGQUIT (0 = off)")
 	)
 	obs := telemetry.RegisterCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -117,6 +125,34 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}()
 		cfg.EventLog = f
 	}
+	// The causal trace feeds the NDJSON file, the Chrome exporter, or
+	// both from a single tracer; the Chrome path buffers records in
+	// memory and converts after the run.
+	var chromeBuf bytes.Buffer
+	var traceTo []io.Writer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			return err
+		}
+		defer func() {
+			if cerr := f.Close(); cerr != nil {
+				fmt.Fprintln(os.Stderr, "bgsim: closing trace:", cerr)
+			}
+		}()
+		traceTo = append(traceTo, f)
+	}
+	if *traceChrome != "" {
+		traceTo = append(traceTo, &chromeBuf)
+	}
+	if len(traceTo) > 0 {
+		cfg.Trace = trace.New(io.MultiWriter(traceTo...), trace.Options{WallSpans: *traceWall})
+	}
+	if *flight > 0 {
+		cfg.Flight = trace.NewFlightRecorder(*flight, os.Stderr, "bgsim")
+		trace.InstallFlightSignalDump()
+		trace.InstallFlightPanicDump()
+	}
 	switch *combine {
 	case "independent":
 	case "max":
@@ -148,6 +184,23 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if err := obs.WriteMetrics(manifest, cfg.Telemetry); err != nil {
 		return err
+	}
+	if *traceChrome != "" {
+		recs, err := trace.ReadLog(&chromeBuf)
+		if err != nil {
+			return fmt.Errorf("trace-chrome: %w", err)
+		}
+		f, err := os.Create(*traceChrome)
+		if err != nil {
+			return err
+		}
+		if err := trace.WriteChrome(f, recs); err != nil {
+			f.Close()
+			return fmt.Errorf("trace-chrome: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
 	}
 	s := res.Summary
 	fmt.Fprintf(out, "workload            %s (jobs=%d, c=%.2f, seed=%d)\n", *wl, *jobs, *c, *seed)

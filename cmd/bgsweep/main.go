@@ -33,6 +33,7 @@ import (
 	"bgsched/internal/resilience"
 	"bgsched/internal/telemetry"
 	"bgsched/internal/torus"
+	"bgsched/internal/trace"
 )
 
 func main() {
@@ -47,7 +48,7 @@ func main() {
 func run(ctx context.Context, args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("bgsweep", flag.ContinueOnError)
 	var (
-		fig     = fs.String("fig", "all", `figure to regenerate: fig3..fig10, "finders", "krevat", "learned", or "all"`)
+		fig     = fs.String("fig", "all", `figure to regenerate: fig3..fig10, "finders", "krevat", "learned", "golden", or "all"`)
 		jobs    = fs.Int("jobs", 2000, "jobs per simulation run")
 		seed    = fs.Int64("seed", 1, "random seed")
 		csv     = fs.Bool("csv", false, "emit CSV instead of aligned text")
@@ -64,6 +65,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 
 		finder        = fs.String("finder", "", "partition search algorithm for every sweep point: naive, pop, shape or fast (empty = shape default)")
 		finderWorkers = fs.Int("finder-workers", 0, "fast finder's parallel enumeration workers (<=1 sequential)")
+
+		traceDir = fs.String("trace-dir", "", "write one NDJSON causal trace per sweep point into this directory")
+		flight   = fs.Int("flight", 0, "kernel flight recorder of the last N events per in-flight point, dumped to stderr on invariant violation, contained panic or SIGQUIT (0 = off)")
 	)
 	obs := telemetry.RegisterCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
@@ -97,6 +101,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Ctx: ctx, Workers: *workers, Retries: *retries,
 		Isolate: true, CheckInvariants: *check,
 		Finder: *finder, FinderWorkers: *finderWorkers,
+		TraceDir: *traceDir, FlightEvents: *flight,
+	}
+	if *flight > 0 {
+		trace.InstallFlightSignalDump()
+		trace.InstallFlightPanicDump()
 	}
 	jnl, err := openJournal(*journal, *resume, telemetry.ConfigHash(opt), eng)
 	if err != nil {
@@ -135,6 +144,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	switch *fig {
 	case "krevat":
 		t, err := experiments.KrevatTable(eng, opt, "SDSC", 1.0)
+		if t != nil {
+			collected = append(collected, t)
+		}
 		if err != nil {
 			sweepErr = err
 			break
@@ -143,9 +155,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintln(out, "variants: 0=fcfs 1=fcfs+backfill 2=fcfs+migration 3=fcfs+backfill+migration")
-		collected = append(collected, t)
-	case "learned":
-		t, err := experiments.LearnedSweep(eng, opt, "SDSC")
+	case "golden":
+		// The frozen six-point digest grid — mainly useful with
+		// -trace-dir (per-point causal traces, see `make trace-demo`).
+		t, err := experiments.GoldenSweep(eng)
+		if t != nil {
+			collected = append(collected, t)
+		}
 		if err != nil {
 			sweepErr = err
 			break
@@ -153,7 +169,18 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		if err := render(t); err != nil {
 			return err
 		}
-		collected = append(collected, t)
+	case "learned":
+		t, err := experiments.LearnedSweep(eng, opt, "SDSC")
+		if t != nil {
+			collected = append(collected, t)
+		}
+		if err != nil {
+			sweepErr = err
+			break
+		}
+		if err := render(t); err != nil {
+			return err
+		}
 	default:
 		var specs []experiments.Spec
 		if *fig == "all" {
@@ -168,11 +195,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		for _, spec := range specs {
 			start := time.Now()
 			tables, err := spec.Run(eng, opt)
+			// Figures return their partially-filled tables alongside a
+			// cancellation (never-run slots hold NaN), so an interrupted
+			// sweep still flushes what completed into the manifest.
+			collected = append(collected, tables...)
 			if err != nil {
 				sweepErr = fmt.Errorf("%s: %w", spec.ID, err)
 				break
 			}
-			collected = append(collected, tables...)
 			for _, t := range tables {
 				if err := render(t); err != nil {
 					return err

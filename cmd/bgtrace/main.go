@@ -6,6 +6,8 @@
 //	bgtrace workload -preset SDSC -jobs 2000 -seed 1 > sdsc.swf
 //	bgtrace failures -count 1000 -span-days 30 -seed 1 > failures.csv
 //	bgtrace inspect  -swf sdsc.swf
+//	bgtrace spans    -in run.trace.ndjson -job 17
+//	bgtrace spans    -in run.trace.ndjson -chrome run.json
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"bgsched/internal/resilience"
 	"bgsched/internal/telemetry"
 	"bgsched/internal/torus"
+	"bgsched/internal/trace"
 	"bgsched/internal/workload"
 )
 
@@ -51,8 +54,115 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		return inspect(args[1:], out)
 	case "mapfailures":
 		return mapFailures(args[1:], out)
+	case "spans":
+		return spans(args[1:], out)
 	}
-	return fmt.Errorf("unknown subcommand %q (want workload, failures, mapfailures or inspect)", args[0])
+	return fmt.Errorf("unknown subcommand %q (want workload, failures, mapfailures, inspect or spans)", args[0])
+}
+
+// spans inspects a causal trace (internal/trace NDJSON): a whole-log
+// summary, one job's lifecycle timeline, or a Chrome trace_event
+// conversion for chrome://tracing / Perfetto.
+func spans(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("bgtrace spans", flag.ContinueOnError)
+	in := fs.String("in", "", `NDJSON causal trace to read (required; "-" for stdin)`)
+	jobID := fs.Int64("job", 0, "print only this job's lifecycle timeline")
+	chrome := fs.String("chrome", "", "also write a Chrome trace_event JSON to this path")
+	obs := telemetry.RegisterCLIFlags(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	reg := obs.Registry()
+	return withObs(obs, "bgtrace spans", args, reg, func() error {
+		if *in == "" {
+			return fmt.Errorf("spans: -in is required")
+		}
+		var r io.Reader = os.Stdin
+		if *in != "-" {
+			f, err := os.Open(*in)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			r = f
+		}
+		recs, err := trace.ReadLog(r)
+		if err != nil {
+			return err
+		}
+		reg.Counter("trace.records.read").Add(int64(len(recs)))
+		if *chrome != "" {
+			f, err := os.Create(*chrome)
+			if err != nil {
+				return err
+			}
+			if err := trace.WriteChrome(f, recs); err != nil {
+				f.Close()
+				return err
+			}
+			if err := f.Close(); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "# wrote %d records to %s (load in chrome://tracing or Perfetto)\n", len(recs), *chrome)
+		}
+		if *jobID != 0 {
+			tl := trace.JobTimeline(recs, *jobID)
+			if len(tl) == 0 {
+				return fmt.Errorf("spans: no records for job %d", *jobID)
+			}
+			for _, rec := range tl {
+				printSpanRecord(out, rec)
+			}
+			return nil
+		}
+		return summarizeSpans(out, recs)
+	})
+}
+
+// printSpanRecord renders one trace record as an aligned text line.
+func printSpanRecord(out io.Writer, r trace.Record) {
+	fmt.Fprintf(out, "%12.1f  %-10s", r.T, r.Cat+"/"+r.Name)
+	if r.Cause != 0 {
+		fmt.Fprintf(out, "  cause=%d", r.Cause)
+	}
+	keys := make([]string, 0, len(r.Extra))
+	for k := range r.Extra {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(out, "  %s=%v", k, r.Extra[k])
+	}
+	fmt.Fprintln(out)
+}
+
+// summarizeSpans prints whole-log statistics: record counts per
+// category/name and the set of jobs seen.
+func summarizeSpans(out io.Writer, recs []trace.Record) error {
+	counts := map[string]int{}
+	jobs := map[int64]bool{}
+	spanCount := 0
+	for _, r := range recs {
+		counts[r.Cat+"/"+r.Name]++
+		if r.Job != 0 {
+			jobs[r.Job] = true
+		}
+		if r.Span {
+			spanCount++
+		}
+	}
+	fmt.Fprintf(out, "records             %d\n", len(recs))
+	fmt.Fprintf(out, "jobs traced         %d\n", len(jobs))
+	fmt.Fprintf(out, "wall spans          %d\n", spanCount)
+	names := make([]string, 0, len(counts))
+	for k := range counts {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		fmt.Fprintf(out, "  %-24s %8d\n", k, counts[k])
+	}
+	return nil
 }
 
 // reportIngest surfaces a lenient parse's skipped lines on stderr; the

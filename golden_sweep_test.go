@@ -18,21 +18,9 @@ import (
 // the failure generator may update it (and must say so in its commit).
 const sweepGoldenDigest = "1d7acf1cd175c45269bcd28caa9a3c99df4212c6df9698511e1fd4bfa664d52a"
 
-// sweepGoldenGrid is a miniature sweep spanning the dimensions the
-// paper's evaluation varies: workload, scheduler family, prediction
-// parameter and failure count. Several points share (workload, seed,
-// jobs, load), so a warm artifact cache rebuilds only the policy —
-// exactly the reuse pattern the digest must prove harmless.
-func sweepGoldenGrid() []experiments.RunConfig {
-	return []experiments.RunConfig{
-		{Workload: "SDSC", JobCount: 120, Scheduler: experiments.SchedBaseline, Seed: 7},
-		{Workload: "SDSC", JobCount: 120, FailureNominal: 1000, Scheduler: experiments.SchedBaseline, Seed: 7},
-		{Workload: "SDSC", JobCount: 120, FailureNominal: 1000, Scheduler: experiments.SchedBalancing, Param: 0.1, Seed: 7},
-		{Workload: "SDSC", JobCount: 120, FailureNominal: 1000, Scheduler: experiments.SchedBalancing, Param: 0.9, Seed: 7},
-		{Workload: "SDSC", JobCount: 120, FailureNominal: 2000, Scheduler: experiments.SchedTieBreak, Param: 0.5, Seed: 7},
-		{Workload: "NASA", JobCount: 100, FailureNominal: 1000, Scheduler: experiments.SchedBalancing, Param: 0.5, Seed: 7},
-	}
-}
+// The grid itself is exported as experiments.GoldenGrid so the
+// golden-trace test (golden_trace_test.go) and tooling pin the same
+// six points.
 
 // sweepDigest executes the grid and folds every run's full JSONL event
 // log plus a summary line into one digest. Float fields print through
@@ -41,7 +29,7 @@ func sweepGoldenGrid() []experiments.RunConfig {
 func sweepDigest(t *testing.T) string {
 	t.Helper()
 	h := sha256.New()
-	for i, cfg := range sweepGoldenGrid() {
+	for i, cfg := range experiments.GoldenGrid() {
 		var events bytes.Buffer
 		cfg.EventLog = &events
 		res, err := experiments.Run(cfg)

@@ -1,0 +1,244 @@
+// Package benchhist parses `go test -bench` output into committed
+// benchmark snapshots and compares runs against them — the repository's
+// performance ledger. A snapshot is a JSON file named BENCH_NNNN.json
+// in a history directory; the highest number is the current baseline.
+// The CI bench guard runs the tracked benchmarks, compares against the
+// baseline, and fails on regressions beyond a threshold, so performance
+// changes are as deliberate (and as reviewable) as golden-digest
+// changes.
+package benchhist
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line's measurements. Name has the
+// -GOMAXPROCS suffix stripped, so snapshots compare across machines
+// with different core counts.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+// Snapshot is one committed history entry.
+type Snapshot struct {
+	Schema int    `json:"schema"`
+	Label  string `json:"label,omitempty"`
+	Go     string `json:"go,omitempty"`
+	GOOS   string `json:"goos,omitempty"`
+	GOARCH string `json:"goarch,omitempty"`
+	// RecordedUnix is the wall-clock second the snapshot was taken.
+	RecordedUnix int64    `json:"recorded_unix,omitempty"`
+	Benchmarks   []Result `json:"benchmarks"`
+}
+
+// benchLine matches one `go test -bench` result line, e.g.
+//
+//	BenchmarkFastFinderWarm-8   1234567   972.4 ns/op   120 B/op   3 allocs/op
+var benchLine = regexp.MustCompile(`^(Benchmark[^\s]*)\s+(\d+)\s+([0-9.eE+]+) ns/op(.*)$`)
+
+// unitVal extracts a "<value> <unit>" measurement from a line's tail.
+func unitVal(tail, unit string) float64 {
+	for _, f := range strings.Split(tail, "\t") {
+		f = strings.TrimSpace(f)
+		if v, ok := strings.CutSuffix(f, " "+unit); ok {
+			if x, err := strconv.ParseFloat(strings.TrimSpace(v), 64); err == nil {
+				return x
+			}
+		}
+	}
+	return 0
+}
+
+// stripProcs removes the trailing -N GOMAXPROCS suffix from a
+// benchmark name (only from the last path segment, so a sub-benchmark
+// named "size-64" keeps its name).
+func stripProcs(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// Parse reads `go test -bench` output (possibly several concatenated
+// package runs) and returns its benchmark results in input order.
+// Non-benchmark lines are ignored; duplicate names keep the last
+// measurement.
+func Parse(r io.Reader) ([]Result, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	var out []Result
+	index := map[string]int{}
+	for sc.Scan() {
+		m := benchLine.FindStringSubmatch(sc.Text())
+		if m == nil {
+			continue
+		}
+		iters, err := strconv.ParseInt(m[2], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchhist: iterations %q: %w", m[2], err)
+		}
+		ns, err := strconv.ParseFloat(m[3], 64)
+		if err != nil {
+			return nil, fmt.Errorf("benchhist: ns/op %q: %w", m[3], err)
+		}
+		res := Result{
+			Name:        stripProcs(m[1]),
+			Iterations:  iters,
+			NsPerOp:     ns,
+			BytesPerOp:  unitVal(m[4], "B/op"),
+			AllocsPerOp: unitVal(m[4], "allocs/op"),
+		}
+		if i, ok := index[res.Name]; ok {
+			out[i] = res
+			continue
+		}
+		index[res.Name] = len(out)
+		out = append(out, res)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Delta is one benchmark's baseline-to-current comparison.
+type Delta struct {
+	Name    string
+	OldNs   float64
+	NewNs   float64
+	Percent float64 // (new-old)/old * 100; positive = slower
+}
+
+// Compare matches current results against a baseline snapshot by name
+// and returns the deltas, sorted worst-regression first. Benchmarks
+// present on only one side are skipped: a renamed or added benchmark
+// becomes part of the baseline at the next Record, it cannot fail the
+// guard retroactively.
+func Compare(baseline *Snapshot, current []Result) []Delta {
+	old := map[string]float64{}
+	for _, r := range baseline.Benchmarks {
+		old[r.Name] = r.NsPerOp
+	}
+	var ds []Delta
+	for _, r := range current {
+		o, ok := old[r.Name]
+		if !ok || o <= 0 {
+			continue
+		}
+		ds = append(ds, Delta{
+			Name: r.Name, OldNs: o, NewNs: r.NsPerOp,
+			Percent: (r.NsPerOp - o) / o * 100,
+		})
+	}
+	sort.Slice(ds, func(i, j int) bool { return ds[i].Percent > ds[j].Percent })
+	return ds
+}
+
+// Regressions filters deltas slower than thresholdPercent.
+func Regressions(ds []Delta, thresholdPercent float64) []Delta {
+	var out []Delta
+	for _, d := range ds {
+		if d.Percent > thresholdPercent {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// snapPattern names history entries; the numeric field orders them.
+var snapPattern = regexp.MustCompile(`^BENCH_(\d{4})\.json$`)
+
+// Latest returns the highest-numbered snapshot in dir and its path.
+// A missing or empty directory returns (nil, "", nil).
+func Latest(dir string) (*Snapshot, string, error) {
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return nil, "", nil
+	}
+	if err != nil {
+		return nil, "", err
+	}
+	best, bestN := "", -1
+	for _, e := range entries {
+		m := snapPattern.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, _ := strconv.Atoi(m[1])
+		if n > bestN {
+			best, bestN = e.Name(), n
+		}
+	}
+	if bestN < 0 {
+		return nil, "", nil
+	}
+	path := filepath.Join(dir, best)
+	snap, err := Read(path)
+	if err != nil {
+		return nil, "", err
+	}
+	return snap, path, nil
+}
+
+// NextPath returns the path the next snapshot in dir should be written
+// to (BENCH_0001.json in an empty history).
+func NextPath(dir string) (string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil && !os.IsNotExist(err) {
+		return "", err
+	}
+	n := 0
+	for _, e := range entries {
+		m := snapPattern.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		if k, _ := strconv.Atoi(m[1]); k > n {
+			n = k
+		}
+	}
+	return filepath.Join(dir, fmt.Sprintf("BENCH_%04d.json", n+1)), nil
+}
+
+// Read loads one snapshot file.
+func Read(path string) (*Snapshot, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var s Snapshot
+	if err := json.Unmarshal(b, &s); err != nil {
+		return nil, fmt.Errorf("benchhist: %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// Write stores a snapshot as indented JSON (committed files diff
+// cleanly), creating the directory as needed.
+func Write(path string, s *Snapshot) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}

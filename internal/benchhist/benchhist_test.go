@@ -1,0 +1,128 @@
+package benchhist
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: bgsched
+cpu: Some CPU @ 2.40GHz
+BenchmarkFastFinderCold-8   	     100	  11260000 ns/op	 5242880 B/op	    1200 allocs/op
+BenchmarkFastFinderWarm-8   	 1234567	       972.4 ns/op	     120 B/op	       3 allocs/op
+BenchmarkRunBuildColdVsWarm/Cold-8         	      50	  22000000 ns/op
+BenchmarkRunBuildColdVsWarm/Warm-8         	   20000	     61000 ns/op	   18000 B/op	      95 allocs/op
+BenchmarkSchedulerDecision/balancing/size-64-8 	    5000	    240000 ns/op
+PASS
+ok  	bgsched	12.345s
+`
+
+func TestParse(t *testing.T) {
+	rs, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 5 {
+		t.Fatalf("parsed %d results, want 5: %+v", len(rs), rs)
+	}
+	byName := map[string]Result{}
+	for _, r := range rs {
+		byName[r.Name] = r
+	}
+	warm, ok := byName["BenchmarkFastFinderWarm"]
+	if !ok {
+		t.Fatalf("GOMAXPROCS suffix not stripped: %v", byName)
+	}
+	if warm.NsPerOp != 972.4 || warm.Iterations != 1234567 || warm.BytesPerOp != 120 || warm.AllocsPerOp != 3 {
+		t.Fatalf("warm = %+v", warm)
+	}
+	// Sub-benchmark names keep their path; only the procs suffix goes.
+	if _, ok := byName["BenchmarkRunBuildColdVsWarm/Warm"]; !ok {
+		t.Fatalf("missing sub-benchmark: %v", byName)
+	}
+	// A non-numeric trailing segment ("size-64") is not a procs suffix.
+	if _, ok := byName["BenchmarkSchedulerDecision/balancing/size-64"]; !ok {
+		t.Fatalf("size-64 name mangled: %v", byName)
+	}
+	if cold := byName["BenchmarkRunBuildColdVsWarm/Cold"]; cold.BytesPerOp != 0 {
+		t.Fatalf("cold has no B/op column, got %+v", cold)
+	}
+}
+
+func TestParseDuplicateKeepsLast(t *testing.T) {
+	out := "BenchmarkX-4 100 50 ns/op\nBenchmarkX-4 100 75 ns/op\n"
+	rs, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs) != 1 || rs[0].NsPerOp != 75 {
+		t.Fatalf("want single result at 75 ns/op, got %+v", rs)
+	}
+}
+
+func TestCompareAndRegressions(t *testing.T) {
+	base := &Snapshot{Benchmarks: []Result{
+		{Name: "A", NsPerOp: 100},
+		{Name: "B", NsPerOp: 100},
+		{Name: "Gone", NsPerOp: 100},
+	}}
+	cur := []Result{
+		{Name: "A", NsPerOp: 130}, // +30%: regression
+		{Name: "B", NsPerOp: 90},  // -10%: improvement
+		{Name: "New", NsPerOp: 5}, // no baseline: skipped
+	}
+	ds := Compare(base, cur)
+	if len(ds) != 2 {
+		t.Fatalf("deltas = %+v, want 2", ds)
+	}
+	if ds[0].Name != "A" || ds[0].Percent != 30 {
+		t.Fatalf("worst-first ordering broken: %+v", ds)
+	}
+	regs := Regressions(ds, 25)
+	if len(regs) != 1 || regs[0].Name != "A" {
+		t.Fatalf("regressions = %+v", regs)
+	}
+	if regs := Regressions(ds, 35); len(regs) != 0 {
+		t.Fatalf("threshold 35 should pass, got %+v", regs)
+	}
+}
+
+func TestHistoryRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+
+	// Empty history: no baseline, first snapshot is BENCH_0001.json.
+	snap, path, err := Latest(dir)
+	if err != nil || snap != nil || path != "" {
+		t.Fatalf("empty Latest = %v %q %v", snap, path, err)
+	}
+	next, err := NextPath(dir)
+	if err != nil || filepath.Base(next) != "BENCH_0001.json" {
+		t.Fatalf("NextPath = %q %v", next, err)
+	}
+
+	if err := Write(next, &Snapshot{Schema: 1, Label: "first",
+		Benchmarks: []Result{{Name: "A", NsPerOp: 100}}}); err != nil {
+		t.Fatal(err)
+	}
+	next2, _ := NextPath(dir)
+	if filepath.Base(next2) != "BENCH_0002.json" {
+		t.Fatalf("NextPath after first = %q", next2)
+	}
+	if err := Write(next2, &Snapshot{Schema: 1, Label: "second",
+		Benchmarks: []Result{{Name: "A", NsPerOp: 110}}}); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, path, err = Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Label != "second" || filepath.Base(path) != "BENCH_0002.json" {
+		t.Fatalf("Latest = %q from %q", snap.Label, path)
+	}
+	if snap.Benchmarks[0].NsPerOp != 110 {
+		t.Fatalf("round trip lost data: %+v", snap.Benchmarks)
+	}
+}

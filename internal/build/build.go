@@ -8,8 +8,17 @@ import (
 	"bgsched/internal/sim"
 	"bgsched/internal/telemetry"
 	"bgsched/internal/torus"
+	"bgsched/internal/trace"
 	"bgsched/internal/workload"
 )
+
+// hitField renders a stage lookup result as a span attribute.
+func hitField(hit bool) trace.Field {
+	if hit {
+		return trace.F("cache", "hit")
+	}
+	return trace.F("cache", "miss")
+}
 
 // buildMetrics holds the builder's cache instruments, resolved per
 // Build call against the run's registry. With a nil registry every
@@ -80,6 +89,8 @@ func (b *Builder) Build(cfg RunConfig) (sim.Config, *Artifacts, error) {
 	// A nil registry yields nil instruments, which record as no-ops.
 	met := buildMetrics{hits: reg.Counter("build.cache.hits"), misses: reg.Counter("build.cache.misses"), reg: reg}
 	cache := b.cache()
+	buildSpan := cfg.Trace.Begin("build", "build")
+	defer buildSpan.End()
 
 	// Stage 1: geometry. A pure value — parsed, never cached.
 	g, err := geometry(cfg)
@@ -99,6 +110,7 @@ func (b *Builder) Build(cfg RunConfig) (sim.Config, *Artifacts, error) {
 		Estimate float64
 		Seed     int64
 	}{cfg.Workload, cfg.JobCount, estFactor, cfg.Seed})
+	logSpan := cfg.Trace.Begin("build", "workload")
 	logV, hit, err := cache.GetOrCompute(logKey, func() (any, error) {
 		preset, err := workload.PresetByName(cfg.Workload, cfg.JobCount)
 		if err != nil {
@@ -109,6 +121,7 @@ func (b *Builder) Build(cfg RunConfig) (sim.Config, *Artifacts, error) {
 		}
 		return workload.Synthesize(preset, cfg.Seed)
 	})
+	logSpan.End(hitField(hit && err == nil))
 	if err != nil {
 		return sim.Config{}, nil, err
 	}
@@ -125,9 +138,11 @@ func (b *Builder) Build(cfg RunConfig) (sim.Config, *Artifacts, error) {
 		LoadScale float64
 		Exact     bool
 	}{logKey, g, cfg.LoadScale, exact})
+	jobsSpan := cfg.Trace.Begin("build", "jobs")
 	jobsV, hit, err := cache.GetOrCompute(jobsKey, func() (any, error) {
 		return log.ToJobs(g, workload.ToJobsConfig{LoadScale: cfg.LoadScale, ExactEstimates: exact})
 	})
+	jobsSpan.End(hitField(hit && err == nil))
 	if err != nil {
 		return sim.Config{}, nil, err
 	}
@@ -139,7 +154,7 @@ func (b *Builder) Build(cfg RunConfig) (sim.Config, *Artifacts, error) {
 	// nominal counts that scale to the same injection share an entry.
 	span := log.Span() * QueueDrainSlack
 	count := ScaledFailureCount(cfg.FailureNominal, cfg.FailureScale, span)
-	var trace failure.Trace
+	var ftrace failure.Trace
 	if count > 0 {
 		traceKey := stageKey("trace", struct {
 			Nodes int
@@ -147,20 +162,22 @@ func (b *Builder) Build(cfg RunConfig) (sim.Config, *Artifacts, error) {
 			Span  float64
 			Seed  int64
 		}{g.N(), count, span, cfg.Seed + 1})
+		traceSpan := cfg.Trace.Begin("build", "failure-trace")
 		traceV, hit, err := cache.GetOrCompute(traceKey, func() (any, error) {
 			return failure.Generate(failure.DefaultGeneratorConfig(g.N(), count, span), cfg.Seed+1)
 		})
+		traceSpan.End(hitField(hit && err == nil))
 		if err != nil {
 			return sim.Config{}, nil, err
 		}
 		met.record("trace", hit)
-		trace = traceV.(failure.Trace)
+		ftrace = traceV.(failure.Trace)
 	}
 
 	// Stage 5: failure index, keyed by the trace's identity and
 	// materialised lazily — only the predictor-driven policies and the
 	// predictive checkpointer consult it.
-	art := &Artifacts{Geometry: g, Log: log, Jobs: jobs, Span: span, Failures: count, Trace: trace}
+	art := &Artifacts{Geometry: g, Log: log, Jobs: jobs, Span: span, Failures: count, Trace: ftrace}
 	index := func() (*failure.Index, error) {
 		if art.Index != nil {
 			return art.Index, nil
@@ -171,9 +188,11 @@ func (b *Builder) Build(cfg RunConfig) (sim.Config, *Artifacts, error) {
 			Span  float64
 			Seed  int64
 		}{g.N(), count, span, cfg.Seed + 1})
+		ixSpan := cfg.Trace.Begin("build", "failure-index")
 		ixV, hit, err := cache.GetOrCompute(ixKey, func() (any, error) {
-			return failure.NewIndex(g.N(), trace), nil
+			return failure.NewIndex(g.N(), ftrace), nil
 		})
+		ixSpan.End(hitField(hit && err == nil))
 		if err != nil {
 			return nil, err
 		}
@@ -212,7 +231,7 @@ func (b *Builder) Build(cfg RunConfig) (sim.Config, *Artifacts, error) {
 		Geometry:        g,
 		Scheduler:       sched,
 		Jobs:            jobs,
-		Failures:        trace,
+		Failures:        ftrace,
 		Downtime:        cfg.Downtime,
 		MigrationCost:   cfg.MigrationCost,
 		Checkpoint:      ckpt,
@@ -220,6 +239,8 @@ func (b *Builder) Build(cfg RunConfig) (sim.Config, *Artifacts, error) {
 		CheckInvariants: cfg.CheckInvariants,
 		EventLog:        cfg.EventLog,
 		Telemetry:       cfg.Telemetry,
+		Trace:           cfg.Trace,
+		Flight:          cfg.Flight,
 	}, art, nil
 }
 

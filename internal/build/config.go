@@ -30,6 +30,7 @@ import (
 	"bgsched/internal/predict"
 	"bgsched/internal/telemetry"
 	"bgsched/internal/torus"
+	"bgsched/internal/trace"
 )
 
 // SchedulerKind names the scheduling algorithm under test.
@@ -135,6 +136,13 @@ type RunConfig struct {
 	// registry collects the whole run's "sched.*", "finder.*", "sim.*"
 	// and "build.*" instruments.
 	Telemetry *telemetry.Registry
+	// Trace, when non-nil, receives build-stage spans (wall-clock,
+	// gated by the tracer's options) and the simulator's causal
+	// lifecycle records (sim.Config.Trace).
+	Trace *trace.Tracer
+	// Flight, when non-nil, is the run's kernel flight recorder
+	// (sim.Config.Flight).
+	Flight *trace.FlightRecorder
 
 	Seed int64
 }
@@ -161,14 +169,16 @@ func (c *RunConfig) Normalize() {
 }
 
 // Canonical returns the config with defaults filled and the
-// process-local fields (EventLog, Telemetry) cleared: the form that
-// hashes identically for semantically identical requests. The service
-// layer canonicalises every submitted config before hashing it, so
-// {"Workload":"SDSC"} and {"Workload":"SDSC","JobCount":2000} land on
-// the same cache entry.
+// process-local fields (EventLog, Telemetry, Trace, Flight) cleared:
+// the form that hashes identically for semantically identical
+// requests. The service layer canonicalises every submitted config
+// before hashing it, so {"Workload":"SDSC"} and
+// {"Workload":"SDSC","JobCount":2000} land on the same cache entry.
 func (c RunConfig) Canonical() RunConfig {
 	c.EventLog = nil
 	c.Telemetry = nil
+	c.Trace = nil
+	c.Flight = nil
 	c.Normalize()
 	return c
 }

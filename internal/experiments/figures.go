@@ -86,7 +86,10 @@ func metricValue(metric string, s metricsSummary) (float64, error) {
 
 // Spec identifies one reproducible figure of the paper. Run executes
 // the figure through the given engine; a nil engine runs sequentially
-// with legacy fail-fast semantics (see Engine).
+// with legacy fail-fast semantics (see Engine). On error Run returns
+// the partially-filled tables alongside it — completed points hold
+// values, never-run slots hold NaN — so interrupted sweeps can flush
+// partial results.
 type Spec struct {
 	ID    string
 	Title string
@@ -161,10 +164,10 @@ func Figure3(eng *Engine, opt Options) ([]*Table, error) {
 				baseCfg(opt, "SDSC", 1.0, n, SchedBalancing, a), &t.Series[si], xi))
 		}
 	}
-	if err := eng.runPoints("fig3", pts); err != nil {
-		return nil, err
-	}
-	return []*Table{t}, nil
+	// On error (cancellation included) the partially-filled table is
+	// returned alongside it: completed points hold values, the rest NaN,
+	// so an interrupted sweep can still flush what it finished.
+	return []*Table{t}, eng.runPoints("fig3", pts)
 }
 
 // Figure4 reproduces Figure 4: average bounded slowdown versus failure
@@ -191,10 +194,7 @@ func Figure4(eng *Engine, opt Options) ([]*Table, error) {
 				baseCfg(opt, "SDSC", c, n, SchedBalancing, 0.1), &t.Series[si], xi))
 		}
 	}
-	if err := eng.runPoints("fig4", pts); err != nil {
-		return nil, err
-	}
-	return []*Table{t}, nil
+	return []*Table{t}, eng.runPoints("fig4", pts)
 }
 
 // Figure5 reproduces Figure 5: the capacity split (utilised / unused /
@@ -222,10 +222,7 @@ func Figure5(eng *Engine, opt Options) ([]*Table, error) {
 		}
 		tables = append(tables, t)
 	}
-	if err := eng.runPoints("fig5", pts); err != nil {
-		return nil, err
-	}
-	return tables, nil
+	return tables, eng.runPoints("fig5", pts)
 }
 
 // paramFigure builds the three-panel slowdown-vs-parameter figure
@@ -256,10 +253,7 @@ func paramFigure(eng *Engine, opt Options, id, param string, kind SchedulerKind)
 		}
 		tables = append(tables, t)
 	}
-	if err := eng.runPoints(id, pts); err != nil {
-		return nil, err
-	}
-	return tables, nil
+	return tables, eng.runPoints(id, pts)
 }
 
 // Figure6 reproduces Figure 6: average bounded slowdown versus
@@ -293,10 +287,7 @@ func utilizationParamFigure(eng *Engine, opt Options, id, wl, param string, kind
 		}
 		tables = append(tables, t)
 	}
-	if err := eng.runPoints(id, pts); err != nil {
-		return nil, err
-	}
-	return tables, nil
+	return tables, eng.runPoints(id, pts)
 }
 
 // Figure7 reproduces Figure 7: capacity split versus confidence for the

@@ -43,10 +43,10 @@ func KrevatTable(eng *Engine, opt Options, workload string, loadScale float64) (
 	}
 	t.allocTelemetry(n, opt)
 	t.Series = []Series{
-		{Name: "slowdown", Y: make([]float64, n)},
-		{Name: "response-s", Y: make([]float64, n)},
-		{Name: "wait-s", Y: make([]float64, n)},
-		{Name: "utilized", Y: make([]float64, n)},
+		{Name: "slowdown", Y: nanSlots(n)},
+		{Name: "response-s", Y: nanSlots(n)},
+		{Name: "wait-s", Y: nanSlots(n)},
+		{Name: "utilized", Y: nanSlots(n)},
 	}
 	var pts []point
 	for i, v := range KrevatVariants {
@@ -103,8 +103,7 @@ func KrevatTable(eng *Engine, opt Options, workload string, loadScale float64) (
 			},
 		})
 	}
-	if err := eng.runPoints("krevat", pts); err != nil {
-		return nil, err
-	}
-	return t, nil
+	// The partially-filled table rides along with any error, so an
+	// interrupted run still surfaces the variants that completed.
+	return t, eng.runPoints("krevat", pts)
 }

@@ -27,10 +27,10 @@ func LearnedSweep(eng *Engine, opt Options, wl string) (*Table, error) {
 	}
 	n := len(thresholds)
 	t.Series = []Series{
-		{Name: "baseline", Y: make([]float64, n)},
+		{Name: "baseline", Y: nanSlots(n)},
 		newSeries("balancing-learned", n, opt),
 		newSeries("tiebreak-learned", n, opt),
-		{Name: "balancing-knob-0.5", Y: make([]float64, n)},
+		{Name: "balancing-knob-0.5", Y: nanSlots(n)},
 	}
 
 	var pts []point
@@ -48,10 +48,8 @@ func LearnedSweep(eng *Engine, opt Options, wl string) (*Table, error) {
 		flatLinePoint(opt, "ref|baseline", baseCfg(opt, wl, 1.0, 1000, SchedBaseline, 0), &t.Series[0]),
 		flatLinePoint(opt, "ref|knob-0.5", baseCfg(opt, wl, 1.0, 1000, SchedBalancing, 0.5), &t.Series[3]))
 
-	if err := eng.runPoints("learned", pts); err != nil {
-		return nil, err
-	}
-	return t, nil
+	// Partial tables ride along with any error (see KrevatTable).
+	return t, eng.runPoints("learned", pts)
 }
 
 // flatLinePoint builds the point computing one reference value and

@@ -4,11 +4,15 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"os"
+	"path/filepath"
 	"sort"
+	"strings"
 	"sync"
 
 	"bgsched/internal/resilience"
 	"bgsched/internal/telemetry"
+	"bgsched/internal/trace"
 )
 
 // Engine coordinates crash-resilient sweep execution for the figure
@@ -59,6 +63,16 @@ type Engine struct {
 	// bounds the fast finder's enumeration pool per point.
 	Finder        string
 	FinderWorkers int
+	// TraceDir, when non-empty, writes one NDJSON causal trace per
+	// fresh point to <TraceDir>/<figure>-<key>.trace.ndjson (see
+	// internal/trace), headed by a meta record identifying the point.
+	// Resumed points produce no trace (they do not re-run).
+	TraceDir string
+	// FlightEvents, when > 0, equips every fresh point's simulation
+	// with a kernel flight recorder of that many events, dumping to
+	// stderr on an invariant violation and answering SIGQUIT while the
+	// point is in flight.
+	FlightEvents int
 
 	mu       sync.Mutex
 	failures []*resilience.PointError
@@ -162,6 +176,22 @@ func (e *Engine) runPoints(figure string, pts []point) error {
 				p.cfg.Finder = e.Finder
 				p.cfg.FinderWorkers = e.FinderWorkers
 			}
+			if e.FlightEvents > 0 {
+				p.cfg.Flight = trace.NewFlightRecorder(e.FlightEvents, os.Stderr, figure+" "+p.key)
+			}
+			if e.TraceDir != "" {
+				f, err := e.openPointTrace(figure, p.key)
+				if err != nil {
+					return err
+				}
+				defer f.Close()
+				p.cfg.Trace = trace.New(f, trace.Options{})
+				p.cfg.Trace.Meta(
+					trace.F("figure", figure), trace.F("point", p.key),
+					trace.F("workload", p.cfg.Workload),
+					trace.F("scheduler", string(p.cfg.Scheduler)),
+					trace.Fint("seed", p.cfg.Seed))
+			}
 		}
 
 		var vals []float64
@@ -208,10 +238,48 @@ func (e *Engine) runPoints(figure string, pts []point) error {
 	})
 }
 
+// openPointTrace creates the per-point trace artifact file, creating
+// TraceDir on first use.
+func (e *Engine) openPointTrace(figure, key string) (*os.File, error) {
+	if err := os.MkdirAll(e.TraceDir, 0o755); err != nil {
+		return nil, fmt.Errorf("experiments: trace dir: %w", err)
+	}
+	name := figure + "-" + sanitizeKey(key) + ".trace.ndjson"
+	f, err := os.Create(filepath.Join(e.TraceDir, name))
+	if err != nil {
+		return nil, fmt.Errorf("experiments: point trace: %w", err)
+	}
+	return f, nil
+}
+
+// sanitizeKey maps a point key onto a filesystem-safe name: the keys
+// use "|" as a field separator and may carry "=" and ".".
+func sanitizeKey(key string) string {
+	return strings.Map(func(r rune) rune {
+		switch r {
+		case '|', '/', '\\', ':', ' ':
+			return '_'
+		}
+		return r
+	}, key)
+}
+
+// nanSlots pre-fills a value slice with NaN so slots of points that
+// never ran — a cancelled sweep, a failed point — read as "absent"
+// rather than as a plausible zero. Completed points overwrite their
+// slots; a fully-run figure contains no NaN unless a point failed.
+func nanSlots(n int) []float64 {
+	y := make([]float64, n)
+	for i := range y {
+		y[i] = math.NaN()
+	}
+	return y
+}
+
 // newSeries pre-allocates one curve with n point slots (plus telemetry
 // slots when collection is on), ready for concurrent slot filling.
 func newSeries(name string, n int, opt Options) Series {
-	s := Series{Name: name, Y: make([]float64, n)}
+	s := Series{Name: name, Y: nanSlots(n)}
 	if opt.CollectTelemetry {
 		s.Telemetry = make([]*telemetry.Snapshot, n)
 	}
@@ -223,9 +291,9 @@ func newSeries(name string, n int, opt Options) Series {
 // table (the three series share runs), so no series telemetry slots.
 func capacitySeries(n int) []Series {
 	return []Series{
-		{Name: "utilized", Y: make([]float64, n)},
-		{Name: "unused", Y: make([]float64, n)},
-		{Name: "lost", Y: make([]float64, n)},
+		{Name: "utilized", Y: nanSlots(n)},
+		{Name: "unused", Y: nanSlots(n)},
+		{Name: "lost", Y: nanSlots(n)},
 	}
 }
 

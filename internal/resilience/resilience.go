@@ -16,6 +16,7 @@ import (
 	"errors"
 	"fmt"
 	"runtime/debug"
+	"sync"
 )
 
 // PanicError wraps a recovered panic value together with the stack at
@@ -30,13 +31,46 @@ func (e *PanicError) Error() string {
 	return fmt.Sprintf("panic: %v", e.Value)
 }
 
+// panicHooks are observers notified when Safe contains a panic, before
+// the *PanicError is returned. The flight recorder registers here so a
+// contained crash still dumps the last kernel events alongside the
+// stack, without resilience importing the trace layer.
+var (
+	panicHookMu sync.Mutex
+	panicHooks  []func(*PanicError)
+)
+
+// RegisterPanicHook adds fn to the observers run when Safe contains a
+// panic. Hooks must not panic themselves; a panicking hook is contained
+// and ignored so diagnostics can never turn a survivable crash fatal.
+func RegisterPanicHook(fn func(*PanicError)) {
+	panicHookMu.Lock()
+	defer panicHookMu.Unlock()
+	panicHooks = append(panicHooks, fn)
+}
+
+// firePanicHooks runs the registered observers against pe.
+func firePanicHooks(pe *PanicError) {
+	panicHookMu.Lock()
+	hooks := panicHooks
+	panicHookMu.Unlock()
+	for _, fn := range hooks {
+		func() {
+			defer func() { _ = recover() }()
+			fn(pe)
+		}()
+	}
+}
+
 // Safe runs fn, converting a panic into a *PanicError instead of
 // unwinding past the caller. Errors returned by fn pass through
-// unchanged.
+// unchanged. Registered panic hooks observe the contained panic.
 func Safe(fn func() error) (err error) {
 	defer func() {
 		if v := recover(); v != nil {
-			err = &PanicError{Value: v, Stack: debug.Stack()}
+			pe := &PanicError{Value: v, Stack: debug.Stack()}
+			firePanicHooks(pe)
+			err = pe
 		}
 	}()
 	return fn()

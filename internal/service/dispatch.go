@@ -11,6 +11,7 @@ import (
 	"bgsched/internal/resilience"
 	"bgsched/internal/sim"
 	"bgsched/internal/telemetry"
+	"bgsched/internal/trace"
 )
 
 // errQueueFull is returned by enqueue when the bounded queue is
@@ -37,6 +38,7 @@ func (s *Server) enqueue(kind, hash string, cfg any, wait bool) (*run, error) {
 		state:     StateQueued,
 		submitted: time.Now(),
 		events:    newEventBuffer(s.cfg.MaxEventBytes),
+		traces:    newEventBuffer(s.cfg.MaxEventBytes),
 		done:      make(chan struct{}),
 	}
 	r.ctx, r.cancel = context.WithCancel(s.baseCtx)
@@ -88,6 +90,7 @@ func (s *Server) runOne(r *run) {
 		attempts++
 		if attempts > 1 {
 			r.events.reset() // a retry restarts the event stream
+			r.traces.reset() // ... and the causal trace
 		}
 		err = resilience.Safe(func() error {
 			var execErr error
@@ -125,8 +128,21 @@ func (s *Server) executeTask(ctx context.Context, r *run) (any, error) {
 		cfg.Telemetry = reg
 		esw := sim.NewEventStreamWriter(r.events.append)
 		cfg.EventLog = esw
+		// The causal trace streams into its own buffer the same way the
+		// event log does; wall spans are on so the request's build stages
+		// show up alongside the simulated-time lifecycle records.
+		tsw := sim.NewEventStreamWriter(r.traces.append)
+		cfg.Trace = trace.New(tsw, trace.Options{WallSpans: true})
+		cfg.Trace.Meta(trace.F("run", r.id), trace.F("workload", cfg.Workload),
+			trace.F("scheduler", string(cfg.Scheduler)), trace.Fint("seed", cfg.Seed))
+		if s.cfg.FlightEvents > 0 {
+			// Registered/unregistered around the run by sim.RunContext, so
+			// GET /debug/flight sees exactly the in-flight runs.
+			cfg.Flight = trace.NewFlightRecorder(s.cfg.FlightEvents, nil, "run "+r.id)
+		}
 		res, err := experiments.RunContext(ctx, cfg)
 		esw.Close()
+		tsw.Close()
 		if err != nil {
 			return nil, err
 		}
@@ -193,6 +209,9 @@ func (s *Server) finish(r *run, attempts int, payload any, err error) {
 	s.mu.Unlock()
 
 	r.events.close()
+	if r.traces != nil {
+		r.traces.close()
+	}
 	close(r.done)
 	if persist && s.journal != nil {
 		lines, _ := r.events.counts()
@@ -244,6 +263,9 @@ func (s *Server) cancelRun(r *run, reason string) bool {
 		s.mu.Unlock()
 		r.cancel()
 		r.events.close()
+		if r.traces != nil {
+			r.traces.close()
+		}
 		close(r.done)
 		return true
 	case StateRunning:

@@ -12,6 +12,7 @@ import (
 	"bgsched/internal/partition"
 	"bgsched/internal/telemetry"
 	"bgsched/internal/torus"
+	"bgsched/internal/trace"
 	"bgsched/internal/workload"
 )
 
@@ -28,7 +29,9 @@ func (s *Server) buildHandler() http.Handler {
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleGetRun)
 	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancelRun)
 	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleStreamEvents)
+	mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleStreamTrace)
 	mux.HandleFunc("POST /v1/figures/{fig}", s.handleSubmitFigure)
+	mux.HandleFunc("GET /debug/flight", s.handleFlightDump)
 	if s.cfg.EnablePprof {
 		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
 		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
@@ -254,6 +257,40 @@ func (s *Server) handleStreamEvents(w http.ResponseWriter, req *http.Request) {
 		s.writeErr(w, http.StatusNotFound, "no such run")
 		return
 	}
+	s.streamNDJSON(w, req, r.events)
+}
+
+// handleStreamTrace serves the run's causal trace (internal/trace
+// NDJSON records) with the same replay-and-follow semantics as the
+// event stream. Runs restored from the state journal have no retained
+// trace.
+func (s *Server) handleStreamTrace(w http.ResponseWriter, req *http.Request) {
+	r := s.lookup(req.PathValue("id"))
+	if r == nil {
+		s.writeErr(w, http.StatusNotFound, "no such run")
+		return
+	}
+	if r.traces == nil {
+		s.writeErr(w, http.StatusNotFound, "no trace retained for this run")
+		return
+	}
+	s.streamNDJSON(w, req, r.traces)
+}
+
+// handleFlightDump writes a plain-text dump of every registered kernel
+// flight recorder — one per in-flight simulation run — for live
+// incident inspection without waiting for a SIGQUIT.
+func (s *Server) handleFlightDump(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.Header().Set("Cache-Control", "no-store")
+	if n := trace.DumpFlights(w, "debug endpoint"); n == 0 {
+		io.WriteString(w, "no flight recorders registered (no simulation in flight)\n")
+	}
+}
+
+// streamNDJSON replays buffer lines as NDJSON and follows live output
+// until the buffer closes or the client disconnects.
+func (s *Server) streamNDJSON(w http.ResponseWriter, req *http.Request, buf *eventBuffer) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.Header().Set("Cache-Control", "no-store")
 	w.WriteHeader(http.StatusOK)
@@ -268,7 +305,7 @@ func (s *Server) handleStreamEvents(w http.ResponseWriter, req *http.Request) {
 	for {
 		// wait hands back every line past the cursor, so when closed is
 		// set the returned batch is the stream's tail.
-		lines, next, closed, err := r.events.wait(req.Context(), cursor)
+		lines, next, closed, err := buf.wait(req.Context(), cursor)
 		if err != nil {
 			return // client gone
 		}

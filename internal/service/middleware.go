@@ -5,13 +5,15 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"bgsched/internal/trace"
 )
 
 // opsEndpoint reports whether a path is an operational probe that must
 // stay responsive even under load shedding.
 func opsEndpoint(path string) bool {
 	return path == "/healthz" || path == "/readyz" || path == "/metrics" ||
-		strings.HasPrefix(path, "/debug/pprof")
+		path == "/debug/flight" || strings.HasPrefix(path, "/debug/pprof")
 }
 
 // limited sheds load beyond Config.MaxInFlight concurrently served API
@@ -80,10 +82,15 @@ func (s *Server) accessLogged(next http.Handler) http.Handler {
 		w.Header().Set("X-Request-ID", id)
 		sw := &statusWriter{ResponseWriter: w}
 		start := time.Now()
+		// The request span reuses the request ID as its trace identity,
+		// so one grep links the access log line, the span, and any run
+		// trace the request produced. Nil tracer: Begin/End are no-ops.
+		sp := s.cfg.Trace.Begin("http", req.Method+" "+req.URL.Path, trace.F("req", id))
 		next.ServeHTTP(sw, req)
 		if sw.status == 0 {
 			sw.status = http.StatusOK
 		}
+		sp.End(trace.Fint("status", int64(sw.status)), trace.Fint("bytes", sw.bytes))
 		if sw.status >= 500 {
 			s.m.httpErrors.Inc()
 		}

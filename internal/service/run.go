@@ -78,6 +78,10 @@ type run struct {
 	hash   string
 	cfg    any // experiments.RunConfig or figureConfig (canonical)
 	events *eventBuffer
+	// traces buffers the run's NDJSON causal trace (internal/trace)
+	// exactly as events buffers the sim event log; nil on runs restored
+	// from the state journal (traces are not persisted).
+	traces *eventBuffer
 
 	ctx    context.Context
 	cancel context.CancelFunc
@@ -118,6 +122,7 @@ type RunView struct {
 	Error      string          `json:"error,omitempty"`
 	Events     int             `json:"events"`
 	Dropped    int             `json:"events_dropped,omitempty"`
+	Traces     int             `json:"trace_records,omitempty"`
 	Config     any             `json:"config,omitempty"`
 	Result     json.RawMessage `json:"result,omitempty"`
 }
@@ -146,6 +151,9 @@ func (s *Server) viewLocked(r *run, full bool) RunView {
 	}
 	if r.events != nil {
 		v.Events, v.Dropped = r.events.counts()
+	}
+	if r.traces != nil {
+		v.Traces, _ = r.traces.counts()
 	}
 	if full {
 		v.Config = r.cfg

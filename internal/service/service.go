@@ -17,7 +17,9 @@
 //	GET  /v1/runs/{id}       one run record (full body once terminal)
 //	DELETE /v1/runs/{id}     cancel a queued or running run
 //	GET  /v1/runs/{id}/events  live NDJSON stream of the sim event log
+//	GET  /v1/runs/{id}/trace   live NDJSON stream of the causal trace
 //	POST /v1/figures/{fig}   submit a paper-figure sweep (fig3..fig10, ...)
+//	GET  /debug/flight       dump of in-flight kernel flight recorders
 //	GET  /healthz, /readyz, /metrics, /debug/pprof (opt-in)
 //
 // Operational behaviour: a saturated queue answers 429 with
@@ -38,6 +40,7 @@ import (
 	"time"
 
 	"bgsched/internal/telemetry"
+	"bgsched/internal/trace"
 )
 
 // Config tunes one Server. The zero value is usable: every field has a
@@ -83,6 +86,16 @@ type Config struct {
 	AccessLog io.Writer
 	// Telemetry is the service metrics registry; nil creates one.
 	Telemetry *telemetry.Registry
+	// Trace, when non-nil, receives one span per served HTTP request
+	// (category "http", named method+path, carrying the request ID).
+	// Request spans are wall-clock records, so the tracer must be built
+	// with trace.Options{WallSpans: true} to see them.
+	Trace *trace.Tracer
+	// FlightEvents sizes the per-run kernel flight recorder ring wired
+	// into every simulation run (default 256); negative disables the
+	// recorder. Recorders of in-flight runs are registered globally and
+	// show up on GET /debug/flight and SIGQUIT dumps.
+	FlightEvents int
 }
 
 func (c Config) withDefaults() Config {
@@ -117,6 +130,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxEventBytes <= 0 {
 		c.MaxEventBytes = 8 << 20
+	}
+	if c.FlightEvents == 0 {
+		c.FlightEvents = 256
 	}
 	if c.Telemetry == nil {
 		c.Telemetry = telemetry.New()

@@ -14,6 +14,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"bgsched/internal/trace"
 )
 
 // newTestServer builds a Server + httptest front end with fast-test
@@ -633,5 +635,170 @@ func TestParallelClientsRace(t *testing.T) {
 	}
 	if hits, _ := metricValue(t, ts.URL, "service_cache_hits"); hits == 0 {
 		t.Fatal("expected cache hits under the hammer")
+	}
+}
+
+// TestTraceEndpointServesCausalTrace checks that a completed sim run's
+// causal trace streams back as parseable trace records: a meta record
+// naming the run, the per-job lifecycle, and (because the service
+// tracer enables wall spans) the build/sim spans.
+func TestTraceEndpointServesCausalTrace(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+
+	resp, body := postJSON(t, ts.URL+"/v1/runs?wait=1", tinyRunBody)
+	if resp.StatusCode != 200 {
+		t.Fatalf("wait submit = %d %s", resp.StatusCode, body)
+	}
+	v := decodeView(t, body)
+	if v.State != StateDone {
+		t.Fatalf("state = %s (%s)", v.State, v.Error)
+	}
+	if v.Traces == 0 {
+		t.Fatal("completed run reports zero trace records")
+	}
+
+	resp, raw := getBody(t, ts.URL+"/v1/runs/"+v.ID+"/trace")
+	if resp.StatusCode != 200 {
+		t.Fatalf("trace = %d %s", resp.StatusCode, raw)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("trace content-type = %q", ct)
+	}
+	recs, err := trace.ReadLog(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatalf("ReadLog: %v", err)
+	}
+	if len(recs) != v.Traces {
+		t.Fatalf("streamed %d trace records, record says %d", len(recs), v.Traces)
+	}
+	if recs[0].Cat != "meta" || recs[0].Extra["run"] != v.ID {
+		t.Fatalf("first record is not the run meta: %+v", recs[0])
+	}
+	names := map[string]int{}
+	spans := 0
+	for _, r := range recs {
+		names[r.Cat+"/"+r.Name]++
+		if r.Span {
+			spans++
+		}
+	}
+	for _, want := range []string{"job/submit", "job/allocate", "job/start", "job/finish", "build/build", "sim/run"} {
+		if names[want] == 0 {
+			t.Fatalf("trace lacks %q records; have %v", want, names)
+		}
+	}
+	if spans == 0 {
+		t.Fatal("service trace carries no wall spans")
+	}
+
+	// No simulation in flight: the flight dump endpoint reports so.
+	resp, flight := getBody(t, ts.URL+"/debug/flight")
+	if resp.StatusCode != 200 || !bytes.Contains(flight, []byte("no flight recorders registered")) {
+		t.Fatalf("flight dump = %d %q", resp.StatusCode, flight)
+	}
+}
+
+// TestFlightDumpDuringRun holds a run in flight via the exec hook and
+// checks /debug/flight surfaces its registered recorder.
+func TestFlightDumpDuringRun(t *testing.T) {
+	release := make(chan struct{})
+	s, ts := newTestServer(t, Config{Workers: 1})
+	s.execHook = func(ctx context.Context, r *run) (any, error) {
+		fr := trace.NewFlightRecorder(4, nil, "run "+r.id)
+		fr.Record(trace.FlightEvent{T: 1, Seq: 1, Kind: "arrival", Job: 7})
+		trace.RegisterFlight(fr)
+		defer trace.UnregisterFlight(fr)
+		select {
+		case <-release:
+		case <-ctx.Done():
+		}
+		return SimResult{}, nil
+	}
+
+	resp, body := postJSON(t, ts.URL+"/v1/runs", tinyRunBody)
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit = %d %s", resp.StatusCode, body)
+	}
+	id := decodeView(t, body).ID
+
+	// Wait for the run to be in flight, then dump.
+	deadline := time.Now().Add(5 * time.Second)
+	var flight []byte
+	for {
+		_, flight = getBody(t, ts.URL+"/debug/flight")
+		if bytes.Contains(flight, []byte("flight recorder dump: run "+id)) {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("flight dump never showed run %s:\n%s", id, flight)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if !bytes.Contains(flight, []byte("kind=arrival")) {
+		t.Fatalf("dump lacks recorded event:\n%s", flight)
+	}
+	close(release)
+}
+
+// TestMetricsDuringConcurrentCompletion scrapes /metrics continuously
+// while distinct runs complete on a multi-worker pool, asserting the
+// exposition is never torn mid-drain and the completion counter is
+// monotone across scrapes — the consistency contract a Prometheus
+// scraper depends on. With -race this doubles as the regression test
+// for telemetry updates racing snapshot serialization inside the
+// service.
+func TestMetricsDuringConcurrentCompletion(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 4, QueueDepth: 64})
+
+	const runs = 12
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		var wg sync.WaitGroup
+		for i := 0; i < runs; i++ {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				body := fmt.Sprintf(`{"Workload":"NASA","JobCount":40,"Seed":%d}`, i+1)
+				resp, _ := postJSON(t, ts.URL+"/v1/runs?wait=1", body)
+				resp.Body.Close()
+			}(i)
+		}
+		wg.Wait()
+	}()
+
+	var last float64 = -1
+	for alive := true; alive; {
+		select {
+		case <-done:
+			alive = false // one final scrape below observes the end state
+		default:
+		}
+		resp, b := getBody(t, ts.URL+"/metrics")
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("scrape = %d", resp.StatusCode)
+		}
+		// Torn expositions show up as a missing terminal newline or a
+		// value line that doesn't parse.
+		if len(b) == 0 || b[len(b)-1] != '\n' {
+			t.Fatalf("truncated exposition: %q", b)
+		}
+		completed := 0.0
+		for _, line := range strings.Split(string(b), "\n") {
+			f := strings.Fields(line)
+			if len(f) == 2 && f[0] == "service_runs_completed" {
+				if _, err := fmt.Sscanf(f[1], "%g", &completed); err != nil {
+					t.Fatalf("unparseable counter mid-drain: %q", line)
+				}
+			}
+		}
+		if completed < last {
+			t.Fatalf("service_runs_completed moved backwards: %g after %g", completed, last)
+		}
+		last = completed
+	}
+	if last != runs {
+		t.Fatalf("final service_runs_completed = %g, want %d", last, runs)
 	}
 }

@@ -15,6 +15,12 @@ type kernel struct {
 	queue    eventQueue
 	now      float64
 	handlers [evKindCount]handlerFunc
+
+	// tap, when set, observes every dispatched event before its handler
+	// runs (the flight recorder's hook). Pure observation: the kernel
+	// stays mechanism-free, and a crashing handler has already had its
+	// triggering event recorded.
+	tap func(event)
 }
 
 // register installs the handler for one event kind. Each kind has
@@ -48,6 +54,9 @@ func (k *kernel) step() error {
 	k.now = e.time
 	if e.kind < 0 || int(e.kind) >= len(k.handlers) || k.handlers[e.kind] == nil {
 		return fmt.Errorf("sim: unknown event kind %d", int(e.kind))
+	}
+	if k.tap != nil {
+		k.tap(e)
 	}
 	return k.handlers[e.kind](e)
 }

@@ -29,6 +29,7 @@ package sim
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"sort"
@@ -40,6 +41,7 @@ import (
 	"bgsched/internal/metrics"
 	"bgsched/internal/telemetry"
 	"bgsched/internal/torus"
+	"bgsched/internal/trace"
 )
 
 // downOwner marks nodes held unavailable during a configured downtime.
@@ -87,6 +89,19 @@ type Config struct {
 	// per-job distributions ("sim.*" instruments; see simMetrics). A
 	// nil registry disables collection with no other behaviour change.
 	Telemetry *telemetry.Registry
+
+	// Trace, when non-nil, receives the run's causal lifecycle records:
+	// per-job submit/allocate/start/checkpoint/kill/requeue/finish
+	// chains plus machine-level failure and recovery events, linked by
+	// cause (see internal/trace). Records carry simulated time only, so
+	// traced bytes are deterministic for a fixed configuration.
+	Trace *trace.Tracer
+
+	// Flight, when non-nil, remembers the last kernel dispatches in a
+	// bounded ring, dumped on invariant violations (and, via the global
+	// registry, on contained panics or SIGQUIT) so a crash ships the
+	// event history that led up to it.
+	Flight *trace.FlightRecorder
 }
 
 // simMetrics holds the simulator's instruments, resolved once in New.
@@ -179,6 +194,9 @@ type jobProgress struct {
 	// nextEpoch issues globally unique epochs for this job's finish and
 	// checkpoint events, across restarts and checkpoint reschedules.
 	nextEpoch int
+	// lastSeq is the trace sequence number of this job's most recent
+	// lifecycle record, the Cause of its next one.
+	lastSeq uint64
 }
 
 // Simulator holds the state of one run. Create with New, execute with
@@ -208,6 +226,10 @@ type Simulator struct {
 	nStarts   int
 	nFinishes int
 	nKills    int
+
+	// lastFinishSeq is the trace sequence of the most recent finish
+	// record — the cause of any migration moves it triggers.
+	lastFinishSeq uint64
 }
 
 // New validates the configuration and prepares a simulator: the core
@@ -262,6 +284,9 @@ func New(cfg Config) (*Simulator, error) {
 		running:  make(map[job.ID]*runState),
 		progress: make(map[job.ID]*jobProgress),
 		pending:  len(cfg.Jobs),
+	}
+	if cfg.Flight != nil {
+		s.k.tap = s.flightTap
 	}
 	// Wire the dispatch table: the core lifecycle handlers, then each
 	// subsystem's own event kinds and lifecycle hooks.
@@ -325,6 +350,13 @@ const cancelCheckStride = 256
 // cancelled run returns promptly and never leaves a handler half
 // applied.
 func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
+	// The flight recorder joins the process-wide registry for the run's
+	// duration, so SIGQUIT and contained-panic dumps cover it while
+	// live; an invariant violation dumps it directly below.
+	trace.RegisterFlight(s.cfg.Flight)
+	defer trace.UnregisterFlight(s.cfg.Flight)
+	span := s.cfg.Trace.Begin("sim", "run")
+	defer span.End()
 	if err := s.observe(); err != nil {
 		return Result{}, err
 	}
@@ -344,6 +376,10 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 			err = s.verifyInvariants()
 		}
 		if err != nil {
+			var ie *InvariantError
+			if errors.As(err, &ie) {
+				_ = s.cfg.Flight.Dump("invariant violation: " + ie.Check)
+			}
 			return Result{}, err
 		}
 	}
@@ -353,6 +389,9 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 	}
 	if err := s.elog.flushErr(); err != nil {
 		return Result{}, err
+	}
+	if err := s.cfg.Trace.Err(); err != nil {
+		return Result{}, fmt.Errorf("sim: %w", err)
 	}
 	summary, err := metrics.Summarize(s.outcomes, s.cfg.Geometry.N(), unused)
 	if err != nil {
@@ -381,6 +420,8 @@ func (s *Simulator) handleArrival(e event) error {
 	s.queue.Push(j)
 	s.met.arrivals.Inc()
 	s.logEvent("arrival", j.ID, 0, nil)
+	s.progress[j.ID].lastSeq = s.traceJob("submit", j.ID, 0,
+		trace.Fint("size", int64(j.Size)))
 	if err := s.schedule(); err != nil {
 		return err
 	}
@@ -402,6 +443,12 @@ func (s *Simulator) handleFinish(e event) error {
 	p := s.progress[e.jobID]
 	wait := r.start - r.job.Arrival
 	response := s.k.now - r.job.Arrival
+	if s.cfg.Trace != nil {
+		p.lastSeq = s.traceJob("finish", e.jobID, p.lastSeq,
+			trace.Num("wait", wait), trace.Num("response", response),
+			trace.Fint("restarts", int64(p.restarts)))
+		s.lastFinishSeq = p.lastSeq
+	}
 	s.met.wait.Observe(wait)
 	s.met.response.Observe(response)
 	s.met.slowdown.Observe(metrics.BoundedSlowdown(response, r.job.Estimate))
@@ -491,6 +538,12 @@ func (s *Simulator) start(d core.Decision) {
 	s.nStarts++
 	s.met.starts.Inc()
 	s.logEvent("start", d.Job.ID, 0, &d.Part)
+	if s.cfg.Trace != nil {
+		p.lastSeq = s.traceJob("allocate", d.Job.ID, p.lastSeq,
+			trace.F("partition", d.Part.String()))
+		p.lastSeq = s.traceJob("start", d.Job.ID, p.lastSeq,
+			trace.Num("wait", s.k.now-d.Job.Arrival), trace.Fint("epoch", int64(epoch)))
+	}
 	s.k.push(event{time: r.finishTime, kind: evFinish, jobID: d.Job.ID, epoch: r.epoch})
 	for _, h := range s.startHooks {
 		h.onJobStart(r)

@@ -6,6 +6,7 @@ import (
 	"bgsched/internal/checkpoint"
 	"bgsched/internal/job"
 	"bgsched/internal/torus"
+	"bgsched/internal/trace"
 )
 
 // A subsystem is one simulator mechanism (failures, checkpointing,
@@ -63,11 +64,12 @@ func (f *failureSubsystem) handleFailure(e event) error {
 	s.met.failures.Inc()
 	owner := s.grid.OwnerAt(e.node)
 	s.logEvent("failure", job.ID(max(owner, 0)), e.node, nil)
+	failSeq := s.traceSim("failure", trace.Fint("node", int64(e.node)))
 	if owner == downOwner {
 		return nil // node already held down; the failure is absorbed
 	}
 	if owner > 0 {
-		if err := f.kill(job.ID(owner)); err != nil {
+		if err := f.kill(job.ID(owner), failSeq); err != nil {
 			return err
 		}
 	}
@@ -87,7 +89,9 @@ func (f *failureSubsystem) handleFailure(e event) error {
 }
 
 // kill terminates the run of a job hit by a failure and requeues it.
-func (f *failureSubsystem) kill(id job.ID) error {
+// cause is the trace sequence of the failure record that delivered the
+// fault, linking the kill (and the requeue behind it) to its origin.
+func (f *failureSubsystem) kill(id job.ID, cause uint64) error {
 	s := f.s
 	r, ok := s.running[id]
 	if !ok {
@@ -111,6 +115,12 @@ func (f *failureSubsystem) kill(id job.ID) error {
 	p.lostWork += float64(r.part.Size()) * wasted
 	p.restarts++
 	s.logEvent("kill", id, 0, &r.part)
+	if s.cfg.Trace != nil {
+		killSeq := s.traceJob("kill", id, cause,
+			trace.F("partition", r.part.String()),
+			trace.Num("lost_work", float64(r.part.Size())*wasted))
+		p.lastSeq = s.traceJob("requeue", id, killSeq)
+	}
 	// Removing the run state invalidates this run's pending finish and
 	// checkpoint events: their epoch can never match a future run.
 	delete(s.running, id)
@@ -125,6 +135,7 @@ func (f *failureSubsystem) handleNodeUp(e event) error {
 		return fmt.Errorf("sim: node up: %w", err)
 	}
 	s.logEvent("nodeup", 0, e.node, nil)
+	s.traceSim("nodeup", trace.Fint("node", int64(e.node)))
 	if err := s.schedule(); err != nil {
 		return err
 	}
@@ -169,6 +180,8 @@ func (c *checkpointSubsystem) handleCheckpoint(e event) error {
 	s.result.Checkpoints++
 	s.met.checkpoints.Inc()
 	s.logEvent("checkpoint", e.jobID, 0, &r.part)
+	p.lastSeq = s.traceJob("checkpoint", e.jobID, p.lastSeq,
+		trace.Num("saved_work", p.savedWork))
 
 	// The checkpoint itself costs Overhead: completion slips, and the
 	// finish event is reissued under a fresh epoch.
@@ -272,6 +285,11 @@ func (m *migrationSubsystem) afterFinish() error {
 			s.k.push(event{time: r.finishTime, kind: evFinish, jobID: r.job.ID, epoch: r.epoch})
 		}
 		s.logEvent("migrate", r.job.ID, 0, &mv.To)
+		if s.cfg.Trace != nil {
+			p := s.progress[r.job.ID]
+			p.lastSeq = s.traceJob("migrate", r.job.ID, s.lastFinishSeq,
+				trace.F("to", mv.To.String()), trace.Num("cost", s.cfg.MigrationCost))
+		}
 	}
 	return nil
 }

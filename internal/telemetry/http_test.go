@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http/httptest"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -61,6 +62,76 @@ func TestHandlerJSONFormats(t *testing.T) {
 	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
 		t.Fatalf("mixed accept: content-type = %q", ct)
 	}
+}
+
+// TestHandlerConcurrentScrape hammers the handler from parallel
+// scrapers while writer goroutines mutate every instrument kind — the
+// live-snapshot equivalent of TestConcurrentCounters. Under -race this
+// is the scrape-vs-update regression test; without it, it still
+// asserts two consistency properties every monitoring consumer relies
+// on: each exposition parses whole (no torn writes), and a counter
+// never moves backwards between scrapes.
+func TestHandlerConcurrentScrape(t *testing.T) {
+	reg := New()
+	h := Handler(reg)
+	// Register up front so even the very first scrape sees the names;
+	// the writers then race only on values, which is the property under
+	// test.
+	c := reg.Counter("svc.requests")
+	g := reg.Gauge("svc.depth")
+	hist := reg.Histogram("svc.latency")
+	stop := make(chan struct{})
+	var writers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		writers.Add(1)
+		go func(w int) {
+			defer writers.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				c.Add(1)
+				g.Set(float64(i % 8))
+				hist.Observe(float64(i%100) / 10)
+			}
+		}(w)
+	}
+
+	var scrapers sync.WaitGroup
+	for s := 0; s < 4; s++ {
+		scrapers.Add(1)
+		go func() {
+			defer scrapers.Done()
+			var last int64 = -1
+			for i := 0; i < 50; i++ {
+				rec := httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics?format=json", nil))
+				var snap Snapshot
+				if err := json.Unmarshal(rec.Body.Bytes(), &snap); err != nil {
+					t.Errorf("scrape %d torn mid-update: %v", i, err)
+					return
+				}
+				if got := snap.Counters["svc.requests"]; got < last {
+					t.Errorf("counter moved backwards: %d after %d", got, last)
+					return
+				} else {
+					last = got
+				}
+				// Alternate format on the same registry state.
+				rec = httptest.NewRecorder()
+				h.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+				if !strings.Contains(rec.Body.String(), "svc_requests") {
+					t.Errorf("scrape %d lost the counter:\n%s", i, rec.Body.String())
+					return
+				}
+			}
+		}()
+	}
+	scrapers.Wait()
+	close(stop)
+	writers.Wait()
 }
 
 func TestHandlerNilRegistry(t *testing.T) {

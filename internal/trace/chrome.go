@@ -1,0 +1,204 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+)
+
+// Record is one parsed NDJSON trace record, the read-side counterpart
+// of Rec/Span emission. Extra holds attributes beyond the fixed schema.
+type Record struct {
+	Seq         uint64
+	T           float64 // NaN when the record carried no domain time
+	Cat         string
+	Name        string
+	Job         int64
+	Cause       uint64
+	Span        bool
+	WallStartMS float64
+	WallMS      float64
+	Extra       map[string]any
+}
+
+// fixedKeys are the schema fields lifted out of the JSON object; the
+// rest lands in Extra.
+var fixedKeys = map[string]bool{
+	"seq": true, "t": true, "cat": true, "name": true, "job": true,
+	"cause": true, "span": true, "wall_start_ms": true, "wall_ms": true,
+}
+
+// ReadLog parses an NDJSON span log into records, in file order.
+// Blank lines are skipped; a malformed line fails with its line number.
+func ReadLog(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 4*1024*1024)
+	var out []Record
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var m map[string]any
+		if err := json.Unmarshal(raw, &m); err != nil {
+			return nil, fmt.Errorf("trace: line %d: %w", line, err)
+		}
+		rec := Record{T: math.NaN()}
+		if v, ok := m["seq"].(float64); ok {
+			rec.Seq = uint64(v)
+		}
+		if v, ok := m["t"].(float64); ok {
+			rec.T = v
+		}
+		rec.Cat, _ = m["cat"].(string)
+		rec.Name, _ = m["name"].(string)
+		if v, ok := m["job"].(float64); ok {
+			rec.Job = int64(v)
+		}
+		if v, ok := m["cause"].(float64); ok {
+			rec.Cause = uint64(v)
+		}
+		rec.Span, _ = m["span"].(bool)
+		if v, ok := m["wall_start_ms"].(float64); ok {
+			rec.WallStartMS = v
+		}
+		if v, ok := m["wall_ms"].(float64); ok {
+			rec.WallMS = v
+		}
+		for k, v := range m {
+			if fixedKeys[k] {
+				continue
+			}
+			if rec.Extra == nil {
+				rec.Extra = make(map[string]any)
+			}
+			rec.Extra[k] = v
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("trace: read log: %w", err)
+	}
+	return out, nil
+}
+
+// JobTimeline returns job's records in sequence order — the causal
+// lifecycle timeline (submit → allocate → start → ... → finish).
+func JobTimeline(recs []Record, job int64) []Record {
+	var out []Record
+	for _, r := range recs {
+		if r.Job == job {
+			out = append(out, r)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// chromeEvent is one entry of Chrome's trace_event JSON format
+// (chrome://tracing, Perfetto). Timestamps are microseconds.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   float64        `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int64          `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// WriteChrome converts parsed trace records into Chrome trace_event
+// JSON, loadable in chrome://tracing or Perfetto.
+//
+// Mapping: each traced run becomes a Chrome process (a new pid starts
+// whenever the record sequence resets, so concatenated logs from a
+// sweep render side by side); each job becomes a thread within it.
+// Domain records become instant events at t seconds → ts microseconds
+// (one simulated second = one rendered microsecond); per-job "wait"
+// (submit→start) and "run" (start→finish/kill) phase spans are
+// synthesized from the lifecycle records so the timeline reads as
+// bars, not just ticks. Wall-clock spans render on tid 0 at their real
+// offsets.
+func WriteChrome(w io.Writer, recs []Record) error {
+	var events []chromeEvent
+	pid := 0
+	var lastSeq uint64
+	// Per-(pid,job) pending phase starts for span synthesis.
+	type jobKey struct {
+		pid int
+		job int64
+	}
+	type phaseStart struct {
+		name string
+		t    float64
+	}
+	pending := map[jobKey][]phaseStart{}
+	closePhase := func(k jobKey, name string, end float64) {
+		stack := pending[k]
+		for i := len(stack) - 1; i >= 0; i-- {
+			if stack[i].name != name {
+				continue
+			}
+			events = append(events, chromeEvent{
+				Name: name, Cat: "job", Phase: "X",
+				TS: stack[i].t * 1e6, Dur: (end - stack[i].t) * 1e6,
+				PID: k.pid, TID: k.job,
+			})
+			pending[k] = append(stack[:i], stack[i+1:]...)
+			return
+		}
+	}
+	for _, r := range recs {
+		if r.Seq <= lastSeq || (r.Cat == "meta" && lastSeq != 0) {
+			pid++
+		}
+		lastSeq = r.Seq
+		if r.Cat == "meta" {
+			continue
+		}
+		if r.Span {
+			events = append(events, chromeEvent{
+				Name: r.Name, Cat: r.Cat, Phase: "X",
+				TS: r.WallStartMS * 1000, Dur: r.WallMS * 1000,
+				PID: pid, TID: 0, Args: r.Extra,
+			})
+			continue
+		}
+		if math.IsNaN(r.T) {
+			continue
+		}
+		args := r.Extra
+		if r.Cause != 0 {
+			args = map[string]any{"cause": r.Cause}
+			for k, v := range r.Extra {
+				args[k] = v
+			}
+		}
+		events = append(events, chromeEvent{
+			Name: r.Name, Cat: r.Cat, Phase: "i",
+			TS: r.T * 1e6, PID: pid, TID: r.Job, Scope: "t", Args: args,
+		})
+		if r.Job == 0 {
+			continue
+		}
+		k := jobKey{pid, r.Job}
+		switch r.Name {
+		case "submit", "requeue":
+			pending[k] = append(pending[k], phaseStart{"wait", r.T})
+		case "start":
+			closePhase(k, "wait", r.T)
+			pending[k] = append(pending[k], phaseStart{"run", r.T})
+		case "finish", "kill":
+			closePhase(k, "run", r.T)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(map[string]any{"traceEvents": events})
+}

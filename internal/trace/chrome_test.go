@@ -1,0 +1,166 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+// emitLifecycle writes a small two-job lifecycle trace and returns the
+// NDJSON bytes.
+func emitLifecycle(t *testing.T) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	tr := New(&buf, Options{})
+	tr.Meta(F("workload", "test"), Fint("seed", 7))
+	s1 := tr.Emit(Rec{Cat: "job", Name: "submit", T: 0, Job: 1})
+	tr.Emit(Rec{Cat: "job", Name: "start", T: 5, Job: 1, Cause: s1})
+	f := tr.Emit(Rec{Cat: "sim", Name: "failure", T: 8, Fields: []Field{Fint("node", 3)}})
+	tr.Emit(Rec{Cat: "job", Name: "kill", T: 8, Job: 1, Cause: f})
+	tr.Emit(Rec{Cat: "job", Name: "requeue", T: 8, Job: 1})
+	tr.Emit(Rec{Cat: "job", Name: "start", T: 9, Job: 1})
+	tr.Emit(Rec{Cat: "job", Name: "finish", T: 14, Job: 1})
+	tr.Emit(Rec{Cat: "job", Name: "submit", T: 2, Job: 2})
+	tr.Emit(Rec{Cat: "job", Name: "start", T: 6, Job: 2})
+	tr.Emit(Rec{Cat: "job", Name: "finish", T: 12, Job: 2})
+	return buf.Bytes()
+}
+
+func TestReadLogRoundTrip(t *testing.T) {
+	recs, err := ReadLog(bytes.NewReader(emitLifecycle(t)))
+	if err != nil {
+		t.Fatalf("ReadLog: %v", err)
+	}
+	if len(recs) != 11 {
+		t.Fatalf("got %d records, want 11", len(recs))
+	}
+	if recs[0].Cat != "meta" || !math.IsNaN(recs[0].T) {
+		t.Fatalf("meta record = %+v", recs[0])
+	}
+	if recs[0].Extra["workload"] != "test" || recs[0].Extra["seed"] != float64(7) {
+		t.Fatalf("meta extras = %v", recs[0].Extra)
+	}
+	kill := recs[4]
+	if kill.Name != "kill" || kill.Cause != recs[3].Seq {
+		t.Fatalf("kill record = %+v, want cause=%d", kill, recs[3].Seq)
+	}
+	if node := recs[3].Extra["node"]; node != float64(3) {
+		t.Fatalf("failure node = %v", node)
+	}
+}
+
+func TestReadLogRejectsMalformed(t *testing.T) {
+	_, err := ReadLog(strings.NewReader("{\"seq\":1}\nnot json\n"))
+	if err == nil || !strings.Contains(err.Error(), "line 2") {
+		t.Fatalf("err = %v, want line 2 failure", err)
+	}
+}
+
+func TestJobTimeline(t *testing.T) {
+	recs, err := ReadLog(bytes.NewReader(emitLifecycle(t)))
+	if err != nil {
+		t.Fatalf("ReadLog: %v", err)
+	}
+	tl := JobTimeline(recs, 1)
+	wantNames := []string{"submit", "start", "kill", "requeue", "start", "finish"}
+	if len(tl) != len(wantNames) {
+		t.Fatalf("timeline len = %d, want %d", len(tl), len(wantNames))
+	}
+	for i, want := range wantNames {
+		if tl[i].Name != want {
+			t.Fatalf("timeline[%d] = %s, want %s", i, tl[i].Name, want)
+		}
+	}
+	if JobTimeline(recs, 99) != nil {
+		t.Fatal("timeline of unknown job should be empty")
+	}
+}
+
+func TestWriteChrome(t *testing.T) {
+	recs, err := ReadLog(bytes.NewReader(emitLifecycle(t)))
+	if err != nil {
+		t.Fatalf("ReadLog: %v", err)
+	}
+	var out bytes.Buffer
+	if err := WriteChrome(&out, recs); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string  `json:"name"`
+			Phase string  `json:"ph"`
+			TS    float64 `json:"ts"`
+			Dur   float64 `json:"dur"`
+			PID   int     `json:"pid"`
+			TID   int64   `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome output not valid JSON: %v", err)
+	}
+	// 10 instants (meta skipped) + synthesized phase spans:
+	// job 1: wait(0-5), run(5-8), wait(8-9), run(9-14); job 2: wait(2-6), run(6-12).
+	var instants, spans int
+	type spanKey struct {
+		name    string
+		tid     int64
+		ts, dur float64
+	}
+	gotSpans := map[spanKey]bool{}
+	for _, e := range doc.TraceEvents {
+		switch e.Phase {
+		case "i":
+			instants++
+		case "X":
+			spans++
+			gotSpans[spanKey{e.Name, e.TID, e.TS, e.Dur}] = true
+		}
+	}
+	if instants != 10 {
+		t.Fatalf("instants = %d, want 10", instants)
+	}
+	if spans != 6 {
+		t.Fatalf("phase spans = %d, want 6", spans)
+	}
+	for _, want := range []spanKey{
+		{"wait", 1, 0, 5e6},
+		{"run", 1, 5e6, 3e6},
+		{"wait", 1, 8e6, 1e6},
+		{"run", 1, 9e6, 5e6},
+		{"wait", 2, 2e6, 4e6},
+		{"run", 2, 6e6, 6e6},
+	} {
+		if !gotSpans[want] {
+			t.Fatalf("missing synthesized span %+v\ngot %v", want, gotSpans)
+		}
+	}
+}
+
+func TestWriteChromeSplitsConcatenatedRuns(t *testing.T) {
+	log := emitLifecycle(t)
+	recs, err := ReadLog(bytes.NewReader(append(append([]byte(nil), log...), log...)))
+	if err != nil {
+		t.Fatalf("ReadLog: %v", err)
+	}
+	var out bytes.Buffer
+	if err := WriteChrome(&out, recs); err != nil {
+		t.Fatalf("WriteChrome: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			PID int `json:"pid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &doc); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	pids := map[int]bool{}
+	for _, e := range doc.TraceEvents {
+		pids[e.PID] = true
+	}
+	if len(pids) != 2 {
+		t.Fatalf("concatenated runs got pids %v, want 2 distinct", pids)
+	}
+}

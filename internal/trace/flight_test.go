@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+	"testing"
+
+	"bgsched/internal/resilience"
+)
+
+func TestNilFlightRecorderIsSafe(t *testing.T) {
+	var f *FlightRecorder
+	f.Record(FlightEvent{T: 1})
+	if got := f.Events(); got != nil {
+		t.Fatalf("nil Events = %v", got)
+	}
+	if err := f.Dump("test"); err != nil {
+		t.Fatalf("nil Dump = %v", err)
+	}
+	RegisterFlight(nil)
+	UnregisterFlight(nil)
+}
+
+func TestFlightRingOrder(t *testing.T) {
+	f := NewFlightRecorder(4, nil, "ring-test")
+	for i := 1; i <= 3; i++ {
+		f.Record(FlightEvent{Seq: int64(i), Kind: "arrival"})
+	}
+	got := f.Events()
+	if len(got) != 3 || got[0].Seq != 1 || got[2].Seq != 3 {
+		t.Fatalf("pre-wrap events = %v", got)
+	}
+	// Push past capacity: ring keeps the last 4, oldest first.
+	for i := 4; i <= 9; i++ {
+		f.Record(FlightEvent{Seq: int64(i), Kind: "finish"})
+	}
+	got = f.Events()
+	if len(got) != 4 {
+		t.Fatalf("post-wrap len = %d, want 4", len(got))
+	}
+	for i, e := range got {
+		if want := int64(6 + i); e.Seq != want {
+			t.Fatalf("event %d seq = %d, want %d", i, e.Seq, want)
+		}
+	}
+}
+
+func TestFlightDefaultCapacity(t *testing.T) {
+	f := NewFlightRecorder(0, nil, "")
+	for i := 0; i < 300; i++ {
+		f.Record(FlightEvent{Seq: int64(i)})
+	}
+	if got := len(f.Events()); got != 256 {
+		t.Fatalf("default capacity = %d, want 256", got)
+	}
+}
+
+func TestFlightDumpFormat(t *testing.T) {
+	var buf bytes.Buffer
+	f := NewFlightRecorder(8, &buf, "sim-42")
+	f.Record(FlightEvent{T: 1.5, Seq: 10, Kind: "failure", Job: 3, Epoch: 2, Node: 7})
+	if err := f.Dump("invariant violation"); err != nil {
+		t.Fatalf("Dump: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"flight recorder dump: sim-42 (invariant violation, 1 event(s))",
+		"t=1.5 seq=10 kind=failure job=3 epoch=2 node=7",
+		"end flight recorder dump: sim-42",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestDumpFlightsRegistry(t *testing.T) {
+	a := NewFlightRecorder(4, nil, "a")
+	b := NewFlightRecorder(4, nil, "b")
+	RegisterFlight(a)
+	RegisterFlight(b)
+	defer UnregisterFlight(a)
+	a.Record(FlightEvent{Seq: 1, Kind: "arrival"})
+
+	var buf bytes.Buffer
+	if n := DumpFlights(&buf, "test"); n != 2 {
+		t.Fatalf("DumpFlights = %d, want 2", n)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "dump: a") || !strings.Contains(out, "dump: b") {
+		t.Fatalf("registry dump missing a recorder:\n%s", out)
+	}
+
+	UnregisterFlight(b)
+	buf.Reset()
+	if n := DumpFlights(&buf, "test"); n != 1 {
+		t.Fatalf("after unregister DumpFlights = %d, want 1", n)
+	}
+}
+
+func TestPanicHookFires(t *testing.T) {
+	var got *resilience.PanicError
+	resilience.RegisterPanicHook(func(pe *resilience.PanicError) { got = pe })
+	err := resilience.Safe(func() error { panic("boom") })
+	var pe *resilience.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("Safe = %v, want PanicError", err)
+	}
+	if got == nil || fmt.Sprint(got.Value) != "boom" {
+		t.Fatalf("hook observed %v", got)
+	}
+}
+
+func TestInstallFlightPanicDumpIdempotent(t *testing.T) {
+	// Just exercise idempotency; the hook dumps to stderr which we
+	// don't capture here.
+	InstallFlightPanicDump()
+	InstallFlightPanicDump()
+	InstallFlightSignalDump()
+	InstallFlightSignalDump()
+}

@@ -1,0 +1,203 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	if got := tr.Emit(Rec{Cat: "job", Name: "submit", T: 1}); got != 0 {
+		t.Fatalf("nil Emit = %d, want 0", got)
+	}
+	if got := tr.Meta(F("k", "v")); got != 0 {
+		t.Fatalf("nil Meta = %d, want 0", got)
+	}
+	sp := tr.Begin("sim", "run")
+	if got := sp.End(); got != 0 {
+		t.Fatalf("nil span End = %d, want 0", got)
+	}
+	if err := tr.Err(); err != nil {
+		t.Fatalf("nil Err = %v", err)
+	}
+	if tr.Seq() != 0 {
+		t.Fatalf("nil Seq = %d", tr.Seq())
+	}
+	if New(nil, Options{}) != nil {
+		t.Fatal("New(nil) should return a nil tracer")
+	}
+}
+
+func TestEmitEncoding(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf, Options{})
+	s1 := tr.Emit(Rec{Cat: "job", Name: "submit", T: 10.5, Job: 3})
+	s2 := tr.Emit(Rec{Cat: "job", Name: "kill", T: 12, Job: 3, Cause: s1,
+		Fields: []Field{F("reason", "failure"), Num("lost_work", 1.5), Fint("node", 7)}})
+	if s1 != 1 || s2 != 2 {
+		t.Fatalf("seq = %d, %d; want 1, 2", s1, s2)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines, want 2", len(lines))
+	}
+	want0 := `{"seq":1,"t":10.5,"cat":"job","name":"submit","job":3}`
+	if lines[0] != want0 {
+		t.Fatalf("line 0 = %s\nwant     %s", lines[0], want0)
+	}
+	want1 := `{"seq":2,"t":12,"cat":"job","name":"kill","job":3,"cause":1,"reason":"failure","lost_work":1.5,"node":7}`
+	if lines[1] != want1 {
+		t.Fatalf("line 1 = %s\nwant     %s", lines[1], want1)
+	}
+	// Every line must be valid JSON.
+	for i, l := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(l), &m); err != nil {
+			t.Fatalf("line %d not valid JSON: %v", i, err)
+		}
+	}
+}
+
+func TestEmitOmitsNaNTime(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf, Options{})
+	tr.Emit(Rec{Cat: "sim", Name: "note", T: math.NaN()})
+	if strings.Contains(buf.String(), `"t"`) {
+		t.Fatalf("NaN time should be omitted: %s", buf.String())
+	}
+}
+
+func TestStringEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf, Options{})
+	tr.Emit(Rec{Cat: "meta", Name: `a"b\c` + "\n\t\x01", T: math.NaN()})
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("escaped record not valid JSON: %v\n%s", err, buf.String())
+	}
+	if got := m["name"].(string); got != "a\"b\\c\n\t\x01" {
+		t.Fatalf("round-trip = %q", got)
+	}
+}
+
+func TestWallSpansGated(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf, Options{}) // WallSpans off
+	tr.Begin("build", "stage", F("stage", "geometry")).End()
+	if buf.Len() != 0 {
+		t.Fatalf("span emitted with WallSpans off: %s", buf.String())
+	}
+
+	tr = New(&buf, Options{WallSpans: true})
+	seq := tr.Begin("build", "stage", F("stage", "geometry")).End(F("hit", "true"))
+	if seq != 1 {
+		t.Fatalf("span seq = %d, want 1", seq)
+	}
+	var m map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &m); err != nil {
+		t.Fatalf("span record not valid JSON: %v", err)
+	}
+	if m["span"] != true || m["stage"] != "geometry" || m["hit"] != "true" {
+		t.Fatalf("span record = %v", m)
+	}
+	if _, ok := m["wall_ms"].(float64); !ok {
+		t.Fatalf("span record missing wall_ms: %v", m)
+	}
+}
+
+func TestDeterministicBytes(t *testing.T) {
+	emit := func() string {
+		var buf bytes.Buffer
+		tr := New(&buf, Options{})
+		a := tr.Emit(Rec{Cat: "job", Name: "submit", T: 0.1, Job: 1})
+		tr.Emit(Rec{Cat: "job", Name: "start", T: 0.30000000000000004, Job: 1, Cause: a,
+			Fields: []Field{Num("frac", 1.0/3.0)}})
+		return buf.String()
+	}
+	if a, b := emit(), emit(); a != b {
+		t.Fatalf("non-deterministic encoding:\n%s\n%s", a, b)
+	}
+}
+
+type failWriter struct{ after int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if w.after <= 0 {
+		return 0, errors.New("disk full")
+	}
+	w.after--
+	return len(p), nil
+}
+
+func TestStickyWriteError(t *testing.T) {
+	tr := New(&failWriter{after: 1}, Options{})
+	if seq := tr.Emit(Rec{Cat: "a", Name: "ok", T: 1}); seq != 1 {
+		t.Fatalf("first emit seq = %d", seq)
+	}
+	if seq := tr.Emit(Rec{Cat: "a", Name: "fail", T: 2}); seq != 0 {
+		t.Fatalf("failed emit seq = %d, want 0", seq)
+	}
+	if err := tr.Err(); err == nil || !strings.Contains(err.Error(), "disk full") {
+		t.Fatalf("Err = %v", err)
+	}
+	// Error is sticky: further emits stay suppressed.
+	if seq := tr.Emit(Rec{Cat: "a", Name: "again", T: 3}); seq != 0 {
+		t.Fatalf("post-error emit seq = %d, want 0", seq)
+	}
+}
+
+func TestConcurrentEmit(t *testing.T) {
+	var buf bytes.Buffer
+	tr := New(&buf, Options{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				tr.Emit(Rec{Cat: "job", Name: "tick", T: float64(i), Job: int64(g + 1)})
+			}
+		}(g)
+	}
+	wg.Wait()
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 800 {
+		t.Fatalf("got %d lines, want 800", len(lines))
+	}
+	seen := make(map[uint64]bool, 800)
+	for i, l := range lines {
+		var m struct {
+			Seq uint64 `json:"seq"`
+		}
+		if err := json.Unmarshal([]byte(l), &m); err != nil {
+			t.Fatalf("line %d corrupt under concurrency: %v", i, err)
+		}
+		if seen[m.Seq] {
+			t.Fatalf("duplicate seq %d", m.Seq)
+		}
+		seen[m.Seq] = true
+	}
+}
+
+// BenchmarkEmit pins the per-record cost: after warm-up, Emit into a
+// pre-grown buffer should not allocate.
+func BenchmarkEmit(b *testing.B) {
+	var sink bytes.Buffer
+	sink.Grow(1 << 20)
+	tr := New(&sink, Options{})
+	r := Rec{Cat: "job", Name: "start", T: 123.456, Job: 42, Cause: 7,
+		Fields: []Field{F("partition", "0:2x0:2x0:2"), Num("wait", 1.25)}}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if sink.Len() > 1<<19 {
+			sink.Reset()
+		}
+		tr.Emit(r)
+	}
+}
