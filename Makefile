@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fuzz bench bench-micro bench-record bench-guard trace-demo check clean serve smoke-serve
+.PHONY: all build test race vet fuzz bench bench-micro bench-record bench-guard trace-demo check clean serve smoke-serve smoke-chaos load
 
 all: build
 
@@ -37,6 +37,19 @@ serve:
 # clean exit. Same script CI runs.
 smoke-serve:
 	./scripts/smoke-serve.sh
+
+# Chaos soak: bgserve with deterministic fault injection, the bgload
+# fleet holding its SLOs through the faults, a kill -9 mid-soak, and a
+# journal-recovery check on restart. Same script CI runs; reproduce a
+# failure with CHAOS_SEED=N make smoke-chaos.
+smoke-chaos:
+	./scripts/smoke-chaos.sh
+
+# Self-contained SLO soak (in-process server + chaos): make load
+# LOAD_FLAGS="-chaos-seed 7 -chaos-level 0.4 -requests 200".
+LOAD_FLAGS ?=
+load:
+	$(GO) run ./cmd/bgload $(LOAD_FLAGS)
 
 # Full benchmark sweep (figure regeneration + ablations); minutes.
 bench:

@@ -1,0 +1,98 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// soakJSON runs a self-hosted soak with the given extra args and
+// decodes the JSON report.
+func soakJSON(t *testing.T, extra ...string) report {
+	t.Helper()
+	args := append([]string{"-json", "-op-timeout", "60s"}, extra...)
+	var buf bytes.Buffer
+	err := run(context.Background(), args, &buf)
+	if err != nil && err != errSLO {
+		t.Fatalf("bgload run: %v\n%s", err, buf.Bytes())
+	}
+	var r report
+	if derr := json.Unmarshal(buf.Bytes(), &r); derr != nil {
+		t.Fatalf("decode report: %v\n%s", derr, buf.Bytes())
+	}
+	return r
+}
+
+// TestChaosScheduleReproducible pins the acceptance criterion: the
+// same -chaos-seed with a single client replays the identical injected
+// fault schedule (same per-site digests), and a different seed does
+// not.
+func TestChaosScheduleReproducible(t *testing.T) {
+	args := []string{"-clients", "1", "-requests", "18", "-seed", "3",
+		"-chaos-seed", "5", "-chaos-level", "0.4"}
+	a := soakJSON(t, args...)
+	b := soakJSON(t, args...)
+	if a.Chaos == nil || b.Chaos == nil {
+		t.Fatal("chaos report missing")
+	}
+	if a.Chaos.Digest != b.Chaos.Digest {
+		t.Fatalf("same seed diverged:\n%s\n%s", a.Chaos.Digest, b.Chaos.Digest)
+	}
+	c := soakJSON(t, "-clients", "1", "-requests", "18", "-seed", "3",
+		"-chaos-seed", "6", "-chaos-level", "0.4")
+	if c.Chaos.Digest == a.Chaos.Digest {
+		t.Fatal("different chaos seeds produced an identical fault schedule")
+	}
+}
+
+// TestCleanSoakPassesWithRecovery: no chaos, a journalled server, the
+// full SLO report passes and the restart-recovery check verifies
+// restored results against soak-time fingerprints.
+func TestCleanSoakPassesWithRecovery(t *testing.T) {
+	state := filepath.Join(t.TempDir(), "state.jsonl")
+	r := soakJSON(t, "-clients", "3", "-requests", "24", "-state", state)
+	if !r.Pass {
+		t.Fatalf("clean soak failed SLO: %v (samples %v)", r.Violations, r.FailureSamples)
+	}
+	if r.Failures != 0 {
+		t.Fatalf("clean soak had %d failures: %v", r.Failures, r.FailureSamples)
+	}
+	if !strings.HasPrefix(r.JournalRecovery, "ok (") || strings.HasPrefix(r.JournalRecovery, "ok (0 restored") {
+		t.Fatalf("journal recovery = %q, want restored runs verified", r.JournalRecovery)
+	}
+	if r.Corruption.Mismatches != 0 || r.Corruption.Configs == 0 {
+		t.Fatalf("corruption report: %+v", r.Corruption)
+	}
+	if _, ok := r.Ops[opRun]; !ok {
+		t.Fatalf("no run-op latencies recorded: %+v", r.Ops)
+	}
+}
+
+// TestChaosSoakSurvives: with moderate chaos the retrying client keeps
+// the fleet inside its error budget and zero results corrupt.
+func TestChaosSoakSurvives(t *testing.T) {
+	r := soakJSON(t, "-clients", "4", "-requests", "30",
+		"-chaos-seed", "11", "-chaos-level", "0.3")
+	if !r.Pass {
+		t.Fatalf("chaos soak failed SLO: %v (samples %v)", r.Violations, r.FailureSamples)
+	}
+	if r.Corruption.Mismatches != 0 {
+		t.Fatalf("chaos corrupted %d cached results", r.Corruption.Mismatches)
+	}
+	if r.Chaos == nil || r.Chaos.Digest == "" {
+		t.Fatal("chaos digest missing from report")
+	}
+}
+
+func TestRejectsDegenerateFlags(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-mix-read", "0", "-mix-run", "0", "-mix-figure", "0"}, &buf); err == nil {
+		t.Fatal("zero traffic mix accepted")
+	}
+	if err := run(context.Background(), []string{"-clients", "0"}, &buf); err == nil {
+		t.Fatal("zero clients accepted")
+	}
+}

@@ -31,6 +31,7 @@ import (
 	"os"
 	"time"
 
+	"bgsched/internal/chaos"
 	"bgsched/internal/resilience"
 	"bgsched/internal/service"
 	"bgsched/internal/trace"
@@ -63,6 +64,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		drainTimeout = fs.Duration("drain-timeout", 30*time.Second, "how long a drain waits for in-flight runs before cancelling them")
 		traceOut     = fs.String("trace", "", "write HTTP request spans (NDJSON, wall-clock) to this file; per-run causal traces are always served on /v1/runs/{id}/trace")
 		flightEvents = fs.Int("flight-events", 256, "kernel flight recorder ring per in-flight run, served on /debug/flight and dumped on SIGQUIT (-1 disables)")
+		chaosSeed    = fs.Int64("chaos-seed", 0, "deterministic fault-injection seed (with -chaos-level; same seed => same fault schedule)")
+		chaosLevel   = fs.Float64("chaos-level", 0, "fault-injection intensity in [0,1]; 0 disables chaos entirely")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -93,6 +96,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if *retries <= 0 {
 		*retries = -1 // service.Config: negative disables retries, zero means default
 	}
+	var injector service.FaultInjector
+	if *chaosLevel > 0 {
+		inj := chaos.New(chaos.Profile(*chaosSeed, *chaosLevel))
+		injector = inj
+		fmt.Fprintf(out, "bgserve: chaos injection on (seed %d, level %g)\n", *chaosSeed, *chaosLevel)
+	}
 	svc, err := service.New(service.Config{
 		Workers:      *workers,
 		QueueDepth:   *queueDepth,
@@ -107,6 +116,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		AccessLog:    logDst,
 		Trace:        tracer,
 		FlightEvents: *flightEvents,
+		Chaos:        injector,
 	})
 	if err != nil {
 		return err

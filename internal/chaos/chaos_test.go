@@ -1,0 +1,159 @@
+package chaos
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+)
+
+// drive exercises every site n times and returns the decisions made at
+// the HTTP site, in sequence order.
+func drive(inj *Injector, n int) []RequestFault {
+	out := make([]RequestFault, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, inj.Request())
+		inj.Exec()
+		inj.CacheDrop()
+		inj.Journal()
+	}
+	return out
+}
+
+func TestSameSeedSameSchedule(t *testing.T) {
+	cfg := Profile(42, 0.5)
+	a, b := New(cfg), New(cfg)
+	fa, fb := drive(a, 500), drive(b, 500)
+	for i := range fa {
+		if fa[i] != fb[i] {
+			t.Fatalf("decision %d diverged: %+v vs %+v", i, fa[i], fb[i])
+		}
+	}
+	if a.Digest() != b.Digest() {
+		t.Fatalf("digests diverged:\n%s\n%s", a.Digest(), b.Digest())
+	}
+	ca, cb := a.Counts(), b.Counts()
+	for k, v := range ca {
+		if cb[k] != v {
+			t.Fatalf("count %s: %d vs %d", k, v, cb[k])
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(Profile(1, 0.5)), New(Profile(2, 0.5))
+	drive(a, 200)
+	drive(b, 200)
+	if a.Digest() == b.Digest() {
+		t.Fatal("different seeds produced identical digests")
+	}
+}
+
+// TestConcurrentDigestMatchesSequential proves the interleaving
+// independence the package documents: per-site decision streams depend
+// only on (seed, site, seq), so a concurrent soak with the same
+// per-site call counts lands on the same digest as a sequential one.
+func TestConcurrentDigestMatchesSequential(t *testing.T) {
+	cfg := Profile(7, 0.6)
+	seq := New(cfg)
+	drive(seq, 400)
+
+	conc := New(cfg)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			drive(conc, 100)
+		}()
+	}
+	wg.Wait()
+	if seq.Digest() != conc.Digest() {
+		t.Fatalf("concurrent digest diverged:\nseq:  %s\nconc: %s", seq.Digest(), conc.Digest())
+	}
+}
+
+func TestZeroConfigInjectsNothing(t *testing.T) {
+	inj := New(Config{Seed: 3})
+	for i, f := range drive(inj, 200) {
+		if f.Injected() {
+			t.Fatalf("zero config injected %+v at request %d", f, i)
+		}
+	}
+	if got := inj.Counts(); len(got) != 0 {
+		t.Fatalf("zero config counted injections: %v", got)
+	}
+}
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var inj *Injector
+	if f := inj.Request(); f.Injected() {
+		t.Fatalf("nil injector injected %+v", f)
+	}
+	if err := inj.Exec(); err != nil {
+		t.Fatal(err)
+	}
+	if inj.CacheDrop() {
+		t.Fatal("nil injector dropped a cache hit")
+	}
+	if err := inj.Journal(); err != nil {
+		t.Fatal(err)
+	}
+	if inj.Digest() != "" || inj.Counts() != nil {
+		t.Fatal("nil injector reported state")
+	}
+}
+
+func TestInjectedErrorsWrapSentinel(t *testing.T) {
+	// Force every journal append and exec attempt to fail.
+	inj := New(Config{Seed: 1, JournalErrP: 1, ExecErrP: 1})
+	if err := inj.Journal(); !errors.Is(err, ErrInjected) || !errors.Is(err, ErrJournalWrite) {
+		t.Fatalf("journal error %v does not wrap sentinels", err)
+	}
+	if err := inj.Exec(); !errors.Is(err, ErrInjected) || !errors.Is(err, ErrExec) {
+		t.Fatalf("exec error %v does not wrap sentinels", err)
+	}
+	full := New(Config{Seed: 1, DiskFullP: 1})
+	if err := full.Journal(); !errors.Is(err, ErrDiskFull) {
+		t.Fatalf("disk-full error %v", err)
+	}
+}
+
+func TestProfileShapes(t *testing.T) {
+	if got := Profile(1, -3).ErrorP; got != 0 {
+		t.Fatalf("negative level not clamped: ErrorP=%g", got)
+	}
+	c := Profile(1, 2) // clamped to 1
+	if c.ErrorP != 0.25 || c.PanicP != 0.10 {
+		t.Fatalf("level clamp: %+v", c)
+	}
+	// Probabilities drive observed rates: at level 1, ~25% of requests
+	// get an injected error; allow a wide tolerance.
+	inj := New(c)
+	errs := 0
+	for i := 0; i < 2000; i++ {
+		if inj.Request().ErrorStatus != 0 {
+			errs++
+		}
+	}
+	if errs < 300 || errs > 700 {
+		t.Fatalf("error rate off: %d/2000 injected errors, want ~500", errs)
+	}
+}
+
+func TestRequestFaultShapes(t *testing.T) {
+	inj := New(Config{Seed: 9, LatencyP: 1, LatencyMin: time.Millisecond, LatencyMax: 10 * time.Millisecond,
+		TruncateP: 1, SlowBodyP: 1, SlowWrite: time.Millisecond})
+	for i := 0; i < 100; i++ {
+		f := inj.Request()
+		if f.Delay < time.Millisecond || f.Delay > 10*time.Millisecond+time.Millisecond {
+			t.Fatalf("delay out of range: %v", f.Delay)
+		}
+		if f.TruncateAfter < 1 || f.TruncateAfter > 257 {
+			t.Fatalf("truncate out of range: %d", f.TruncateAfter)
+		}
+		if f.SlowWrite != time.Millisecond {
+			t.Fatalf("slow write: %v", f.SlowWrite)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package client
+
+import (
+	"errors"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen is returned without touching the network while the
+// circuit breaker is open: the server was failing hard, and hammering
+// it during recovery only deepens the outage.
+var ErrCircuitOpen = errors.New("client: circuit breaker open")
+
+// breaker is a consecutive-failure circuit breaker with the classic
+// three states: closed (normal), open (fast-fail until a cooldown
+// elapses), and half-open (exactly one probe request is let through;
+// its outcome closes or re-opens the circuit).
+type breaker struct {
+	clock     Clock
+	threshold int           // consecutive failures that open the circuit
+	cooldown  time.Duration // open duration before a half-open probe
+
+	mu       sync.Mutex
+	fails    int
+	state    breakerState
+	openedAt time.Time
+	probing  bool // a half-open probe is in flight
+}
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+// allow reports whether a request may proceed. In the open state it
+// fast-fails until the cooldown elapses, then admits a single probe.
+func (b *breaker) allow() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if b.clock.Now().Sub(b.openedAt) < b.cooldown {
+			return ErrCircuitOpen
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return nil
+	default: // half-open
+		if b.probing {
+			return ErrCircuitOpen // one probe at a time
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// success records a healthy response: the circuit closes and the
+// failure streak resets.
+func (b *breaker) success() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails = 0
+	b.state = breakerClosed
+	b.probing = false
+}
+
+// failure records a hard failure (network error or 5xx). A streak of
+// threshold failures — or any failed half-open probe — opens the
+// circuit.
+func (b *breaker) failure() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.fails++
+	if b.state == breakerHalfOpen || b.fails >= b.threshold {
+		b.state = breakerOpen
+		b.openedAt = b.clock.Now()
+		b.probing = false
+		b.fails = 0
+	}
+}

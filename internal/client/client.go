@@ -1,0 +1,334 @@
+// Package client is the hardened Go client for the bgserve HTTP API:
+// context-deadline propagation, jittered exponential backoff that
+// honors server Retry-After advice, a consecutive-failure circuit
+// breaker, and idempotent resubmission.
+//
+// Resubmission is safe by construction: the server canonicalises and
+// hashes every submitted config, so a retried POST lands on the result
+// cache or coalesces onto the in-flight identical run instead of
+// executing twice. The client therefore retries submissions exactly
+// like reads.
+package client
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"strconv"
+	"sync"
+	"time"
+
+	"bgsched/internal/experiments"
+	"bgsched/internal/service"
+	"bgsched/internal/telemetry"
+)
+
+// Config parameterises a Client. The zero value plus BaseURL is
+// usable: sensible retry/backoff/breaker defaults are applied.
+type Config struct {
+	BaseURL string       // e.g. "http://127.0.0.1:8080"
+	HTTP    *http.Client // defaults to a dedicated client, no global timeout (ctx rules)
+
+	MaxAttempts int           // total tries per call (default 4)
+	BaseBackoff time.Duration // first retry delay before jitter (default 100ms)
+	MaxBackoff  time.Duration // backoff growth cap (default 5s)
+	JitterSeed  int64         // deterministic jitter stream (0: fixed default seed)
+
+	BreakerThreshold int           // consecutive hard failures that open the circuit (default 5)
+	BreakerCooldown  time.Duration // open duration before a probe (default 2s)
+
+	Clock     Clock               // test seam; defaults to the real clock
+	Telemetry *telemetry.Registry // optional client-side metrics
+}
+
+// APIError is a non-2xx response from the server, decoded from its
+// JSON error body when present. RetryAfter carries the server's
+// Retry-After advice (zero when absent).
+type APIError struct {
+	Status     int
+	Message    string
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	if e.Message != "" {
+		return fmt.Sprintf("client: server returned %d: %s", e.Status, e.Message)
+	}
+	return fmt.Sprintf("client: server returned %d", e.Status)
+}
+
+// Client is a hardened bgserve API client. Safe for concurrent use.
+type Client struct {
+	cfg   Config
+	hc    *http.Client
+	clock Clock
+	br    *breaker
+
+	rngMu sync.Mutex
+	rng   *rand.Rand
+
+	mRequests *telemetry.Counter
+	mRetries  *telemetry.Counter
+	mFailures *telemetry.Counter
+	mShortCut *telemetry.Counter // calls fast-failed by the open breaker
+}
+
+// New builds a Client; cfg.BaseURL is required.
+func New(cfg Config) *Client {
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 4
+	}
+	if cfg.BaseBackoff <= 0 {
+		cfg.BaseBackoff = 100 * time.Millisecond
+	}
+	if cfg.MaxBackoff <= 0 {
+		cfg.MaxBackoff = 5 * time.Second
+	}
+	if cfg.BreakerThreshold <= 0 {
+		cfg.BreakerThreshold = 5
+	}
+	if cfg.BreakerCooldown <= 0 {
+		cfg.BreakerCooldown = 2 * time.Second
+	}
+	if cfg.Clock == nil {
+		cfg.Clock = realClock{}
+	}
+	if cfg.HTTP == nil {
+		cfg.HTTP = &http.Client{}
+	}
+	if cfg.Telemetry == nil {
+		cfg.Telemetry = telemetry.New()
+	}
+	seed := cfg.JitterSeed
+	if seed == 0 {
+		seed = 1
+	}
+	return &Client{
+		cfg:   cfg,
+		hc:    cfg.HTTP,
+		clock: cfg.Clock,
+		br: &breaker{
+			clock:     cfg.Clock,
+			threshold: cfg.BreakerThreshold,
+			cooldown:  cfg.BreakerCooldown,
+		},
+		rng:       rand.New(rand.NewSource(seed)),
+		mRequests: cfg.Telemetry.Counter("client.requests"),
+		mRetries:  cfg.Telemetry.Counter("client.retries"),
+		mFailures: cfg.Telemetry.Counter("client.failures"),
+		mShortCut: cfg.Telemetry.Counter("client.breaker_fastfail"),
+	}
+}
+
+// Run submits a simulation config and blocks (?wait=1) until the run
+// is terminal, returning the full record. Retried transparently; the
+// server's canonical-hash dedup makes resubmission idempotent.
+func (c *Client) Run(ctx context.Context, cfg experiments.RunConfig) (service.RunView, error) {
+	return c.doView(ctx, http.MethodPost, "/v1/runs?wait=1", cfg)
+}
+
+// Submit enqueues a simulation config without waiting; the returned
+// view carries the run id to poll.
+func (c *Client) Submit(ctx context.Context, cfg experiments.RunConfig) (service.RunView, error) {
+	return c.doView(ctx, http.MethodPost, "/v1/runs", cfg)
+}
+
+// Figure submits a paper-figure sweep and blocks until it finishes.
+func (c *Client) Figure(ctx context.Context, fig string, req service.FigureRequest) (service.RunView, error) {
+	return c.doView(ctx, http.MethodPost, "/v1/figures/"+url.PathEscape(fig)+"?wait=1", req)
+}
+
+// Get fetches one run record by id.
+func (c *Client) Get(ctx context.Context, id string) (service.RunView, error) {
+	return c.doView(ctx, http.MethodGet, "/v1/runs/"+url.PathEscape(id), nil)
+}
+
+// Ready probes /readyz; nil means the server reports ready.
+func (c *Client) Ready(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/readyz", nil, nil, nil)
+}
+
+// doView runs a JSON request returning a RunView, capturing response
+// headers for callers that care about cache semantics.
+func (c *Client) doView(ctx context.Context, method, path string, payload any) (service.RunView, error) {
+	var body []byte
+	if payload != nil {
+		var err error
+		if body, err = json.Marshal(payload); err != nil {
+			return service.RunView{}, fmt.Errorf("client: encode request: %w", err)
+		}
+	}
+	var v service.RunView
+	if err := c.do(ctx, method, path, body, &v, nil); err != nil {
+		return service.RunView{}, err
+	}
+	return v, nil
+}
+
+// DoHeaders is doView plus the final attempt's response headers —
+// bgload uses X-Cache / X-Chaos to classify outcomes.
+func (c *Client) DoHeaders(ctx context.Context, method, path string, payload any) (service.RunView, http.Header, error) {
+	var body []byte
+	if payload != nil {
+		var err error
+		if body, err = json.Marshal(payload); err != nil {
+			return service.RunView{}, nil, fmt.Errorf("client: encode request: %w", err)
+		}
+	}
+	var v service.RunView
+	hdr := make(http.Header)
+	if err := c.do(ctx, method, path, body, &v, hdr); err != nil {
+		return service.RunView{}, hdr, err
+	}
+	return v, hdr, nil
+}
+
+// do is the retry core: attempt, classify, back off, repeat. The
+// caller's ctx bounds the whole call including backoff sleeps.
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any, hdr http.Header) error {
+	var lastErr error
+	var retryAfter time.Duration
+	for attempt := 1; attempt <= c.cfg.MaxAttempts; attempt++ {
+		if attempt > 1 {
+			c.mRetries.Inc()
+			if err := c.clock.Sleep(ctx, c.backoff(attempt-1, retryAfter)); err != nil {
+				return fmt.Errorf("client: retry wait: %w (last error: %v)", err, lastErr)
+			}
+			retryAfter = 0
+		}
+		if err := c.br.allow(); err != nil {
+			c.mShortCut.Inc()
+			return err
+		}
+		c.mRequests.Inc()
+		err := c.once(ctx, method, path, body, out, hdr)
+		if err == nil {
+			c.br.success()
+			return nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			// Deadline propagation: the caller's budget is spent; whatever
+			// failed under it is reported, never retried.
+			c.br.failure()
+			c.mFailures.Inc()
+			return err
+		}
+		var ae *APIError
+		if errors.As(err, &ae) {
+			switch {
+			case ae.Status == http.StatusTooManyRequests:
+				// Load shedding: the server is healthy and told us when to
+				// come back. Honor the advice; not a breaker failure.
+				c.br.success()
+				retryAfter = ae.RetryAfter
+			case ae.Status >= 500:
+				c.br.failure()
+				retryAfter = ae.RetryAfter
+			default:
+				// Other 4xx: our request is wrong; retrying cannot help.
+				c.br.success()
+				c.mFailures.Inc()
+				return err
+			}
+		} else {
+			// Network error, truncated or undecodable body.
+			c.br.failure()
+		}
+	}
+	c.mFailures.Inc()
+	return fmt.Errorf("client: giving up after %d attempts: %w", c.cfg.MaxAttempts, lastErr)
+}
+
+// once performs a single HTTP attempt.
+func (c *Client) once(ctx context.Context, method, path string, body []byte, out any, hdr http.Header) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.cfg.BaseURL+path, rd)
+	if err != nil {
+		return fmt.Errorf("client: build request: %w", err)
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return fmt.Errorf("client: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if hdr != nil {
+		for k := range hdr {
+			delete(hdr, k)
+		}
+		for k, vs := range resp.Header {
+			hdr[k] = vs
+		}
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		// A truncated body (Content-Length mismatch, cut connection) is
+		// indistinguishable from a flaky network: retryable.
+		return fmt.Errorf("client: read response: %w", err)
+	}
+	if resp.StatusCode >= 400 {
+		ae := &APIError{Status: resp.StatusCode, RetryAfter: parseRetryAfter(resp.Header)}
+		var eb struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(b, &eb) == nil && eb.Error != "" {
+			ae.Message = eb.Error
+		} else {
+			ae.Message = string(bytes.TrimSpace(b))
+		}
+		return ae
+	}
+	if out != nil {
+		if err := json.Unmarshal(b, out); err != nil {
+			// A 2xx with an undecodable body is corruption in transit (or
+			// injected truncation): retryable, and never surfaced as data.
+			return fmt.Errorf("client: decode response: %w", err)
+		}
+	}
+	return nil
+}
+
+// backoff computes the nth retry delay: exponential growth from
+// BaseBackoff capped at MaxBackoff, with "equal jitter" (uniform in
+// [d/2, d)) drawn from the client's seeded stream so a seeded run
+// replays the same waits. Server Retry-After advice, when present,
+// replaces the computed delay verbatim.
+func (c *Client) backoff(n int, retryAfter time.Duration) time.Duration {
+	if retryAfter > 0 {
+		return retryAfter
+	}
+	d := c.cfg.BaseBackoff << (n - 1)
+	if d <= 0 || d > c.cfg.MaxBackoff {
+		d = c.cfg.MaxBackoff
+	}
+	c.rngMu.Lock()
+	f := c.rng.Float64()
+	c.rngMu.Unlock()
+	return d/2 + time.Duration(f*float64(d/2))
+}
+
+// parseRetryAfter reads a delay-seconds Retry-After header (the only
+// form bgserve emits); absent or unparsable yields zero.
+func parseRetryAfter(h http.Header) time.Duration {
+	v := h.Get("Retry-After")
+	if v == "" {
+		return 0
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}

@@ -1,0 +1,310 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// fakeClock advances virtual time on every Sleep and records the
+// requested durations; no test in this package sleeps for real.
+type fakeClock struct {
+	mu    sync.Mutex
+	now   time.Time
+	slept []time.Duration
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{now: time.Unix(1_700_000_000, 0)}
+}
+
+func (f *fakeClock) Now() time.Time {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.now
+}
+
+func (f *fakeClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if d > 0 {
+		f.slept = append(f.slept, d)
+		f.now = f.now.Add(d)
+	}
+	return nil
+}
+
+func (f *fakeClock) advance(d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.now = f.now.Add(d)
+}
+
+func (f *fakeClock) sleeps() []time.Duration {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return append([]time.Duration(nil), f.slept...)
+}
+
+// newTestClient pairs a client (fake clock, seeded jitter) with a
+// handler.
+func newTestClient(t *testing.T, h http.HandlerFunc, mutate func(*Config)) (*Client, *fakeClock) {
+	t.Helper()
+	ts := httptest.NewServer(h)
+	t.Cleanup(ts.Close)
+	fc := newFakeClock()
+	cfg := Config{BaseURL: ts.URL, Clock: fc, JitterSeed: 42}
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	return New(cfg), fc
+}
+
+func viewBody(id string) string {
+	return fmt.Sprintf(`{"id":%q,"kind":"sim","state":"done"}`, id)
+}
+
+func TestRetriesTransientServerErrorsThenSucceeds(t *testing.T) {
+	var calls atomic.Int64
+	c, fc := newTestClient(t, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			http.Error(w, `{"error":"transient"}`, http.StatusBadGateway)
+			return
+		}
+		fmt.Fprint(w, viewBody("r-000001"))
+	}, nil)
+
+	v, err := c.Get(context.Background(), "r-000001")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ID != "r-000001" || calls.Load() != 3 {
+		t.Fatalf("id=%q calls=%d", v.ID, calls.Load())
+	}
+	slept := fc.sleeps()
+	if len(slept) != 2 {
+		t.Fatalf("slept %d times, want 2: %v", len(slept), slept)
+	}
+	// Equal jitter keeps delay n in [base*2^(n-1)/2, base*2^(n-1)).
+	base := 100 * time.Millisecond
+	for i, d := range slept {
+		lo, hi := (base<<i)/2, base<<i
+		if d < lo || d >= hi {
+			t.Fatalf("backoff %d = %v, want [%v, %v)", i, d, lo, hi)
+		}
+	}
+}
+
+func TestBackoffJitterIsSeedDeterministic(t *testing.T) {
+	failing := func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+	}
+	run := func(seed int64) []time.Duration {
+		c, fc := newTestClient(t, failing, func(cfg *Config) {
+			cfg.JitterSeed = seed
+			cfg.BreakerThreshold = 100 // keep the breaker out of this test
+		})
+		if _, err := c.Get(context.Background(), "r-1"); err == nil {
+			t.Fatal("expected failure")
+		}
+		return fc.sleeps()
+	}
+	a, b, other := run(7), run(7), run(8)
+	if len(a) != 3 { // MaxAttempts 4 => 3 backoffs
+		t.Fatalf("slept %d times, want 3", len(a))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+	same := true
+	for i := range a {
+		if a[i] != other[i] {
+			same = false
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced an identical jitter schedule")
+	}
+}
+
+func TestHonorsRetryAfterAdvice(t *testing.T) {
+	var calls atomic.Int64
+	c, fc := newTestClient(t, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "7")
+			http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+			return
+		}
+		fmt.Fprint(w, viewBody("r-000002"))
+	}, nil)
+
+	if _, err := c.Get(context.Background(), "r-000002"); err != nil {
+		t.Fatal(err)
+	}
+	slept := fc.sleeps()
+	if len(slept) != 1 || slept[0] != 7*time.Second {
+		t.Fatalf("slept %v, want exactly [7s]", slept)
+	}
+}
+
+func TestClientErrorsAreNotRetried(t *testing.T) {
+	var calls atomic.Int64
+	c, fc := newTestClient(t, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"JobCount must be in [1, 20000]"}`, http.StatusBadRequest)
+	}, nil)
+
+	_, err := c.Get(context.Background(), "r-1")
+	var ae *APIError
+	if !errors.As(err, &ae) || ae.Status != http.StatusBadRequest {
+		t.Fatalf("err = %v, want APIError 400", err)
+	}
+	if ae.Message == "" {
+		t.Fatal("error body not decoded into APIError.Message")
+	}
+	if calls.Load() != 1 || len(fc.sleeps()) != 0 {
+		t.Fatalf("calls=%d sleeps=%v: 4xx must not retry", calls.Load(), fc.sleeps())
+	}
+}
+
+func TestTruncatedResponseBodyIsRetried(t *testing.T) {
+	var calls atomic.Int64
+	c, _ := newTestClient(t, func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) == 1 {
+			// Declare more bytes than we send: the client's read fails
+			// mid-body, exactly like chaos truncation or a cut connection.
+			w.Header().Set("Content-Length", "500")
+			w.Write([]byte(`{"id":"r-0`))
+			return
+		}
+		fmt.Fprint(w, viewBody("r-000003"))
+	}, nil)
+
+	v, err := c.Get(context.Background(), "r-000003")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.ID != "r-000003" || calls.Load() != 2 {
+		t.Fatalf("id=%q calls=%d, want retry after truncated body", v.ID, calls.Load())
+	}
+}
+
+func TestCanceledContextStopsRetrying(t *testing.T) {
+	var calls atomic.Int64
+	c, fc := newTestClient(t, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+	}, nil)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := c.Get(ctx, "r-1")
+	if err == nil || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if calls.Load() > 1 || len(fc.sleeps()) != 0 {
+		t.Fatalf("calls=%d sleeps=%v: canceled ctx must not retry", calls.Load(), fc.sleeps())
+	}
+}
+
+func TestCircuitBreakerOpensProbesAndRecovers(t *testing.T) {
+	var calls atomic.Int64
+	var healthy atomic.Bool
+	c, fc := newTestClient(t, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		if healthy.Load() {
+			fmt.Fprint(w, viewBody("r-000004"))
+			return
+		}
+		http.Error(w, `{"error":"down"}`, http.StatusInternalServerError)
+	}, func(cfg *Config) {
+		cfg.MaxAttempts = 1 // isolate breaker behaviour from retries
+		cfg.BreakerThreshold = 3
+		cfg.BreakerCooldown = 2 * time.Second
+	})
+
+	// Three hard failures open the circuit.
+	for i := 0; i < 3; i++ {
+		if _, err := c.Get(context.Background(), "r-1"); err == nil {
+			t.Fatal("expected failure")
+		}
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("server calls = %d, want 3", calls.Load())
+	}
+	// While open, calls fast-fail without touching the server.
+	if _, err := c.Get(context.Background(), "r-1"); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+	if calls.Load() != 3 {
+		t.Fatalf("open breaker reached the server (%d calls)", calls.Load())
+	}
+	// After the cooldown a single probe goes through; it fails, so the
+	// circuit snaps open again immediately.
+	fc.advance(2 * time.Second)
+	if _, err := c.Get(context.Background(), "r-1"); errors.Is(err, ErrCircuitOpen) {
+		t.Fatal("cooldown elapsed but probe was not admitted")
+	}
+	if calls.Load() != 4 {
+		t.Fatalf("server calls = %d, want 4 (one probe)", calls.Load())
+	}
+	if _, err := c.Get(context.Background(), "r-1"); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("failed probe did not re-open circuit: %v", err)
+	}
+	// The server heals; the next probe closes the circuit for good.
+	healthy.Store(true)
+	fc.advance(2 * time.Second)
+	if _, err := c.Get(context.Background(), "r-000004"); err != nil {
+		t.Fatalf("healed probe failed: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := c.Get(context.Background(), "r-000004"); err != nil {
+			t.Fatalf("closed circuit call %d failed: %v", i, err)
+		}
+	}
+}
+
+func TestRetryAfterCountsAsHealthyForBreaker(t *testing.T) {
+	// A 429 is load shedding, not an outage: even a long streak must
+	// not open the circuit.
+	var calls atomic.Int64
+	c, _ := newTestClient(t, func(w http.ResponseWriter, r *http.Request) {
+		calls.Add(1)
+		w.Header().Set("Retry-After", "1")
+		http.Error(w, `{"error":"run queue full"}`, http.StatusTooManyRequests)
+	}, func(cfg *Config) {
+		cfg.MaxAttempts = 2
+		cfg.BreakerThreshold = 2
+	})
+	for i := 0; i < 3; i++ {
+		if _, err := c.Get(context.Background(), "r-1"); errors.Is(err, ErrCircuitOpen) {
+			t.Fatal("429 streak opened the circuit")
+		}
+	}
+	if calls.Load() != 6 {
+		t.Fatalf("server calls = %d, want 6 (2 attempts x 3 calls)", calls.Load())
+	}
+}
+
+func TestBackoffCapsAtMax(t *testing.T) {
+	c := New(Config{BaseURL: "http://x", BaseBackoff: time.Second, MaxBackoff: 3 * time.Second, Clock: newFakeClock()})
+	for n := 1; n <= 12; n++ {
+		if d := c.backoff(n, 0); d >= 3*time.Second || d < 0 {
+			t.Fatalf("backoff(%d) = %v, want < 3s", n, d)
+		}
+	}
+	if d := c.backoff(1, 9*time.Second); d != 9*time.Second {
+		t.Fatalf("Retry-After override = %v, want 9s", d)
+	}
+}

@@ -1,0 +1,38 @@
+package client
+
+import (
+	"context"
+	"time"
+)
+
+// Clock abstracts wall time so retry/backoff behaviour is testable
+// with a fake clock: `go test` never sleeps for real.
+type Clock interface {
+	Now() time.Time
+	// Sleep blocks for d or until ctx is done, returning ctx.Err() in
+	// the latter case. A non-positive d returns immediately (after a
+	// ctx check), so cancelled contexts never start a wait.
+	Sleep(ctx context.Context, d time.Duration) error
+}
+
+// realClock is the production Clock.
+type realClock struct{}
+
+func (realClock) Now() time.Time { return time.Now() }
+
+func (realClock) Sleep(ctx context.Context, d time.Duration) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if d <= 0 {
+		return nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -93,6 +93,13 @@ func (s *Server) runOne(r *run) {
 			r.traces.reset() // ... and the causal trace
 		}
 		err = resilience.Safe(func() error {
+			// The chaos dispatch seam fails whole attempts, so injected
+			// faults exercise the same retry machinery organic ones do.
+			if s.cfg.Chaos != nil {
+				if ferr := s.cfg.Chaos.Exec(); ferr != nil {
+					return ferr
+				}
+			}
 			var execErr error
 			payload, execErr = exec(ctx, r)
 			return execErr
@@ -221,7 +228,15 @@ func (s *Server) finish(r *run, attempts int, payload any, err error) {
 			events = append(events, string(ln))
 		}
 		if jerr := s.journal.append(persistedRun{Body: body, Events: events}); jerr != nil {
+			// Failures are counted and tracked as a consecutive streak:
+			// /readyz flips to degraded at journalDegradedAfter, because a
+			// persistently failing journal silently forfeits restart
+			// durability.
+			s.m.journalErrors.Inc()
+			s.journalFails.Add(1)
 			s.logError("state journal append failed", "run", r.id, "err", jerr)
+		} else {
+			s.journalFails.Store(0)
 		}
 	}
 }

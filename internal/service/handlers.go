@@ -39,13 +39,23 @@ func (s *Server) buildHandler() http.Handler {
 		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
 		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
 	}
-	return s.accessLogged(s.limited(mux))
+	// Outside-in: access logging sees every outcome, panic recovery
+	// turns handler (and injected) panics into counted 500s, the
+	// limiter sheds load, and the chaos layer — a no-op without an
+	// injector — degrades whatever the limiter admitted.
+	return s.accessLogged(s.recovered(s.limited(s.chaotic(mux))))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	io.WriteString(w, "ok\n")
 }
+
+// journalDegradedAfter is how many consecutive journal-append failures
+// flip /readyz to degraded: one failed fsync can be a blip, a streak
+// means completed results are not being persisted and a restart would
+// lose them.
+const journalDegradedAfter = 3
 
 func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
@@ -55,6 +65,11 @@ func (s *Server) handleReadyz(w http.ResponseWriter, _ *http.Request) {
 	if draining {
 		w.WriteHeader(http.StatusServiceUnavailable)
 		io.WriteString(w, "draining\n")
+		return
+	}
+	if streak := s.journalFails.Load(); streak >= journalDegradedAfter {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintf(w, "degraded: state journal failing (%d consecutive append errors)\n", streak)
 		return
 	}
 	io.WriteString(w, "ready\n")
@@ -130,12 +145,20 @@ func (s *Server) submit(w http.ResponseWriter, req *http.Request, kind, hash str
 
 	s.mu.Lock()
 	if hit := s.cache.get(hash); hit != nil {
-		body := hit.body
-		s.mu.Unlock()
-		s.m.cacheHits.Inc()
-		w.Header().Set("X-Cache", "hit")
-		s.writeJSONBytes(w, http.StatusOK, body)
-		return
+		// The chaos cache seam can force a miss: the run re-executes and
+		// determinism demands the replayed result be byte-identical —
+		// exactly the property a soak verifies. (Lock order s.mu → chaos
+		// site mutex; nothing takes them the other way.)
+		if s.cfg.Chaos != nil && s.cfg.Chaos.CacheDrop() {
+			w.Header().Set("X-Chaos", "cache-drop")
+		} else {
+			body := hit.body
+			s.mu.Unlock()
+			s.m.cacheHits.Inc()
+			w.Header().Set("X-Cache", "hit")
+			s.writeJSONBytes(w, http.StatusOK, body)
+			return
+		}
 	}
 	r := s.byHash[hash]
 	if r != nil {
@@ -153,8 +176,7 @@ func (s *Server) submit(w http.ResponseWriter, req *http.Request, kind, hash str
 		switch {
 		case errors.Is(err, errQueueFull):
 			s.m.queueRejected.Inc()
-			w.Header().Set("Retry-After", "1")
-			s.writeErr(w, http.StatusTooManyRequests, "run queue full, retry later")
+			s.writeTooMany(w, "run queue full, retry later")
 			return
 		case errors.Is(err, errDraining):
 			s.writeErr(w, http.StatusServiceUnavailable, "server is draining")

@@ -187,12 +187,17 @@ not json at all
 {"type":"other","body":{"id":"r-000002","state":"done"}}
 {"type":"run","body":{"id":"r-000003","state":"done"}}
 {"type":"run","body":{"id":"r-0000`) // torn mid-append
-	got := parseStateJournal(data)
+	got, report := parseStateJournal(data)
 	if len(got) != 2 {
 		t.Fatalf("parsed %d records, want 2", len(got))
 	}
 	if len(got[0].Events) != 1 || got[0].Events[0] != "e1" {
 		t.Fatalf("record 0 events: %v", got[0].Events)
+	}
+	// "not json at all", the wrong-type line, and the torn tail all
+	// count as malformed skips.
+	if report.malformed != 3 || report.badCRC != 0 {
+		t.Fatalf("report = %+v, want 3 malformed", report)
 	}
 }
 

@@ -2,7 +2,10 @@ package service
 
 import (
 	"fmt"
+	"math"
 	"net/http"
+	"runtime/debug"
+	"strconv"
 	"strings"
 	"time"
 
@@ -14,6 +17,40 @@ import (
 func opsEndpoint(path string) bool {
 	return path == "/healthz" || path == "/readyz" || path == "/metrics" ||
 		path == "/debug/flight" || strings.HasPrefix(path, "/debug/pprof")
+}
+
+// retryAfterSeconds derives the Retry-After advice for 429 responses
+// from live state: with depth runs queued ahead and the observed mean
+// run duration spread over the worker pool, a client retrying sooner
+// than (depth+1)·mean/workers will almost certainly meet the same full
+// queue. Clamped to [1, 60] seconds; before any run has completed the
+// mean defaults to one second.
+func (s *Server) retryAfterSeconds() int {
+	depth := s.m.queueDepth.Value()
+	if depth < 0 {
+		depth = 0
+	}
+	mean := 1.0
+	if n := s.m.runDuration.Count(); n > 0 {
+		mean = s.m.runDuration.Sum() / float64(n)
+		if mean < 0.05 {
+			mean = 0.05
+		}
+	}
+	secs := int(math.Ceil((depth + 1) * mean / float64(s.cfg.Workers)))
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 60 {
+		secs = 60
+	}
+	return secs
+}
+
+// writeTooMany answers 429 with adaptive Retry-After advice.
+func (s *Server) writeTooMany(w http.ResponseWriter, msg string) {
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
+	s.writeErr(w, http.StatusTooManyRequests, msg)
 }
 
 // limited sheds load beyond Config.MaxInFlight concurrently served API
@@ -30,10 +67,125 @@ func (s *Server) limited(next http.Handler) http.Handler {
 			defer func() { <-s.inflight }()
 		default:
 			s.m.limiterRejected.Inc()
-			w.Header().Set("Retry-After", "1")
-			s.writeErr(w, http.StatusTooManyRequests, "too many concurrent requests")
+			s.writeTooMany(w, "too many concurrent requests")
 			return
 		}
+		next.ServeHTTP(w, req)
+	})
+}
+
+// chaosPanicValue marks injected handler panics so the recovery
+// middleware can tag them without logging a stack (the stack is the
+// injection site, not a bug).
+const chaosPanicValue = "chaos: injected handler panic"
+
+// chaotic applies the configured fault injector's per-request decision:
+// injected latency, a synthetic 5xx, a handler panic, and slow or
+// truncated response bodies. Operational probes are exempt. Injected
+// error responses and panics carry an X-Chaos header so clients and
+// soak reports can separate synthetic faults from organic ones.
+func (s *Server) chaotic(next http.Handler) http.Handler {
+	if s.cfg.Chaos == nil {
+		return next
+	}
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		if opsEndpoint(req.URL.Path) {
+			next.ServeHTTP(w, req)
+			return
+		}
+		f := s.cfg.Chaos.Request()
+		if f.Injected() {
+			s.m.chaosInjected.Inc()
+		}
+		if f.Delay > 0 {
+			select {
+			case <-time.After(f.Delay):
+			case <-req.Context().Done():
+				return
+			}
+		}
+		if f.ErrorStatus != 0 {
+			w.Header().Set("X-Chaos", "error")
+			s.writeErr(w, f.ErrorStatus, "chaos: injected error")
+			return
+		}
+		if f.SlowWrite > 0 || f.TruncateAfter > 0 {
+			w = &faultWriter{ResponseWriter: w, slow: f.SlowWrite,
+				truncate: f.TruncateAfter > 0, remaining: f.TruncateAfter}
+		}
+		if f.Panic {
+			panic(chaosPanicValue)
+		}
+		next.ServeHTTP(w, req)
+	})
+}
+
+// faultWriter degrades a response body on command: a per-write delay
+// (slow-loris shape) and/or truncation after N bytes. Truncated writes
+// report full success to the handler — the corruption is strictly on
+// the wire, which is where the client must detect it.
+type faultWriter struct {
+	http.ResponseWriter
+	slow      time.Duration
+	truncate  bool
+	remaining int
+}
+
+func (fw *faultWriter) Write(p []byte) (int, error) {
+	if fw.slow > 0 {
+		time.Sleep(fw.slow)
+	}
+	if !fw.truncate {
+		return fw.ResponseWriter.Write(p)
+	}
+	if fw.remaining <= 0 {
+		return len(p), nil
+	}
+	n := len(p)
+	if n > fw.remaining {
+		n = fw.remaining
+	}
+	if _, err := fw.ResponseWriter.Write(p[:n]); err != nil {
+		return 0, err
+	}
+	fw.remaining -= n
+	return len(p), nil
+}
+
+// Flush forwards to the underlying writer when it supports streaming.
+func (fw *faultWriter) Flush() {
+	if f, ok := fw.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// recovered contains handler panics — injected or organic — so one bad
+// request can never take the serving goroutine down with a connection
+// reset when a 500 will do. Panics after the response started are
+// reported on the closed connection instead (nothing useful can be
+// written); http.ErrAbortHandler keeps its net/http meaning.
+func (s *Server) recovered(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		defer func() {
+			v := recover()
+			if v == nil {
+				return
+			}
+			if v == http.ErrAbortHandler {
+				panic(v)
+			}
+			s.m.httpPanics.Inc()
+			if vs, ok := v.(string); ok && vs == chaosPanicValue {
+				w.Header().Set("X-Chaos", "panic")
+			} else {
+				s.logError("handler panic", "path", req.URL.Path,
+					"panic", fmt.Sprint(v), "stack", string(debug.Stack()))
+			}
+			if sw, ok := w.(*statusWriter); ok && sw.status != 0 {
+				return // response already started; the connection is lost
+			}
+			s.writeErr(w, http.StatusInternalServerError, "internal error")
+		}()
 		next.ServeHTTP(w, req)
 	})
 }

@@ -39,9 +39,27 @@ import (
 	"sync/atomic"
 	"time"
 
+	"bgsched/internal/chaos"
 	"bgsched/internal/telemetry"
 	"bgsched/internal/trace"
 )
+
+// FaultInjector is the seam contract the server consults for injected
+// faults: one decision per HTTP request, per run-execution attempt, per
+// result-cache hit and per state-journal append. Implemented by
+// *chaos.Injector; a nil field disables injection entirely.
+type FaultInjector interface {
+	// Request decides the fault treatment of one HTTP request
+	// (operational probes are never consulted).
+	Request() chaos.RequestFault
+	// Exec decides whether one run-execution attempt fails.
+	Exec() error
+	// CacheDrop decides whether a result-cache hit is dropped, forcing
+	// a deterministic re-execution.
+	CacheDrop() bool
+	// Journal decides whether one state-journal append fails.
+	Journal() error
+}
 
 // Config tunes one Server. The zero value is usable: every field has a
 // default chosen for tests and small deployments.
@@ -96,6 +114,12 @@ type Config struct {
 	// recorder. Recorders of in-flight runs are registered globally and
 	// show up on GET /debug/flight and SIGQUIT dumps.
 	FlightEvents int
+	// Chaos, when non-nil, is consulted at the middleware, dispatch,
+	// cache and journal seams for deterministic fault injection
+	// (internal/chaos). Operational probes (/healthz, /readyz,
+	// /metrics, /debug/*) are exempt so health stays an honest signal
+	// during a soak. Nil disables injection.
+	Chaos FaultInjector
 }
 
 func (c Config) withDefaults() Config {
@@ -145,7 +169,9 @@ func (c Config) withDefaults() Config {
 type serviceMetrics struct {
 	httpRequests    *telemetry.Counter
 	httpErrors      *telemetry.Counter
+	httpPanics      *telemetry.Counter
 	limiterRejected *telemetry.Counter
+	chaosInjected   *telemetry.Counter
 
 	cacheHits      *telemetry.Counter
 	cacheMisses    *telemetry.Counter
@@ -164,29 +190,36 @@ type serviceMetrics struct {
 	runPanics     *telemetry.Counter
 	runDuration   *telemetry.Histogram
 
+	journalErrors      *telemetry.Counter
+	journalRestoreSkip *telemetry.Counter
+
 	streamsActive *telemetry.Gauge
 }
 
 func newServiceMetrics(reg *telemetry.Registry) serviceMetrics {
 	return serviceMetrics{
-		httpRequests:    reg.Counter("service.http.requests"),
-		httpErrors:      reg.Counter("service.http.errors"),
-		limiterRejected: reg.Counter("service.http.limiter_rejected"),
-		cacheHits:       reg.Counter("service.cache.hits"),
-		cacheMisses:     reg.Counter("service.cache.misses"),
-		cacheEvictions:  reg.Counter("service.cache.evictions"),
-		queueDepth:      reg.Gauge("service.queue.depth"),
-		queueRejected:   reg.Counter("service.queue.rejected"),
-		queueWait:       reg.Histogram("service.queue.wait_seconds"),
-		runsSubmitted:   reg.Counter("service.runs.submitted"),
-		runsCompleted:   reg.Counter("service.runs.completed"),
-		runsFailed:      reg.Counter("service.runs.failed"),
-		runsCanceled:    reg.Counter("service.runs.canceled"),
-		runsCoalesced:   reg.Counter("service.runs.coalesced"),
-		runRetries:      reg.Counter("service.runs.retries"),
-		runPanics:       reg.Counter("service.runs.panics"),
-		runDuration:     reg.Histogram("service.run.duration_seconds"),
-		streamsActive:   reg.Gauge("service.streams.active"),
+		httpRequests:       reg.Counter("service.http.requests"),
+		httpErrors:         reg.Counter("service.http.errors"),
+		httpPanics:         reg.Counter("service.http.panics"),
+		limiterRejected:    reg.Counter("service.http.limiter_rejected"),
+		chaosInjected:      reg.Counter("service.chaos.requests_faulted"),
+		cacheHits:          reg.Counter("service.cache.hits"),
+		cacheMisses:        reg.Counter("service.cache.misses"),
+		cacheEvictions:     reg.Counter("service.cache.evictions"),
+		queueDepth:         reg.Gauge("service.queue.depth"),
+		queueRejected:      reg.Counter("service.queue.rejected"),
+		queueWait:          reg.Histogram("service.queue.wait_seconds"),
+		runsSubmitted:      reg.Counter("service.runs.submitted"),
+		runsCompleted:      reg.Counter("service.runs.completed"),
+		runsFailed:         reg.Counter("service.runs.failed"),
+		runsCanceled:       reg.Counter("service.runs.canceled"),
+		runsCoalesced:      reg.Counter("service.runs.coalesced"),
+		runRetries:         reg.Counter("service.runs.retries"),
+		runPanics:          reg.Counter("service.runs.panics"),
+		runDuration:        reg.Histogram("service.run.duration_seconds"),
+		journalErrors:      reg.Counter("service.journal_errors"),
+		journalRestoreSkip: reg.Counter("service.journal_restore_skipped"),
+		streamsActive:      reg.Gauge("service.streams.active"),
 	}
 }
 
@@ -215,6 +248,11 @@ type Server struct {
 	execHook func(ctx context.Context, r *run) (any, error)
 
 	journal *stateJournal
+	// journalFails counts consecutive journal-append failures; at
+	// journalDegradedAfter the /readyz probe reports degraded, because a
+	// persistently failing journal means completed work will not survive
+	// the next restart. Any successful append resets it.
+	journalFails atomic.Int64
 
 	mu       sync.Mutex
 	draining bool
@@ -244,11 +282,19 @@ func New(cfg Config) (*Server, error) {
 		s.accessLg = slog.New(slog.NewJSONHandler(cfg.AccessLog, nil))
 	}
 	if cfg.StatePath != "" {
-		jnl, restored, err := openStateJournal(cfg.StatePath)
+		jnl, restored, report, err := openStateJournal(cfg.StatePath)
 		if err != nil {
 			return nil, err
 		}
 		s.journal = jnl
+		if cfg.Chaos != nil {
+			s.journal.fault = cfg.Chaos.Journal
+		}
+		if skipped := report.malformed + report.badCRC; skipped > 0 {
+			s.m.journalRestoreSkip.Add(int64(skipped))
+			s.logError("state journal restore skipped records",
+				"malformed", report.malformed, "bad_crc", report.badCRC, "restored", len(restored))
+		}
 		s.restore(restored)
 	}
 	s.handler = s.buildHandler()

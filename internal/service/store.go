@@ -6,6 +6,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"hash/crc32"
 	"os"
 	"strconv"
 	"strings"
@@ -16,12 +17,31 @@ import (
 // persistedRun is one line of the service state journal: the rendered
 // terminal record (served verbatim after restore, preserving the
 // byte-identical cache-hit guarantee across restarts) plus the event
-// lines the run produced.
+// lines the run produced. CRC is the record's own checksum (CRC-32C
+// over the line marshalled with CRC empty), so corruption that still
+// parses as JSON — a flipped digit, a spliced tail — is caught at
+// restore instead of being served as a byte-identical "cached" result.
 type persistedRun struct {
 	Type   string          `json:"type"` // always "run"
 	Body   json.RawMessage `json:"body"`
 	Events []string        `json:"events,omitempty"`
+	CRC    string          `json:"crc,omitempty"`
 }
+
+// checksum computes the record's CRC-32C with the CRC field cleared.
+// The round trip is exact: Body is a RawMessage (bytes preserved
+// verbatim) and Events re-encode identically, so a record verified at
+// restore re-marshals to the same base bytes it was checksummed over.
+func (p persistedRun) checksum() (string, error) {
+	p.CRC = ""
+	base, err := json.Marshal(p)
+	if err != nil {
+		return "", err
+	}
+	return fmt.Sprintf("%08x", crc32.Checksum(base, crcTable)), nil
+}
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
 
 // stateJournal is the append-only JSONL store of completed runs,
 // mirroring the resilience package's journal discipline: one synced
@@ -29,28 +49,47 @@ type persistedRun struct {
 type stateJournal struct {
 	mu sync.Mutex
 	f  *os.File
+	// fault, when non-nil, is the chaos seam: consulted before every
+	// append, a returned error fails the append without touching the
+	// file (the injected shapes are write failure and disk-full).
+	fault func() error
+}
+
+// restoreReport summarises one journal load: how many lines were
+// skipped as malformed (torn tail, non-JSON) or as checksum failures
+// (bit flips that still parse).
+type restoreReport struct {
+	malformed int
+	badCRC    int
 }
 
 // openStateJournal loads the existing journal at path (if any) and
-// opens it for appending.
-func openStateJournal(path string) (*stateJournal, []persistedRun, error) {
+// opens it for appending. Corrupt or torn records are skipped, never
+// fatal: a journal that got damaged must degrade to a smaller warm
+// cache, not block startup.
+func openStateJournal(path string) (*stateJournal, []persistedRun, restoreReport, error) {
 	var restored []persistedRun
+	var report restoreReport
 	if data, err := os.ReadFile(path); err == nil {
-		restored = parseStateJournal(data)
+		restored, report = parseStateJournal(data)
 	} else if !os.IsNotExist(err) {
-		return nil, nil, fmt.Errorf("service: read state journal: %w", err)
+		return nil, nil, report, fmt.Errorf("service: read state journal: %w", err)
 	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, nil, fmt.Errorf("service: open state journal: %w", err)
+		return nil, nil, report, fmt.Errorf("service: open state journal: %w", err)
 	}
-	return &stateJournal{f: f}, restored, nil
+	return &stateJournal{f: f}, restored, report, nil
 }
 
 // parseStateJournal decodes journal lines, skipping malformed ones
-// (the final line may be torn by a crash mid-append).
-func parseStateJournal(data []byte) []persistedRun {
+// (the final line may be torn by a crash mid-append) and ones whose
+// per-record checksum no longer matches (bit flips, spliced tails).
+// Records written before checksumming existed (no crc field) are
+// accepted as-is.
+func parseStateJournal(data []byte) ([]persistedRun, restoreReport) {
 	var out []persistedRun
+	var report restoreReport
 	sc := bufio.NewScanner(bytes.NewReader(data))
 	sc.Buffer(make([]byte, 1024*1024), 64*1024*1024)
 	for sc.Scan() {
@@ -60,11 +99,19 @@ func parseStateJournal(data []byte) []persistedRun {
 		}
 		var p persistedRun
 		if err := json.Unmarshal(line, &p); err != nil || p.Type != "run" || len(p.Body) == 0 {
+			report.malformed++
 			continue
+		}
+		if p.CRC != "" {
+			want, err := p.checksum()
+			if err != nil || want != p.CRC {
+				report.badCRC++
+				continue
+			}
 		}
 		out = append(out, p)
 	}
-	return out
+	return out, report
 }
 
 // append durably records one completed run. Safe on a nil journal.
@@ -72,7 +119,17 @@ func (j *stateJournal) append(p persistedRun) error {
 	if j == nil {
 		return nil
 	}
+	if j.fault != nil {
+		if err := j.fault(); err != nil {
+			return err
+		}
+	}
 	p.Type = "run"
+	crc, err := p.checksum()
+	if err != nil {
+		return fmt.Errorf("service: journal encode: %w", err)
+	}
+	p.CRC = crc
 	b, err := json.Marshal(p)
 	if err != nil {
 		return fmt.Errorf("service: journal encode: %w", err)
