@@ -23,6 +23,7 @@ import (
 	"bgsched/internal/metrics"
 	"bgsched/internal/resilience"
 	"bgsched/internal/sim"
+	"bgsched/internal/snapshot"
 	"bgsched/internal/telemetry"
 	"bgsched/internal/torus"
 	"bgsched/internal/trace"
@@ -68,6 +69,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		timeline = fs.Int("timeline", 0, "print a machine-state timeline with this many buckets")
 		byClass  = fs.Bool("by-class", false, "print metrics broken down by job size class")
 		eventLog = fs.String("eventlog", "", "write a JSONL simulation event log to this file")
+
+		snapAt       = fs.Int64("snapshot-at", 0, "capture a full simulator snapshot at this event seq, then continue to completion (requires -snapshot-out)")
+		snapOut      = fs.String("snapshot-out", "", "file to write the snapshot to; created only once the snapshot point is actually reached")
+		restoreFile  = fs.String("restore", "", "resume from a snapshot file instead of starting fresh (workload/failure flags are taken from the snapshot)")
+		branchPolicy = fs.String("branch-policy", "", "with -restore: replay the suffix under this scheduler instead of the parent's")
+		branchA      = fs.Float64("branch-a", -1, "with -restore: replay with this prediction confidence/accuracy (<0 keeps the parent's)")
+		branchFinder = fs.String("branch-finder", "", "with -restore: replay with this partition finder")
 
 		traceOut    = fs.String("trace-out", "", "write the NDJSON causal trace (per-job lifecycle records) to this file")
 		traceChrome = fs.String("trace-chrome", "", "write a Chrome trace_event JSON (chrome://tracing, Perfetto) to this file")
@@ -172,16 +180,97 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 
 	cfg.Telemetry = obs.Registry()
-	manifest := telemetry.NewManifest("bgsim", args, cfg)
-	manifest.Seed = *seed
 
-	res, err := experiments.RunContext(ctx, cfg)
-	if err != nil {
-		if resilience.Canceled(err) {
-			return fmt.Errorf("interrupted before completion (no metrics written): %w", err)
+	var res sim.Result
+	switch {
+	case *restoreFile != "":
+		if *snapAt > 0 || *snapOut != "" {
+			return fmt.Errorf("-restore cannot be combined with -snapshot-at/-snapshot-out")
 		}
-		return err
+		f, err := os.Open(*restoreFile)
+		if err != nil {
+			return err
+		}
+		st, _, err := snapshot.Decode(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("restore %s: %w", *restoreFile, err)
+		}
+		parent, err := experiments.ParentConfig(st)
+		if err != nil {
+			return fmt.Errorf("restore %s: %w", *restoreFile, err)
+		}
+		var br experiments.Branch
+		if *branchPolicy != "" {
+			br.Scheduler = experiments.SchedulerKind(*branchPolicy)
+		}
+		if *branchA >= 0 {
+			br.Param = branchA
+		}
+		if *branchFinder != "" {
+			br.Finder = *branchFinder
+		}
+		// The snapshot defines the world and policy baseline; the flag-built
+		// config contributes only observability wiring.
+		rcfg := br.Apply(parent)
+		rcfg.EventLog = cfg.EventLog
+		rcfg.Trace = cfg.Trace
+		rcfg.Flight = cfg.Flight
+		rcfg.Telemetry = cfg.Telemetry
+		rcfg.RecordTimeline = cfg.RecordTimeline
+		rcfg.CheckInvariants = cfg.CheckInvariants
+		cfg = rcfg
+		fmt.Fprintf(out, "restored            %s at event %d (t=%.1f)%s\n",
+			*restoreFile, st.Dispatched, st.Now, branchNote(br))
+		res, err = experiments.ResumeFromSnapshot(ctx, cfg, st)
+		if err != nil {
+			if resilience.Canceled(err) {
+				return fmt.Errorf("interrupted before completion (no metrics written): %w", err)
+			}
+			return err
+		}
+	case *snapAt > 0 || *snapOut != "":
+		if *snapAt <= 0 || *snapOut == "" {
+			return fmt.Errorf("-snapshot-at and -snapshot-out must be used together")
+		}
+		// Capture first, write the file, then replay the suffix from the
+		// captured state: an interrupt before the snapshot point fails the
+		// whole command without ever creating the output file, and an
+		// interrupt after it still leaves a complete snapshot on disk.
+		st, err := experiments.SnapshotAt(ctx, cfg, *snapAt)
+		if err != nil {
+			return err
+		}
+		var enc bytes.Buffer
+		hash, err := st.Encode(&enc)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*snapOut, enc.Bytes(), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "snapshot            %s at event %d (t=%.1f, sha256 %.12s)\n",
+			*snapOut, st.Dispatched, st.Now, hash)
+		res, err = experiments.ResumeFromSnapshot(ctx, cfg, st)
+		if err != nil {
+			if resilience.Canceled(err) {
+				return fmt.Errorf("interrupted before completion (no metrics written): %w", err)
+			}
+			return err
+		}
+	default:
+		var err error
+		res, err = experiments.RunContext(ctx, cfg)
+		if err != nil {
+			if resilience.Canceled(err) {
+				return fmt.Errorf("interrupted before completion (no metrics written): %w", err)
+			}
+			return err
+		}
 	}
+
+	manifest := telemetry.NewManifest("bgsim", args, cfg)
+	manifest.Seed = cfg.Seed
 	if err := obs.WriteMetrics(manifest, cfg.Telemetry); err != nil {
 		return err
 	}
@@ -202,10 +291,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return err
 		}
 	}
+	// Printed from cfg, not the raw flags: under -restore the effective
+	// configuration comes from the snapshot plus branch overrides.
 	s := res.Summary
-	fmt.Fprintf(out, "workload            %s (jobs=%d, c=%.2f, seed=%d)\n", *wl, *jobs, *c, *seed)
-	fmt.Fprintf(out, "scheduler           %s (a=%.2f, backfill=%s, migration=%v)\n", *sched, *a, *backfill, *migration)
-	fmt.Fprintf(out, "failures            nominal=%d delivered=%d kills=%d\n", *failures, res.FailureEvents, res.JobKills)
+	fmt.Fprintf(out, "workload            %s (jobs=%d, c=%.2f, seed=%d)\n", cfg.Workload, cfg.JobCount, cfg.LoadScale, cfg.Seed)
+	fmt.Fprintf(out, "scheduler           %s (a=%.2f, backfill=%s, migration=%v)\n", cfg.Scheduler, cfg.Param, cfg.Backfill, cfg.Migration)
+	fmt.Fprintf(out, "failures            nominal=%d delivered=%d kills=%d\n", cfg.FailureNominal, res.FailureEvents, res.JobKills)
 	fmt.Fprintf(out, "jobs finished       %d\n", s.Jobs)
 	fmt.Fprintf(out, "avg wait            %.1f s\n", s.AvgWait)
 	fmt.Fprintf(out, "avg response        %.1f s\n", s.AvgResponse)
@@ -230,7 +321,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}
 	if *timeline > 0 {
-		g, err := torus.Parse(*machine)
+		g, err := torus.Parse(cfg.Machine)
 		if err != nil {
 			return err
 		}
@@ -240,4 +331,23 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// branchNote renders the overrides a -restore replay applies, for the
+// "restored" banner line. Empty for a faithful (no-op) replay.
+func branchNote(br experiments.Branch) string {
+	if br.IsZero() {
+		return ""
+	}
+	note := " branching"
+	if br.Scheduler != "" {
+		note += fmt.Sprintf(" sched=%s", br.Scheduler)
+	}
+	if br.Param != nil {
+		note += fmt.Sprintf(" a=%.2f", *br.Param)
+	}
+	if br.Finder != "" {
+		note += fmt.Sprintf(" finder=%s", br.Finder)
+	}
+	return note
 }

@@ -3,6 +3,8 @@ package main
 import (
 	"bytes"
 	"context"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -109,5 +111,99 @@ func TestBgsimCancelledContext(t *testing.T) {
 	err := run(ctx, []string{"-jobs", "60"}, &bytes.Buffer{})
 	if err == nil || !strings.Contains(err.Error(), "interrupted") {
 		t.Fatalf("err = %v, want interrupted", err)
+	}
+}
+
+// A run that snapshots mid-flight must print the same metrics as an
+// uninterrupted one, and the written snapshot must replay to the same
+// metrics again via -restore.
+func TestBgsimSnapshotRoundTrip(t *testing.T) {
+	base := []string{"-workload", "NASA", "-jobs", "80", "-sched", "balancing", "-a", "0.1", "-failures", "500"}
+	var plain bytes.Buffer
+	if err := run(context.Background(), base, &plain); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := filepath.Join(t.TempDir(), "run.bgsnap")
+	var withSnap bytes.Buffer
+	if err := run(context.Background(), append([]string{"-snapshot-at", "100", "-snapshot-out", snap}, base...), &withSnap); err != nil {
+		t.Fatal(err)
+	}
+	first, rest, ok := strings.Cut(withSnap.String(), "\n")
+	if !ok || !strings.Contains(first, "snapshot") || !strings.Contains(first, "at event 100") {
+		t.Fatalf("missing snapshot banner:\n%s", withSnap.String())
+	}
+	if rest != plain.String() {
+		t.Fatalf("snapshotting changed the metrics:\n%s\nvs\n%s", rest, plain.String())
+	}
+	if fi, err := os.Stat(snap); err != nil || fi.Size() == 0 {
+		t.Fatalf("snapshot file: %v (size %v)", err, fi)
+	}
+
+	// Faithful replay: -restore alone reproduces the parent's metrics.
+	var restored bytes.Buffer
+	if err := run(context.Background(), []string{"-restore", snap}, &restored); err != nil {
+		t.Fatal(err)
+	}
+	first, rest, _ = strings.Cut(restored.String(), "\n")
+	if !strings.Contains(first, "restored") {
+		t.Fatalf("missing restored banner:\n%s", restored.String())
+	}
+	if rest != plain.String() {
+		t.Fatalf("replay diverged from the original run:\n%s\nvs\n%s", rest, plain.String())
+	}
+
+	// What-if replay: branch flags swap the policy for the suffix.
+	var branched bytes.Buffer
+	if err := run(context.Background(), []string{"-restore", snap, "-branch-policy", "baseline", "-branch-finder", "fast"}, &branched); err != nil {
+		t.Fatal(err)
+	}
+	out := branched.String()
+	if !strings.Contains(out, "branching sched=baseline finder=fast") {
+		t.Fatalf("missing branch note:\n%s", out)
+	}
+	if !strings.Contains(out, "scheduler           baseline") {
+		t.Fatalf("branch policy not applied:\n%s", out)
+	}
+}
+
+// An interrupt before the snapshot point must fail the command with
+// "snapshot point not reached" and never create the output file — a
+// partial or empty snapshot on disk would be worse than none.
+func TestBgsimSnapshotInterrupted(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "never.bgsnap")
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := run(ctx, []string{"-jobs", "80", "-snapshot-at", "100", "-snapshot-out", snap}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "snapshot point not reached") {
+		t.Fatalf("err = %v, want snapshot point not reached", err)
+	}
+	if _, serr := os.Stat(snap); !os.IsNotExist(serr) {
+		t.Fatalf("snapshot file was created despite the interrupt: %v", serr)
+	}
+}
+
+// A seq past the end of the run is the same refusal, same guarantee.
+func TestBgsimSnapshotSeqPastEnd(t *testing.T) {
+	snap := filepath.Join(t.TempDir(), "never.bgsnap")
+	err := run(context.Background(), []string{"-jobs", "40", "-snapshot-at", "1000000", "-snapshot-out", snap}, &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "snapshot point not reached") {
+		t.Fatalf("err = %v, want snapshot point not reached", err)
+	}
+	if _, serr := os.Stat(snap); !os.IsNotExist(serr) {
+		t.Fatalf("snapshot file was created for an unreachable seq: %v", serr)
+	}
+}
+
+func TestBgsimSnapshotFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-jobs", "40", "-snapshot-at", "10"},                                // missing -snapshot-out
+		{"-jobs", "40", "-snapshot-out", "x.bgsnap"},                         // missing -snapshot-at
+		{"-restore", "x.bgsnap", "-snapshot-at", "10", "-snapshot-out", "y"}, // exclusive modes
+		{"-restore", "/nonexistent/definitely-missing.bgsnap"},               // unreadable snapshot
+	} {
+		if err := run(context.Background(), args, &bytes.Buffer{}); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
 	}
 }

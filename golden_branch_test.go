@@ -1,0 +1,93 @@
+package bgsched
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"bgsched/internal/experiments"
+)
+
+// branchGoldenDigest pins the byte-exact rendering of the 6-point
+// branch grid below: one parent run plus five what-if replays from a
+// single snapshot at event 200. Like the sweep golden, it may only be
+// re-pinned by a deliberate semantic change to the simulator, the
+// snapshot/restore machinery or the policies — never by a refactor.
+const branchGoldenDigest = "6bd44bb5295fd38cb69529699c76d78be595ac9dde493383a2291045a1731f39"
+
+func branchGoldenParent() experiments.RunConfig {
+	return experiments.RunConfig{
+		Workload:       "SDSC",
+		JobCount:       120,
+		Seed:           7,
+		FailureNominal: 120,
+		FailureScale:   1,
+		Scheduler:      experiments.SchedBaseline,
+	}
+}
+
+func branchGoldenPoints() []experiments.BranchPoint {
+	f := func(v float64) *float64 { return &v }
+	b := func(v bool) *bool { return &v }
+	return []experiments.BranchPoint{
+		{Name: "noop", Branch: experiments.Branch{}},
+		{Name: "balancing", Branch: experiments.Branch{Scheduler: experiments.SchedBalancing, Param: f(0.3)}},
+		{Name: "tiebreak", Branch: experiments.Branch{Scheduler: experiments.SchedTieBreak, Param: f(0.8)}},
+		{Name: "migration", Branch: experiments.Branch{Migration: b(true), MigrationCost: f(30)}},
+		{Name: "fast-finder", Branch: experiments.Branch{Finder: "fast"}},
+	}
+}
+
+// branchDigest runs the grid and hashes the rendered table. Render
+// prints floats in shortest round-trip form, so any numeric drift in
+// any branch outcome — or in the parent the deltas are measured
+// against — changes the digest.
+func branchDigest(t *testing.T) string {
+	t.Helper()
+	table, err := experiments.BranchGrid(context.Background(), branchGoldenParent(), 200, branchGoldenPoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := table.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(h[:])
+}
+
+// TestGoldenBranchDigest pins the branch-replay pipeline end to end:
+// run-to-boundary, snapshot capture, restore under five different
+// policy overlays, and the comparison table built from the results.
+// The "noop" branch row doubles as an equivalence statement — its
+// delta series must be exactly zero for the digest to stay put.
+func TestGoldenBranchDigest(t *testing.T) {
+	if got := branchDigest(t); got != branchGoldenDigest {
+		t.Fatalf("golden branch digest drifted:\n got  %s\n want %s\n"+
+			"(a refactor must be byte-identical; only deliberate semantic changes may re-pin)", got, branchGoldenDigest)
+	}
+}
+
+// TestGoldenBranchNoopRowIsZero asserts the equivalence property the
+// digest encodes, directly: the no-op branch's delta columns are
+// identically zero.
+func TestGoldenBranchNoopRowIsZero(t *testing.T) {
+	table, err := experiments.BranchGrid(context.Background(), branchGoldenParent(), 200, branchGoldenPoints())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range table.Series {
+		if s.Name != "d_slowdown" && s.Name != "d_wait" {
+			continue
+		}
+		// Index 0 is the parent itself, index 1 the no-op branch; both
+		// deltas are measured against the parent and must vanish.
+		for i := 0; i < 2; i++ {
+			if s.Y[i] != 0 {
+				t.Fatalf("series %s point %d = %v, want exactly 0", s.Name, i, s.Y[i])
+			}
+		}
+	}
+}

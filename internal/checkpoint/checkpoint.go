@@ -6,8 +6,10 @@
 package checkpoint
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
+	"sort"
 
 	"bgsched/internal/predict"
 )
@@ -88,6 +90,51 @@ func (p *PredictionTriggered) Next(jobID int64, now, expFinish float64, nodes []
 	}
 	p.lastTrigger[jobID] = now
 	return t, true
+}
+
+// Stateful is implemented by policies carrying mutable per-run state
+// that must survive a snapshot/restore cycle. StateJSON returns a
+// canonical (deterministic-bytes) JSON encoding of the state;
+// RestoreJSON resets the policy to a previously captured state.
+// Stateless policies simply don't implement it.
+type Stateful interface {
+	StateJSON() ([]byte, error)
+	RestoreJSON([]byte) error
+}
+
+// triggerEntry is one lastTrigger map entry in the canonical (sorted by
+// job id) serialized form.
+type triggerEntry struct {
+	Job  int64
+	Time float64
+}
+
+// StateJSON implements Stateful: the per-job last-trigger times, sorted
+// by job id for deterministic bytes.
+func (p *PredictionTriggered) StateJSON() ([]byte, error) {
+	entries := make([]triggerEntry, 0, len(p.lastTrigger))
+	for id, t := range p.lastTrigger {
+		entries = append(entries, triggerEntry{Job: id, Time: t})
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Job < entries[j].Job })
+	return json.Marshal(entries)
+}
+
+// RestoreJSON implements Stateful.
+func (p *PredictionTriggered) RestoreJSON(b []byte) error {
+	var entries []triggerEntry
+	if err := json.Unmarshal(b, &entries); err != nil {
+		return fmt.Errorf("checkpoint: restore prediction-triggered state: %w", err)
+	}
+	p.lastTrigger = nil
+	if len(entries) == 0 {
+		return nil
+	}
+	p.lastTrigger = make(map[int64]float64, len(entries))
+	for _, e := range entries {
+		p.lastTrigger[e.Job] = e.Time
+	}
+	return nil
 }
 
 // YoungInterval returns the classic first-order optimal periodic

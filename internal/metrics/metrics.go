@@ -99,6 +99,32 @@ func (c *CapacityTracker) CloseAt(t float64) (float64, error) {
 // UnusedNodeSeconds returns the integral accumulated so far.
 func (c *CapacityTracker) UnusedNodeSeconds() float64 { return c.unused }
 
+// TrackerState is the exported state of a CapacityTracker, for
+// snapshot/restore: the integral accumulated so far plus the open
+// interval's left endpoint and values.
+type TrackerState struct {
+	Started  bool
+	LastTime float64
+	Free     int
+	Demand   int
+	Unused   float64
+}
+
+// State captures the tracker for serialization.
+func (c *CapacityTracker) State() TrackerState {
+	return TrackerState{Started: c.started, LastTime: c.lastTime, Free: c.free, Demand: c.demand, Unused: c.unused}
+}
+
+// Restore resets the tracker to a previously captured state; subsequent
+// Observe calls continue the integral exactly where the capture left it.
+func (c *CapacityTracker) Restore(st TrackerState) {
+	c.started = st.Started
+	c.lastTime = st.LastTime
+	c.free = st.Free
+	c.demand = st.Demand
+	c.unused = st.Unused
+}
+
 // Summary aggregates a simulation run.
 type Summary struct {
 	Jobs int

@@ -41,6 +41,13 @@ const (
 	// OpQuery queries all finders for Size and verifies agreement plus
 	// the MFP invariants, mutating nothing.
 	OpQuery
+	// OpSnapshot round-trips the occupancy grid through its serialized
+	// owner map (the same mechanism simulator snapshot restore uses) and
+	// swaps the live grid for the restored copy, then re-verifies finder
+	// agreement on it. The restored grid has a fresh identity, so a
+	// finder cache keyed on grid identity that survived the swap — stale
+	// state a restore must never inherit — diverges here.
+	OpSnapshot
 	opKinds // count sentinel
 )
 
@@ -53,6 +60,8 @@ func (k OpKind) String() string {
 		return "free"
 	case OpQuery:
 		return "query"
+	case OpSnapshot:
+		return "snapshot"
 	}
 	return fmt.Sprintf("OpKind(%d)", uint8(k))
 }
@@ -97,6 +106,7 @@ type Report struct {
 	Frees       int // successful releases
 	Queries     int // finder comparisons performed (queries + alloc lookups)
 	Comparisons int // pairwise finder result comparisons
+	Snapshots   int // grid snapshot/restore round-trips
 }
 
 // DivergenceError describes a detected finder disagreement or
@@ -192,6 +202,35 @@ func Replay(g torus.Geometry, ops []Op, finders []partition.Finder) (*Report, er
 			live = append(live, liveAlloc{part: p, owner: nextOwner})
 			nextOwner++
 			rep.Allocs++
+		case OpSnapshot:
+			owners := gr.Owners()
+			restored, err := torus.NewGridFromOwners(g, owners)
+			if err != nil {
+				return rep, &DivergenceError{
+					OpIndex: i, Op: op, Finder: "snapshot",
+					Detail: fmt.Sprintf("owner round-trip rejected a live grid: %v", err),
+					Grid:   DumpGrid(gr),
+				}
+			}
+			if restored.FreeCount() != gr.FreeCount() {
+				return rep, &DivergenceError{
+					OpIndex: i, Op: op, Finder: "snapshot",
+					Detail: fmt.Sprintf("restored grid has %d free nodes, original %d",
+						restored.FreeCount(), gr.FreeCount()),
+					Grid: DumpGrid(gr),
+				}
+			}
+			gr = restored
+			rep.Snapshots++
+			// Every finder must agree on the restored grid exactly as it
+			// did on the original.
+			size := clampSize(op.Size, g)
+			if _, err := checkQuery(rep, gr, size, finders, i, op); err != nil {
+				return rep, err
+			}
+			if err := checkMFP(gr, i, op); err != nil {
+				return rep, err
+			}
 		case OpFree:
 			if len(live) == 0 {
 				continue // nothing allocated; legal no-op
@@ -346,7 +385,8 @@ func mod(a, m int) int {
 }
 
 // RandomOps generates a seeded operation sequence of length n:
-// roughly 40% allocations, 25% frees and 35% queries, with sizes drawn
+// roughly 40% allocations, 25% frees, 30% queries and 5% snapshot
+// round-trips, with sizes drawn
 // from the machine's feasible sizes (biased small, the way real job
 // streams are) and occasional arbitrary sizes to exercise the
 // no-legal-shape exits.
@@ -361,8 +401,10 @@ func RandomOps(g torus.Geometry, n int, seed int64) []Op {
 			op.Kind = OpAlloc
 		case r < 0.65:
 			op.Kind = OpFree
-		default:
+		case r < 0.95:
 			op.Kind = OpQuery
+		default:
+			op.Kind = OpSnapshot
 		}
 		if op.Kind != OpFree {
 			if rng.Float64() < 0.85 {

@@ -241,3 +241,98 @@ func TestDumpGridShape(t *testing.T) {
 		t.Fatalf("dump is missing z slices:\n%s", dump)
 	}
 }
+
+// TestOracleSnapshotMidSequence pins the OpSnapshot semantics: a
+// sequence that allocates, snapshots (owner-map round-trip plus grid
+// swap), then keeps mutating and querying must replay divergence-free
+// against every finder — including the cached fast path, whose state
+// must not survive the identity change a restore implies.
+func TestOracleSnapshotMidSequence(t *testing.T) {
+	g := torus.NewGeometry(3, 3, 4, true)
+	n := g.N()
+	var ops []Op
+	for i := 0; i < 8; i++ {
+		ops = append(ops, Op{Kind: OpAlloc, Size: i % n, Pick: i})
+	}
+	ops = append(ops, Op{Kind: OpSnapshot, Size: 3})
+	for i := 0; i < 6; i++ {
+		ops = append(ops,
+			Op{Kind: OpFree, Pick: i * 5},
+			Op{Kind: OpQuery, Size: (i * 7) % n},
+			Op{Kind: OpSnapshot, Size: i % n},
+			Op{Kind: OpAlloc, Size: (i * 3) % n, Pick: i},
+		)
+	}
+	rep, err := Replay(g, ops, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Snapshots != 7 {
+		t.Fatalf("replayed %d snapshots, want 7", rep.Snapshots)
+	}
+	if rep.Allocs == 0 || rep.Frees == 0 {
+		t.Fatalf("degenerate sequence: %d allocs, %d frees", rep.Allocs, rep.Frees)
+	}
+}
+
+// TestOracleRandomMixIncludesSnapshots keeps RandomOps honest about the
+// new op: across a handful of seeds the generated mix must exercise
+// snapshot round-trips, not just claim to.
+func TestOracleRandomMixIncludesSnapshots(t *testing.T) {
+	total := 0
+	for seed := int64(0); seed < 10; seed++ {
+		rep, err := Run(Config{Geometry: torus.NewGeometry(3, 3, 4, true), Ops: 100, Seed: seed})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += rep.Snapshots
+	}
+	if total == 0 {
+		t.Fatal("1000 random ops produced zero snapshot round-trips")
+	}
+}
+
+// TestOracleSnapshotDetectsStaleCache proves the snapshot op actually
+// catches the failure class it exists for: a finder that caches by grid
+// identity and keeps serving the pre-swap snapshot's results diverges.
+func TestOracleSnapshotDetectsStaleCache(t *testing.T) {
+	g := torus.NewGeometry(3, 3, 4, true)
+	stale := &staleCacheFinder{inner: partition.ShapeFinder{}}
+	finders := []partition.Finder{partition.NaiveFinder{}, stale}
+	ops := []Op{
+		{Kind: OpAlloc, Size: 3, Pick: 0},
+		{Kind: OpQuery, Size: 3}, // primes the stale cache
+		{Kind: OpSnapshot, Size: 3},
+		{Kind: OpAlloc, Size: 3, Pick: 1}, // occupancy changed; cache still answers
+		{Kind: OpQuery, Size: 3},
+	}
+	_, err := Replay(g, ops, finders)
+	var div *DivergenceError
+	if !errors.As(err, &div) {
+		t.Fatalf("stale-cache finder survived the snapshot replay: %v", err)
+	}
+	if div.Finder != "stale-cache" {
+		t.Fatalf("divergence blamed on %q, want stale-cache", div.Finder)
+	}
+}
+
+// staleCacheFinder memoizes its first answer per size and never
+// invalidates — the bug OpSnapshot is designed to flush out.
+type staleCacheFinder struct {
+	inner partition.Finder
+	memo  map[int][]torus.Partition
+}
+
+func (f *staleCacheFinder) Name() string { return "stale-cache" }
+
+func (f *staleCacheFinder) FreeOfSize(gr *torus.Grid, size int) []torus.Partition {
+	if f.memo == nil {
+		f.memo = make(map[int][]torus.Partition)
+	}
+	if ps, ok := f.memo[size]; ok {
+		return ps
+	}
+	ps := f.inner.FreeOfSize(gr, size)
+	f.memo[size] = ps
+	return ps
+}

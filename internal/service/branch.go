@@ -1,0 +1,218 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"bgsched/internal/experiments"
+	"bgsched/internal/sim"
+	"bgsched/internal/snapshot"
+	"bgsched/internal/telemetry"
+	"bgsched/internal/trace"
+)
+
+// BranchRequest is the POST /v1/runs/{id}/branch payload: replay the
+// parent run's world from the event boundary AtSeq under a modified
+// policy.
+type BranchRequest struct {
+	AtSeq  int64              `json:"at_seq"`
+	Branch experiments.Branch `json:"branch"`
+}
+
+// branchConfig is the canonical config of a branch run. The parent's
+// canonical config (not its id) pins the world, so the cache key — and
+// therefore result reuse — survives parent-run eviction and restarts.
+type branchConfig struct {
+	Parent     experiments.RunConfig `json:"parent"`
+	ParentID   string                `json:"parent_id"`
+	ParentHash string                `json:"parent_hash"`
+	AtSeq      int64                 `json:"at_seq"`
+	Branch     experiments.Branch    `json:"branch"`
+}
+
+// BranchResult is the payload of a completed branch replay.
+type BranchResult struct {
+	ParentID   string             `json:"parent_id"`
+	ParentHash string             `json:"parent_hash"`
+	AtSeq      int64              `json:"at_seq"`
+	Branch     experiments.Branch `json:"branch"`
+	SimResult
+}
+
+// snapshotCache is a tiny LRU of parent-prefix snapshots keyed by
+// (parent config hash, at_seq): sibling branches off the same point
+// reuse one prefix execution instead of re-simulating it. States are
+// immutable once cached (sim.NewFromSnapshot never mutates its input),
+// so one entry can feed any number of concurrent branch runs. Hit/miss
+// is visible only in the service counters, never in result payloads —
+// a chaos cache-drop replay must stay byte-identical.
+type snapshotCache struct {
+	mu    sync.Mutex
+	cap   int
+	items map[string]*snapshot.State
+	order []string // LRU, most recent last
+}
+
+func newSnapshotCache(capacity int) *snapshotCache {
+	return &snapshotCache{cap: capacity, items: make(map[string]*snapshot.State)}
+}
+
+func (c *snapshotCache) get(key string) *snapshot.State {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st, ok := c.items[key]
+	if !ok {
+		return nil
+	}
+	c.touchLocked(key)
+	return st
+}
+
+func (c *snapshotCache) add(key string, st *snapshot.State) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.items[key]; !ok && len(c.items) >= c.cap {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.items, oldest)
+	}
+	c.items[key] = st
+	c.touchLocked(key)
+}
+
+func (c *snapshotCache) touchLocked(key string) {
+	for i, k := range c.order {
+		if k == key {
+			c.order = append(c.order[:i], c.order[i+1:]...)
+			break
+		}
+	}
+	c.order = append(c.order, key)
+}
+
+// snapshotCacheSize bounds retained parent-prefix snapshots. Snapshots
+// are a few hundred KB each; branch grids fan many branches off few
+// points, so a small cache captures the reuse.
+const snapshotCacheSize = 8
+
+// handleSubmitBranch accepts a what-if replay of an existing simulation
+// run: restore the parent's state at the requested event boundary, swap
+// in the branch's policy overrides, and run the rest of the schedule.
+func (s *Server) handleSubmitBranch(w http.ResponseWriter, req *http.Request) {
+	parent := s.lookup(req.PathValue("id"))
+	if parent == nil {
+		s.writeErr(w, http.StatusNotFound, "no such run")
+		return
+	}
+	if parent.kind != kindSim {
+		s.writeErr(w, http.StatusConflict, "branching requires a simulation run, parent is kind "+parent.kind)
+		return
+	}
+	s.mu.Lock()
+	parentCfg, ok := parent.cfg.(experiments.RunConfig)
+	parentHash := parent.hash
+	s.mu.Unlock()
+	if !ok {
+		s.writeErr(w, http.StatusConflict, "parent run's configuration is unavailable")
+		return
+	}
+	var br BranchRequest
+	if !s.decodeBody(w, req, &br) {
+		return
+	}
+	if br.AtSeq < 1 {
+		s.writeErr(w, http.StatusBadRequest, fmt.Sprintf("at_seq must be >= 1, got %d", br.AtSeq))
+		return
+	}
+	// The branch config must be valid stand-alone: apply the overrides
+	// and run them through the same gate as a direct submission.
+	applied := br.Branch.Apply(parentCfg).Canonical()
+	if applied.FinderWorkers > maxFinderWorkers {
+		s.writeErr(w, http.StatusBadRequest,
+			fmt.Sprintf("finder_workers must be <= %d, got %d", maxFinderWorkers, applied.FinderWorkers))
+		return
+	}
+	if err := s.validateRunConfig(applied); err != nil {
+		s.writeErr(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	bc := branchConfig{
+		Parent:     parentCfg,
+		ParentID:   parent.id,
+		ParentHash: parentHash,
+		AtSeq:      br.AtSeq,
+		Branch:     br.Branch,
+	}
+	// ParentID is excluded from the hash: two parents with identical
+	// canonical configs pin the same world, so their branches are the
+	// same computation and must share one cache entry.
+	hash := telemetry.ConfigHash(struct {
+		Kind       string
+		ParentHash string
+		AtSeq      int64
+		Branch     experiments.Branch
+	}{kindBranch, parentHash, br.AtSeq, br.Branch})
+	s.submit(w, req, kindBranch, hash, bc)
+}
+
+// executeBranch runs one branch replay: obtain the parent-prefix
+// snapshot (cached across sibling branches), restore under the branch
+// config with the run's output streams wired, and continue to the end
+// of the schedule.
+func (s *Server) executeBranch(ctx context.Context, r *run) (any, error) {
+	bc := r.cfg.(branchConfig)
+	key := fmt.Sprintf("%s@%d", bc.ParentHash, bc.AtSeq)
+	st := s.snapshots.get(key)
+	if st != nil {
+		s.m.branchSnapshotHits.Inc()
+	} else {
+		s.m.branchSnapshotMisses.Inc()
+		// The prefix replays the parent's canonical config with no output
+		// streams attached: its event log and trace belong to the parent
+		// run, not to this branch. With no writers the captured stream
+		// origins (ElogSeq, TraceSeq) are zero, so a branch's own streams
+		// are identical whether the snapshot came from cache or not.
+		var err error
+		st, err = experiments.SnapshotAt(ctx, bc.Parent, bc.AtSeq)
+		if err != nil {
+			return nil, err
+		}
+		s.snapshots.add(key, st)
+	}
+
+	cfg := bc.Branch.Apply(bc.Parent)
+	reg := telemetry.New()
+	cfg.Telemetry = reg
+	esw := sim.NewEventStreamWriter(r.events.append)
+	cfg.EventLog = esw
+	tsw := sim.NewEventStreamWriter(r.traces.append)
+	cfg.Trace = trace.New(tsw, trace.Options{WallSpans: true})
+	cfg.Trace.Meta(trace.F("run", r.id), trace.F("branch_of", bc.ParentID),
+		trace.Fint("at_seq", bc.AtSeq), trace.F("scheduler", string(cfg.Scheduler)))
+	if s.cfg.FlightEvents > 0 {
+		cfg.Flight = trace.NewFlightRecorder(s.cfg.FlightEvents, nil, "run "+r.id)
+	}
+	res, err := experiments.ResumeFromSnapshot(ctx, cfg, st)
+	esw.Close()
+	tsw.Close()
+	if err != nil {
+		return nil, err
+	}
+	return BranchResult{
+		ParentID:   bc.ParentID,
+		ParentHash: bc.ParentHash,
+		AtSeq:      bc.AtSeq,
+		Branch:     bc.Branch,
+		SimResult: SimResult{
+			Summary:       res.Summary,
+			FailureEvents: res.FailureEvents,
+			JobKills:      res.JobKills,
+			Migrations:    res.Migrations,
+			Checkpoints:   res.Checkpoints,
+			Backfills:     res.Backfills,
+			Telemetry:     reg.Snapshot(),
+		},
+	}, nil
+}

@@ -162,6 +162,8 @@ func (s *Server) executeTask(ctx context.Context, r *run) (any, error) {
 			Backfills:     res.Backfills,
 			Telemetry:     reg.Snapshot(),
 		}, nil
+	case kindBranch:
+		return s.executeBranch(ctx, r)
 	case kindFigure:
 		fc := r.cfg.(figureConfig)
 		spec, err := experiments.SpecByID(fc.Figure)

@@ -30,6 +30,7 @@ func (s *Server) buildHandler() http.Handler {
 	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancelRun)
 	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleStreamEvents)
 	mux.HandleFunc("GET /v1/runs/{id}/trace", s.handleStreamTrace)
+	mux.HandleFunc("POST /v1/runs/{id}/branch", s.handleSubmitBranch)
 	mux.HandleFunc("POST /v1/figures/{fig}", s.handleSubmitFigure)
 	mux.HandleFunc("GET /debug/flight", s.handleFlightDump)
 	if s.cfg.EnablePprof {

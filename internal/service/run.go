@@ -30,6 +30,7 @@ func (st State) terminal() bool {
 const (
 	kindSim    = "sim"
 	kindFigure = "figure"
+	kindBranch = "branch"
 )
 
 // FigureRequest is the POST /v1/figures/{fig} payload. Workers bounds

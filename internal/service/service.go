@@ -190,6 +190,9 @@ type serviceMetrics struct {
 	runPanics     *telemetry.Counter
 	runDuration   *telemetry.Histogram
 
+	branchSnapshotHits   *telemetry.Counter
+	branchSnapshotMisses *telemetry.Counter
+
 	journalErrors      *telemetry.Counter
 	journalRestoreSkip *telemetry.Counter
 
@@ -217,7 +220,9 @@ func newServiceMetrics(reg *telemetry.Registry) serviceMetrics {
 		runRetries:         reg.Counter("service.runs.retries"),
 		runPanics:          reg.Counter("service.runs.panics"),
 		runDuration:        reg.Histogram("service.run.duration_seconds"),
-		journalErrors:      reg.Counter("service.journal_errors"),
+		branchSnapshotHits:   reg.Counter("service.branch.snapshot_hits"),
+		branchSnapshotMisses: reg.Counter("service.branch.snapshot_misses"),
+		journalErrors:        reg.Counter("service.journal_errors"),
 		journalRestoreSkip: reg.Counter("service.journal_restore_skipped"),
 		streamsActive:      reg.Gauge("service.streams.active"),
 	}
@@ -254,6 +259,10 @@ type Server struct {
 	// the next restart. Any successful append resets it.
 	journalFails atomic.Int64
 
+	// snapshots caches parent-prefix snapshots for branch replays, so
+	// sibling branches off one point share the prefix execution.
+	snapshots *snapshotCache
+
 	mu       sync.Mutex
 	draining bool
 	runs     map[string]*run
@@ -276,6 +285,8 @@ func New(cfg Config) (*Server, error) {
 		runs:     make(map[string]*run),
 		byHash:   make(map[string]*run),
 		cache:    newLRUCache(cfg.CacheSize),
+
+		snapshots: newSnapshotCache(snapshotCacheSize),
 	}
 	s.baseCtx, s.baseCancel = context.WithCancel(context.Background())
 	if cfg.AccessLog != nil {

@@ -12,6 +12,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"bgsched/internal/experiments"
 )
 
 // persistedRun is one line of the service state journal: the rendered
@@ -178,6 +180,16 @@ func (s *Server) restore(records []persistedRun) {
 			body:      append([]byte(nil), p.Body...),
 			events:    newEventBuffer(s.cfg.MaxEventBytes),
 			done:      make(chan struct{}),
+		}
+		// Re-hydrate the typed config of restored simulation runs, so a
+		// journal-restored parent can still be branched from.
+		if v.Kind == kindSim && v.Config != nil {
+			if cb, err := json.Marshal(v.Config); err == nil {
+				var rc experiments.RunConfig
+				if err := json.Unmarshal(cb, &rc); err == nil {
+					r.cfg = rc
+				}
+			}
 		}
 		if v.Started != nil {
 			r.started = *v.Started

@@ -16,6 +16,12 @@ type kernel struct {
 	now      float64
 	handlers [evKindCount]handlerFunc
 
+	// dispatched counts events popped and dispatched since the start of
+	// the run. It survives snapshot/restore, so "event seq N" names the
+	// same boundary in an uninterrupted run and in any prefix+continue
+	// decomposition of it.
+	dispatched int64
+
 	// tap, when set, observes every dispatched event before its handler
 	// runs (the flight recorder's hook). Pure observation: the kernel
 	// stays mechanism-free, and a crashing handler has already had its
@@ -55,6 +61,7 @@ func (k *kernel) step() error {
 	if e.kind < 0 || int(e.kind) >= len(k.handlers) || k.handlers[e.kind] == nil {
 		return fmt.Errorf("sim: unknown event kind %d", int(e.kind))
 	}
+	k.dispatched++
 	if k.tap != nil {
 		k.tap(e)
 	}

@@ -162,6 +162,11 @@ type Result struct {
 	// Timeline holds machine-state samples when Config.RecordTimeline
 	// is set; nil otherwise.
 	Timeline []TimelinePoint
+
+	// EventsDispatched is the total number of calendar events the kernel
+	// dispatched over the run — the exclusive upper bound of the valid
+	// snapshot seq range.
+	EventsDispatched int64
 }
 
 // runState is the mutable execution state of one job.
@@ -216,10 +221,17 @@ type Simulator struct {
 	result   Result
 	pending  int // jobs not yet finished
 
-	// Subsystem lifecycle hooks, discovered at wiring time.
+	// Registered subsystems (for the snapshot hooks) and their lifecycle
+	// hooks, discovered at wiring time.
+	subs           []subsystem
 	startHooks     []startHook
 	startCostHooks []startCostHook
 	finishHooks    []finishHook
+
+	// started flips when the run's initial observation has been taken;
+	// a simulator restored from a snapshot starts true, because the
+	// prefix run already observed that instant.
+	started bool
 
 	// Conservation counters for the invariant guard: every start must
 	// eventually be matched by a finish or a kill.
@@ -232,49 +244,54 @@ type Simulator struct {
 	lastFinishSeq uint64
 }
 
-// New validates the configuration and prepares a simulator: the core
-// arrival/finish handlers and every subsystem register their event
-// handlers on the kernel, and the initial calendar (arrivals, failure
-// trace) is loaded.
-func New(cfg Config) (*Simulator, error) {
+// validateConfig checks the constraints every simulator — fresh or
+// restored — must satisfy.
+func validateConfig(cfg Config) error {
 	if cfg.Scheduler == nil {
-		return nil, fmt.Errorf("sim: Scheduler is required")
+		return fmt.Errorf("sim: Scheduler is required")
 	}
 	if len(cfg.Jobs) == 0 {
-		return nil, fmt.Errorf("sim: no jobs")
+		return fmt.Errorf("sim: no jobs")
 	}
 	if cfg.Downtime < 0 {
-		return nil, fmt.Errorf("sim: negative downtime %g", cfg.Downtime)
+		return fmt.Errorf("sim: negative downtime %g", cfg.Downtime)
 	}
 	if cfg.MigrationCost < 0 {
-		return nil, fmt.Errorf("sim: negative migration cost %g", cfg.MigrationCost)
+		return fmt.Errorf("sim: negative migration cost %g", cfg.MigrationCost)
 	}
 	if cfg.Checkpoint != nil {
 		if err := cfg.Checkpoint.Validate(); err != nil {
-			return nil, err
+			return err
 		}
 	}
 	n := cfg.Geometry.N()
 	if n == 0 {
-		return nil, fmt.Errorf("sim: empty geometry")
+		return fmt.Errorf("sim: empty geometry")
 	}
 	seen := make(map[job.ID]bool, len(cfg.Jobs))
 	for _, j := range cfg.Jobs {
 		if err := j.Validate(); err != nil {
-			return nil, fmt.Errorf("sim: %w", err)
+			return fmt.Errorf("sim: %w", err)
 		}
 		if j.AllocSize > n {
-			return nil, fmt.Errorf("sim: %v cannot fit on %d-node machine", j, n)
+			return fmt.Errorf("sim: %v cannot fit on %d-node machine", j, n)
 		}
 		if seen[j.ID] {
-			return nil, fmt.Errorf("sim: duplicate job id %d", j.ID)
+			return fmt.Errorf("sim: duplicate job id %d", j.ID)
 		}
 		seen[j.ID] = true
 	}
 	if err := cfg.Failures.Validate(n); err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
+		return fmt.Errorf("sim: %w", err)
 	}
+	return nil
+}
 
+// newSimulator builds the simulator shell for a validated config: the
+// dispatch table wired, subsystems registered, maps allocated — but the
+// calendar empty and no state loaded. New loads the initial calendar;
+// NewFromSnapshot restores a serialized one.
+func newSimulator(cfg Config) *Simulator {
 	s := &Simulator{
 		cfg:      cfg,
 		elog:     newEventLogger(cfg.EventLog),
@@ -292,11 +309,12 @@ func New(cfg Config) (*Simulator, error) {
 	// subsystem's own event kinds and lifecycle hooks.
 	s.k.register(evArrival, s.handleArrival)
 	s.k.register(evFinish, s.handleFinish)
-	for _, sub := range []subsystem{
+	s.subs = []subsystem{
 		&failureSubsystem{s: s},
 		&checkpointSubsystem{s: s, cfg: cfg.Checkpoint},
 		&migrationSubsystem{s: s},
-	} {
+	}
+	for _, sub := range s.subs {
 		sub.attach(&s.k)
 		if h, ok := sub.(startHook); ok {
 			s.startHooks = append(s.startHooks, h)
@@ -308,6 +326,22 @@ func New(cfg Config) (*Simulator, error) {
 			s.finishHooks = append(s.finishHooks, h)
 		}
 	}
+	s.jobsByID = make(map[job.ID]*job.Job, len(cfg.Jobs))
+	for _, j := range cfg.Jobs {
+		s.jobsByID[j.ID] = j
+	}
+	return s
+}
+
+// New validates the configuration and prepares a simulator: the core
+// arrival/finish handlers and every subsystem register their event
+// handlers on the kernel, and the initial calendar (arrivals, failure
+// trace) is loaded.
+func New(cfg Config) (*Simulator, error) {
+	if err := validateConfig(cfg); err != nil {
+		return nil, err
+	}
+	s := newSimulator(cfg)
 
 	// Arrivals in time order, then failures: the sequence numbers make
 	// simultaneous events deterministic.
@@ -325,10 +359,6 @@ func New(cfg Config) (*Simulator, error) {
 	}
 	for _, f := range cfg.Failures {
 		s.k.push(event{time: f.Time, kind: evFailure, node: f.Node})
-	}
-	s.jobsByID = make(map[job.ID]*job.Job, len(jobs))
-	for _, j := range jobs {
-		s.jobsByID[j.ID] = j
 	}
 	return s, nil
 }
@@ -348,8 +378,26 @@ const cancelCheckStride = 256
 // ctx.Err() if the context is cancelled mid-run. Cancellation is
 // checked between events (every cancelCheckStride of them), so a
 // cancelled run returns promptly and never leaves a handler half
-// applied.
+// applied. RunContext also continues a simulator paused by RunToEvent
+// or restored by NewFromSnapshot.
 func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
+	if _, err := s.RunToEvent(ctx, -1); err != nil {
+		return Result{}, err
+	}
+	return s.Finalize()
+}
+
+// EventsDispatched returns the number of calendar events dispatched so
+// far (counting from the start of the run, across snapshot/restore).
+func (s *Simulator) EventsDispatched() int64 { return s.k.dispatched }
+
+// RunToEvent processes events until the kernel's dispatched count
+// reaches upTo or the run completes, whichever comes first; upTo < 0
+// means no limit. It returns done=true when every job has finished.
+// A paused simulator (done=false, nil error) sits exactly on an event
+// boundary: Snapshot captures it, and a further RunToEvent or
+// RunContext call continues it.
+func (s *Simulator) RunToEvent(ctx context.Context, upTo int64) (bool, error) {
 	// The flight recorder joins the process-wide registry for the run's
 	// duration, so SIGQUIT and contained-panic dumps cover it while
 	// live; an invariant violation dumps it directly below.
@@ -357,17 +405,23 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 	defer trace.UnregisterFlight(s.cfg.Flight)
 	span := s.cfg.Trace.Begin("sim", "run")
 	defer span.End()
-	if err := s.observe(); err != nil {
-		return Result{}, err
+	if !s.started {
+		s.started = true
+		if err := s.observe(); err != nil {
+			return false, err
+		}
 	}
 	for processed := 0; s.pending > 0; processed++ {
+		if upTo >= 0 && s.k.dispatched >= upTo {
+			return false, nil
+		}
 		if processed%cancelCheckStride == 0 {
 			if err := ctx.Err(); err != nil {
-				return Result{}, err
+				return false, err
 			}
 		}
 		if s.k.pending() == 0 {
-			return Result{}, fmt.Errorf("sim: deadlock at t=%g: %d jobs unfinished, no events pending",
+			return false, fmt.Errorf("sim: deadlock at t=%g: %d jobs unfinished, no events pending",
 				s.k.now, s.pending)
 		}
 		s.met.events.Inc()
@@ -380,9 +434,15 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 			if errors.As(err, &ie) {
 				_ = s.cfg.Flight.Dump("invariant violation: " + ie.Check)
 			}
-			return Result{}, err
+			return false, err
 		}
 	}
+	return true, nil
+}
+
+// Finalize closes the capacity integral, flushes the output streams and
+// computes the run summary. Call once, after RunToEvent reports done.
+func (s *Simulator) Finalize() (Result, error) {
 	unused, err := s.tracker.CloseAt(s.k.now)
 	if err != nil {
 		return Result{}, err
@@ -399,6 +459,7 @@ func (s *Simulator) RunContext(ctx context.Context) (Result, error) {
 	}
 	s.result.Outcomes = s.outcomes
 	s.result.Summary = summary
+	s.result.EventsDispatched = s.k.dispatched
 	return s.result, nil
 }
 

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"encoding/json"
 	"fmt"
 
 	"bgsched/internal/checkpoint"
@@ -11,13 +12,25 @@ import (
 
 // A subsystem is one simulator mechanism (failures, checkpointing,
 // migration, ...) wired in at construction time: attach registers the
-// event-kind handlers it owns on the kernel. Subsystems may additionally
-// implement the lifecycle hooks below; the Simulator discovers them by
-// interface assertion when wiring, so adding a mechanism is one new
-// type plus one entry in the wiring list — never an edit to the event
-// loop or another subsystem.
+// event-kind handlers it owns on the kernel, and the snapshot hooks
+// round-trip whatever private mutable state the mechanism keeps outside
+// the kernel calendar (most keep none and return nil). Subsystems may
+// additionally implement the lifecycle hooks below; the Simulator
+// discovers them by interface assertion when wiring, so adding a
+// mechanism is one new type plus one entry in the wiring list — never
+// an edit to the event loop or another subsystem.
 type subsystem interface {
 	attach(k *kernel)
+	// name identifies the subsystem's state in a snapshot.
+	name() string
+	// SnapshotState returns the subsystem's private mutable state as
+	// canonical JSON (nil when it keeps none).
+	SnapshotState() (json.RawMessage, error)
+	// RestoreState resets the subsystem from a prior SnapshotState.
+	// A nil payload means the snapshot recorded no state; a non-nil
+	// payload for a subsystem reconfigured without that state (a branch
+	// that swapped the policy) is ignored, not an error.
+	RestoreState(data json.RawMessage) error
 }
 
 // startHook runs when a job (re)start is committed, after the finish
@@ -54,6 +67,16 @@ func (f *failureSubsystem) attach(k *kernel) {
 	k.register(evFailure, f.handleFailure)
 	k.register(evNodeUp, f.handleNodeUp)
 }
+
+func (f *failureSubsystem) name() string { return "failures" }
+
+// SnapshotState: the failure subsystem keeps no private state — the
+// undelivered trace lives in the calendar, downtime holds live in the
+// occupancy map (downOwner entries) with their recoveries queued as
+// evNodeUp events.
+func (f *failureSubsystem) SnapshotState() (json.RawMessage, error) { return nil, nil }
+
+func (f *failureSubsystem) RestoreState(json.RawMessage) error { return nil }
 
 func (f *failureSubsystem) handleFailure(e event) error {
 	s := f.s
@@ -160,6 +183,46 @@ func (c *checkpointSubsystem) attach(k *kernel) {
 	k.register(evCkptPoll, c.handlePoll)
 }
 
+func (c *checkpointSubsystem) name() string { return "checkpoint" }
+
+// SnapshotState delegates to the policy when it carries mutable per-run
+// state (checkpoint.Stateful — the prediction-triggered policy's
+// per-job trigger throttle). Banked saved work lives in jobProgress and
+// pending checkpoints in the calendar, so stateless policies serialize
+// nothing.
+func (c *checkpointSubsystem) SnapshotState() (json.RawMessage, error) {
+	if c.cfg == nil {
+		return nil, nil
+	}
+	sp, ok := c.cfg.Policy.(checkpoint.Stateful)
+	if !ok {
+		return nil, nil
+	}
+	b, err := sp.StateJSON()
+	if err != nil {
+		return nil, fmt.Errorf("sim: checkpoint snapshot: %w", err)
+	}
+	return b, nil
+}
+
+// RestoreState feeds the captured policy state back. A branch that
+// swapped to a stateless policy (or disabled checkpointing) drops the
+// payload: the new policy starts from its own zero state, which is the
+// defined branch semantics.
+func (c *checkpointSubsystem) RestoreState(data json.RawMessage) error {
+	if data == nil || c.cfg == nil {
+		return nil
+	}
+	sp, ok := c.cfg.Policy.(checkpoint.Stateful)
+	if !ok {
+		return nil
+	}
+	if err := sp.RestoreJSON(data); err != nil {
+		return fmt.Errorf("sim: checkpoint restore: %w", err)
+	}
+	return nil
+}
+
 func (c *checkpointSubsystem) handleCheckpoint(e event) error {
 	s := c.s
 	r, ok := s.running[e.jobID]
@@ -250,6 +313,14 @@ type migrationSubsystem struct {
 }
 
 func (m *migrationSubsystem) attach(*kernel) {}
+
+func (m *migrationSubsystem) name() string { return "migration" }
+
+// SnapshotState: migration is stateless — it re-derives moves from the
+// machine state at every finish.
+func (m *migrationSubsystem) SnapshotState() (json.RawMessage, error) { return nil, nil }
+
+func (m *migrationSubsystem) RestoreState(json.RawMessage) error { return nil }
 
 // afterFinish runs the scheduler's compaction pass and applies the
 // moves; it fires between the completed job's accounting and the

@@ -1,0 +1,332 @@
+// Package snapshot serializes the full state of a simulation at an
+// event boundary — the kernel calendar, the torus occupancy, the wait
+// queue, per-job execution state, metrics accumulators and each
+// registered subsystem's private state — into a canonical, content-
+// hashed encoding, and decodes it back for deterministic continuation.
+//
+// The contract the equivalence suite pins: for any configuration and
+// any event seq S, running to S, snapshotting, restoring into a fresh
+// simulator and continuing produces byte-identical output (event log,
+// causal trace, metrics) to the uninterrupted run. On top of that sits
+// branch replay (experiments.ResumeFromSnapshot): restore the state but
+// swap the scheduling policy, predictor or partition finder, and replay
+// the identical future — the paper's "what if policy B had taken over
+// mid-week" counterfactual, impossible with whole-run comparisons.
+//
+// Encoding. The state is marshalled as one deterministic JSON body
+// (struct fields only — no maps — so field order is fixed), prefixed by
+// a single-line header carrying the format magic, version, body length
+// and the body's SHA-256. Decode verifies all four before unmarshalling
+// strictly, so corrupted, truncated or spliced snapshot files are
+// rejected with an error — never a panic, never a silent mis-restore.
+package snapshot
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"bgsched/internal/metrics"
+	"bgsched/internal/torus"
+)
+
+// Format is the header magic of the snapshot encoding.
+const Format = "bgsched-snapshot"
+
+// Version is the current encoding version. Decode rejects mismatches:
+// state layouts are frozen per version, not migrated.
+const Version = 1
+
+// World identifies the immutable inputs a snapshot was taken against.
+// Restore refuses a config whose world differs: branch replay may swap
+// the policy, predictor or finder, but never the machine, the job log
+// or the failure trace — otherwise the "identical mid-flight state"
+// claim would be vacuous.
+type World struct {
+	Geometry string // torus geometry spec
+	Jobs     string // SHA-256 over the canonical job list
+	Failures string // SHA-256 over the failure trace
+}
+
+// Event is one pending calendar entry, preserving the (time, seq)
+// ordering key that makes simultaneous events replay deterministically.
+type Event struct {
+	Time  float64
+	Seq   int64
+	Kind  int
+	Job   int64
+	Epoch int
+	Node  int
+}
+
+// RunState is the mutable execution state of one running job.
+type RunState struct {
+	Job                int64
+	Part               torus.Partition
+	Start              float64
+	Epoch              int
+	FinishTime         float64
+	ExpFinish          float64
+	OverheadSoFar      float64
+	SavedAtStart       float64
+	RestartPenaltyPaid float64
+}
+
+// JobProgress is the per-job state that survives restarts.
+type JobProgress struct {
+	Job        int64
+	FirstStart float64
+	Started    bool
+	Restarts   int
+	LostWork   float64
+	SavedWork  float64
+	LastStart  float64
+	NextEpoch  int
+	LastSeq    uint64
+}
+
+// Counters are the run's conservation and result counters.
+type Counters struct {
+	Pending       int
+	Starts        int
+	Finishes      int
+	Kills         int
+	FailureEvents int
+	JobKills      int
+	Migrations    int
+	Checkpoints   int
+	Backfills     int
+	LastFinishSeq uint64
+}
+
+// TimelinePoint mirrors sim.TimelinePoint for snapshots taken with
+// RecordTimeline on.
+type TimelinePoint struct {
+	Time        float64
+	FreeNodes   int
+	QueueJobs   int
+	QueueDemand int
+	Running     int
+}
+
+// SubsystemState carries one registered subsystem's private state,
+// produced by its SnapshotState hook and fed back through RestoreState.
+type SubsystemState struct {
+	Name string
+	Data json.RawMessage
+}
+
+// State is the complete serialized simulator state at an event seq.
+type State struct {
+	World World
+
+	// Now is the simulation clock; Dispatched the number of events the
+	// kernel has dispatched since the start of the run (the snapshot's
+	// event seq).
+	Now        float64
+	Dispatched int64
+
+	// Calendar holds the pending events sorted by (Time, Seq);
+	// NextEventSeq is the calendar's next insertion sequence and must
+	// exceed every pending Seq.
+	Calendar     []Event
+	NextEventSeq int64
+
+	// Owners is the torus occupancy, one owner id per dense node id
+	// (0 free, -2 downtime hold, >0 the owning job).
+	Owners []int64
+
+	// Queue holds the waiting job ids in FCFS order.
+	Queue []int64
+
+	Running  []RunState    // sorted by Job
+	Progress []JobProgress // sorted by Job; one entry per job in the run
+	Outcomes []metrics.Outcome
+
+	Counters Counters
+	Tracker  metrics.TrackerState
+
+	// ElogSeq and TraceSeq are the next-output sequence origins of the
+	// event log and the causal trace, so a continued run's streams pick
+	// up exactly where the prefix stopped (byte-identity depends on it).
+	ElogSeq  uint64
+	TraceSeq uint64
+
+	Timeline []TimelinePoint `json:",omitempty"`
+
+	Subsystems []SubsystemState `json:",omitempty"`
+
+	// Config optionally embeds the canonical parent run configuration
+	// (experiments.RunConfig), letting a snapshot file be restored
+	// without re-supplying the original flags. The simulator ignores it.
+	Config json.RawMessage `json:",omitempty"`
+}
+
+// header is the one-line envelope preceding the body.
+type header struct {
+	Format  string `json:"format"`
+	Version int    `json:"version"`
+	Bytes   int    `json:"bytes"`
+	SHA256  string `json:"sha256"`
+}
+
+// body returns the canonical body bytes. State is structs-only (the
+// one map-shaped piece, subsystem data, is pre-rendered RawMessage), so
+// encoding/json's fixed field order makes the bytes deterministic.
+func (st *State) body() ([]byte, error) {
+	b, err := json.Marshal(st)
+	if err != nil {
+		return nil, fmt.Errorf("snapshot: encode: %w", err)
+	}
+	return b, nil
+}
+
+// Hash returns the SHA-256 hex of the canonical body: the snapshot's
+// content hash. Two states hash equally iff their canonical encodings
+// are byte-identical.
+func (st *State) Hash() (string, error) {
+	b, err := st.body()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Encode writes the canonical encoding (header line, body, newline) and
+// returns the content hash.
+func (st *State) Encode(w io.Writer) (string, error) {
+	b, err := st.body()
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(b)
+	h := header{Format: Format, Version: Version, Bytes: len(b), SHA256: hex.EncodeToString(sum[:])}
+	hb, err := json.Marshal(h)
+	if err != nil {
+		return "", fmt.Errorf("snapshot: encode header: %w", err)
+	}
+	for _, chunk := range [][]byte{hb, {'\n'}, b, {'\n'}} {
+		if _, err := w.Write(chunk); err != nil {
+			return "", fmt.Errorf("snapshot: write: %w", err)
+		}
+	}
+	return h.SHA256, nil
+}
+
+// Decode reads one snapshot, verifying the format magic, version, body
+// length and content hash before strictly unmarshalling. Every
+// corruption mode — truncation, bit flips, spliced tails, trailing
+// garbage — returns an error.
+func Decode(r io.Reader) (*State, string, error) {
+	br := bufio.NewReader(r)
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		return nil, "", fmt.Errorf("snapshot: read header: %w", err)
+	}
+	var h header
+	hdec := json.NewDecoder(bytes.NewReader(line))
+	hdec.DisallowUnknownFields()
+	if err := hdec.Decode(&h); err != nil {
+		return nil, "", fmt.Errorf("snapshot: parse header: %w", err)
+	}
+	if h.Format != Format {
+		return nil, "", fmt.Errorf("snapshot: not a snapshot file (format %q, want %q)", h.Format, Format)
+	}
+	if h.Version != Version {
+		return nil, "", fmt.Errorf("snapshot: unsupported version %d (have %d)", h.Version, Version)
+	}
+	if h.Bytes < 0 || h.Bytes > maxBodyBytes {
+		return nil, "", fmt.Errorf("snapshot: implausible body length %d", h.Bytes)
+	}
+	body := make([]byte, h.Bytes)
+	if _, err := io.ReadFull(br, body); err != nil {
+		return nil, "", fmt.Errorf("snapshot: truncated body (want %d bytes): %w", h.Bytes, err)
+	}
+	sum := sha256.Sum256(body)
+	if got := hex.EncodeToString(sum[:]); got != h.SHA256 {
+		return nil, "", fmt.Errorf("snapshot: content hash mismatch (header %s, body %s)", h.SHA256, got)
+	}
+	// Only the body's trailing newline may follow; anything else is a
+	// spliced or concatenated file.
+	switch tail, err := io.ReadAll(br); {
+	case err != nil:
+		return nil, "", fmt.Errorf("snapshot: read tail: %w", err)
+	case len(tail) > 1 || (len(tail) == 1 && tail[0] != '\n'):
+		return nil, "", fmt.Errorf("snapshot: %d bytes of trailing garbage after body", len(tail))
+	}
+	var st State
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&st); err != nil {
+		return nil, "", fmt.Errorf("snapshot: decode body: %w", err)
+	}
+	if err := st.Validate(); err != nil {
+		return nil, "", err
+	}
+	return &st, h.SHA256, nil
+}
+
+// maxBodyBytes bounds the body allocation during decode, so a forged
+// header cannot request an absurd buffer. Real snapshots are a few
+// hundred KB at most (the calendar dominates).
+const maxBodyBytes = 1 << 30
+
+// Validate checks the structural invariants a well-formed state must
+// satisfy, independent of any configuration: calendar ordering and seq
+// bounds, sorted running/progress lists, and non-negative counters.
+// Configuration-dependent checks (occupancy consistency, job identity)
+// happen at restore, where the world is known.
+func (st *State) Validate() error {
+	if st.Dispatched < 0 {
+		return fmt.Errorf("snapshot: negative dispatched count %d", st.Dispatched)
+	}
+	for i, e := range st.Calendar {
+		if i > 0 {
+			prev := st.Calendar[i-1]
+			if e.Time < prev.Time || (e.Time == prev.Time && e.Seq <= prev.Seq) {
+				return fmt.Errorf("snapshot: calendar not sorted at entry %d", i)
+			}
+		}
+		if e.Seq < 0 || e.Seq >= st.NextEventSeq {
+			return fmt.Errorf("snapshot: calendar entry %d seq %d outside [0, %d)", i, e.Seq, st.NextEventSeq)
+		}
+		if e.Time < 0 || e.Time < st.Now {
+			return fmt.Errorf("snapshot: calendar entry %d at t=%g behind the clock t=%g", i, e.Time, st.Now)
+		}
+	}
+	for i := 1; i < len(st.Running); i++ {
+		if st.Running[i].Job <= st.Running[i-1].Job {
+			return fmt.Errorf("snapshot: running list not sorted by job at entry %d", i)
+		}
+	}
+	for i := 1; i < len(st.Progress); i++ {
+		if st.Progress[i].Job <= st.Progress[i-1].Job {
+			return fmt.Errorf("snapshot: progress list not sorted by job at entry %d", i)
+		}
+	}
+	c := st.Counters
+	for name, v := range map[string]int{
+		"Pending": c.Pending, "Starts": c.Starts, "Finishes": c.Finishes, "Kills": c.Kills,
+		"FailureEvents": c.FailureEvents, "JobKills": c.JobKills, "Migrations": c.Migrations,
+		"Checkpoints": c.Checkpoints, "Backfills": c.Backfills,
+	} {
+		if v < 0 {
+			return fmt.Errorf("snapshot: negative counter %s = %d", name, v)
+		}
+	}
+	if c.Finishes != len(st.Outcomes) {
+		return fmt.Errorf("snapshot: %d finishes but %d outcomes", c.Finishes, len(st.Outcomes))
+	}
+	return nil
+}
+
+// HashBytes is a convenience for digest pinning: the SHA-256 hex of b.
+func HashBytes(b []byte) string {
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}

@@ -196,6 +196,38 @@ func (gr *Grid) Clone() *Grid {
 	return cp
 }
 
+// Owners returns a copy of the raw owner array, one owner id per dense
+// node id (FreeOwner for unallocated nodes). It is the grid's complete
+// source-of-truth state: every incremental summary — free count,
+// occupancy hashes, column and plane projections — is derived from it,
+// which is what makes NewGridFromOwners an exact restore.
+func (gr *Grid) Owners() []int64 {
+	return append([]int64(nil), gr.owner...)
+}
+
+// NewGridFromOwners reconstructs a grid of geometry g from a serialized
+// owner array, rebuilding every incremental summary from scratch. The
+// result carries a fresh grid identity, so finder caches keyed by grid
+// id can never serve state from the pre-snapshot grid; the occupancy
+// hashes, being pure functions of the free/busy pattern, come out equal
+// to the original's.
+func NewGridFromOwners(g Geometry, owners []int64) (*Grid, error) {
+	if len(owners) != g.N() {
+		return nil, fmt.Errorf("torus: owner array has %d entries, geometry %s has %d nodes",
+			len(owners), g.Spec(), g.N())
+	}
+	gr := NewGrid(g)
+	for id, o := range owners {
+		if o == FreeOwner {
+			continue
+		}
+		gr.owner[id] = o
+		gr.flip(id, +1)
+		gr.freeCount--
+	}
+	return gr, nil
+}
+
 // FreeMask returns a snapshot bitmap where true means the node is free.
 func (gr *Grid) FreeMask() []bool {
 	m := make([]bool, len(gr.owner))

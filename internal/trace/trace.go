@@ -234,6 +234,23 @@ func (t *Tracer) Seq() uint64 {
 	return t.seq
 }
 
+// AdvanceTo moves the sequence counter forward to n, so the next record
+// is stamped n+1. A restored simulation uses it to continue its trace
+// stream exactly where the snapshotted prefix stopped (byte-identity
+// across the snapshot boundary depends on it). The counter never moves
+// backwards — a tracer that already emitted past n keeps its position,
+// preserving monotone, collision-free sequence numbers.
+func (t *Tracer) AdvanceTo(n uint64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if n > t.seq {
+		t.seq = n
+	}
+}
+
 // appendFields renders extra attributes in the order given.
 func appendFields(b []byte, fields []Field) []byte {
 	for _, f := range fields {
