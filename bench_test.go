@@ -17,6 +17,7 @@ import (
 	"strings"
 	"testing"
 
+	"bgsched/internal/contention"
 	"bgsched/internal/core"
 	"bgsched/internal/experiments"
 	"bgsched/internal/job"
@@ -509,5 +510,43 @@ func BenchmarkAblationCheckpointing(b *testing.B) {
 			}
 			b.ReportMetric(lost/1e6, "lost-Mnode-s")
 		})
+	}
+}
+
+// BenchmarkAnnealFinder measures the annealing placement search on the
+// half-occupied paper machine: one Place call over the warm candidate
+// set, the incremental cost the anneal finder adds on top of fast
+// enumeration at every scheduling decision.
+func BenchmarkAnnealFinder(b *testing.B) {
+	gr := fastBenchGrid(b)
+	f := partition.NewAnnealFinder(7, 0)
+	cands := f.FreeOfSize(gr, 8)
+	if len(cands) < 2 {
+		b.Fatalf("degenerate candidate set: %d", len(cands))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Place(gr, cands)
+	}
+}
+
+// BenchmarkContentionCharge measures one pairwise contention charge —
+// the per-neighbor cost the dilation model pays on every job start.
+func BenchmarkContentionCharge(b *testing.B) {
+	g := torus.BlueGeneL()
+	cfg, err := contention.FromLevel("medium")
+	if err != nil {
+		b.Fatal(err)
+	}
+	p := torus.Partition{Shape: torus.Shape{X: 2, Y: 2, Z: 4}}
+	// Same (x, y) footprint, stacked along Z: the pair contends on the
+	// four Z lines through the shared 2x2 column.
+	q := torus.Partition{Base: torus.Coord{Z: 4}, Shape: torus.Shape{X: 2, Y: 2, Z: 4}}
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += cfg.Charge(g, p, q)
+	}
+	if sink <= 0 {
+		b.Fatal("benchmark partitions share no lines")
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"io"
 	"os"
 
+	"bgsched/internal/contention"
 	"bgsched/internal/core"
 	"bgsched/internal/experiments"
 	"bgsched/internal/metrics"
@@ -57,8 +58,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		downtime  = fs.Float64("downtime", 0, "seconds a failed node stays out of service")
 		seed      = fs.Int64("seed", 1, "random seed for workload and failure generation")
 
-		finder        = fs.String("finder", "shape", "partition search algorithm: naive, pop, shape or fast (cached fast path; identical decisions, lower cost)")
-		finderWorkers = fs.Int("finder-workers", 0, "fast finder's parallel enumeration workers (<=1 sequential; ignored by other finders)")
+		finder        = fs.String("finder", "shape", "partition search algorithm: naive, pop, shape, fast (cached fast path; identical decisions, lower cost) or anneal (communication-aware placement)")
+		finderWorkers = fs.Int("finder-workers", 0, "fast/anneal finder's parallel enumeration workers (<=1 sequential; ignored by other finders)")
+		annealSeed    = fs.Int64("anneal-seed", 0, "seed for the anneal finder's placement search (must be >= 0; ignored by other finders)")
+		cont          = fs.String("contention", "off", "network-contention preset: off, low, medium or high")
 
 		ckptInterval = fs.Float64("ckpt-interval", 0, "periodic checkpoint interval seconds (0 = off)")
 		ckptPredict  = fs.Bool("ckpt-predictive", false, "use prediction-triggered checkpointing")
@@ -84,6 +87,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	)
 	obs := telemetry.RegisterCLIFlags(fs)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *annealSeed < 0 {
+		return fmt.Errorf("-anneal-seed must be non-negative, got %d (run with -h for usage)", *annealSeed)
+	}
+	// Validate the contention preset up front so a typo fails before the
+	// build pipeline runs; the error lists the registered levels.
+	if _, err := contention.FromLevel(*cont); err != nil {
 		return err
 	}
 	stopProfiles, err := obs.Start()
@@ -112,6 +123,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		Seed:           *seed,
 		Finder:         *finder,
 		FinderWorkers:  *finderWorkers,
+		AnnealSeed:     *annealSeed,
+		Contention:     *cont,
 
 		CheckpointInterval:   *ckptInterval,
 		CheckpointPredictive: *ckptPredict,
@@ -307,6 +320,10 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	if res.Migrations > 0 || res.Checkpoints > 0 || res.Backfills > 0 {
 		fmt.Fprintf(out, "events              backfills=%d migrations=%d checkpoints=%d\n",
 			res.Backfills, res.Migrations, res.Checkpoints)
+	}
+	if res.ContentionCharges > 0 {
+		fmt.Fprintf(out, "contention          charges=%d dilation=%.0f s\n",
+			res.ContentionCharges, res.DilationSeconds)
 	}
 	if *byClass {
 		classes, err := metrics.BySizeClass(res.Outcomes, metrics.DefaultSizeBounds)

@@ -70,6 +70,8 @@ func TestBgsimBadFlags(t *testing.T) {
 		{"-combine", "quantum", "-jobs", "10"},
 		{"-workload", "EARTH", "-jobs", "10"},
 		{"-finder", "psychic", "-jobs", "10"},
+		{"-anneal-seed", "-5", "-jobs", "10"},
+		{"-contention", "psychic", "-jobs", "10"},
 		{"-nonexistent-flag"},
 	}
 	for _, args := range cases {
@@ -205,5 +207,33 @@ func TestBgsimSnapshotFlagValidation(t *testing.T) {
 		if err := run(context.Background(), args, &bytes.Buffer{}); err == nil {
 			t.Errorf("args %v accepted", args)
 		}
+	}
+}
+
+// The contention model is off by default and opt-in via -contention;
+// an enabled run reports its dilation line and is deterministic for a
+// fixed (seed, anneal-seed) pair.
+func TestBgsimContentionFlag(t *testing.T) {
+	base := []string{"-workload", "SDSC", "-jobs", "50", "-failures", "300", "-seed", "7"}
+	var off bytes.Buffer
+	if err := run(context.Background(), base, &off); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(off.String(), "contention") {
+		t.Fatalf("contention line printed for a contention-free run:\n%s", off.String())
+	}
+	on := append(base, "-finder", "anneal", "-anneal-seed", "3", "-contention", "medium")
+	var first, second bytes.Buffer
+	if err := run(context.Background(), on, &first); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(first.String(), "contention          charges=") {
+		t.Fatalf("contention-enabled run missing the dilation line:\n%s", first.String())
+	}
+	if err := run(context.Background(), on, &second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Fatalf("same flags produced different output:\n%s\nvs\n%s", first.String(), second.String())
 	}
 }

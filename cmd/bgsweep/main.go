@@ -9,6 +9,8 @@
 //	bgsweep -fig finders             # partition-finder timing comparison
 //	bgsweep -fig fig3 -journal s.jsonl   # journal completed points
 //	bgsweep -fig fig3 -resume s.jsonl    # skip journalled points
+//	bgsweep -tournament -jobs 100        # placement-policy tournament
+//	bgsweep -fig fig3 -finder anneal -contention medium  # contention-aware sweep
 //
 // Sweeps run points on a bounded worker pool (-workers) with per-point
 // panic containment: a point that keeps failing after -retries extra
@@ -28,6 +30,7 @@ import (
 	"os"
 	"time"
 
+	"bgsched/internal/contention"
 	"bgsched/internal/experiments"
 	"bgsched/internal/partition"
 	"bgsched/internal/resilience"
@@ -63,8 +66,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		resume  = fs.String("resume", "", "resume from this journal: skip its completed points, append new ones")
 		check   = fs.Bool("check", false, "validate simulator conservation invariants at every event")
 
-		finder        = fs.String("finder", "", "partition search algorithm for every sweep point: naive, pop, shape or fast (empty = shape default)")
-		finderWorkers = fs.Int("finder-workers", 0, "fast finder's parallel enumeration workers (<=1 sequential)")
+		finder        = fs.String("finder", "", "partition search algorithm for every sweep point: naive, pop, shape, fast or anneal (empty = shape default)")
+		finderWorkers = fs.Int("finder-workers", 0, "fast/anneal finder's parallel enumeration workers (<=1 sequential)")
+		annealSeed    = fs.Int64("anneal-seed", 0, "anneal finder placement-search seed for every sweep point (must be >= 0; 0 keeps per-point defaults)")
+		cont          = fs.String("contention", "", "network-contention preset for every sweep point: off, low, medium or high (empty = off)")
+		tournament    = fs.Bool("tournament", false, "run the placement-policy tournament (every finder x workload x contention) instead of -fig")
 
 		traceDir = fs.String("trace-dir", "", "write one NDJSON causal trace per sweep point into this directory")
 		flight   = fs.Int("flight", 0, "kernel flight recorder of the last N events per in-flight point, dumped to stderr on invariant violation, contained panic or SIGQUIT (0 = off)")
@@ -97,10 +103,19 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return err
 		}
 	}
+	if *annealSeed < 0 {
+		return fmt.Errorf("-anneal-seed must be non-negative, got %d (run with -h for usage)", *annealSeed)
+	}
+	if *cont != "" {
+		if _, err := contention.FromLevel(*cont); err != nil {
+			return err
+		}
+	}
 	eng := &experiments.Engine{
 		Ctx: ctx, Workers: *workers, Retries: *retries,
 		Isolate: true, CheckInvariants: *check,
 		Finder: *finder, FinderWorkers: *finderWorkers,
+		AnnealSeed: *annealSeed, Contention: *cont,
 		TraceDir: *traceDir, FlightEvents: *flight,
 	}
 	if *flight > 0 {
@@ -141,8 +156,22 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 		return nil
 	}
-	switch *fig {
-	case "krevat":
+	switch {
+	case *tournament:
+		t, err := experiments.Tournament(eng, experiments.TournamentOptions{
+			JobCount: *jobs, Seed: *seed, AnnealSeed: *annealSeed,
+		})
+		if t != nil {
+			collected = append(collected, t)
+		}
+		if err != nil {
+			sweepErr = err
+			break
+		}
+		if err := render(t); err != nil {
+			return err
+		}
+	case *fig == "krevat":
 		t, err := experiments.KrevatTable(eng, opt, "SDSC", 1.0)
 		if t != nil {
 			collected = append(collected, t)
@@ -155,7 +184,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			return err
 		}
 		fmt.Fprintln(out, "variants: 0=fcfs 1=fcfs+backfill 2=fcfs+migration 3=fcfs+backfill+migration")
-	case "golden":
+	case *fig == "golden":
 		// The frozen six-point digest grid — mainly useful with
 		// -trace-dir (per-point causal traces, see `make trace-demo`).
 		t, err := experiments.GoldenSweep(eng)
@@ -169,7 +198,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		if err := render(t); err != nil {
 			return err
 		}
-	case "learned":
+	case *fig == "learned":
 		t, err := experiments.LearnedSweep(eng, opt, "SDSC")
 		if t != nil {
 			collected = append(collected, t)

@@ -216,3 +216,50 @@ func TestBgsweepCheckFlag(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestBgsweepBadPlacementFlags(t *testing.T) {
+	cases := [][]string{
+		{"-anneal-seed", "-1", "-fig", "fig4"},
+		{"-contention", "psychic", "-fig", "fig4"},
+		{"-tournament", "-finder", "fast"},
+		{"-tournament", "-contention", "medium"},
+	}
+	for _, args := range cases {
+		var buf bytes.Buffer
+		if err := run(context.Background(), args, &buf); err == nil {
+			t.Errorf("args %v accepted", args)
+		}
+	}
+}
+
+// -tournament runs every registered finder against every workload with
+// contention off and on, and reports one labelled row per entry.
+func TestBgsweepTournament(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run(context.Background(), []string{"-tournament", "-jobs", "30", "-workers", "2"}, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"dilation (s)", "naive/nasa/off", "anneal/llnl/medium", "shape/sdsc/off"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("tournament output missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, "NaN") {
+		t.Errorf("tournament left unfilled slots:\n%s", out)
+	}
+}
+
+// -contention and -anneal-seed apply to every point of an ordinary
+// figure sweep; the golden grid under a loaded network must still
+// complete cleanly.
+func TestBgsweepContentionOverride(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{"-fig", "golden", "-finder", "anneal", "-anneal-seed", "5", "-contention", "low", "-workers", "2"}
+	if err := run(context.Background(), args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "golden") {
+		t.Fatalf("golden table missing:\n%s", buf.String())
+	}
+}

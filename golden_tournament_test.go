@@ -1,0 +1,67 @@
+package bgsched
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"testing"
+
+	"bgsched/internal/experiments"
+)
+
+// tournamentGoldenDigest pins the byte-exact rendered output of the
+// default placement-policy tournament bracket: every registered finder
+// x the three workload models x contention {off, medium}, under the
+// balancing scheduler at seed 7. Like the other goldens, only a
+// deliberate semantic change to the simulator, the finders, the
+// contention model or the bracket itself may re-pin it (and must say so
+// in its commit).
+const tournamentGoldenDigest = "e946e61631fa785f36abd4c1ee0bb36feb1bdad1c3461d73ee50aec893143d27"
+
+// tournamentDigest runs the default bracket through a fresh engine and
+// digests the rendered table (row labels included, so a finder rename
+// or reordering also trips the pin).
+func tournamentDigest(t *testing.T) string {
+	t.Helper()
+	tab, err := experiments.Tournament(&experiments.Engine{}, experiments.TournamentOptions{})
+	if err != nil {
+		t.Fatalf("tournament: %v", err)
+	}
+	var buf bytes.Buffer
+	if err := tab.Render(&buf); err != nil {
+		t.Fatalf("render: %v", err)
+	}
+	h := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(h[:])
+}
+
+// TestGoldenTournamentDigest freezes the tournament bracket the same
+// way the sweep and finder goldens freeze theirs: the full pipeline —
+// synthesis, failure generation, annealing placement, contention
+// dilation, metric aggregation and table rendering — must reproduce
+// the pinned bytes.
+func TestGoldenTournamentDigest(t *testing.T) {
+	if testing.Short() {
+		t.Skip("30 full simulations; skipped under -short")
+	}
+	if got := tournamentDigest(t); got != tournamentGoldenDigest {
+		t.Fatalf("golden tournament digest drifted:\n got  %s\n want %s\n"+
+			"(a refactor must be byte-identical; only deliberate semantic changes may re-pin)", got, tournamentGoldenDigest)
+	}
+}
+
+// TestGoldenTournamentDigestStable guards the pin's foundation: the
+// bracket executed twice in-process — the second pass entirely warm
+// from the artifact cache — must produce identical bytes, proving the
+// annealing finder's stochastic search and the contention charges are
+// reproducible from (seed, occupancy) alone.
+func TestGoldenTournamentDigestStable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("60 full simulations; skipped under -short")
+	}
+	a := tournamentDigest(t)
+	b := tournamentDigest(t)
+	if a != b {
+		t.Fatalf("same bracket executed twice produced different digests:\n%s\n%s", a, b)
+	}
+}

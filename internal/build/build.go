@@ -1,6 +1,7 @@
 package build
 
 import (
+	"bgsched/internal/contention"
 	"bgsched/internal/core"
 	"bgsched/internal/failure"
 	"bgsched/internal/job"
@@ -207,7 +208,7 @@ func (b *Builder) Build(cfg RunConfig) (sim.Config, *Artifacts, error) {
 	if err != nil {
 		return sim.Config{}, nil, err
 	}
-	finder, err := partition.ByName(cfg.Finder, cfg.FinderWorkers)
+	finder, err := partition.ByNameSeeded(cfg.Finder, cfg.FinderWorkers, cfg.AnnealSeed)
 	if err != nil {
 		return sim.Config{}, nil, err
 	}
@@ -225,6 +226,10 @@ func (b *Builder) Build(cfg RunConfig) (sim.Config, *Artifacts, error) {
 	if err != nil {
 		return sim.Config{}, nil, err
 	}
+	cont, err := contention.FromLevel(cfg.Contention)
+	if err != nil {
+		return sim.Config{}, nil, err
+	}
 
 	// Stage 7: final assembly.
 	return sim.Config{
@@ -235,6 +240,7 @@ func (b *Builder) Build(cfg RunConfig) (sim.Config, *Artifacts, error) {
 		Downtime:        cfg.Downtime,
 		MigrationCost:   cfg.MigrationCost,
 		Checkpoint:      ckpt,
+		Contention:      cont,
 		RecordTimeline:  cfg.RecordTimeline,
 		CheckInvariants: cfg.CheckInvariants,
 		EventLog:        cfg.EventLog,

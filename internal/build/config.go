@@ -116,13 +116,28 @@ type RunConfig struct {
 	CheckpointRestart    float64
 
 	// Finder selects the free-partition search algorithm by name
-	// (partition.ByName): "naive", "pop", "shape" (default) or "fast",
-	// the cached fast path. FinderWorkers bounds the fast finder's
+	// (partition.ByName): "naive", "pop", "shape" (default), "fast"
+	// (the cached fast path) or "anneal" (the communication-aware
+	// annealing placer). FinderWorkers bounds the fast/anneal finders'
 	// parallel enumeration pool; <= 1 keeps enumeration sequential.
-	// Every algorithm returns identical candidate sets, so this knob
-	// changes scheduling cost only, never scheduling decisions.
+	// Every algorithm returns identical candidate sets; all but
+	// "anneal" also make identical choices, so for them this knob
+	// changes scheduling cost only, never scheduling decisions. The
+	// anneal finder additionally steers placement among policy-equal
+	// candidates, seeded by AnnealSeed.
 	Finder        string
 	FinderWorkers int
+	// AnnealSeed seeds the "anneal" finder's stochastic placement
+	// search (partition.ByNameSeeded); ignored by the other finders.
+	// Part of the canonical config, since it changes decisions.
+	AnnealSeed int64
+
+	// Contention selects the network-contention preset by name
+	// (contention.FromLevel): "" or "off" (the paper's model — no
+	// contention), "low", "medium" or "high". When enabled, co-resident
+	// jobs whose partitions share torus lines dilate each other's
+	// runtime.
+	Contention string
 
 	// RecordTimeline samples machine state into Result.Timeline.
 	RecordTimeline bool

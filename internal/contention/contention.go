@@ -1,0 +1,78 @@
+// Package contention models network contention on the torus: jobs
+// whose partitions occupy common torus lines compete for the same
+// wires, and both run longer for it. The model is deliberately simple
+// and fully deterministic — a flat per-shared-line runtime dilation,
+// charged once per co-residency when the later job starts — so it
+// composes with the simulator's byte-reproducibility guarantees
+// (golden digests, snapshot equivalence) instead of fighting them.
+//
+// The geometry underneath is torus.SharedLines: for two disjoint
+// partitions, the number of axis-parallel torus lines both occupy,
+// which is where their traffic would collide under dimension-ordered
+// routing. Bender et al. use the same line-sharing view to motivate
+// communication-aware allocation; this package is the cost side of
+// that argument, the placement scorer (internal/partition) the
+// avoidance side.
+package contention
+
+import (
+	"fmt"
+
+	"bgsched/internal/torus"
+)
+
+// Levels lists the selectable contention presets in ascending
+// severity. "off" (or the empty string) disables the model.
+var Levels = []string{"off", "low", "medium", "high"}
+
+// Config parameterises the model. A nil *Config disables contention
+// everywhere it is consulted.
+type Config struct {
+	// Alpha is the runtime dilation, in simulated seconds, charged per
+	// shared torus line when two partitions co-reside: when a job
+	// starts, it and each running neighbor are each dilated by
+	// Alpha * SharedLines(new, neighbor).
+	Alpha float64
+	// Level names the preset this config came from, for reports and
+	// config hashing; free-form when built by hand.
+	Level string
+}
+
+// FromLevel maps a preset name to a Config. "" and "off" return
+// (nil, nil) — contention disabled; unknown names are rejected with
+// the registered levels listed.
+func FromLevel(level string) (*Config, error) {
+	switch level {
+	case "", "off":
+		return nil, nil
+	case "low":
+		return &Config{Alpha: 5, Level: "low"}, nil
+	case "medium":
+		return &Config{Alpha: 20, Level: "medium"}, nil
+	case "high":
+		return &Config{Alpha: 60, Level: "high"}, nil
+	}
+	return nil, fmt.Errorf("contention: unknown level %q (want off, low, medium or high)", level)
+}
+
+// Validate rejects configs the simulator cannot run.
+func (c *Config) Validate() error {
+	if c == nil {
+		return nil
+	}
+	if c.Alpha < 0 {
+		return fmt.Errorf("contention: Alpha = %v, must be >= 0", c.Alpha)
+	}
+	return nil
+}
+
+// Charge returns the dilation, in simulated seconds, that partitions p
+// and q inflict on each other while co-resident: Alpha per shared
+// torus line. Zero on a nil config or for partitions whose traffic
+// never shares a wire.
+func (c *Config) Charge(g torus.Geometry, p, q torus.Partition) float64 {
+	if c == nil || c.Alpha == 0 {
+		return 0
+	}
+	return c.Alpha * float64(g.SharedLines(p, q))
+}

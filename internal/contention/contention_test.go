@@ -1,0 +1,78 @@
+package contention
+
+import (
+	"strings"
+	"testing"
+
+	"bgsched/internal/torus"
+)
+
+func TestFromLevel(t *testing.T) {
+	for _, off := range []string{"", "off"} {
+		cfg, err := FromLevel(off)
+		if err != nil || cfg != nil {
+			t.Fatalf("FromLevel(%q) = %v, %v; want nil, nil", off, cfg, err)
+		}
+	}
+	var last float64
+	for _, level := range []string{"low", "medium", "high"} {
+		cfg, err := FromLevel(level)
+		if err != nil {
+			t.Fatalf("FromLevel(%q): %v", level, err)
+		}
+		if cfg.Level != level {
+			t.Fatalf("FromLevel(%q).Level = %q", level, cfg.Level)
+		}
+		if cfg.Alpha <= last {
+			t.Fatalf("levels must be ascending: %q alpha %v after %v", level, cfg.Alpha, last)
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Fatalf("preset %q invalid: %v", level, err)
+		}
+		last = cfg.Alpha
+	}
+	_, err := FromLevel("catastrophic")
+	if err == nil {
+		t.Fatal("unknown level accepted")
+	}
+	for _, level := range Levels {
+		if !strings.Contains(err.Error(), level) {
+			t.Fatalf("error %q does not list level %q", err, level)
+		}
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (*Config)(nil).Validate(); err != nil {
+		t.Fatalf("nil config: %v", err)
+	}
+	if err := (&Config{Alpha: -1}).Validate(); err == nil {
+		t.Fatal("negative alpha accepted")
+	}
+}
+
+func TestCharge(t *testing.T) {
+	g := torus.BlueGeneL()
+	sameCol := [2]torus.Partition{
+		{Base: torus.Coord{X: 0, Y: 0, Z: 0}, Shape: torus.Shape{X: 1, Y: 1, Z: 2}},
+		{Base: torus.Coord{X: 0, Y: 0, Z: 4}, Shape: torus.Shape{X: 1, Y: 1, Z: 2}},
+	}
+	apart := torus.Partition{Base: torus.Coord{X: 2, Y: 2, Z: 0}, Shape: torus.Shape{X: 1, Y: 1, Z: 2}}
+
+	var nilCfg *Config
+	if got := nilCfg.Charge(g, sameCol[0], sameCol[1]); got != 0 {
+		t.Fatalf("nil config charge = %v", got)
+	}
+	cfg := &Config{Alpha: 20}
+	// One shared Z line -> exactly alpha.
+	if got := cfg.Charge(g, sameCol[0], sameCol[1]); got != 20 {
+		t.Fatalf("same-column charge = %v, want 20", got)
+	}
+	if got := cfg.Charge(g, sameCol[0], apart); got != 0 {
+		t.Fatalf("disjoint-line charge = %v, want 0", got)
+	}
+	// Symmetric by construction.
+	if cfg.Charge(g, sameCol[0], sameCol[1]) != cfg.Charge(g, sameCol[1], sameCol[0]) {
+		t.Fatal("charge is not symmetric")
+	}
+}

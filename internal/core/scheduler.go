@@ -209,6 +209,22 @@ func runningFrom(ds []Decision, now float64) []Running {
 	return rs
 }
 
+// preferPlacement gives a placement-searching finder (partition.Placer,
+// e.g. the annealing finder) its say: the candidate it picks is swapped
+// to the front of the slice. Every policy tie-breaks toward the first
+// candidate, so this changes the decision only among policy-equal
+// candidates — the legal set is exactly what the finder returned.
+// Finders hand out fresh slices, so the in-place swap is safe.
+func (s *Scheduler) preferPlacement(gr *torus.Grid, cands []torus.Partition) {
+	pl, ok := s.cfg.Finder.(partition.Placer)
+	if !ok || len(cands) < 2 {
+		return
+	}
+	if k := pl.Place(gr, cands); k > 0 && k < len(cands) {
+		cands[0], cands[k] = cands[k], cands[0]
+	}
+}
+
 // tryStart attempts to place j now; on success the partition is
 // allocated and the decision returned.
 func (s *Scheduler) tryStart(gr *torus.Grid, j *job.Job, now float64) (Decision, bool, error) {
@@ -216,6 +232,7 @@ func (s *Scheduler) tryStart(gr *torus.Grid, j *job.Job, now float64) (Decision,
 	if len(cands) == 0 {
 		return Decision{}, false, nil
 	}
+	s.preferPlacement(gr, cands)
 	_, mfp := partition.MaxFree(gr)
 	ctx := &PlacementContext{Grid: gr, Job: j, Now: now, MFPBefore: mfp}
 	idx, err := s.cfg.Policy.Choose(ctx, cands)
@@ -262,6 +279,7 @@ func (s *Scheduler) reservation(gr *torus.Grid, head *job.Job, running []Running
 		if len(cands) == 0 {
 			return reservationState{}, false, nil
 		}
+		s.preferPlacement(scratch, cands)
 		_, mfp := partition.MaxFree(scratch)
 		ctx := &PlacementContext{Grid: scratch, Job: head, Now: t, MFPBefore: mfp}
 		idx, err := s.cfg.Policy.Choose(ctx, cands)
@@ -315,6 +333,7 @@ func (s *Scheduler) tryBackfill(gr *torus.Grid, j *job.Job, now float64, res res
 			return Decision{}, false, nil
 		}
 	}
+	s.preferPlacement(gr, cands)
 	_, mfp := partition.MaxFree(gr)
 	ctx := &PlacementContext{Grid: gr, Job: j, Now: now, MFPBefore: mfp}
 	idx, err := s.cfg.Policy.Choose(ctx, cands)

@@ -63,6 +63,12 @@ type Engine struct {
 	// bounds the fast finder's enumeration pool per point.
 	Finder        string
 	FinderWorkers int
+	// AnnealSeed seeds the "anneal" finder's placement search for every
+	// point of the sweep (RunConfig.AnnealSeed); 0 keeps each point's
+	// own seed. Contention, when non-empty, selects the network-
+	// contention preset for every point (RunConfig.Contention).
+	AnnealSeed int64
+	Contention string
 	// TraceDir, when non-empty, writes one NDJSON causal trace per
 	// fresh point to <TraceDir>/<figure>-<key>.trace.ndjson (see
 	// internal/trace), headed by a meta record identifying the point.
@@ -175,6 +181,12 @@ func (e *Engine) runPoints(figure string, pts []point) error {
 			if e.Finder != "" {
 				p.cfg.Finder = e.Finder
 				p.cfg.FinderWorkers = e.FinderWorkers
+			}
+			if e.AnnealSeed != 0 {
+				p.cfg.AnnealSeed = e.AnnealSeed
+			}
+			if e.Contention != "" {
+				p.cfg.Contention = e.Contention
 			}
 			if e.FlightEvents > 0 {
 				p.cfg.Flight = trace.NewFlightRecorder(e.FlightEvents, os.Stderr, figure+" "+p.key)

@@ -38,7 +38,12 @@ type Table struct {
 	Title  string    `json:"title"`
 	XLabel string    `json:"x_label"`
 	X      []float64 `json:"x"`
-	Series []Series  `json:"series"`
+	// Rows optionally labels each x point with a categorical name (the
+	// tournament rows are finder/workload/contention combinations, not
+	// numbers). When set it must align with X and replaces the numeric
+	// x column in rendered output.
+	Rows   []string `json:"rows,omitempty"`
+	Series []Series `json:"series"`
 	// Telemetry carries one snapshot per x point for tables whose
 	// series all derive from the same runs (the capacity splits);
 	// per-series telemetry lives on Series instead.
@@ -56,6 +61,10 @@ func (t *Table) appendTelemetry(snap *telemetry.Snapshot) {
 
 // Validate checks the series lengths agree with the axis.
 func (t *Table) Validate() error {
+	if t.Rows != nil && len(t.Rows) != len(t.X) {
+		return fmt.Errorf("experiments: table %s has %d row labels, axis has %d",
+			t.ID, len(t.Rows), len(t.X))
+	}
 	for _, s := range t.Series {
 		if len(s.Y) != len(t.X) {
 			return fmt.Errorf("experiments: table %s: series %q has %d points, axis has %d",
@@ -90,7 +99,7 @@ func (t *Table) Render(w io.Writer) error {
 		return err
 	}
 	for i, x := range t.X {
-		row := []string{formatNum(x)}
+		row := []string{t.rowLabel(i, x)}
 		for _, s := range t.Series {
 			row = append(row, formatNum(s.Y[i]))
 		}
@@ -114,7 +123,7 @@ func (t *Table) RenderCSV(w io.Writer) error {
 		return err
 	}
 	for i, x := range t.X {
-		row := []string{formatNum(x)}
+		row := []string{t.rowLabel(i, x)}
 		for _, s := range t.Series {
 			row = append(row, formatNum(s.Y[i]))
 		}
@@ -123,6 +132,15 @@ func (t *Table) RenderCSV(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// rowLabel resolves the first column of row i: the categorical label
+// when the table carries one, the numeric x value otherwise.
+func (t *Table) rowLabel(i int, x float64) string {
+	if t.Rows != nil {
+		return t.Rows[i]
+	}
+	return formatNum(x)
 }
 
 // formatNum prints integers without decimals and small floats with

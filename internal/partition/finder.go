@@ -17,6 +17,7 @@ package partition
 import (
 	"fmt"
 	"sort"
+	"strings"
 	"sync"
 
 	"bgsched/internal/torus"
@@ -32,13 +33,22 @@ type Finder interface {
 }
 
 // Names lists the selectable finder algorithms in ByName order.
-var Names = []string{"naive", "pop", "shape", "fast"}
+var Names = []string{"naive", "pop", "shape", "fast", "anneal"}
 
 // ByName constructs the named finder algorithm: "naive", "pop",
-// "shape" (also the default for an empty name) or "fast". workers
-// bounds the fast finder's parallel enumeration pool (<= 1 keeps it
-// sequential) and is ignored by the other algorithms.
+// "shape" (also the default for an empty name), "fast" or "anneal".
+// workers bounds the parallel enumeration pool of the fast and anneal
+// finders (<= 1 keeps them sequential) and is ignored by the others.
+// The anneal finder's placement search gets seed 0; use ByNameSeeded
+// to steer it.
 func ByName(name string, workers int) (Finder, error) {
+	return ByNameSeeded(name, workers, 0)
+}
+
+// ByNameSeeded is ByName with an explicit placement-search seed for the
+// "anneal" finder (the other algorithms are deterministic and ignore
+// it). An unknown name is rejected with the registered names listed.
+func ByNameSeeded(name string, workers int, seed int64) (Finder, error) {
 	switch name {
 	case "", "shape":
 		return ShapeFinder{}, nil
@@ -48,8 +58,11 @@ func ByName(name string, workers int) (Finder, error) {
 		return POPFinder{}, nil
 	case "fast":
 		return NewFastFinder(workers), nil
+	case "anneal":
+		return NewAnnealFinder(seed, workers), nil
 	}
-	return nil, fmt.Errorf("partition: unknown finder %q (want naive, pop, shape or fast)", name)
+	return nil, fmt.Errorf("partition: unknown finder %q (registered finders: %s)",
+		name, strings.Join(Names, ", "))
 }
 
 // baseRange returns the number of candidate base positions along a

@@ -135,6 +135,12 @@ func Instrumented(f Finder, reg *telemetry.Registry) Finder {
 	case *FastFinder:
 		ff.Metrics = NewMetrics(reg, ff.Name())
 		return ff
+	case *AnnealFinder:
+		// Instrument the embedded enumerator under the anneal name; the
+		// concrete type (and with it the Placer capability the scheduler
+		// detects) is preserved.
+		ff.inner.Metrics = NewMetrics(reg, ff.Name())
+		return ff
 	}
 	return f
 }

@@ -3,6 +3,7 @@ package partition
 import (
 	"math/rand"
 	"reflect"
+	"strings"
 	"testing"
 
 	"bgsched/internal/torus"
@@ -12,7 +13,7 @@ import (
 // grid against all of them. Both fast variants (sequential and
 // parallel) ride along so the cache and pool paths face the same
 // scrutiny as the scan-based finders.
-var finders = []Finder{NaiveFinder{}, POPFinder{}, ShapeFinder{}, NewFastFinder(0), NewFastFinder(4)}
+var finders = []Finder{NaiveFinder{}, POPFinder{}, ShapeFinder{}, NewFastFinder(0), NewFastFinder(4), NewAnnealFinder(1, 0)}
 
 func randomGrid(t *testing.T, g torus.Geometry, fillProb float64, seed int64) *torus.Grid {
 	t.Helper()
@@ -260,8 +261,36 @@ func TestFinderNames(t *testing.T) {
 	if f, err := ByName("", 0); err != nil || f.Name() != "shape" {
 		t.Fatalf("ByName(\"\") = %v, %v; want the shape default", f, err)
 	}
-	if _, err := ByName("bogus", 0); err == nil {
+	_, err := ByName("bogus", 0)
+	if err == nil {
 		t.Fatal("ByName must reject unknown algorithms")
+	}
+	// The rejection must tell the caller what IS available: every
+	// registered name appears in the message.
+	for _, name := range Names {
+		if !strings.Contains(err.Error(), name) {
+			t.Fatalf("ByName error %q does not list registered finder %q", err, name)
+		}
+	}
+}
+
+// TestByNameRoundTrip covers every registered name: construction
+// succeeds, the finder reports the same name back, and the seeded
+// variant threads the seed into the annealer.
+func TestByNameRoundTrip(t *testing.T) {
+	for _, name := range Names {
+		for _, workers := range []int{0, 2} {
+			f, err := ByNameSeeded(name, workers, 42)
+			if err != nil {
+				t.Fatalf("ByNameSeeded(%q, %d): %v", name, workers, err)
+			}
+			if f.Name() != name {
+				t.Fatalf("ByNameSeeded(%q).Name() = %q", name, f.Name())
+			}
+			if af, ok := f.(*AnnealFinder); ok && af.Seed() != 42 {
+				t.Fatalf("anneal finder seed = %d, want 42", af.Seed())
+			}
+		}
 	}
 }
 

@@ -1,0 +1,37 @@
+package partition
+
+import (
+	"bgsched/internal/torus"
+)
+
+// Placement scoring: every candidate a finder returns is legal, but on
+// a torus they are not equal — a compact block whose traffic stays off
+// busy wires beats a stretched one threaded between neighbors. The
+// score combines the two communication costs Bender et al. identify:
+//
+//   - internal: the job's own messages, proxied by the average
+//     pairwise Manhattan distance of the partition (lower = tighter);
+//   - external: interference with already-running neighbors, proxied
+//     by the projected link overlap with current occupancy — busy
+//     nodes sitting on torus lines the partition occupies.
+//
+// Both terms are pure integer geometry over the grid, so scores (and
+// everything derived from them) are byte-reproducible.
+
+// Score weights. Distance is in hops (small: <= sum of dims/2);
+// LineLoad counts (line, busy-node) incidences and grows with machine
+// occupancy, so it dominates on a crowded torus — deliberately: on a
+// busy machine avoiding interference matters more than shaving an
+// internal hop.
+const (
+	scoreDistWeight = 4.0
+	scoreLoadWeight = 1.0
+)
+
+// PlacementScore rates a candidate partition on the given grid; lower
+// is better. The candidate itself must not be allocated yet (its own
+// nodes are free), matching what a Finder returns.
+func PlacementScore(gr *torus.Grid, p torus.Partition) float64 {
+	g := gr.Geometry()
+	return scoreDistWeight*g.AvgPairwiseDist(p) + scoreLoadWeight*float64(gr.LineLoad(p))
+}

@@ -35,6 +35,7 @@ import (
 	"sort"
 
 	"bgsched/internal/checkpoint"
+	"bgsched/internal/contention"
 	"bgsched/internal/core"
 	"bgsched/internal/failure"
 	"bgsched/internal/job"
@@ -67,6 +68,12 @@ type Config struct {
 
 	// Checkpoint enables the Section 8 checkpointing extension.
 	Checkpoint *checkpoint.Config
+
+	// Contention enables the network-contention model: co-resident jobs
+	// whose partitions share torus lines dilate each other's runtime
+	// (see internal/contention). Nil — the paper's model — charges
+	// nothing.
+	Contention *contention.Config
 
 	// RecordTimeline samples machine state at every event into
 	// Result.Timeline, for RenderTimeline and debugging.
@@ -117,6 +124,7 @@ type simMetrics struct {
 	checkpoints *telemetry.Counter // sim.checkpoints
 	migrations  *telemetry.Counter // sim.migrations
 	backfills   *telemetry.Counter // sim.backfills: starts ahead of the queue head
+	contentions *telemetry.Counter // sim.contention.charges: dilation charges applied
 
 	freeNodes   *telemetry.Gauge // sim.free_nodes, sampled at every event
 	queueDepth  *telemetry.Gauge // sim.queue_depth, sampled at every event
@@ -125,6 +133,7 @@ type simMetrics struct {
 	wait     *telemetry.Histogram // sim.job.wait_seconds (paper t_w, per finished job)
 	response *telemetry.Histogram // sim.job.response_seconds (t_r)
 	slowdown *telemetry.Histogram // sim.job.bounded_slowdown
+	dilation *telemetry.Histogram // sim.job.dilation_seconds, per contention charge
 }
 
 func newSimMetrics(reg *telemetry.Registry) simMetrics {
@@ -139,12 +148,14 @@ func newSimMetrics(reg *telemetry.Registry) simMetrics {
 		checkpoints: reg.Counter("sim.checkpoints"),
 		migrations:  reg.Counter("sim.migrations"),
 		backfills:   reg.Counter("sim.backfills"),
+		contentions: reg.Counter("sim.contention.charges"),
 		freeNodes:   reg.Gauge("sim.free_nodes"),
 		queueDepth:  reg.Gauge("sim.queue_depth"),
 		runningJobs: reg.Gauge("sim.running_jobs"),
 		wait:        reg.Histogram("sim.job.wait_seconds"),
 		response:    reg.Histogram("sim.job.response_seconds"),
 		slowdown:    reg.Histogram("sim.job.bounded_slowdown"),
+		dilation:    reg.Histogram("sim.job.dilation_seconds"),
 	}
 }
 
@@ -158,6 +169,12 @@ type Result struct {
 	Migrations    int // migration moves performed
 	Checkpoints   int // checkpoints taken
 	Backfills     int // jobs started ahead of the queue head
+
+	// ContentionCharges counts the dilation charges the contention
+	// model applied; DilationSeconds is the simulated time they added
+	// across all affected runs. Both zero when the model is off.
+	ContentionCharges int
+	DilationSeconds   float64
 
 	// Timeline holds machine-state samples when Config.RecordTimeline
 	// is set; nil otherwise.
@@ -264,6 +281,9 @@ func validateConfig(cfg Config) error {
 			return err
 		}
 	}
+	if err := cfg.Contention.Validate(); err != nil {
+		return fmt.Errorf("sim: %w", err)
+	}
 	n := cfg.Geometry.N()
 	if n == 0 {
 		return fmt.Errorf("sim: empty geometry")
@@ -311,6 +331,10 @@ func newSimulator(cfg Config) *Simulator {
 	s.k.register(evFinish, s.handleFinish)
 	s.subs = []subsystem{
 		&failureSubsystem{s: s},
+		// Contention precedes checkpointing so its start-hook dilation
+		// settles a run's final epoch and completion before the first
+		// checkpoint is scheduled against them.
+		&contentionSubsystem{s: s, cfg: cfg.Contention},
 		&checkpointSubsystem{s: s, cfg: cfg.Checkpoint},
 		&migrationSubsystem{s: s},
 	}

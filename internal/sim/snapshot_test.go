@@ -283,10 +283,11 @@ func TestSubsystemSnapshotHooks(t *testing.T) {
 				if data != nil {
 					t.Fatalf("stateless subsystem serialized %s", data)
 				}
-			case "checkpoint":
-				// No checkpoint config in this scenario: nothing to keep.
+			case "checkpoint", "contention":
+				// Neither mechanism is configured in this scenario:
+				// nothing to keep.
 				if data != nil {
-					t.Fatalf("disabled checkpoint subsystem serialized %s", data)
+					t.Fatalf("disabled %s subsystem serialized %s", sub.name(), data)
 				}
 			default:
 				t.Fatalf("unknown subsystem %q in wiring list", sub.name())

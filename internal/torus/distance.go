@@ -1,0 +1,144 @@
+package torus
+
+// Communication geometry: wrapped hop distances, shared torus lines
+// between partitions, and the line load a partition's traffic sees from
+// the rest of the machine. These are the inputs of the placement scorer
+// (internal/partition) and the contention model (internal/contention):
+// everything here is pure integer arithmetic over coordinates, so the
+// derived scores are byte-reproducible.
+
+// AxisDist returns the hop distance between coordinates a and b along
+// one dimension of extent dim: the shorter way around when wrap is set,
+// the linear distance otherwise.
+func AxisDist(a, b, dim int, wrap bool) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if wrap && dim-d < d {
+		d = dim - d
+	}
+	return d
+}
+
+// Dist returns the Manhattan hop distance between two coordinates on
+// the machine (per-axis shortest way, wrap-aware).
+func (g Geometry) Dist(a, b Coord) int {
+	return AxisDist(a.X, b.X, g.Dims.X, g.Wrap) +
+		AxisDist(a.Y, b.Y, g.Dims.Y, g.Wrap) +
+		AxisDist(a.Z, b.Z, g.Dims.Z, g.Wrap)
+}
+
+// axisMeanDist returns the mean hop distance along one axis over all
+// ordered offset pairs (i, j) in [0, ext)^2 — self-pairs included — for
+// a span of extent ext on a dimension of size dim. The result is
+// independent of the span's base: torus distance depends only on the
+// offset difference.
+func axisMeanDist(ext, dim int, wrap bool) float64 {
+	if ext <= 1 {
+		return 0
+	}
+	total := 0
+	for i := 0; i < ext; i++ {
+		for j := 0; j < ext; j++ {
+			total += AxisDist(i%dim, j%dim, dim, wrap)
+		}
+	}
+	return float64(total) / float64(ext*ext)
+}
+
+// AvgPairwiseDist returns the mean Manhattan hop distance over all
+// ordered node pairs of the partition (self-pairs included, so a
+// single-node partition scores 0). Manhattan distance decomposes per
+// axis and offsets within a span are uniform, so the mean is the sum of
+// three per-axis means — O(extent^2) per axis rather than O(size^2)
+// pairs.
+//
+// This is the compactness half of the placement score: Bender et al.
+// use exactly this metric ("average pairwise distance") as the proxy
+// for a job's internal communication cost.
+func (g Geometry) AvgPairwiseDist(p Partition) float64 {
+	return axisMeanDist(p.Shape.X, g.Dims.X, g.Wrap) +
+		axisMeanDist(p.Shape.Y, g.Dims.Y, g.Wrap) +
+		axisMeanDist(p.Shape.Z, g.Dims.Z, g.Wrap)
+}
+
+// spanOverlapLen returns how many coordinate values in [0, dim) lie in
+// both wrapping intervals [a, a+al) and [b, b+bl) modulo dim. On a
+// torus the intersection of two wrapped intervals can be two disjoint
+// segments, so this counts positions rather than subtracting endpoints.
+func spanOverlapLen(a, al, b, bl, dim int) int {
+	n := 0
+	for v := 0; v < dim; v++ {
+		if inSpan(v, a, al, dim) && inSpan(v, b, bl, dim) {
+			n++
+		}
+	}
+	return n
+}
+
+// SharedLines returns the number of axis-parallel torus lines occupied
+// by both partitions, summed over the three axes. A line along the X
+// axis is identified by a (y, z) pair; p occupies it iff y falls in p's
+// Y span and z in its Z span, so the X-axis count is the product of the
+// Y- and Z-span overlaps (and cyclically for the other axes).
+//
+// For two disjoint running partitions this counts the torus lines on
+// which their traffic shares wires — the pairwise link load the
+// contention model charges for.
+func (g Geometry) SharedLines(p, q Partition) int {
+	ox := spanOverlapLen(p.Base.X, p.Shape.X, q.Base.X, q.Shape.X, g.Dims.X)
+	oy := spanOverlapLen(p.Base.Y, p.Shape.Y, q.Base.Y, q.Shape.Y, g.Dims.Y)
+	oz := spanOverlapLen(p.Base.Z, p.Shape.Z, q.Base.Z, q.Shape.Z, g.Dims.Z)
+	return oy*oz + ox*oz + ox*oy
+}
+
+// LineLoad returns the projected link overlap between partition p and
+// the grid's current occupancy: over every torus line p occupies, the
+// number of busy nodes on that line that lie outside p. Each such node
+// is a neighbor competing for wires p's traffic crosses, so lower is
+// better. Nodes shared by several of p's lines are counted once per
+// line (once per axis), matching SharedLines' per-axis accounting.
+func (gr *Grid) LineLoad(p Partition) int {
+	g := gr.Geometry()
+	dims := g.Dims
+	load := 0
+	// Lines along Z: one per (x, y) column of p.
+	for dx := 0; dx < p.Shape.X; dx++ {
+		x := (p.Base.X + dx) % dims.X
+		for dy := 0; dy < p.Shape.Y; dy++ {
+			y := (p.Base.Y + dy) % dims.Y
+			col := (x*dims.Y + y) * dims.Z
+			for z := 0; z < dims.Z; z++ {
+				if !gr.NodeFree(col+z) && !inSpan(z, p.Base.Z, p.Shape.Z, dims.Z) {
+					load++
+				}
+			}
+		}
+	}
+	// Lines along Y: one per (x, z) pair of p.
+	for dx := 0; dx < p.Shape.X; dx++ {
+		x := (p.Base.X + dx) % dims.X
+		for dz := 0; dz < p.Shape.Z; dz++ {
+			z := (p.Base.Z + dz) % dims.Z
+			for y := 0; y < dims.Y; y++ {
+				if !gr.NodeFree((x*dims.Y+y)*dims.Z+z) && !inSpan(y, p.Base.Y, p.Shape.Y, dims.Y) {
+					load++
+				}
+			}
+		}
+	}
+	// Lines along X: one per (y, z) pair of p.
+	for dy := 0; dy < p.Shape.Y; dy++ {
+		y := (p.Base.Y + dy) % dims.Y
+		for dz := 0; dz < p.Shape.Z; dz++ {
+			z := (p.Base.Z + dz) % dims.Z
+			for x := 0; x < dims.X; x++ {
+				if !gr.NodeFree((x*dims.Y+y)*dims.Z+z) && !inSpan(x, p.Base.X, p.Shape.X, dims.X) {
+					load++
+				}
+			}
+		}
+	}
+	return load
+}

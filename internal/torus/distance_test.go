@@ -1,0 +1,171 @@
+package torus
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestAxisDist(t *testing.T) {
+	cases := []struct {
+		a, b, dim int
+		wrap      bool
+		want      int
+	}{
+		{0, 0, 8, true, 0},
+		{0, 3, 8, true, 3},
+		{0, 5, 8, true, 3}, // shorter the wrapped way
+		{0, 5, 8, false, 5},
+		{7, 0, 8, true, 1},
+		{1, 3, 4, true, 2},
+		{0, 3, 4, true, 1},
+	}
+	for _, c := range cases {
+		if got := AxisDist(c.a, c.b, c.dim, c.wrap); got != c.want {
+			t.Errorf("AxisDist(%d,%d,dim=%d,wrap=%v) = %d, want %d", c.a, c.b, c.dim, c.wrap, got, c.want)
+		}
+	}
+}
+
+// bruteAvgPairwiseDist averages g.Dist over every ordered node pair of
+// the partition, self-pairs included — the definition AvgPairwiseDist
+// computes in closed per-axis form.
+func bruteAvgPairwiseDist(g Geometry, p Partition) float64 {
+	ids := g.Nodes(p)
+	total := 0
+	for _, a := range ids {
+		for _, b := range ids {
+			total += g.Dist(g.CoordOf(a), g.CoordOf(b))
+		}
+	}
+	return float64(total) / float64(len(ids)*len(ids))
+}
+
+func TestAvgPairwiseDistMatchesBruteForce(t *testing.T) {
+	g := BlueGeneL()
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < 200; i++ {
+		p := randomPartition(rng, g)
+		want := bruteAvgPairwiseDist(g, p)
+		got := g.AvgPairwiseDist(p)
+		if diff := got - want; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("AvgPairwiseDist(%v) = %v, brute force %v", p, got, want)
+		}
+	}
+	// Compact vs stretched: a 2x2x2 cube must beat a 1x1x8 line.
+	cube := Partition{Shape: Shape{X: 2, Y: 2, Z: 2}}
+	line := Partition{Shape: Shape{X: 1, Y: 1, Z: 8}}
+	if g.AvgPairwiseDist(cube) >= g.AvgPairwiseDist(line) {
+		t.Fatalf("cube %v should be more compact than line %v",
+			g.AvgPairwiseDist(cube), g.AvgPairwiseDist(line))
+	}
+}
+
+func randomPartition(rng *rand.Rand, g Geometry) Partition {
+	shape := Shape{
+		X: 1 + rng.Intn(g.Dims.X),
+		Y: 1 + rng.Intn(g.Dims.Y),
+		Z: 1 + rng.Intn(g.Dims.Z),
+	}
+	base := Coord{X: rng.Intn(g.Dims.X), Y: rng.Intn(g.Dims.Y), Z: rng.Intn(g.Dims.Z)}
+	return Partition{Base: base, Shape: shape}
+}
+
+// bruteSharedLines counts, per axis, the lines whose node sets
+// intersect both partitions.
+func bruteSharedLines(g Geometry, p, q Partition) int {
+	type lineKey struct{ axis, a, b int }
+	occupied := func(part Partition) map[lineKey]bool {
+		m := make(map[lineKey]bool)
+		for _, id := range g.Nodes(part) {
+			c := g.CoordOf(id)
+			m[lineKey{0, c.Y, c.Z}] = true // line along X
+			m[lineKey{1, c.X, c.Z}] = true // line along Y
+			m[lineKey{2, c.X, c.Y}] = true // line along Z
+		}
+		return m
+	}
+	pm, qm := occupied(p), occupied(q)
+	n := 0
+	for k := range pm {
+		if qm[k] {
+			n++
+		}
+	}
+	return n
+}
+
+func TestSharedLinesMatchesBruteForce(t *testing.T) {
+	g := BlueGeneL()
+	rng := rand.New(rand.NewSource(13))
+	for i := 0; i < 200; i++ {
+		p, q := randomPartition(rng, g), randomPartition(rng, g)
+		if got, want := g.SharedLines(p, q), bruteSharedLines(g, p, q); got != want {
+			t.Fatalf("SharedLines(%v, %v) = %d, brute force %d", p, q, got, want)
+		}
+	}
+}
+
+func TestSharedLinesDisjointColumns(t *testing.T) {
+	g := BlueGeneL()
+	p := Partition{Base: Coord{0, 0, 0}, Shape: Shape{1, 1, 2}}
+	q := Partition{Base: Coord{0, 0, 4}, Shape: Shape{1, 1, 2}}
+	// Same (x, y) column: exactly one shared Z line, no X or Y lines.
+	if got := g.SharedLines(p, q); got != 1 {
+		t.Fatalf("SharedLines same column = %d, want 1", got)
+	}
+	far := Partition{Base: Coord{2, 2, 0}, Shape: Shape{1, 1, 2}}
+	if got := g.SharedLines(p, far); got != 0 {
+		t.Fatalf("SharedLines disjoint lines = %d, want 0", got)
+	}
+}
+
+// bruteLineLoad counts, for every busy node outside p, the number of
+// axes on which that node lies on a line p occupies.
+func bruteLineLoad(gr *Grid, p Partition) int {
+	g := gr.Geometry()
+	load := 0
+	for id := 0; id < g.N(); id++ {
+		if gr.NodeFree(id) || g.ContainsNode(p, id) {
+			continue
+		}
+		c := g.CoordOf(id)
+		inX := inSpan(c.X, p.Base.X, p.Shape.X, g.Dims.X)
+		inY := inSpan(c.Y, p.Base.Y, p.Shape.Y, g.Dims.Y)
+		inZ := inSpan(c.Z, p.Base.Z, p.Shape.Z, g.Dims.Z)
+		if inX && inY { // on one of p's Z lines
+			load++
+		}
+		if inX && inZ { // on one of p's Y lines
+			load++
+		}
+		if inY && inZ { // on one of p's X lines
+			load++
+		}
+	}
+	return load
+}
+
+func TestLineLoadMatchesBruteForce(t *testing.T) {
+	g := BlueGeneL()
+	gr := NewGrid(g)
+	if got := gr.LineLoad(Partition{Shape: Shape{2, 2, 2}}); got != 0 {
+		t.Fatalf("LineLoad on empty grid = %d, want 0", got)
+	}
+	rng := rand.New(rand.NewSource(17))
+	owner := int64(1)
+	for id := 0; id < g.N(); id++ {
+		if rng.Float64() < 0.35 {
+			p := Partition{Base: g.CoordOf(id), Shape: Shape{1, 1, 1}}
+			if err := gr.Allocate(p, owner); err != nil {
+				t.Fatal(err)
+			}
+			owner++
+		}
+	}
+	for i := 0; i < 200; i++ {
+		p := randomPartition(rng, g)
+		if got, want := gr.LineLoad(p), bruteLineLoad(gr, p); got != want {
+			t.Fatalf("LineLoad(%v) = %d, brute force %d", p, got, want)
+		}
+	}
+}

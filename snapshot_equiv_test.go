@@ -42,6 +42,10 @@ type runBytes struct {
 	res   sim.Result
 	elog  []byte
 	trace []byte
+	// preTrace is the byte length of the prefix half's causal trace in
+	// a split run (0 for an uninterrupted run), so tests can inspect
+	// which records were emitted on each side of the boundary.
+	preTrace int
 }
 
 // fullRun executes cfg uninterrupted, capturing every output stream.
@@ -125,9 +129,10 @@ func splitRun(t *testing.T, cfg experiments.RunConfig, seq int64) runBytes {
 		t.Fatalf("seq %d: continuation: %v", seq, err)
 	}
 	return runBytes{
-		res:   res,
-		elog:  append(elogA.Bytes(), elogB.Bytes()...),
-		trace: append(traceA.Bytes(), traceB.Bytes()...),
+		res:      res,
+		elog:     append(elogA.Bytes(), elogB.Bytes()...),
+		trace:    append(traceA.Bytes(), traceB.Bytes()...),
+		preTrace: traceA.Len(),
 	}
 }
 
@@ -237,5 +242,80 @@ func TestSnapshotWorldMismatchRefused(t *testing.T) {
 	other.JobCount = 49 // different job log => different world
 	if _, err := experiments.ResumeFromSnapshot(context.Background(), other, st); err == nil {
 		t.Fatal("restore under a different world succeeded; want world-mismatch error")
+	}
+}
+
+// TestSnapshotEquivalenceContention extends the equivalence property to
+// the contention subsystem: with the dilation model and the annealing
+// placer enabled, a split at EVERY event boundary must reproduce the
+// uninterrupted run byte-for-byte — event log, causal trace and final
+// result (including the contention ledger). It also checks the causal
+// chain survives the cut: at least one continuation-side dilation
+// record must point its cause at a record emitted before the boundary.
+func TestSnapshotEquivalenceContention(t *testing.T) {
+	cfg := experiments.RunConfig{
+		Workload: "SDSC", JobCount: 28, FailureNominal: 15, FailureScale: 1, Seed: 11,
+		Scheduler: experiments.SchedBalancing, Param: 0.5,
+		Finder: "anneal", AnnealSeed: 3, Contention: "medium",
+	}
+	full := fullRun(t, cfg)
+	if full.res.ContentionCharges == 0 || full.res.DilationSeconds <= 0 {
+		t.Fatalf("contention model never fired (charges=%d, dilation=%g); the scenario is degenerate",
+			full.res.ContentionCharges, full.res.DilationSeconds)
+	}
+	events := full.res.EventsDispatched
+	if events < 3 {
+		t.Fatalf("degenerate run: only %d events", events)
+	}
+	stride := int64(1) // every boundary
+	if testing.Short() {
+		stride = 7
+	}
+	causeCrossed := false
+	for seq := int64(1); seq < events; seq += stride {
+		split := splitRun(t, cfg, seq)
+		if !bytes.Equal(full.elog, split.elog) {
+			t.Fatalf("seq %d: event log diverged (first diff at %d)", seq, firstDiff(full.elog, split.elog))
+		}
+		if !bytes.Equal(full.trace, split.trace) {
+			t.Fatalf("seq %d: causal trace diverged (first diff at %d)", seq, firstDiff(full.trace, split.trace))
+		}
+		if !reflect.DeepEqual(full.res, split.res) {
+			t.Fatalf("seq %d: result diverged:\nfull  %+v charges=%d dilation=%g\nsplit %+v charges=%d dilation=%g",
+				seq, full.res.Summary, full.res.ContentionCharges, full.res.DilationSeconds,
+				split.res.Summary, split.res.ContentionCharges, split.res.DilationSeconds)
+		}
+		if causeCrossed {
+			continue
+		}
+		// A dilation and the start that causes it always land in the same
+		// event turn, so the pair never straddles the cut. What must
+		// survive the cut is the per-job causal chain: after a prefix-side
+		// dilation, the job's next lifecycle record chains to the dilate
+		// record — if that next record is continuation-side, its cause
+		// points back across the boundary.
+		preRecs, err := trace.ReadLog(bytes.NewReader(split.trace[:split.preTrace]))
+		if err != nil {
+			t.Fatalf("seq %d: parse prefix trace: %v", seq, err)
+		}
+		preDilates := make(map[uint64]bool)
+		for _, r := range preRecs {
+			if r.Name == "dilate" {
+				preDilates[r.Seq] = true
+			}
+		}
+		contRecs, err := trace.ReadLog(bytes.NewReader(split.trace[split.preTrace:]))
+		if err != nil {
+			t.Fatalf("seq %d: parse continuation trace: %v", seq, err)
+		}
+		for _, r := range contRecs {
+			if r.Cause > 0 && preDilates[r.Cause] {
+				causeCrossed = true
+				break
+			}
+		}
+	}
+	if !causeCrossed {
+		t.Fatal("no continuation-side record chained its cause to a prefix-side dilation record across any boundary")
 	}
 }
