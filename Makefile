@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build test race vet fuzz bench bench-micro bench-record bench-guard trace-demo check clean serve smoke-serve smoke-chaos load
+.PHONY: all build test race vet fuzz bench bench-micro bench-record bench-guard profile-kernel trace-demo check clean serve smoke-serve smoke-chaos load
 
 all: build
 
@@ -70,6 +70,15 @@ bench-record:
 bench-guard:
 	./scripts/bench-history.sh compare
 
+# CPU + allocation profile pair for the kernel steady-state benchmark.
+# Inspect with `go tool pprof bgsched.test cpu.kernel.pprof` (or
+# mem.kernel.pprof with -sample_index=alloc_objects for the allocation
+# view; the alloc profile records everything including untimed setup,
+# unlike the benchmark's allocs/op).
+profile-kernel:
+	$(GO) test -run NONE -bench BenchmarkKernelSteadyState -benchtime 20000x \
+		-cpuprofile cpu.kernel.pprof -memprofile mem.kernel.pprof .
+
 # Render the six-point golden sweep's causal traces into one
 # Chrome-loadable trace (open chrome://tracing or https://ui.perfetto.dev
 # and load trace-demo.json).
@@ -82,3 +91,4 @@ check: build vet test race fuzz
 
 clean:
 	$(GO) clean ./...
+	rm -f cpu.kernel.pprof mem.kernel.pprof bgsched.test

@@ -12,16 +12,20 @@
 package bgsched
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
 	"testing"
 
+	"bgsched/internal/build"
 	"bgsched/internal/contention"
 	"bgsched/internal/core"
 	"bgsched/internal/experiments"
 	"bgsched/internal/job"
 	"bgsched/internal/partition"
+	"bgsched/internal/sim"
+	"bgsched/internal/telemetry"
 	"bgsched/internal/torus"
 )
 
@@ -511,6 +515,63 @@ func BenchmarkAblationCheckpointing(b *testing.B) {
 			b.ReportMetric(lost/1e6, "lost-Mnode-s")
 		})
 	}
+}
+
+// BenchmarkKernelSteadyState measures the simulator's steady-state
+// event loop: one op is one dispatched calendar event of an SDSC run
+// under the baseline scheduler with the fast finder, telemetry on and
+// tracing off — the exact hot path every sweep, tournament and branch
+// grid grinds through. Simulator construction happens outside the
+// timer (a fresh run is set up whenever the previous one drains), so
+// ns/op and allocs/op describe the kernel.step path itself; the
+// events/sec metric is the run-rate headline the README quotes. The
+// bench-history guard pins allocs/op at zero for this benchmark.
+func BenchmarkKernelSteadyState(b *testing.B) {
+	ctx := context.Background()
+	reg := telemetry.New()
+	cfg, _, err := build.Default(experiments.RunConfig{
+		Workload: "SDSC", JobCount: benchJobs, FailureNominal: 1000,
+		Scheduler: experiments.SchedBaseline, Seed: 1, Finder: "fast",
+		Telemetry: reg,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm-up run: counts the events one run dispatches and warms the
+	// finder caches the steady state relies on.
+	warm, err := sim.New(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	res, err := warm.Run()
+	if err != nil {
+		b.Fatal(err)
+	}
+	perRun := res.EventsDispatched
+	if perRun == 0 {
+		b.Fatal("warm-up run dispatched no events")
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for done := int64(0); done < int64(b.N); {
+		b.StopTimer()
+		s, err := sim.New(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		upTo := perRun
+		if left := int64(b.N) - done; left < upTo {
+			upTo = left
+		}
+		if _, err := s.RunToEvent(ctx, upTo); err != nil {
+			b.Fatal(err)
+		}
+		done += s.EventsDispatched()
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
 }
 
 // BenchmarkAnnealFinder measures the annealing placement search on the

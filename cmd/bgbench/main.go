@@ -14,6 +14,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"regexp"
 	"runtime"
 	"time"
 
@@ -86,8 +87,16 @@ func compare(args []string, in io.Reader, out io.Writer) error {
 	fs := flag.NewFlagSet("bgbench compare", flag.ContinueOnError)
 	dir := fs.String("dir", "bench", "benchmark history directory")
 	threshold := fs.Float64("threshold", 25, "fail when any benchmark is more than this percent slower than the baseline")
+	allocGuard := fs.String("allocguard", "", "regexp of benchmark names whose allocs/op must not grow over the baseline at all")
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	var guard *regexp.Regexp
+	if *allocGuard != "" {
+		var err error
+		if guard, err = regexp.Compile(*allocGuard); err != nil {
+			return fmt.Errorf("-allocguard: %w", err)
+		}
 	}
 	rs, err := parseStdin(in)
 	if err != nil {
@@ -106,7 +115,22 @@ func compare(args []string, in io.Reader, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "baseline %s (%s)\n", path, base.Label)
 	for _, d := range ds {
-		fmt.Fprintf(out, "  %-48s %12.1f -> %12.1f ns/op  %+6.1f%%\n", d.Name, d.OldNs, d.NewNs, d.Percent)
+		fmt.Fprintf(out, "  %-48s %12.1f -> %12.1f ns/op  %+6.1f%%", d.Name, d.OldNs, d.NewNs, d.Percent)
+		// Memory columns appear when measured, and always for guarded
+		// benchmarks — "0 -> 0 allocs/op" is the guard's evidence.
+		if d.OldAllocs != 0 || d.NewAllocs != 0 || d.OldBytes != 0 || d.NewBytes != 0 ||
+			(guard != nil && guard.MatchString(d.Name)) {
+			fmt.Fprintf(out, "  %4.0f -> %4.0f allocs/op  %8.0f -> %8.0f B/op", d.OldAllocs, d.NewAllocs, d.OldBytes, d.NewBytes)
+		}
+		fmt.Fprintln(out)
+	}
+	if guard != nil {
+		if regs := benchhist.AllocRegressions(ds, guard); len(regs) > 0 {
+			for _, d := range regs {
+				fmt.Fprintf(out, "ALLOC REGRESSION %s: %.0f -> %.0f allocs/op\n", d.Name, d.OldAllocs, d.NewAllocs)
+			}
+			return fmt.Errorf("%d benchmark(s) grew allocs/op vs %s (guard %q allows zero growth)", len(regs), path, *allocGuard)
+		}
 	}
 	if regs := benchhist.Regressions(ds, *threshold); len(regs) > 0 {
 		return fmt.Errorf("%d benchmark(s) regressed beyond %.0f%% vs %s", len(regs), *threshold, path)

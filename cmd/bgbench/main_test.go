@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"bgsched/internal/benchhist"
+)
+
+// kernel baseline pinned at zero allocs, plus an untracked benchmark
+// that allocates freely.
+func writeBaseline(t *testing.T) string {
+	t.Helper()
+	dir := t.TempDir()
+	snap := &benchhist.Snapshot{Schema: 1, Label: "test", Benchmarks: []benchhist.Result{
+		{Name: "BenchmarkKernelSteadyState", NsPerOp: 60000, AllocsPerOp: 0},
+		{Name: "BenchmarkBuild", NsPerOp: 1000, AllocsPerOp: 100},
+	}}
+	if err := benchhist.Write(filepath.Join(dir, "BENCH_0001.json"), snap); err != nil {
+		t.Fatal(err)
+	}
+	return dir
+}
+
+func TestCompareAllocGuardFlagsGrowth(t *testing.T) {
+	dir := writeBaseline(t)
+	in := strings.NewReader(
+		"BenchmarkKernelSteadyState-8 10000 61000 ns/op\t300 B/op\t3 allocs/op\n" +
+			"BenchmarkBuild-8 10000 1000 ns/op\t100 B/op\t120 allocs/op\n")
+	var out bytes.Buffer
+	err := run([]string{"compare", "-dir", dir, "-threshold", "25",
+		"-allocguard", "^BenchmarkKernelSteadyState"}, in, &out)
+	if err == nil {
+		t.Fatalf("alloc growth on guarded benchmark passed:\n%s", out.String())
+	}
+	if !strings.Contains(err.Error(), "grew allocs/op") {
+		t.Fatalf("wrong failure: %v", err)
+	}
+	// The untracked benchmark's growth must not be what tripped it.
+	if !strings.Contains(out.String(), "ALLOC REGRESSION BenchmarkKernelSteadyState") {
+		t.Fatalf("regression line missing:\n%s", out.String())
+	}
+	if strings.Contains(out.String(), "ALLOC REGRESSION BenchmarkBuild") {
+		t.Fatalf("unguarded benchmark flagged:\n%s", out.String())
+	}
+}
+
+func TestCompareAllocGuardPassesWhenFlat(t *testing.T) {
+	dir := writeBaseline(t)
+	in := strings.NewReader(
+		"BenchmarkKernelSteadyState-8 10000 61000 ns/op\t0 B/op\t0 allocs/op\n")
+	var out bytes.Buffer
+	err := run([]string{"compare", "-dir", dir, "-threshold", "25",
+		"-allocguard", "^BenchmarkKernelSteadyState"}, in, &out)
+	if err != nil {
+		t.Fatalf("flat allocs failed guard: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "allocs/op") {
+		t.Fatalf("memory columns missing from report:\n%s", out.String())
+	}
+}
+
+func TestCompareAllocGuardBadPattern(t *testing.T) {
+	dir := writeBaseline(t)
+	err := run([]string{"compare", "-dir", dir, "-allocguard", "("},
+		strings.NewReader("BenchmarkKernelSteadyState-8 1 1 ns/op\n"), &bytes.Buffer{})
+	if err == nil || !strings.Contains(err.Error(), "allocguard") {
+		t.Fatalf("invalid pattern accepted: %v", err)
+	}
+}

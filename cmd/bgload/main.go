@@ -320,7 +320,10 @@ func soak(ctx context.Context, o options, baseURL string) (*report, error) {
 		opRun:    reg.Histogram("bgload.run.seconds"),
 		opFigure: reg.Histogram("bgload.figure.seconds"),
 	}
-	var cacheHits, chaosSeen atomic.Int64
+	// Striped across the fleet: every client increments its own cache
+	// line instead of contending on one atomic.
+	cacheHits := telemetry.NewShardedCounter(o.clients)
+	chaosSeen := telemetry.NewShardedCounter(o.clients)
 
 	var wg sync.WaitGroup
 	for ci := 0; ci < o.clients; ci++ {
@@ -339,7 +342,7 @@ func soak(ctx context.Context, o options, baseURL string) (*report, error) {
 				op := ops[idx]
 				opCtx, cancel := context.WithTimeout(ctx, o.opTimeout)
 				start := time.Now()
-				err := doOp(opCtx, cl, op, pool, st, &cacheHits, &chaosSeen)
+				err := doOp(opCtx, cl, op, pool, st, cacheHits.Stripe(ci), chaosSeen.Stripe(ci))
 				cancel()
 				if err != nil {
 					st.recordFailure(op.kind, err)
@@ -357,8 +360,8 @@ func soak(ctx context.Context, o options, baseURL string) (*report, error) {
 	rep := &report{
 		Requests:  o.requests,
 		Failures:  int(st.failCount),
-		CacheHits: cacheHits.Load(),
-		ChaosSeen: chaosSeen.Load(),
+		CacheHits: cacheHits.Value(),
+		ChaosSeen: chaosSeen.Value(),
 		Corruption: corruptionReport{
 			Configs:    len(st.summaries),
 			Mismatches: st.corrupt,
@@ -385,7 +388,7 @@ func soak(ctx context.Context, o options, baseURL string) (*report, error) {
 
 // doOp executes one scheduled operation.
 func doOp(ctx context.Context, cl *client.Client, op schedOp, pool []experiments.RunConfig,
-	st *fleetState, cacheHits, chaosSeen *atomic.Int64) error {
+	st *fleetState, cacheHits, chaosSeen *telemetry.Stripe) error {
 	switch op.kind {
 	case opRun:
 		v, hdr, err := cl.DoHeaders(ctx, http.MethodPost, "/v1/runs?wait=1", pool[op.cfg])
@@ -393,10 +396,10 @@ func doOp(ctx context.Context, cl *client.Client, op schedOp, pool []experiments
 			return err
 		}
 		if hdr.Get("X-Cache") == "hit" {
-			cacheHits.Add(1)
+			cacheHits.Inc()
 		}
 		if hdr.Get("X-Chaos") != "" {
-			chaosSeen.Add(1)
+			chaosSeen.Inc()
 		}
 		if v.State != service.StateDone {
 			return fmt.Errorf("run finished %s: %s", v.State, v.Error)

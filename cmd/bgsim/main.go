@@ -18,6 +18,8 @@ import (
 	"io"
 	"os"
 
+	"time"
+
 	"bgsched/internal/contention"
 	"bgsched/internal/core"
 	"bgsched/internal/experiments"
@@ -69,6 +71,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		ckptRestart  = fs.Float64("ckpt-restart", 0, "seconds to restore from a checkpoint")
 
 		check    = fs.Bool("check", false, "validate simulator conservation invariants at every event")
+		rate     = fs.Bool("rate", false, "append wall-clock event throughput to the summary (nondeterministic; leave off where outputs are byte-compared)")
 		timeline = fs.Int("timeline", 0, "print a machine-state timeline with this many buckets")
 		byClass  = fs.Bool("by-class", false, "print metrics broken down by job size class")
 		eventLog = fs.String("eventlog", "", "write a JSONL simulation event log to this file")
@@ -195,6 +198,11 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	cfg.Telemetry = obs.Registry()
 
 	var res sim.Result
+	// Wall timer for the -rate line; alreadyDispatched discounts the
+	// events a restored snapshot replays on the parent's budget, so the
+	// throughput is events actually processed by this invocation.
+	wallStart := time.Now()
+	var alreadyDispatched int64
 	switch {
 	case *restoreFile != "":
 		if *snapAt > 0 || *snapOut != "" {
@@ -233,6 +241,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		rcfg.RecordTimeline = cfg.RecordTimeline
 		rcfg.CheckInvariants = cfg.CheckInvariants
 		cfg = rcfg
+		alreadyDispatched = st.Dispatched
 		fmt.Fprintf(out, "restored            %s at event %d (t=%.1f)%s\n",
 			*restoreFile, st.Dispatched, st.Now, branchNote(br))
 		res, err = experiments.ResumeFromSnapshot(ctx, cfg, st)
@@ -282,6 +291,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		}
 	}
 
+	wall := time.Since(wallStart)
+
 	manifest := telemetry.NewManifest("bgsim", args, cfg)
 	manifest.Seed = cfg.Seed
 	if err := obs.WriteMetrics(manifest, cfg.Telemetry); err != nil {
@@ -310,6 +321,12 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	fmt.Fprintf(out, "workload            %s (jobs=%d, c=%.2f, seed=%d)\n", cfg.Workload, cfg.JobCount, cfg.LoadScale, cfg.Seed)
 	fmt.Fprintf(out, "scheduler           %s (a=%.2f, backfill=%s, migration=%v)\n", cfg.Scheduler, cfg.Param, cfg.Backfill, cfg.Migration)
 	fmt.Fprintf(out, "failures            nominal=%d delivered=%d kills=%d\n", cfg.FailureNominal, res.FailureEvents, res.JobKills)
+	fmt.Fprintf(out, "events dispatched   %d\n", res.EventsDispatched)
+	if *rate {
+		processed := res.EventsDispatched - alreadyDispatched
+		fmt.Fprintf(out, "throughput          %.0f events/sec (%d events in %.2f s wall, incl. build)\n",
+			float64(processed)/wall.Seconds(), processed, wall.Seconds())
+	}
 	fmt.Fprintf(out, "jobs finished       %d\n", s.Jobs)
 	fmt.Fprintf(out, "avg wait            %.1f s\n", s.AvgWait)
 	fmt.Fprintf(out, "avg response        %.1f s\n", s.AvgResponse)

@@ -237,3 +237,49 @@ func TestBgsimContentionFlag(t *testing.T) {
 		t.Fatalf("same flags produced different output:\n%s\nvs\n%s", first.String(), second.String())
 	}
 }
+
+// TestBgsimEventThroughputLifecycle: the summary always carries the
+// deterministic dispatched-event count; the wall-clock throughput line
+// appears only under -rate, so byte-compared outputs stay reproducible.
+func TestBgsimEventThroughputLifecycle(t *testing.T) {
+	base := []string{"-workload", "NASA", "-jobs", "40", "-sched", "baseline", "-failures", "200"}
+
+	var plain bytes.Buffer
+	if err := run(context.Background(), base, &plain); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plain.String(), "events dispatched   ") {
+		t.Fatalf("summary missing dispatched count:\n%s", plain.String())
+	}
+	if strings.Contains(plain.String(), "events/sec") {
+		t.Fatalf("throughput leaked into default summary:\n%s", plain.String())
+	}
+
+	// Same run again: the default summary must be byte-identical, wall
+	// clock notwithstanding.
+	var again bytes.Buffer
+	if err := run(context.Background(), base, &again); err != nil {
+		t.Fatal(err)
+	}
+	if again.String() != plain.String() {
+		t.Fatalf("default summary not reproducible:\n%s\nvs\n%s", plain.String(), again.String())
+	}
+
+	var rated bytes.Buffer
+	if err := run(context.Background(), append([]string{"-rate"}, base...), &rated); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rated.String(), "events/sec") {
+		t.Fatalf("-rate summary missing throughput:\n%s", rated.String())
+	}
+	// -rate only appends; the deterministic dispatched line is unchanged.
+	var dispatchLine string
+	for _, ln := range strings.Split(plain.String(), "\n") {
+		if strings.HasPrefix(ln, "events dispatched") {
+			dispatchLine = ln
+		}
+	}
+	if dispatchLine == "" || !strings.Contains(rated.String(), dispatchLine) {
+		t.Fatalf("dispatched count drifted under -rate: %q not in\n%s", dispatchLine, rated.String())
+	}
+}

@@ -118,13 +118,26 @@ func Parse(r io.Reader) ([]Result, error) {
 	return out, nil
 }
 
-// Delta is one benchmark's baseline-to-current comparison.
+// Delta is one benchmark's baseline-to-current comparison. Memory
+// columns ride along with timing: a benchmark recorded (or run)
+// without -benchmem carries zeros, which Compare treats as "no
+// allocations claimed" — so an alloc guard over such a pair fails the
+// moment allocations appear.
 type Delta struct {
 	Name    string
 	OldNs   float64
 	NewNs   float64
 	Percent float64 // (new-old)/old * 100; positive = slower
+
+	OldBytes  float64
+	NewBytes  float64
+	OldAllocs float64
+	NewAllocs float64
 }
+
+// AllocGrowth is the allocs/op increase over the baseline; positive
+// means the current run allocates more per op.
+func (d Delta) AllocGrowth() float64 { return d.NewAllocs - d.OldAllocs }
 
 // Compare matches current results against a baseline snapshot by name
 // and returns the deltas, sorted worst-regression first. Benchmarks
@@ -132,19 +145,23 @@ type Delta struct {
 // becomes part of the baseline at the next Record, it cannot fail the
 // guard retroactively.
 func Compare(baseline *Snapshot, current []Result) []Delta {
-	old := map[string]float64{}
+	old := map[string]Result{}
 	for _, r := range baseline.Benchmarks {
-		old[r.Name] = r.NsPerOp
+		old[r.Name] = r
 	}
 	var ds []Delta
 	for _, r := range current {
 		o, ok := old[r.Name]
-		if !ok || o <= 0 {
+		if !ok || o.NsPerOp <= 0 {
 			continue
 		}
 		ds = append(ds, Delta{
-			Name: r.Name, OldNs: o, NewNs: r.NsPerOp,
-			Percent: (r.NsPerOp - o) / o * 100,
+			Name: r.Name, OldNs: o.NsPerOp, NewNs: r.NsPerOp,
+			Percent:   (r.NsPerOp - o.NsPerOp) / o.NsPerOp * 100,
+			OldBytes:  o.BytesPerOp,
+			NewBytes:  r.BytesPerOp,
+			OldAllocs: o.AllocsPerOp,
+			NewAllocs: r.AllocsPerOp,
 		})
 	}
 	sort.Slice(ds, func(i, j int) bool { return ds[i].Percent > ds[j].Percent })
@@ -156,6 +173,22 @@ func Regressions(ds []Delta, thresholdPercent float64) []Delta {
 	var out []Delta
 	for _, d := range ds {
 		if d.Percent > thresholdPercent {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// AllocRegressions filters deltas whose name matches and whose
+// allocs/op grew over the baseline at all. Unlike the percentage
+// timing guard there is no tolerance: the matched benchmarks are the
+// ones the repository pins allocation-free (or at a fixed count), and
+// a single extra allocation per op on a hot loop is a real change
+// that must be recorded deliberately.
+func AllocRegressions(ds []Delta, match *regexp.Regexp) []Delta {
+	var out []Delta
+	for _, d := range ds {
+		if match.MatchString(d.Name) && d.AllocGrowth() > 0 {
 			out = append(out, d)
 		}
 	}

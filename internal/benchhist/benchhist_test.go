@@ -2,6 +2,7 @@ package benchhist
 
 import (
 	"path/filepath"
+	"regexp"
 	"strings"
 	"testing"
 )
@@ -124,5 +125,53 @@ func TestHistoryRoundTrip(t *testing.T) {
 	}
 	if snap.Benchmarks[0].NsPerOp != 110 {
 		t.Fatalf("round trip lost data: %+v", snap.Benchmarks)
+	}
+}
+
+// TestCompareCarriesMemoryColumns: allocs/op and B/op ride along in
+// the deltas, and a baseline entry recorded without -benchmem (zeros)
+// counts as claiming zero allocations.
+func TestCompareCarriesMemoryColumns(t *testing.T) {
+	base := &Snapshot{Benchmarks: []Result{
+		{Name: "Kernel", NsPerOp: 100, BytesPerOp: 0, AllocsPerOp: 0},
+		{Name: "Build", NsPerOp: 100, BytesPerOp: 1000, AllocsPerOp: 20},
+	}}
+	cur := []Result{
+		{Name: "Kernel", NsPerOp: 90, BytesPerOp: 64, AllocsPerOp: 2},
+		{Name: "Build", NsPerOp: 100, BytesPerOp: 900, AllocsPerOp: 18},
+	}
+	ds := Compare(base, cur)
+	byName := map[string]Delta{}
+	for _, d := range ds {
+		byName[d.Name] = d
+	}
+	k := byName["Kernel"]
+	if k.OldAllocs != 0 || k.NewAllocs != 2 || k.NewBytes != 64 {
+		t.Fatalf("kernel delta lost memory columns: %+v", k)
+	}
+	if k.AllocGrowth() != 2 {
+		t.Fatalf("AllocGrowth = %v, want 2", k.AllocGrowth())
+	}
+	if b := byName["Build"]; b.AllocGrowth() != -2 {
+		t.Fatalf("improvement growth = %v, want -2", b.AllocGrowth())
+	}
+}
+
+// TestAllocRegressions: the guard is scoped by name pattern and has no
+// tolerance — any growth on a matched benchmark fails, improvements
+// and unmatched benchmarks pass.
+func TestAllocRegressions(t *testing.T) {
+	ds := []Delta{
+		{Name: "BenchmarkKernelSteadyState", OldAllocs: 0, NewAllocs: 1}, // growth, matched
+		{Name: "BenchmarkKernelOther", OldAllocs: 5, NewAllocs: 5},       // flat, matched
+		{Name: "BenchmarkBuild", OldAllocs: 10, NewAllocs: 50},           // growth, unmatched
+		{Name: "BenchmarkKernelWarm", OldAllocs: 3, NewAllocs: 2},        // improvement, matched
+	}
+	regs := AllocRegressions(ds, regexp.MustCompile(`^BenchmarkKernel`))
+	if len(regs) != 1 || regs[0].Name != "BenchmarkKernelSteadyState" {
+		t.Fatalf("alloc regressions = %+v", regs)
+	}
+	if regs := AllocRegressions(ds, regexp.MustCompile(`^BenchmarkNone`)); len(regs) != 0 {
+		t.Fatalf("unmatched pattern flagged %+v", regs)
 	}
 }

@@ -57,7 +57,8 @@ type Builder struct {
 
 // Artifacts exposes the intermediate stage products of one build, for
 // tests and diagnostics. Log, Trace and Index are shared cache entries
-// and must not be mutated; Jobs is a fresh clone owned by the caller.
+// and must not be mutated; Jobs is a run-private clone owned by the
+// caller until ReleaseJobs hands it back to the cache's pool.
 type Artifacts struct {
 	Geometry torus.Geometry
 	Log      *workload.Log
@@ -66,6 +67,28 @@ type Artifacts struct {
 	Failures int     // injected failure count after nominal scaling
 	Trace    failure.Trace
 	Index    *failure.Index // nil unless a stage consulted it
+
+	// cache and jobsKey route ReleaseJobs back to the pool the Jobs
+	// clone was acquired from; released latches so a double release
+	// can never pool the same slice twice.
+	cache    *Cache
+	jobsKey  string
+	released bool
+}
+
+// ReleaseJobs returns the run's job-slice clone to the build cache for
+// reuse by a later build of the same workload point. Call it only once
+// the simulator that ran on these jobs has been dropped and all needed
+// results extracted — sim.Result and its Outcomes hold no job
+// pointers, so the experiments layer releases after every completed
+// run. Safe on nil and idempotent.
+func (a *Artifacts) ReleaseJobs() {
+	if a == nil || a.released || a.cache == nil {
+		return
+	}
+	a.released = true
+	a.cache.releaseJobs(a.jobsKey, a.Jobs)
+	a.Jobs = nil
 }
 
 func (b *Builder) cache() *Cache {
@@ -148,7 +171,7 @@ func (b *Builder) Build(cfg RunConfig) (sim.Config, *Artifacts, error) {
 		return sim.Config{}, nil, err
 	}
 	met.record("jobs", hit)
-	jobs := cloneJobs(jobsV.([]*job.Job))
+	jobs := cache.acquireJobs(jobsKey, jobsV.([]*job.Job))
 
 	// Stage 4: failure trace, keyed by the derived generator inputs
 	// (machine size, injected count, horizon, seed) so different
@@ -178,7 +201,8 @@ func (b *Builder) Build(cfg RunConfig) (sim.Config, *Artifacts, error) {
 	// Stage 5: failure index, keyed by the trace's identity and
 	// materialised lazily — only the predictor-driven policies and the
 	// predictive checkpointer consult it.
-	art := &Artifacts{Geometry: g, Log: log, Jobs: jobs, Span: span, Failures: count, Trace: ftrace}
+	art := &Artifacts{Geometry: g, Log: log, Jobs: jobs, Span: span, Failures: count, Trace: ftrace,
+		cache: cache, jobsKey: jobsKey}
 	index := func() (*failure.Index, error) {
 		if art.Index != nil {
 			return art.Index, nil

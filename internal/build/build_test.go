@@ -326,3 +326,134 @@ func mustRun(t *testing.T, b *Builder, cfg RunConfig) sim.Result {
 	}
 	return res
 }
+
+// TestJobClonePoolRecycles: releasing a run's job-slice clone makes
+// the next build of the same point reuse the identical backing structs
+// (pointer identity), fully re-initialised from the cached master so
+// the previous run's mutations cannot leak.
+func TestJobClonePoolRecycles(t *testing.T) {
+	b := &Builder{Cache: NewCache(0)}
+	_, a1, err := b.Build(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run1 := a1.Jobs
+	pristine := make([]interface{}, len(run1))
+	for i, j := range run1 {
+		cp := *j
+		pristine[i] = cp
+	}
+	// Simulate a run mutating its private clones.
+	for _, j := range run1 {
+		j.Actual = -1
+		j.Estimate = -1
+	}
+	a1.ReleaseJobs()
+	if a1.Jobs != nil {
+		t.Fatal("ReleaseJobs left the artifact holding the clone")
+	}
+	a1.ReleaseJobs() // idempotent
+
+	_, a2, err := b.Build(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a2.Jobs) != len(run1) {
+		t.Fatalf("job counts differ: %d vs %d", len(a2.Jobs), len(run1))
+	}
+	recycled := 0
+	for i := range a2.Jobs {
+		if a2.Jobs[i] == run1[i] {
+			recycled++
+		}
+		if got := *a2.Jobs[i]; got != pristine[i] {
+			t.Fatalf("job %d not reset from master: %+v vs %+v", i, got, pristine[i])
+		}
+	}
+	if recycled != len(run1) {
+		t.Fatalf("recycled %d/%d job structs, want all", recycled, len(run1))
+	}
+
+	// A third build without a release must NOT share run 2's structs.
+	_, a3, err := b.Build(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a3.Jobs {
+		if a3.Jobs[i] == a2.Jobs[i] {
+			t.Fatalf("job %d aliased between two live builds", i)
+		}
+	}
+}
+
+// TestJobClonePoolCrossRunIsolation: with the pool active, back-to-back
+// full simulations of the same point — the sweep engine's pattern via
+// experiments.RunContext — stay byte-identical, and the cached master
+// slice never absorbs a run's mutations.
+func TestJobClonePoolCrossRunIsolation(t *testing.T) {
+	b := &Builder{Cache: NewCache(0)}
+	runOnce := func() (sim.Result, *Artifacts) {
+		sc, art, err := b.Build(testCfg())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s, err := sim.New(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, art
+	}
+	res1, art1 := runOnce()
+	art1.ReleaseJobs() // run over, result extracted: recycle
+	res2, art2 := runOnce()
+	art2.ReleaseJobs()
+	res3, _ := runOnce() // recycled again
+	if !reflect.DeepEqual(res1, res2) || !reflect.DeepEqual(res2, res3) {
+		t.Fatal("pooled job clones changed simulation results across runs")
+	}
+}
+
+// TestJobClonePoolConcurrent hammers acquire/release from a worker
+// fleet — the sweep engine's parallel point execution — and checks
+// that no two live builds ever share a job struct. Run under -race by
+// the build cache race guard.
+func TestJobClonePoolConcurrent(t *testing.T) {
+	b := &Builder{Cache: NewCache(0)}
+	if _, _, err := b.Build(testCfg()); err != nil { // warm the masters
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 20; i++ {
+				_, art, err := b.Build(testCfg())
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				for _, j := range art.Jobs {
+					j.Actual = -1 // scribble like a running simulation
+				}
+				art.ReleaseJobs()
+			}
+		}()
+	}
+	wg.Wait()
+	// After the dust settles, a fresh build must still see pristine
+	// masters despite all the scribbling.
+	_, art, err := b.Build(testCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range art.Jobs {
+		if j.Actual == -1 {
+			t.Fatalf("job %d leaked a previous run's mutation", i)
+		}
+	}
+}

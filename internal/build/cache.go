@@ -3,6 +3,8 @@ package build
 import (
 	"container/list"
 	"sync"
+
+	"bgsched/internal/job"
 )
 
 // DefaultCacheCapacity bounds the process-wide artifact cache. Entries
@@ -29,6 +31,11 @@ type Cache struct {
 	ll       *list.List // front = most recently used
 	items    map[string]*list.Element
 	inflight map[string]*flight
+	// jobPool recycles run-private job-slice clones, keyed by the jobs
+	// stage key. A sweep rebuilding the same workload point reuses the
+	// previous run's clone (re-initialised from the cached master)
+	// instead of allocating a fresh slice of job structs per run.
+	jobPool map[string][][]*job.Job
 }
 
 type cacheEntry struct {
@@ -54,6 +61,7 @@ func NewCache(capacity int) *Cache {
 		ll:       list.New(),
 		items:    make(map[string]*list.Element),
 		inflight: make(map[string]*flight),
+		jobPool:  make(map[string][][]*job.Job),
 	}
 }
 
@@ -119,11 +127,52 @@ func (c *Cache) Len() int {
 	return c.ll.Len()
 }
 
-// Purge drops every cached artifact (in-flight computations are
-// unaffected and will insert their results afterwards).
+// Purge drops every cached artifact and pooled job clone (in-flight
+// computations are unaffected and will insert their results
+// afterwards).
 func (c *Cache) Purge() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.ll.Init()
 	c.items = make(map[string]*list.Element)
+	c.jobPool = make(map[string][][]*job.Job)
+}
+
+// maxPooledClones bounds the recycled clones kept per jobs key: enough
+// for a parallel sweep's worker fleet, small enough that an engine
+// cycling through many points cannot hoard memory.
+const maxPooledClones = 16
+
+// acquireJobs returns a run-private clone of the cached master slice,
+// recycling a released clone when one is pooled under key. A recycled
+// clone's structs are re-initialised from the master wholesale, so
+// mutations by the previous run's simulator cannot leak into the next.
+func (c *Cache) acquireJobs(key string, master []*job.Job) []*job.Job {
+	var out []*job.Job
+	c.mu.Lock()
+	if pool := c.jobPool[key]; len(pool) > 0 {
+		out = pool[len(pool)-1]
+		c.jobPool[key] = pool[:len(pool)-1]
+	}
+	c.mu.Unlock()
+	if len(out) != len(master) {
+		return cloneJobs(master)
+	}
+	for i, j := range master {
+		*out[i] = *j
+	}
+	return out
+}
+
+// releaseJobs returns a clone to the pool for key. Pool depth is
+// bounded; overflow clones are simply dropped for the GC.
+func (c *Cache) releaseJobs(key string, jobs []*job.Job) {
+	if key == "" || len(jobs) == 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.jobPool[key]) < maxPooledClones {
+		c.jobPool[key] = append(c.jobPool[key], jobs)
+	}
 }

@@ -41,6 +41,10 @@ func (s *Scheduler) Migrate(gr *torus.Grid, running []Running) ([]Migration, err
 	for i, r := range running {
 		parts[i] = r.Part
 	}
+	// Probe-only context: no MFPBefore/MFPPart, so every evaluation runs
+	// the real probe (migration compares placements, not a fixed bound),
+	// still through the scheduler's MFP cache.
+	ctx := &PlacementContext{Grid: gr, MFP: s.mfp}
 	for _, idx := range order {
 		r := running[idx]
 		owner := int64(r.Job.ID)
@@ -50,7 +54,7 @@ func (s *Scheduler) Migrate(gr *torus.Grid, running []Running) ([]Migration, err
 		}
 		cands := s.cfg.Finder.FreeOfSize(gr, r.Job.AllocSize)
 		bestIdx := -1
-		bestMFP, err := mfpAfter(gr, orig)
+		bestMFP, err := mfpAfter(ctx, orig)
 		if err != nil {
 			return moves, fmt.Errorf("core: migrate probe: %w", err)
 		}
@@ -58,7 +62,7 @@ func (s *Scheduler) Migrate(gr *torus.Grid, running []Running) ([]Migration, err
 			if p == orig {
 				continue
 			}
-			after, err := mfpAfter(gr, p)
+			after, err := mfpAfter(ctx, p)
 			if err != nil {
 				return moves, fmt.Errorf("core: migrate probe: %w", err)
 			}

@@ -25,7 +25,47 @@ type PlacementContext struct {
 	Job       *job.Job
 	Now       float64
 	MFPBefore int // maximal free partition size before placing the job
+	// MFPPart is a maximal free partition achieving MFPBefore (zero
+	// Shape when unknown or the machine is full). When consistent with
+	// MFPBefore it licenses the disjointness shortcut: placing a
+	// candidate that does not touch MFPPart cannot shrink the MFP —
+	// occupancy only grows, so the MFP cannot grow either, and MFPPart
+	// itself stays free — hence MFP(after) == MFPBefore exactly,
+	// without a probe.
+	MFPPart torus.Partition
+	// MFP, when non-nil, memoizes MaxFree content-addressed by
+	// occupancy hash, so the probe evaluations that do run are O(1) on
+	// state recurrences. Nil falls back to the uncached computation.
+	MFP *partition.MFPCache
+
+	// Policy scratch, reused across Choose calls by a scheduler that
+	// reuses its context; policies must not let it escape.
+	floats []float64
+	ints   []int
+
+	// maxParts lazily holds the complete set of maximal free
+	// rectangles of Grid (see partition.MaxFreeAll), computed on first
+	// use within one decision and reset by the scheduler between
+	// decisions. A placement disjoint from any member provably keeps
+	// the MFP at MFPBefore, so most probe evaluations reduce to
+	// overlap checks.
+	maxParts      []torus.Partition
+	maxPartsValid bool
 }
+
+// maxRects returns the complete maximal-free-rectangle set for the
+// context's grid, computing it once per decision.
+func (ctx *PlacementContext) maxRects() []torus.Partition {
+	if !ctx.maxPartsValid {
+		ctx.maxParts, _ = ctx.MFP.MaxFreeAll(ctx.Grid, ctx.maxParts)
+		ctx.maxPartsValid = true
+	}
+	return ctx.maxParts
+}
+
+// resetDecision invalidates per-decision lazy state; the scheduler
+// calls it when re-priming the context for a new grid state.
+func (ctx *PlacementContext) resetDecision() { ctx.maxPartsValid = false }
 
 // Policy ranks candidate partitions for a job and picks one.
 // Choose returns the index of the selected candidate, or -1 to decline
@@ -38,12 +78,52 @@ type Policy interface {
 	Choose(ctx *PlacementContext, cands []torus.Partition) (int, error)
 }
 
+// mfpShortcut reports whether the context carries a maximal free
+// partition consistent with MFPBefore, enabling the disjointness
+// shortcut in mfpAfter.
+func (ctx *PlacementContext) mfpShortcut() bool {
+	return ctx.MFPBefore > 0 && ctx.MFPPart.Shape.Size() == ctx.MFPBefore
+}
+
 // mfpAfter returns the MFP size of the grid with p hypothetically
-// allocated. The probe allocation is always rolled back. A failed
-// probe means internal inconsistency (candidates come from a finder
-// over this same grid), reported as an error rather than a panic so
-// one bad sweep point cannot take down its siblings.
-func mfpAfter(gr *torus.Grid, p torus.Partition) (int, error) {
+// allocated. When the context's MFPPart is consistent and p does not
+// overlap it, the answer is MFPBefore with no grid mutation at all —
+// the common case once the machine fragments. Otherwise the probe
+// allocation runs and is always rolled back (the allocate + release
+// pair restores the occupancy hash, which is what lets the MFP cache
+// and the finder caches survive probing). A failed probe means internal
+// inconsistency (candidates come from a finder over this same grid),
+// reported as an error rather than a panic so one bad sweep point
+// cannot take down its siblings.
+func mfpAfter(ctx *PlacementContext, p torus.Partition) (int, error) {
+	gr := ctx.Grid
+	if ctx.mfpShortcut() {
+		g := gr.Geometry()
+		if !g.Overlaps(p, ctx.MFPPart) {
+			return ctx.MFPBefore, nil
+		}
+		// Exact, not heuristic: after == MFPBefore iff p is disjoint
+		// from at least one maximal free rectangle (that rectangle
+		// stays free; conversely a surviving MFP-sized rectangle was
+		// already maximal). Only placements cutting into every maximal
+		// rectangle still need a real evaluation.
+		for _, m := range ctx.maxRects() {
+			if !g.Overlaps(p, m) {
+				return ctx.MFPBefore, nil
+			}
+		}
+	}
+	if ctx.MFP != nil {
+		// The cached path never mutates the grid: validity is checked up
+		// front (the same conditions Allocate enforces) and the MFP of
+		// the hypothetical state comes from the probe overlay, keyed by
+		// the exact hash a real allocation would produce.
+		if !gr.Geometry().ValidPartition(p) || !gr.PartitionFree(p) {
+			return 0, fmt.Errorf("core: probe allocation of %v failed: partition invalid or not free", p)
+		}
+		_, size := ctx.MFP.MaxFreeProbe(gr, p)
+		return size, nil
+	}
 	if err := gr.Allocate(p, probeOwner); err != nil {
 		return 0, fmt.Errorf("core: probe allocation of %v failed: %w", p, err)
 	}
@@ -63,18 +143,25 @@ type Baseline struct{}
 // Name implements Policy.
 func (Baseline) Name() string { return "baseline" }
 
-// Choose implements Policy.
+// Choose implements Policy. The scan stops at the first candidate whose
+// after-MFP equals MFPBefore: the MFP can never grow under an
+// allocation, so no later candidate can beat it, and ties already break
+// to the earliest index — the selection is identical to the full scan.
 func (Baseline) Choose(ctx *PlacementContext, cands []torus.Partition) (int, error) {
+	bound := ctx.mfpShortcut()
 	best := -1
 	bestMFP := -1
 	for i, p := range cands {
-		after, err := mfpAfter(ctx.Grid, p)
+		after, err := mfpAfter(ctx, p)
 		if err != nil {
 			return -1, err
 		}
 		if after > bestMFP {
 			bestMFP = after
 			best = i
+			if bound && after == ctx.MFPBefore {
+				break
+			}
 		}
 	}
 	return best, nil
@@ -87,7 +174,14 @@ type Combiner func([]float64) float64
 // PartitionFailProb evaluates P_f for partition p over the window
 // (now, until] under the given node prober and combiner.
 func PartitionFailProb(g torus.Geometry, prober predict.NodeProber, p torus.Partition, now, until float64, combine Combiner) float64 {
-	probs := make([]float64, 0, p.Size())
+	return partitionFailProbInto(nil, g, prober, p, now, until, combine)
+}
+
+// partitionFailProbInto is PartitionFailProb gathering node
+// probabilities into a caller-owned buffer so repeated evaluations do
+// not allocate. probs only needs capacity; it is truncated first.
+func partitionFailProbInto(probs []float64, g torus.Geometry, prober predict.NodeProber, p torus.Partition, now, until float64, combine Combiner) float64 {
+	probs = probs[:0]
 	g.ForEachNode(p, func(id int) bool {
 		probs = append(probs, prober.NodeFailProb(id, now, until))
 		return true
@@ -119,15 +213,18 @@ func (b *Balancing) Choose(ctx *PlacementContext, cands []torus.Partition) (int,
 	}
 	g := ctx.Grid.Geometry()
 	until := ctx.Now + ctx.Job.Estimate
+	if cap(ctx.floats) < ctx.Job.AllocSize {
+		ctx.floats = make([]float64, 0, ctx.Job.AllocSize)
+	}
 	best := -1
 	bestLoss := 0.0
 	for i, p := range cands {
-		after, err := mfpAfter(ctx.Grid, p)
+		after, err := mfpAfter(ctx, p)
 		if err != nil {
 			return -1, err
 		}
 		lMFP := float64(ctx.MFPBefore - after)
-		pf := PartitionFailProb(g, b.Prober, p, ctx.Now, until, combine)
+		pf := partitionFailProbInto(ctx.floats, g, b.Prober, p, ctx.Now, until, combine)
 		loss := lMFP + pf*float64(ctx.Job.Size)
 		if best == -1 || loss < bestLoss {
 			best = i
@@ -158,9 +255,12 @@ func (tb *TieBreak) Choose(ctx *PlacementContext, cands []torus.Partition) (int,
 	until := ctx.Now + ctx.Job.Estimate
 
 	bestMFP := -1
-	afters := make([]int, len(cands))
+	if cap(ctx.ints) < len(cands) {
+		ctx.ints = make([]int, len(cands))
+	}
+	afters := ctx.ints[:len(cands)]
 	for i, p := range cands {
-		after, err := mfpAfter(ctx.Grid, p)
+		after, err := mfpAfter(ctx, p)
 		if err != nil {
 			return -1, err
 		}

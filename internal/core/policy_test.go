@@ -28,7 +28,7 @@ func ctxFor(gr *torus.Grid, j *job.Job, now float64) *PlacementContext {
 
 func mustMFPAfter(t *testing.T, gr *torus.Grid, p torus.Partition) int {
 	t.Helper()
-	after, err := mfpAfter(gr, p)
+	after, err := mfpAfter(&PlacementContext{Grid: gr}, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -49,7 +49,7 @@ func TestMfpAfterRollsBack(t *testing.T) {
 	gr := torus.NewGrid(g)
 	p := torus.Partition{Base: torus.Coord{}, Shape: torus.Shape{X: 2, Y: 2, Z: 2}}
 	before := gr.FreeCount()
-	after, err := mfpAfter(gr, p)
+	after, err := mfpAfter(&PlacementContext{Grid: gr}, p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -304,7 +304,7 @@ func TestMfpAfterInconsistentGridErrors(t *testing.T) {
 	if err := gr.Allocate(p, 7); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := mfpAfter(gr, p); err == nil {
+	if _, err := mfpAfter(&PlacementContext{Grid: gr}, p); err == nil {
 		t.Fatal("probe of an already-allocated partition succeeded")
 	}
 }

@@ -102,10 +102,39 @@ type Decision struct {
 // every scheduling point it starts the queue head whenever any
 // partition of the job's size is free, placing it according to the
 // configured policy, and then backfills per the configured mode.
+//
+// The scheduler owns every buffer its decision loop needs — candidate
+// lists, the placement context, the EASY reservation's running-set and
+// scratch grid, the returned decision slice — plus a content-addressed
+// MFP cache, so a steady-state Schedule call performs no heap
+// allocations. The reuse is invisible in behaviour: decisions are
+// byte-identical to the allocate-per-call implementation. A Scheduler
+// is consequently not safe for concurrent use (it never was; the
+// simulator's event loop is single-threaded).
 type Scheduler struct {
 	cfg Config
 	met schedMetrics
+
+	mfp      *partition.MFPCache
+	ctx      PlacementContext   // reused placement context
+	cands    []torus.Partition  // candidate buffer for tryStart/tryBackfill
+	resCands []torus.Partition  // candidate buffer for reservation probes
+	started  []Decision         // returned by Schedule; valid until the next call
+	resRun   []Running          // running ∪ fresh starts, for the reservation
+	scratch  *torus.Grid        // reservation scratch (stable identity)
+	sorter   runningByExpFinish // reusable sort.Interface for the drain order
 }
+
+// runningByExpFinish sorts a Running slice by expected finish time.
+// Using sort.Sort on a pointer receiver (instead of sort.Slice, whose
+// reflect-based swapper allocates per call) keeps reservations
+// allocation-free; both entry points run the same pdqsort, so the
+// permutation — including the treatment of equal keys — is unchanged.
+type runningByExpFinish struct{ rs []Running }
+
+func (s *runningByExpFinish) Len() int           { return len(s.rs) }
+func (s *runningByExpFinish) Less(i, j int) bool { return s.rs[i].ExpFinish < s.rs[j].ExpFinish }
+func (s *runningByExpFinish) Swap(i, j int)      { s.rs[i], s.rs[j] = s.rs[j], s.rs[i] }
 
 // NewScheduler validates the configuration and returns a scheduler.
 func NewScheduler(cfg Config) (*Scheduler, error) {
@@ -120,7 +149,43 @@ func NewScheduler(cfg Config) (*Scheduler, error) {
 	default:
 		return nil, fmt.Errorf("core: unknown backfill mode %d", int(cfg.Backfill))
 	}
-	return &Scheduler{cfg: cfg, met: newSchedMetrics(cfg.Telemetry)}, nil
+	return &Scheduler{
+		cfg: cfg,
+		met: newSchedMetrics(cfg.Telemetry),
+		mfp: partition.NewMFPCache(16384),
+	}, nil
+}
+
+// freeOfSize queries the finder into buf when it supports buffered
+// queries, falling back to the allocating interface otherwise. The
+// returned slice must be treated as owned by the caller of freeOfSize
+// either way (buffered finders fill buf; plain finders hand out fresh
+// slices).
+func (s *Scheduler) freeOfSize(gr *torus.Grid, size int, buf *[]torus.Partition) []torus.Partition {
+	if bf, ok := s.cfg.Finder.(partition.BufferedFinder); ok {
+		*buf = bf.FreeOfSizeInto(gr, size, (*buf)[:0])
+		return *buf
+	}
+	return s.cfg.Finder.FreeOfSize(gr, size)
+}
+
+// maxFree is MaxFree through the scheduler's content-addressed cache.
+func (s *Scheduler) maxFree(gr *torus.Grid) (torus.Partition, int) {
+	return s.mfp.MaxFree(gr)
+}
+
+// placementCtx primes the reused placement context for one decision,
+// preserving the policy scratch buffers across calls.
+func (s *Scheduler) placementCtx(gr *torus.Grid, j *job.Job, now float64) *PlacementContext {
+	part, mfp := s.maxFree(gr)
+	s.ctx.Grid = gr
+	s.ctx.Job = j
+	s.ctx.Now = now
+	s.ctx.MFPBefore = mfp
+	s.ctx.MFPPart = part
+	s.ctx.MFP = s.mfp
+	s.ctx.resetDecision()
+	return &s.ctx
 }
 
 // Config returns the scheduler's configuration.
@@ -129,28 +194,30 @@ func (s *Scheduler) Config() Config { return s.cfg }
 // Schedule starts as many queued jobs as the policy and backfill mode
 // allow at time now. It allocates partitions on gr, removes started
 // jobs from q, and returns the start decisions in order. running lists
-// the currently executing jobs (used by EASY reservations).
+// the currently executing jobs (used by EASY reservations). The
+// returned slice is owned by the scheduler and valid until the next
+// Schedule call; callers that keep decisions across calls must copy.
 func (s *Scheduler) Schedule(gr *torus.Grid, q *job.Queue, running []Running, now float64) ([]Decision, error) {
 	sw := s.met.decision.Start()
 	defer sw.Stop()
-	var started []Decision
+	s.started = s.started[:0]
 
 	// Phase 1: strict FCFS from the head.
 	for q.Len() > 0 {
 		head := q.Peek()
 		d, ok, err := s.tryStart(gr, head, now)
 		if err != nil {
-			return started, err
+			return s.started, err
 		}
 		if !ok {
 			break
 		}
 		q.RemoveAt(0)
-		started = append(started, d)
+		s.started = append(s.started, d)
 		s.met.startsFCFS.Inc()
 	}
 	if q.Len() == 0 || s.cfg.Backfill == BackfillNone {
-		return started, nil
+		return s.started, nil
 	}
 
 	// Phase 2: backfill around the blocked head.
@@ -163,50 +230,47 @@ func (s *Scheduler) Schedule(gr *torus.Grid, q *job.Queue, running []Running, no
 			s.met.backfillAttempts.Inc()
 			d, ok, err := s.tryStart(gr, j, now)
 			if err != nil {
-				return started, err
+				return s.started, err
 			}
 			if !ok {
 				i++
 				continue
 			}
 			q.RemoveAt(i)
-			started = append(started, d)
+			s.started = append(s.started, d)
 			s.met.backfillSuccesses.Inc()
 			s.met.startsBackfill.Inc()
 		}
 	case BackfillEASY:
-		res, err := s.reservation(gr, q.Peek(), append(running, runningFrom(started, now)...), now)
+		// The reservation must see the machine as it will be: running
+		// jobs plus this call's fresh starts, gathered into a reused
+		// buffer.
+		s.resRun = append(s.resRun[:0], running...)
+		for _, d := range s.started {
+			s.resRun = append(s.resRun, Running{Job: d.Job, Part: d.Part, Start: now, ExpFinish: now + d.Job.Estimate})
+		}
+		res, err := s.reservation(gr, q.Peek(), s.resRun, now)
 		if err != nil {
-			return started, err
+			return s.started, err
 		}
 		for i := 1; i < q.Len(); {
 			j := q.At(i)
 			s.met.backfillAttempts.Inc()
 			d, ok, err := s.tryBackfill(gr, j, now, res)
 			if err != nil {
-				return started, err
+				return s.started, err
 			}
 			if !ok {
 				i++
 				continue
 			}
 			q.RemoveAt(i)
-			started = append(started, d)
+			s.started = append(s.started, d)
 			s.met.backfillSuccesses.Inc()
 			s.met.startsBackfill.Inc()
 		}
 	}
-	return started, nil
-}
-
-// runningFrom views this call's fresh decisions as running jobs so the
-// EASY reservation accounts for them.
-func runningFrom(ds []Decision, now float64) []Running {
-	rs := make([]Running, len(ds))
-	for i, d := range ds {
-		rs[i] = Running{Job: d.Job, Part: d.Part, Start: now, ExpFinish: now + d.Job.Estimate}
-	}
-	return rs
+	return s.started, nil
 }
 
 // preferPlacement gives a placement-searching finder (partition.Placer,
@@ -228,13 +292,12 @@ func (s *Scheduler) preferPlacement(gr *torus.Grid, cands []torus.Partition) {
 // tryStart attempts to place j now; on success the partition is
 // allocated and the decision returned.
 func (s *Scheduler) tryStart(gr *torus.Grid, j *job.Job, now float64) (Decision, bool, error) {
-	cands := s.cfg.Finder.FreeOfSize(gr, j.AllocSize)
+	cands := s.freeOfSize(gr, j.AllocSize, &s.cands)
 	if len(cands) == 0 {
 		return Decision{}, false, nil
 	}
 	s.preferPlacement(gr, cands)
-	_, mfp := partition.MaxFree(gr)
-	ctx := &PlacementContext{Grid: gr, Job: j, Now: now, MFPBefore: mfp}
+	ctx := s.placementCtx(gr, j, now)
 	idx, err := s.cfg.Policy.Choose(ctx, cands)
 	if err != nil {
 		return Decision{}, false, fmt.Errorf("core: policy %s: %w", s.cfg.Policy.Name(), err)
@@ -266,22 +329,30 @@ type reservationState struct {
 
 // reservation simulates the estimated completions of running jobs on a
 // scratch grid to find the earliest time the head job fits, and the
-// partition it would then occupy.
+// partition it would then occupy. The scratch grid is reused across
+// calls under a stable identity (CopyFrom instead of Clone), so the
+// finder keeps one derived state for it and resynchronises only the
+// columns that changed; running may be sorted in place (callers pass
+// the scheduler's own buffer).
 func (s *Scheduler) reservation(gr *torus.Grid, head *job.Job, running []Running, now float64) (reservationState, error) {
 	s.met.reservations.Inc()
-	scratch := gr.Clone()
-	byFinish := make([]Running, len(running))
-	copy(byFinish, running)
-	sort.Slice(byFinish, func(i, j int) bool { return byFinish[i].ExpFinish < byFinish[j].ExpFinish })
+	if s.scratch == nil || s.scratch.Geometry() != gr.Geometry() {
+		s.scratch = gr.Clone()
+	} else if err := s.scratch.CopyFrom(gr); err != nil {
+		return reservationState{}, fmt.Errorf("core: reservation: %w", err)
+	}
+	scratch := s.scratch
+	s.sorter.rs = running
+	sort.Sort(&s.sorter)
+	s.sorter.rs = nil
 
 	check := func(t float64) (reservationState, bool, error) {
-		cands := s.cfg.Finder.FreeOfSize(scratch, head.AllocSize)
+		cands := s.freeOfSize(scratch, head.AllocSize, &s.resCands)
 		if len(cands) == 0 {
 			return reservationState{}, false, nil
 		}
 		s.preferPlacement(scratch, cands)
-		_, mfp := partition.MaxFree(scratch)
-		ctx := &PlacementContext{Grid: scratch, Job: head, Now: t, MFPBefore: mfp}
+		ctx := s.placementCtx(scratch, head, t)
 		idx, err := s.cfg.Policy.Choose(ctx, cands)
 		if err != nil {
 			return reservationState{}, false, fmt.Errorf("core: reservation policy %s: %w", s.cfg.Policy.Name(), err)
@@ -292,7 +363,7 @@ func (s *Scheduler) reservation(gr *torus.Grid, head *job.Job, running []Running
 		return reservationState{Time: t, Part: cands[idx], ok: true}, true, nil
 	}
 
-	for i, r := range byFinish {
+	for i, r := range running {
 		if err := scratch.Release(r.Part, int64(r.Job.ID)); err != nil {
 			return reservationState{}, fmt.Errorf("core: reservation: %w", err)
 		}
@@ -315,14 +386,17 @@ func (s *Scheduler) reservation(gr *torus.Grid, head *job.Job, running []Running
 // start: either j is estimated to finish before the reservation time,
 // or its partition does not intersect the reserved partition.
 func (s *Scheduler) tryBackfill(gr *torus.Grid, j *job.Job, now float64, res reservationState) (Decision, bool, error) {
-	cands := s.cfg.Finder.FreeOfSize(gr, j.AllocSize)
+	cands := s.freeOfSize(gr, j.AllocSize, &s.cands)
 	if len(cands) == 0 {
 		return Decision{}, false, nil
 	}
 	finishesInTime := now+j.Estimate <= res.Time
 	if !finishesInTime && res.ok {
+		// Filter in place: the candidate buffer is ours (buffered
+		// finder) or a fresh slice (plain finder), and the kept order is
+		// the original order either way.
 		g := gr.Geometry()
-		filtered := cands[:0:0]
+		filtered := cands[:0]
 		for _, p := range cands {
 			if !g.Overlaps(p, res.Part) {
 				filtered = append(filtered, p)
@@ -334,8 +408,7 @@ func (s *Scheduler) tryBackfill(gr *torus.Grid, j *job.Job, now float64, res res
 		}
 	}
 	s.preferPlacement(gr, cands)
-	_, mfp := partition.MaxFree(gr)
-	ctx := &PlacementContext{Grid: gr, Job: j, Now: now, MFPBefore: mfp}
+	ctx := s.placementCtx(gr, j, now)
 	idx, err := s.cfg.Policy.Choose(ctx, cands)
 	if err != nil {
 		return Decision{}, false, fmt.Errorf("core: backfill policy %s: %w", s.cfg.Policy.Name(), err)

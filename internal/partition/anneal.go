@@ -60,6 +60,12 @@ func (f *AnnealFinder) FreeOfSize(gr *torus.Grid, size int) []torus.Partition {
 	return f.inner.FreeOfSize(gr, size)
 }
 
+// FreeOfSizeInto implements BufferedFinder by delegation, so the
+// scheduler's reusable-buffer fast path works under annealing too.
+func (f *AnnealFinder) FreeOfSizeInto(gr *torus.Grid, size int, buf []torus.Partition) []torus.Partition {
+	return f.inner.FreeOfSizeInto(gr, size, buf)
+}
+
 // annealRNG is a splitmix64 stream: deterministic, allocation-free,
 // and pure in its seed, so placements never depend on process state.
 type annealRNG struct{ state uint64 }

@@ -16,7 +16,6 @@ package partition
 
 import (
 	"fmt"
-	"sort"
 	"strings"
 	"sync"
 
@@ -30,6 +29,21 @@ type Finder interface {
 	FreeOfSize(gr *torus.Grid, size int) []torus.Partition
 	// Name identifies the algorithm in benchmarks and reports.
 	Name() string
+}
+
+// BufferedFinder is the optional allocation-free query capability of a
+// Finder: FreeOfSizeInto answers into a caller-owned buffer instead of
+// handing out a fresh slice. The scheduler detects it by type assertion
+// and reuses one candidate buffer across decisions, which is what keeps
+// the simulator's steady-state event loop free of per-event heap
+// allocations. Implementations must return exactly the partitions (and
+// order) FreeOfSize would.
+type BufferedFinder interface {
+	Finder
+	// FreeOfSizeInto appends every free partition of exactly size nodes
+	// to buf[:0] and returns it. The result aliases buf (or its
+	// reallocation) and is valid only until the buffer's next use.
+	FreeOfSizeInto(gr *torus.Grid, size int, buf []torus.Partition) []torus.Partition
 }
 
 // Names lists the selectable finder algorithms in ByName order.
@@ -80,28 +94,71 @@ func baseRange(dim, ext int, wrap bool) int {
 	return dim
 }
 
+// partitionLess is the canonical finder output order: lexicographic by
+// shape then base. Candidates within one finder result are always
+// distinct, so the order is total and algorithm-independent.
+func partitionLess(a, b torus.Partition) bool {
+	if a.Shape != b.Shape {
+		if a.Shape.X != b.Shape.X {
+			return a.Shape.X < b.Shape.X
+		}
+		if a.Shape.Y != b.Shape.Y {
+			return a.Shape.Y < b.Shape.Y
+		}
+		return a.Shape.Z < b.Shape.Z
+	}
+	if a.Base.X != b.Base.X {
+		return a.Base.X < b.Base.X
+	}
+	if a.Base.Y != b.Base.Y {
+		return a.Base.Y < b.Base.Y
+	}
+	return a.Base.Z < b.Base.Z
+}
+
 // sortPartitions orders partitions lexicographically by shape then base,
-// giving every finder the same deterministic output order.
+// giving every finder the same deterministic output order. Elements are
+// distinct, so any comparison sort yields the same result; a hand-rolled
+// heapsort (after an already-sorted fast path — enumeration emits in
+// order) keeps the hot path allocation-free, unlike sort.Slice, whose
+// reflective swapper escapes to the heap on every call.
 func sortPartitions(ps []torus.Partition) {
-	sort.Slice(ps, func(i, j int) bool {
-		a, b := ps[i], ps[j]
-		if a.Shape != b.Shape {
-			if a.Shape.X != b.Shape.X {
-				return a.Shape.X < b.Shape.X
-			}
-			if a.Shape.Y != b.Shape.Y {
-				return a.Shape.Y < b.Shape.Y
-			}
-			return a.Shape.Z < b.Shape.Z
+	sorted := true
+	for i := 1; i < len(ps); i++ {
+		if partitionLess(ps[i], ps[i-1]) {
+			sorted = false
+			break
 		}
-		if a.Base.X != b.Base.X {
-			return a.Base.X < b.Base.X
+	}
+	if sorted {
+		return
+	}
+	n := len(ps)
+	for i := n/2 - 1; i >= 0; i-- {
+		siftPartitions(ps, i, n)
+	}
+	for i := n - 1; i > 0; i-- {
+		ps[0], ps[i] = ps[i], ps[0]
+		siftPartitions(ps, 0, i)
+	}
+}
+
+// siftPartitions restores the max-heap property for root i over ps[:n].
+func siftPartitions(ps []torus.Partition, i, n int) {
+	for {
+		c := 2*i + 1
+		if c >= n {
+			return
 		}
-		if a.Base.Y != b.Base.Y {
-			return a.Base.Y < b.Base.Y
+		if c+1 < n && partitionLess(ps[c], ps[c+1]) {
+			c++
 		}
-		return a.Base.Z < b.Base.Z
-	})
+		if !partitionLess(ps[i], ps[c]) {
+			return
+		}
+		ps[i], ps[c] = ps[c], ps[i]
+		i = c
+	}
 }
 
 // computeRunsInto fills runs[i] with the length of the maximal run of
@@ -137,14 +194,53 @@ func computeRunsInto(val func(int) bool, n int, wrap bool, runs []int) {
 	}
 }
 
+// computeRunsBool is computeRunsInto specialised to a bool slice: the
+// MFP sweeps call it in their innermost loops, where the generic
+// version's indirect predicate call per element is measurable.
+func computeRunsBool(vals []bool, wrap bool, runs []int) {
+	n := len(vals)
+	allTrue := true
+	for i := n - 1; i >= 0; i-- {
+		if !vals[i] {
+			runs[i] = 0
+			allTrue = false
+		} else if i == n-1 {
+			runs[i] = 1
+		} else {
+			runs[i] = runs[i+1] + 1
+		}
+	}
+	if allTrue {
+		for i := 0; i < n; i++ {
+			runs[i] = n
+		}
+		return
+	}
+	if wrap && n > 1 && vals[n-1] && vals[0] {
+		head := runs[0]
+		for i := n - 1; i >= 0 && vals[i]; i-- {
+			runs[i] += head
+			if runs[i] > n {
+				runs[i] = n
+			}
+		}
+	}
+}
+
 // mfpScratch holds reusable buffers for MaxFree; pooled to keep the
-// hot placement-evaluation path allocation-free.
+// hot placement-evaluation path allocation-free. blocked is the probe
+// overlay: nodes marked true are treated as busy regardless of the
+// grid, letting MaxFreeProbe evaluate hypothetical placements without
+// mutating grid state. It is all-false except inside maxFreeProbeWith,
+// which clears its marks before returning.
 type mfpScratch struct {
-	zRuns []int  // per-node z run lengths
-	colOK []bool // dimX*dimY projected plane
-	yRun  []int  // dimX*dimY y-run lengths on the plane
-	rowOK []bool // dimX row flags
-	xRun  []int  // dimX x-run lengths
+	zRuns   []int  // per-node z run lengths
+	freeOK  []bool // per-node free-and-not-blocked flags
+	colOK   []bool // dimX*dimY projected plane
+	yRun    []int  // dimX*dimY y-run lengths on the plane
+	rowOK   []bool // dimX row flags
+	xRun    []int  // dimX x-run lengths
+	blocked []bool // probe overlay, len N, normally all-false
 }
 
 var scratchPool = sync.Pool{New: func() any { return new(mfpScratch) }}
@@ -156,6 +252,14 @@ func (s *mfpScratch) ensure(g torus.Geometry) {
 		s.zRuns = make([]int, n)
 	}
 	s.zRuns = s.zRuns[:n]
+	if cap(s.blocked) < n {
+		s.blocked = make([]bool, n)
+	}
+	s.blocked = s.blocked[:n]
+	if cap(s.freeOK) < n {
+		s.freeOK = make([]bool, n)
+	}
+	s.freeOK = s.freeOK[:n]
 	if cap(s.colOK) < plane {
 		s.colOK = make([]bool, plane)
 		s.yRun = make([]int, plane)
@@ -174,12 +278,14 @@ func (s *mfpScratch) ensure(g torus.Geometry) {
 func (s *mfpScratch) fillZRuns(gr *torus.Grid) {
 	g := gr.Geometry()
 	dims := g.Dims
-	for x := 0; x < dims.X; x++ {
-		for y := 0; y < dims.Y; y++ {
-			col := (x*dims.Y + y) * dims.Z
-			computeRunsInto(func(z int) bool { return gr.NodeFree(col + z) },
-				dims.Z, g.Wrap, s.zRuns[col:col+dims.Z])
-		}
+	n := g.N()
+	for i := 0; i < n; i++ {
+		s.freeOK[i] = gr.NodeFree(i) && !s.blocked[i]
+	}
+	cols := dims.X * dims.Y
+	for c := 0; c < cols; c++ {
+		col := c * dims.Z
+		computeRunsBool(s.freeOK[col:col+dims.Z], g.Wrap, s.zRuns[col:col+dims.Z])
 	}
 }
 
@@ -193,10 +299,17 @@ func (s *mfpScratch) fillZRuns(gr *torus.Grid) {
 // pooled scratch buffers so repeated hypothetical-placement evaluations
 // do not allocate.
 func MaxFree(gr *torus.Grid) (torus.Partition, int) {
-	g := gr.Geometry()
-	dims := g.Dims
 	sc := scratchPool.Get().(*mfpScratch)
 	defer scratchPool.Put(sc)
+	return maxFreeWith(sc, gr)
+}
+
+// maxFreeWith is MaxFree on an explicit scratch, for callers (the
+// MFPCache) that own their buffers and must never touch the shared
+// pool on the hot path.
+func maxFreeWith(sc *mfpScratch, gr *torus.Grid) (torus.Partition, int) {
+	g := gr.Geometry()
+	dims := g.Dims
 	sc.ensure(g)
 	sc.fillZRuns(gr)
 
@@ -248,6 +361,111 @@ func MaxFree(gr *torus.Grid) (torus.Partition, int) {
 	return bestPart, best
 }
 
+// MaxFreeAll appends to buf[:0] every maximal free rectangle: each
+// free, contiguous, rectangular partition whose node count equals the
+// MFP size (canonicalised like the finders' output), and returns the
+// list with that size. The complete set is what makes the placement
+// policies' no-probe shortcut exact: a hypothetical placement keeps
+// the MFP size unchanged if and only if it is disjoint from at least
+// one of these rectangles — "if" because that rectangle stays free,
+// "only if" because any free rectangle of MFP size after the placement
+// was already a maximal free rectangle before it.
+func MaxFreeAll(gr *torus.Grid, buf []torus.Partition) ([]torus.Partition, int) {
+	sc := scratchPool.Get().(*mfpScratch)
+	defer scratchPool.Put(sc)
+	return maxFreeAllWith(sc, gr, buf)
+}
+
+// maxFreeAllWith is the collecting variant of maxFreeWith: same sweep,
+// but pruning only on strictly-worse bounds so ties survive, and every
+// rectangle matching the best volume is emitted. Completeness holds
+// because a maximal rectangle is maximal in every dimension — the
+// sweep's run lengths recover exactly its extents at its own window —
+// and buf is reset whenever the best volume grows, so stale smaller
+// entries never linger.
+func maxFreeAllWith(sc *mfpScratch, gr *torus.Grid, buf []torus.Partition) ([]torus.Partition, int) {
+	g := gr.Geometry()
+	dims := g.Dims
+	sc.ensure(g)
+	sc.fillZRuns(gr)
+
+	best := 0
+	buf = buf[:0]
+	plane := dims.X * dims.Y
+	dx, dy := dims.X, dims.Y
+
+	for bz := 0; bz < dims.Z; bz++ {
+		for sz := dims.Z; sz >= 1; sz-- {
+			if plane*sz < best {
+				break
+			}
+			if g.Wrap && sz == dims.Z && bz != 0 {
+				continue
+			}
+			if !g.Wrap && bz+sz > dims.Z {
+				continue
+			}
+			usable := 0
+			for x := 0; x < dx; x++ {
+				row := x * dy
+				zrow := row * dims.Z
+				for y := 0; y < dy; y++ {
+					ok := sc.zRuns[zrow+y*dims.Z+bz] >= sz
+					sc.colOK[row+y] = ok
+					if ok {
+						usable++
+					}
+				}
+			}
+			if usable*sz < best || usable == 0 {
+				continue
+			}
+			for x := 0; x < dx; x++ {
+				row := x * dy
+				computeRunsBool(sc.colOK[row:row+dy], g.Wrap, sc.yRun[row:row+dy])
+			}
+			for by0 := 0; by0 < dy; by0++ {
+				for sy0 := dy; sy0 >= 1; sy0-- {
+					if dx*sy0*sz < best {
+						break
+					}
+					if g.Wrap && sy0 == dy && by0 != 0 {
+						continue
+					}
+					if !g.Wrap && by0+sy0 > dy {
+						continue
+					}
+					for x := 0; x < dx; x++ {
+						sc.rowOK[x] = sc.yRun[x*dy+by0] >= sy0
+					}
+					computeRunsBool(sc.rowOK[:dx], g.Wrap, sc.xRun)
+					for x := 0; x < dx; x++ {
+						r := sc.xRun[x]
+						if r == 0 {
+							continue
+						}
+						if g.Wrap && r == dx && x != 0 {
+							continue
+						}
+						a := r * sy0 * sz
+						if a > best {
+							best = a
+							buf = buf[:0]
+						}
+						if a == best {
+							buf = append(buf, torus.Partition{
+								Base:  torus.Coord{X: x, Y: by0, Z: bz},
+								Shape: torus.Shape{X: r, Y: sy0, Z: sz},
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return buf, best
+}
+
 // MaxFreeSize returns just the size of the maximal free partition.
 func MaxFreeSize(gr *torus.Grid) int {
 	_, s := MaxFree(gr)
@@ -260,7 +478,7 @@ func MaxFreeSize(gr *torus.Grid) int {
 func (s *mfpScratch) maxRect2D(dx, dy int, wrap bool) (area, bx, by, sx, sy int) {
 	for x := 0; x < dx; x++ {
 		row := x * dy
-		computeRunsInto(func(y int) bool { return s.colOK[row+y] }, dy, wrap, s.yRun[row:row+dy])
+		computeRunsBool(s.colOK[row:row+dy], wrap, s.yRun[row:row+dy])
 	}
 	for by0 := 0; by0 < dy; by0++ {
 		for sy0 := dy; sy0 >= 1; sy0-- {
@@ -276,7 +494,7 @@ func (s *mfpScratch) maxRect2D(dx, dy int, wrap bool) (area, bx, by, sx, sy int)
 			for x := 0; x < dx; x++ {
 				s.rowOK[x] = s.yRun[x*dy+by0] >= sy0
 			}
-			computeRunsInto(func(x int) bool { return s.rowOK[x] }, dx, wrap, s.xRun)
+			computeRunsBool(s.rowOK[:dx], wrap, s.xRun)
 			for x := 0; x < dx; x++ {
 				r := s.xRun[x]
 				if wrap && r == dx && x != 0 {

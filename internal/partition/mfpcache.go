@@ -1,0 +1,129 @@
+package partition
+
+import "bgsched/internal/torus"
+
+// MFPCache memoizes MaxFree results content-addressed by the grid's
+// occupancy hash. The maximal free partition is a pure function of the
+// geometry and the free/busy pattern, and the grid maintains a Zobrist
+// hash of that pattern incrementally — so a state *recurrence* (most
+// importantly the allocate/release probe pair placement policies issue
+// per candidate, and repeated decisions against an unchanged machine)
+// becomes an O(1) lookup instead of a full plane sweep.
+//
+// The cache is direct-mapped: each (geometry, hash) key owns one slot
+// chosen by mixing the hash, and a colliding insert simply overwrites.
+// That keeps lookups, inserts and evictions allocation-free, which the
+// simulator's zero-alloc steady-state guarantee depends on; hash
+// quality makes slot conflicts rare in practice. Entries are values
+// (torus.Partition has no pointers), so callers can never corrupt the
+// cache through a result.
+//
+// MFPCache is not safe for concurrent use; the scheduler hot path it
+// serves is single-threaded. The zero value is not usable — use
+// NewMFPCache.
+type MFPCache struct {
+	slots   []mfpSlot
+	mask    uint64
+	scratch mfpScratch
+	hits    uint64
+	misses  uint64
+}
+
+type mfpSlot struct {
+	geom torus.Geometry
+	hash uint64
+	part torus.Partition
+	size int
+	used bool
+}
+
+// NewMFPCache returns a cache with at least the given number of slots
+// (rounded up to a power of two; minimum 16).
+func NewMFPCache(slots int) *MFPCache {
+	n := 16
+	for n < slots {
+		n <<= 1
+	}
+	return &MFPCache{slots: make([]mfpSlot, n), mask: uint64(n - 1)}
+}
+
+// MaxFree returns MaxFree(gr), served from the cache when the grid's
+// occupancy pattern (and geometry) was seen before. A nil cache
+// degrades to the uncached computation.
+func (c *MFPCache) MaxFree(gr *torus.Grid) (torus.Partition, int) {
+	if c == nil {
+		return MaxFree(gr)
+	}
+	h := gr.OccupancyHash()
+	geom := gr.Geometry()
+	// The occupancy hash is already well-mixed (splitmix64 node keys),
+	// but XOR-fold the high bits in so low-bit-sparse patterns cannot
+	// cluster onto few slots.
+	s := &c.slots[(h^(h>>32))&c.mask]
+	if s.used && s.hash == h && s.geom == geom {
+		c.hits++
+		return s.part, s.size
+	}
+	c.misses++
+	part, size := maxFreeWith(&c.scratch, gr)
+	*s = mfpSlot{geom: geom, hash: h, part: part, size: size, used: true}
+	return part, size
+}
+
+// MaxFreeProbe returns MaxFree of the grid as it would be with p
+// additionally allocated, without mutating the grid: the probe hash is
+// the occupancy hash XOR p's key delta (exactly what a real allocation
+// would produce, so entries are shared with MaxFree lookups of the
+// post-allocation state), and a miss recomputes against a blocked-node
+// overlay instead of an allocate/release round trip — no Zobrist
+// maintenance, no watcher notifications, no owner bookkeeping.
+// The caller is responsible for p being free and valid.
+func (c *MFPCache) MaxFreeProbe(gr *torus.Grid, p torus.Partition) (torus.Partition, int) {
+	if c == nil {
+		sc := scratchPool.Get().(*mfpScratch)
+		defer scratchPool.Put(sc)
+		return maxFreeProbeWith(sc, gr, p)
+	}
+	h := gr.OccupancyHash() ^ gr.PartitionHashDelta(p)
+	geom := gr.Geometry()
+	s := &c.slots[(h^(h>>32))&c.mask]
+	if s.used && s.hash == h && s.geom == geom {
+		c.hits++
+		return s.part, s.size
+	}
+	c.misses++
+	part, size := maxFreeProbeWith(&c.scratch, gr, p)
+	*s = mfpSlot{geom: geom, hash: h, part: part, size: size, used: true}
+	return part, size
+}
+
+// MaxFreeAll is the package-level MaxFreeAll on the cache's own
+// scratch, keeping the per-decision maximal-rectangle enumeration off
+// the shared pool. Results are not memoized in the slot table — the
+// caller caches the list for the decision it serves. A nil cache
+// degrades to the pooled computation.
+func (c *MFPCache) MaxFreeAll(gr *torus.Grid, buf []torus.Partition) ([]torus.Partition, int) {
+	if c == nil {
+		return MaxFreeAll(gr, buf)
+	}
+	return maxFreeAllWith(&c.scratch, gr, buf)
+}
+
+// maxFreeProbeWith is maxFreeWith with the nodes of p treated as busy,
+// via the scratch's blocked overlay (marked before, cleared after).
+func maxFreeProbeWith(sc *mfpScratch, gr *torus.Grid, p torus.Partition) (torus.Partition, int) {
+	g := gr.Geometry()
+	sc.ensure(g)
+	g.ForEachNode(p, func(id int) bool { sc.blocked[id] = true; return true })
+	part, size := maxFreeWith(sc, gr)
+	g.ForEachNode(p, func(id int) bool { sc.blocked[id] = false; return true })
+	return part, size
+}
+
+// Stats reports cache hits and misses since construction.
+func (c *MFPCache) Stats() (hits, misses uint64) {
+	if c == nil {
+		return 0, 0
+	}
+	return c.hits, c.misses
+}

@@ -221,7 +221,10 @@ func (s *Server) finish(r *run, attempts int, payload any, err error) {
 	if r.traces != nil {
 		r.traces.close()
 	}
-	close(r.done)
+	// Journal before releasing waiters: a client that observed the run
+	// complete (wait=1) must also observe the journal's health state —
+	// otherwise a /readyz probe issued right after a successful waited
+	// run can race ahead of the failure-streak reset below.
 	if persist && s.journal != nil {
 		lines, _ := r.events.counts()
 		events := make([]string, 0, lines)
@@ -241,6 +244,7 @@ func (s *Server) finish(r *run, attempts int, payload any, err error) {
 			s.journalFails.Store(0)
 		}
 	}
+	close(r.done)
 }
 
 // sealLocked renders the terminal record body and removes the run from

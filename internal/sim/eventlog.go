@@ -5,6 +5,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
+	"strconv"
+	"unicode/utf8"
 
 	"bgsched/internal/job"
 	"bgsched/internal/torus"
@@ -36,8 +39,16 @@ type LoggedEvent struct {
 
 // eventLogger serialises simulation events to a writer. A nil logger
 // discards everything, so call sites need no guards.
+//
+// Events are formatted by hand into a reused buffer instead of going
+// through json.Encoder: the reflective marshal costs several heap
+// allocations per event, which dominates the simulator's hot loop when
+// a log is attached. The hand encoder is pinned byte-identical to
+// encoding/json by TestEventLogEncodingMatchesStdlib, so downstream
+// consumers (and the golden digests) cannot tell the difference.
 type eventLogger struct {
-	enc *json.Encoder
+	w   io.Writer
+	buf []byte // one encoded line, reused across events
 	seq uint64
 	err error
 }
@@ -46,18 +57,135 @@ func newEventLogger(w io.Writer) *eventLogger {
 	if w == nil {
 		return nil
 	}
-	return &eventLogger{enc: json.NewEncoder(w)}
+	return &eventLogger{w: w}
 }
 
 // log stamps the next sequence number on the event and writes it,
 // remembering the first encoding error.
-func (l *eventLogger) log(e LoggedEvent) {
+func (l *eventLogger) log(e LoggedEvent, part *torus.Partition) {
 	if l == nil || l.err != nil {
 		return
 	}
 	l.seq++
 	e.Seq = l.seq
-	l.err = l.enc.Encode(e)
+	l.buf = appendLoggedEvent(l.buf[:0], &e, part)
+	_, l.err = l.w.Write(l.buf)
+}
+
+// appendLoggedEvent encodes e exactly as json.Encoder would — same
+// field order, same omitempty behaviour, same number and string
+// formats, trailing newline — appending to b. A non-nil part is
+// formatted in place of e.Part, saving the String() allocation;
+// partition strings are digits, parens, commas, '+' and 'x', none of
+// which encoding/json escapes, so raw emission inside quotes is
+// byte-identical to quoting the equivalent Go string.
+func appendLoggedEvent(b []byte, e *LoggedEvent, part *torus.Partition) []byte {
+	b = append(b, `{"seq":`...)
+	b = strconv.AppendUint(b, e.Seq, 10)
+	b = append(b, `,"t":`...)
+	b = appendJSONFloat(b, e.Time)
+	b = append(b, `,"kind":`...)
+	b = appendJSONString(b, e.Kind)
+	if e.Job != 0 {
+		b = append(b, `,"job":`...)
+		b = strconv.AppendInt(b, e.Job, 10)
+	}
+	if e.Node != 0 {
+		b = append(b, `,"node":`...)
+		b = strconv.AppendInt(b, int64(e.Node), 10)
+	}
+	if part != nil {
+		b = append(b, `,"part":"`...)
+		b = appendPartition(b, *part)
+		b = append(b, '"')
+	} else if e.Part != "" {
+		b = append(b, `,"part":`...)
+		b = appendJSONString(b, e.Part)
+	}
+	b = append(b, `,"free":`...)
+	b = strconv.AppendInt(b, int64(e.Free), 10)
+	b = append(b, `,"queue":`...)
+	b = strconv.AppendInt(b, int64(e.Queue), 10)
+	return append(b, '}', '\n')
+}
+
+// appendJSONFloat matches encoding/json's float64 formatting: shortest
+// representation, 'f' form except for very small or very large
+// magnitudes, with the exponent's leading zero trimmed ("1e-07" →
+// "1e-7"). Simulation clocks are always finite, so the NaN/Inf error
+// path json.Encoder has is unreachable here.
+func appendJSONFloat(b []byte, f float64) []byte {
+	abs := math.Abs(f)
+	format := byte('f')
+	if abs != 0 && (abs < 1e-6 || abs >= 1e21) {
+		format = 'e'
+	}
+	b = strconv.AppendFloat(b, f, format, -1, 64)
+	if format == 'e' {
+		if n := len(b); n >= 4 && b[n-4] == 'e' && b[n-3] == '-' && b[n-2] == '0' {
+			b[n-2] = b[n-1]
+			b = b[:n-1]
+		}
+	}
+	return b
+}
+
+const jsonHex = "0123456789abcdef"
+
+// appendJSONString quotes s the way json.Encoder does with its default
+// HTML escaping: control characters, quotes, backslashes and <, >, &
+// are escaped; invalid UTF-8 becomes U+FFFD; U+2028/U+2029 are escaped
+// for JS embedding. Event kinds and partition strings are plain ASCII,
+// so the fast path is a straight copy.
+func appendJSONString(b []byte, s string) []byte {
+	b = append(b, '"')
+	start := 0
+	for i := 0; i < len(s); {
+		if c := s[i]; c < utf8.RuneSelf {
+			if c >= 0x20 && c != '"' && c != '\\' && c != '<' && c != '>' && c != '&' {
+				i++
+				continue
+			}
+			b = append(b, s[start:i]...)
+			switch c {
+			case '"', '\\':
+				b = append(b, '\\', c)
+			case '\b':
+				b = append(b, '\\', 'b')
+			case '\f':
+				b = append(b, '\\', 'f')
+			case '\n':
+				b = append(b, '\\', 'n')
+			case '\r':
+				b = append(b, '\\', 'r')
+			case '\t':
+				b = append(b, '\\', 't')
+			default:
+				b = append(b, '\\', 'u', '0', '0', jsonHex[c>>4], jsonHex[c&0xF])
+			}
+			i++
+			start = i
+			continue
+		}
+		c, size := utf8.DecodeRuneInString(s[i:])
+		if c == utf8.RuneError && size == 1 {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', 'f', 'f', 'f', 'd')
+			i += size
+			start = i
+			continue
+		}
+		if c == '\u2028' || c == '\u2029' {
+			b = append(b, s[start:i]...)
+			b = append(b, '\\', 'u', '2', '0', '2', jsonHex[c&0xF])
+			i += size
+			start = i
+			continue
+		}
+		i += size
+	}
+	b = append(b, s[start:]...)
+	return append(b, '"')
 }
 
 // flushErr surfaces any write error at the end of the run.
@@ -82,10 +210,25 @@ func (s *Simulator) logEvent(kind string, id job.ID, node int, part *torus.Parti
 		Free:  s.grid.FreeCount(),
 		Queue: s.queue.Len(),
 	}
-	if part != nil {
-		e.Part = part.String()
-	}
-	s.elog.log(e)
+	s.elog.log(e, part)
+}
+
+// appendPartition formats p as Partition.String does —
+// "(x,y,z)+XxYxZ" — without the fmt round trip.
+func appendPartition(b []byte, p torus.Partition) []byte {
+	b = append(b, '(')
+	b = strconv.AppendInt(b, int64(p.Base.X), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(p.Base.Y), 10)
+	b = append(b, ',')
+	b = strconv.AppendInt(b, int64(p.Base.Z), 10)
+	b = append(b, ')', '+')
+	b = strconv.AppendInt(b, int64(p.Shape.X), 10)
+	b = append(b, 'x')
+	b = strconv.AppendInt(b, int64(p.Shape.Y), 10)
+	b = append(b, 'x')
+	b = strconv.AppendInt(b, int64(p.Shape.Z), 10)
+	return b
 }
 
 // EventStreamWriter adapts a per-line sink into the io.Writer

@@ -2,6 +2,8 @@ package sim
 
 import (
 	"bytes"
+	"encoding/json"
+	"io"
 	"strings"
 	"testing"
 
@@ -167,5 +169,67 @@ func TestEventLogWriteErrorSurfaces(t *testing.T) {
 	}
 	if _, err := s.Run(); err == nil {
 		t.Fatal("write error swallowed")
+	}
+}
+
+// TestEventLogEncodingMatchesStdlib pins the hand-rolled event encoder
+// byte-for-byte to encoding/json across the full field matrix —
+// omitempty combinations, float edge cases (shortest form, exponent
+// notation at both magnitude extremes, exponent zero-trimming) and
+// string escaping (quotes, backslashes, control characters, HTML
+// characters, invalid UTF-8, U+2028/U+2029). If the stdlib's output
+// ever shifts, this fails loudly rather than silently forking the log
+// format.
+func TestEventLogEncodingMatchesStdlib(t *testing.T) {
+	part := torus.Partition{
+		Base:  torus.Coord{X: 3, Y: 0, Z: 12},
+		Shape: torus.Shape{X: 4, Y: 8, Z: 16},
+	}
+	cases := []struct {
+		e    LoggedEvent
+		part *torus.Partition
+	}{
+		{e: LoggedEvent{Seq: 1, Time: 0, Kind: "arrival"}},
+		{e: LoggedEvent{Seq: 2, Time: 12345.678, Kind: "start", Job: 7}, part: &part},
+		{e: LoggedEvent{Seq: 3, Time: 1e21, Kind: "failure", Node: 511, Free: 0, Queue: 3}},
+		{e: LoggedEvent{Seq: 4, Time: 1e-7, Kind: "finish", Job: 42, Free: 128}},
+		{e: LoggedEvent{Seq: 5, Time: 0.1, Kind: "kill", Job: -1, Node: -2, Part: "(0,0,0)+1x1x1"}},
+		{e: LoggedEvent{Seq: 6, Time: 2.5e-7, Kind: `we"ird\kind`}},
+		{e: LoggedEvent{Seq: 7, Time: 1e300, Kind: "a<b>&c"}},
+		{e: LoggedEvent{Seq: 8, Time: 0.30000000000000004, Kind: "ctl\b\f\n\r\t\x01"}},
+		{e: LoggedEvent{Seq: 9, Time: -1e-9, Kind: "bad\xffutf8"}},
+		{e: LoggedEvent{Seq: 10, Time: -42, Kind: "js\u2028\u2029sep"}},
+		{e: LoggedEvent{Seq: 11, Time: 9.999999e20, Kind: "uni\u00e9\u4e16"}},
+		{e: LoggedEvent{Seq: 12, Time: 1.000001e21, Kind: ""}},
+	}
+	for _, tc := range cases {
+		e := tc.e
+		if tc.part != nil {
+			e.Part = tc.part.String()
+		}
+		var want bytes.Buffer
+		if err := json.NewEncoder(&want).Encode(e); err != nil {
+			t.Fatal(err)
+		}
+		got := appendLoggedEvent(nil, &tc.e, tc.part)
+		if string(got) != want.String() {
+			t.Errorf("encoding mismatch for %+v:\n got %q\nwant %q", tc.e, got, want.String())
+		}
+	}
+}
+
+// TestEventLoggerReusesBuffer: steady-state logging through a warm
+// eventLogger performs no per-event heap allocations beyond the
+// writer's own.
+func TestEventLoggerReusesBuffer(t *testing.T) {
+	l := newEventLogger(io.Discard)
+	part := torus.Partition{Shape: torus.Shape{X: 2, Y: 2, Z: 2}}
+	e := LoggedEvent{Time: 1234.5, Kind: "start", Job: 9, Free: 120, Queue: 2}
+	l.log(e, &part) // warm the buffer
+	allocs := testing.AllocsPerRun(100, func() {
+		l.log(e, &part)
+	})
+	if allocs != 0 {
+		t.Fatalf("eventLogger.log allocates %v per event, want 0", allocs)
 	}
 }

@@ -1,8 +1,6 @@
 package sim
 
 import (
-	"container/heap"
-
 	"bgsched/internal/job"
 )
 
@@ -54,7 +52,13 @@ type event struct {
 	node  int
 }
 
-// eventQueue is a deterministic min-heap over (time, seq).
+// eventQueue is a deterministic min-heap over (time, seq), sifted
+// directly on the event slice. container/heap's any-typed Push/Pop
+// would box every record on and off the calendar — two heap
+// allocations per event — so the kernel keeps its own sift routines.
+// (time, seq) is a total order because seq is unique, so the pop
+// sequence is independent of the heap's internal layout; any valid
+// heap arrangement yields byte-identical simulations.
 type eventQueue struct {
 	events  []event
 	nextSeq int64
@@ -62,34 +66,69 @@ type eventQueue struct {
 
 func (q *eventQueue) Len() int { return len(q.events) }
 
-func (q *eventQueue) Less(i, j int) bool {
-	a, b := q.events[i], q.events[j]
+func (q *eventQueue) less(i, j int) bool {
+	a, b := &q.events[i], &q.events[j]
 	if a.time != b.time {
 		return a.time < b.time
 	}
 	return a.seq < b.seq
 }
 
-func (q *eventQueue) Swap(i, j int) { q.events[i], q.events[j] = q.events[j], q.events[i] }
-
-func (q *eventQueue) Push(x any) { q.events = append(q.events, x.(event)) }
-
-func (q *eventQueue) Pop() any {
-	old := q.events
-	n := len(old)
-	e := old[n-1]
-	q.events = old[:n-1]
-	return e
-}
-
 // push enqueues an event, stamping its sequence number.
 func (q *eventQueue) push(e event) {
 	e.seq = q.nextSeq
 	q.nextSeq++
-	heap.Push(q, e)
+	q.events = append(q.events, e)
+	q.siftUp(len(q.events) - 1)
 }
 
 // pop removes and returns the earliest event.
 func (q *eventQueue) pop() event {
-	return heap.Pop(q).(event)
+	top := q.events[0]
+	n := len(q.events) - 1
+	q.events[0] = q.events[n]
+	q.events = q.events[:n]
+	if n > 0 {
+		q.siftDown(0, n)
+	}
+	return top
+}
+
+// init restores the heap invariant over the whole slice; snapshot
+// restore loads the calendar as a sorted array, which is already a
+// valid min-heap, but establishing the invariant explicitly keeps
+// restore independent of that detail.
+func (q *eventQueue) init() {
+	n := len(q.events)
+	for i := n/2 - 1; i >= 0; i-- {
+		q.siftDown(i, n)
+	}
+}
+
+func (q *eventQueue) siftUp(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.events[i], q.events[parent] = q.events[parent], q.events[i]
+		i = parent
+	}
+}
+
+func (q *eventQueue) siftDown(i, n int) {
+	for {
+		c := 2*i + 1
+		if c >= n {
+			return
+		}
+		if c+1 < n && q.less(c+1, c) {
+			c++
+		}
+		if !q.less(c, i) {
+			return
+		}
+		q.events[i], q.events[c] = q.events[c], q.events[i]
+		i = c
+	}
 }

@@ -256,6 +256,15 @@ type Simulator struct {
 	nFinishes int
 	nKills    int
 
+	// Steady-state reuse: runFree recycles runState records between
+	// runs (a finish or kill returns the record after its last read),
+	// and runIDs/runBuf back the scheduler's running-list snapshot.
+	// Together with the scheduler's own buffers this keeps the event
+	// loop free of per-event heap allocations.
+	runFree []*runState
+	runIDs  []job.ID
+	runBuf  []core.Running
+
 	// lastFinishSeq is the trace sequence of the most recent finish
 	// record — the cause of any migration moves it triggers.
 	lastFinishSeq uint64
@@ -429,6 +438,12 @@ func (s *Simulator) RunToEvent(ctx context.Context, upTo int64) (bool, error) {
 	defer trace.UnregisterFlight(s.cfg.Flight)
 	span := s.cfg.Trace.Begin("sim", "run")
 	defer span.End()
+	// The per-event counter accumulates locally and publishes once per
+	// RunToEvent call: a batched add on exit instead of an atomic op
+	// per dispatched event. Readers of sim.events see the total when
+	// the call returns (Finalize always follows the last one).
+	ev := telemetry.NewBatch(s.met.events)
+	defer ev.Flush()
 	if !s.started {
 		s.started = true
 		if err := s.observe(); err != nil {
@@ -448,7 +463,7 @@ func (s *Simulator) RunToEvent(ctx context.Context, upTo int64) (bool, error) {
 			return false, fmt.Errorf("sim: deadlock at t=%g: %d jobs unfinished, no events pending",
 				s.k.now, s.pending)
 		}
-		s.met.events.Inc()
+		ev.Inc()
 		err := s.k.step()
 		if err == nil && s.cfg.CheckInvariants {
 			err = s.verifyInvariants()
@@ -505,8 +520,10 @@ func (s *Simulator) handleArrival(e event) error {
 	s.queue.Push(j)
 	s.met.arrivals.Inc()
 	s.logEvent("arrival", j.ID, 0, nil)
-	s.progress[j.ID].lastSeq = s.traceJob("submit", j.ID, 0,
-		trace.Fint("size", int64(j.Size)))
+	if s.cfg.Trace != nil { // guard: the variadic fields allocate
+		s.progress[j.ID].lastSeq = s.traceJob("submit", j.ID, 0,
+			trace.Fint("size", int64(j.Size)))
+	}
 	if err := s.schedule(); err != nil {
 		return err
 	}
@@ -551,6 +568,7 @@ func (s *Simulator) handleFinish(e event) error {
 		LostWork:   p.lostWork,
 	})
 	s.pending--
+	s.runFree = append(s.runFree, r) // last read of r above
 
 	for _, h := range s.finishHooks {
 		if err := h.afterFinish(); err != nil {
@@ -604,7 +622,14 @@ func (s *Simulator) start(d core.Decision) {
 	}
 	epoch := p.nextEpoch
 	p.nextEpoch++
-	r := &runState{
+	var r *runState
+	if n := len(s.runFree); n > 0 {
+		r = s.runFree[n-1]
+		s.runFree = s.runFree[:n-1]
+	} else {
+		r = new(runState)
+	}
+	*r = runState{
 		job:                d.Job,
 		part:               d.Part,
 		start:              s.k.now,
@@ -638,15 +663,24 @@ func (s *Simulator) start(d core.Decision) {
 // runningList snapshots the running jobs for the scheduler, in
 // deterministic job-id order.
 func (s *Simulator) runningList() []core.Running {
-	ids := make([]job.ID, 0, len(s.running))
+	ids := s.runIDs[:0]
 	for id := range s.running {
 		ids = append(ids, id)
 	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
-	out := make([]core.Running, 0, len(ids))
+	// Insertion sort: ids are unique, so the order matches any
+	// comparison sort, without sort.Slice's per-call swapper
+	// allocation; the running set is small (bounded by the machine).
+	for i := 1; i < len(ids); i++ {
+		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
+			ids[j], ids[j-1] = ids[j-1], ids[j]
+		}
+	}
+	s.runIDs = ids
+	out := s.runBuf[:0]
 	for _, id := range ids {
 		r := s.running[id]
 		out = append(out, core.Running{Job: r.job, Part: r.part, Start: r.start, ExpFinish: r.expFinish})
 	}
+	s.runBuf = out
 	return out
 }

@@ -1,7 +1,6 @@
 package sim
 
 import (
-	"container/heap"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -192,7 +191,7 @@ func NewFromSnapshot(cfg Config, st *snapshot.State) (*Simulator, error) {
 			jobID: job.ID(e.Job), epoch: e.Epoch, node: e.Node,
 		}
 	}
-	heap.Init(&s.k.queue)
+	s.k.queue.init()
 	s.k.queue.nextSeq = st.NextEventSeq
 
 	// Occupancy, with every owner resolved: a job id we know, or the

@@ -87,7 +87,10 @@ func (f *failureSubsystem) handleFailure(e event) error {
 	s.met.failures.Inc()
 	owner := s.grid.OwnerAt(e.node)
 	s.logEvent("failure", job.ID(max(owner, 0)), e.node, nil)
-	failSeq := s.traceSim("failure", trace.Fint("node", int64(e.node)))
+	var failSeq uint64
+	if s.cfg.Trace != nil { // guard: the variadic fields allocate
+		failSeq = s.traceSim("failure", trace.Fint("node", int64(e.node)))
+	}
 	if owner == downOwner {
 		return nil // node already held down; the failure is absorbed
 	}
@@ -148,6 +151,7 @@ func (f *failureSubsystem) kill(id job.ID, cause uint64) error {
 	// checkpoint events: their epoch can never match a future run.
 	delete(s.running, id)
 	s.queue.Push(r.job) // original arrival time: regains FCFS priority
+	s.runFree = append(s.runFree, r)
 	return nil
 }
 
@@ -158,7 +162,9 @@ func (f *failureSubsystem) handleNodeUp(e event) error {
 		return fmt.Errorf("sim: node up: %w", err)
 	}
 	s.logEvent("nodeup", 0, e.node, nil)
-	s.traceSim("nodeup", trace.Fint("node", int64(e.node)))
+	if s.cfg.Trace != nil {
+		s.traceSim("nodeup", trace.Fint("node", int64(e.node)))
+	}
 	if err := s.schedule(); err != nil {
 		return err
 	}
@@ -243,8 +249,10 @@ func (c *checkpointSubsystem) handleCheckpoint(e event) error {
 	s.result.Checkpoints++
 	s.met.checkpoints.Inc()
 	s.logEvent("checkpoint", e.jobID, 0, &r.part)
-	p.lastSeq = s.traceJob("checkpoint", e.jobID, p.lastSeq,
-		trace.Num("saved_work", p.savedWork))
+	if s.cfg.Trace != nil {
+		p.lastSeq = s.traceJob("checkpoint", e.jobID, p.lastSeq,
+			trace.Num("saved_work", p.savedWork))
+	}
 
 	// The checkpoint itself costs Overhead: completion slips, and the
 	// finish event is reissued under a fresh epoch.

@@ -39,6 +39,15 @@ type Grid struct {
 	colHash   []uint64 // occupancy hash per z-column (len X*Y)
 	colBusy   []int    // busy nodes per z-column (len X*Y)
 	planeBusy [3][]int // busy nodes per plane orthogonal to x, y, z
+
+	watchers []colWatcher // column-invalidation callbacks, in handle order
+	nextW    int          // next watcher handle
+}
+
+// colWatcher is one registered column-invalidation callback.
+type colWatcher struct {
+	h  int
+	fn func(col int)
 }
 
 // NewGrid returns an empty occupancy grid for the machine.
@@ -97,6 +106,38 @@ func (gr *Grid) ColumnBusy(col int) int { return gr.colBusy[col] }
 // projected onto that axis.
 func (gr *Grid) PlaneBusy(axis, k int) int { return gr.planeBusy[axis][k] }
 
+// AddColumnWatcher registers a callback invoked whenever the occupancy
+// of a z-column changes (once per node flip, so a watcher typically
+// dedupes). Caching finders use it to mark derived per-column state
+// dirty instead of re-scanning every column hash on each query. The
+// returned handle removes the watcher via RemoveColumnWatcher. Watchers
+// are not copied by Clone: derived state is attached to one grid
+// identity.
+func (gr *Grid) AddColumnWatcher(fn func(col int)) int {
+	h := gr.nextW
+	gr.nextW++
+	gr.watchers = append(gr.watchers, colWatcher{h: h, fn: fn})
+	return h
+}
+
+// RemoveColumnWatcher unregisters a watcher by the handle
+// AddColumnWatcher returned. Unknown handles are ignored.
+func (gr *Grid) RemoveColumnWatcher(h int) {
+	for i, w := range gr.watchers {
+		if w.h == h {
+			gr.watchers = append(gr.watchers[:i], gr.watchers[i+1:]...)
+			return
+		}
+	}
+}
+
+// notifyCol fires the column watchers for one changed column.
+func (gr *Grid) notifyCol(col int) {
+	for _, w := range gr.watchers {
+		w.fn(col)
+	}
+}
+
 // nodeKey is the fixed Zobrist key of a node: a splitmix64 step over
 // the dense id. Deterministic across grids so equal occupancy patterns
 // hash equally on any grid of the same geometry.
@@ -119,6 +160,23 @@ func (gr *Grid) flip(id, delta int) {
 	gr.planeBusy[0][col/gr.geom.Dims.Y] += delta
 	gr.planeBusy[1][col%gr.geom.Dims.Y] += delta
 	gr.planeBusy[2][id%gr.geom.Dims.Z] += delta
+	if len(gr.watchers) > 0 {
+		gr.notifyCol(col)
+	}
+}
+
+// PartitionHashDelta returns the XOR of the Zobrist keys of p's nodes:
+// exactly the amount OccupancyHash changes by when every node of p
+// flips between free and busy. It is read-only, letting callers
+// evaluate hypothetical placements (hash of "grid with p allocated")
+// without mutating the grid or firing watchers.
+func (gr *Grid) PartitionHashDelta(p Partition) uint64 {
+	var d uint64
+	gr.geom.ForEachNode(p, func(id int) bool {
+		d ^= nodeKey(id)
+		return true
+	})
+	return d
 }
 
 // PartitionFree reports whether every node of p is unallocated.
@@ -194,6 +252,36 @@ func (gr *Grid) Clone() *Grid {
 		cp.planeBusy[a] = append([]int(nil), gr.planeBusy[a]...)
 	}
 	return cp
+}
+
+// CopyFrom overwrites the grid's contents with src's, keeping the
+// receiver's identity and watchers. It is the allocation-free
+// counterpart of Clone for reusable scratch grids: a stable identity
+// lets caching finders keep one derived state for the scratch instead
+// of rebuilding per clone. Column watchers fire for every column whose
+// occupancy differs between the old and new contents, so derived state
+// stays exactly as fresh as it would under individual flips. The
+// geometries must match.
+func (gr *Grid) CopyFrom(src *Grid) error {
+	if gr.geom != src.geom {
+		return fmt.Errorf("torus: CopyFrom geometry mismatch: %s vs %s", gr.geom.Spec(), src.geom.Spec())
+	}
+	if len(gr.watchers) > 0 {
+		for col := range gr.colHash {
+			if gr.colHash[col] != src.colHash[col] {
+				gr.notifyCol(col)
+			}
+		}
+	}
+	copy(gr.owner, src.owner)
+	gr.freeCount = src.freeCount
+	gr.hash = src.hash
+	copy(gr.colHash, src.colHash)
+	copy(gr.colBusy, src.colBusy)
+	for a := range gr.planeBusy {
+		copy(gr.planeBusy[a], src.planeBusy[a])
+	}
+	return nil
 }
 
 // Owners returns a copy of the raw owner array, one owner id per dense

@@ -14,6 +14,10 @@ set -eu
 mode="${1:-compare}"
 arg="${2:-}"
 benchtime="${BENCHTIME:-0.5s}"
+# Kernel benchmarks run a fixed iteration count, not a duration:
+# allocs/op is guarded at exactly zero growth, and a count keeps the
+# measured op population identical across machines of any speed.
+kernel_benchtime="${KERNEL_BENCHTIME:-5000x}"
 dir="${BENCHDIR:-bench}"
 out=$(mktemp)
 trap 'rm -f "$out"' EXIT
@@ -28,13 +32,16 @@ go test -run '^$' -bench 'BenchmarkRunBuildColdVsWarm' \
     -benchtime "$benchtime" ./internal/build/ >>"$out"
 go test -run '^$' -bench 'BenchmarkFastFinder|BenchmarkSchedulerDecision|BenchmarkAnnealFinder|BenchmarkContentionCharge' \
     -benchtime "$benchtime" . >>"$out"
+go test -run '^$' -bench 'BenchmarkKernelSteadyState' \
+    -benchtime "$kernel_benchtime" -benchmem . >>"$out"
 
 case "$mode" in
 record)
     go run ./cmd/bgbench record -dir "$dir" -label "${arg:-$(git rev-parse --short HEAD 2>/dev/null || echo manual)}" <"$out"
     ;;
 compare)
-    go run ./cmd/bgbench compare -dir "$dir" -threshold "${arg:-25}" <"$out"
+    go run ./cmd/bgbench compare -dir "$dir" -threshold "${arg:-25}" \
+        -allocguard '^BenchmarkKernelSteadyState' <"$out"
     ;;
 *)
     echo "bench-history: unknown mode $mode (want record or compare)" >&2
